@@ -1,0 +1,117 @@
+// Deployment-realism ablations (extensions beyond the paper's evaluation):
+//
+//  1. Synchronous rounds vs asynchronous event-driven execution — stale
+//     coordinate snapshots and in-flight interleaving at equal measurement
+//     budget.
+//  2. Probe scheduling strategies — uniform random (paper), round-robin,
+//     loss-driven active sampling (inspired by Rish & Tesauro [20]).
+//  3. Membership churn — nodes leaving/rejoining with fresh state.
+//
+// Usage: ablation_deployment [--quick] [--seed=N]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/async_simulation.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace dmfsgd;
+
+double AsyncAuc(const core::AsyncDmfsgdSimulation& simulation) {
+  const auto& dataset = simulation.dataset();
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i == j || !dataset.IsKnown(i, j) || simulation.IsNeighborPair(i, j)) {
+        continue;
+      }
+      scores.push_back(simulation.Predict(i, j));
+      labels.push_back(datasets::ClassOf(dataset.metric, dataset.Quantity(i, j),
+                                         simulation.config().tau));
+    }
+  }
+  return eval::Auc(scores, labels);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv, {"quick", "seed"});
+  const bool quick = flags.GetBool("quick", false);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  std::cout << "=== Deployment ablations ===\n";
+
+  // A mid-size RTT world keeps this suite fast while the full-scale runs
+  // live in the per-figure benches.
+  bench::PaperDataset paper = bench::MakePaperMeridian(true, 2011 + seed);
+  (void)quick;
+
+  // --- [1] synchronous vs asynchronous ---
+  {
+    std::cout << "\n[1] synchronous rounds vs event-driven asynchrony ("
+              << paper.dataset.name << ", n = " << paper.dataset.NodeCount()
+              << "):\n";
+    const core::SimulationConfig sync_config = bench::DefaultConfig(paper, seed);
+    core::AsyncSimulationConfig async_config;
+    async_config.base = sync_config;
+    core::AsyncDmfsgdSimulation async_sim(paper.dataset, async_config);
+    async_sim.RunUntil(30.0 * static_cast<double>(paper.default_k));
+
+    core::DmfsgdSimulation sync_sim(paper.dataset, sync_config);
+    sync_sim.RunRounds(
+        static_cast<std::size_t>(async_sim.AverageMeasurementsPerNode()));
+
+    common::Table table({"execution model", "measurements/node", "AUC"});
+    table.AddRow({"synchronous rounds",
+                  common::FormatFixed(sync_sim.AverageMeasurementsPerNode(), 1),
+                  common::FormatFixed(bench::EvalAuc(sync_sim), 3)});
+    table.AddRow({"asynchronous (stale snapshots)",
+                  common::FormatFixed(async_sim.AverageMeasurementsPerNode(), 1),
+                  common::FormatFixed(AsyncAuc(async_sim), 3)});
+    table.Print(std::cout);
+  }
+
+  // --- [2] probe scheduling strategies ---
+  {
+    std::cout << "\n[2] probe scheduling strategies (fixed 30 x k rounds):\n";
+    common::Table table({"strategy", "AUC"});
+    for (const core::ProbeStrategy strategy :
+         {core::ProbeStrategy::kUniformRandom, core::ProbeStrategy::kRoundRobin,
+          core::ProbeStrategy::kLossDriven}) {
+      core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+      config.strategy = strategy;
+      core::DmfsgdSimulation simulation(paper.dataset, config);
+      bench::Train(simulation, paper);
+      table.AddRow({core::ProbeStrategyName(strategy),
+                    common::FormatFixed(bench::EvalAuc(simulation), 3)});
+    }
+    table.Print(std::cout);
+  }
+
+  // --- [3] membership churn ---
+  {
+    std::cout << "\n[3] membership churn (fixed 30 x k rounds):\n";
+    common::Table table({"churn/round", "nodes churned", "AUC"});
+    for (const double churn : {0.0, 0.001, 0.005, 0.02}) {
+      core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+      config.churn_rate = churn;
+      core::DmfsgdSimulation simulation(paper.dataset, config);
+      bench::Train(simulation, paper);
+      table.AddRow({common::FormatFixed(churn * 100.0, 1) + "%",
+                    std::to_string(simulation.ChurnCount()),
+                    common::FormatFixed(bench::EvalAuc(simulation), 3)});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nexpected shape: asynchrony costs ~nothing; strategies are"
+               " within noise of each other (the objective is uniform);"
+               " accuracy degrades gracefully with churn\n";
+  return 0;
+}

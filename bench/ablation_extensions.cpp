@@ -1,0 +1,156 @@
+// Ablations and extensions beyond the paper's figures:
+//
+//  1. Multiclass (ordinal) prediction — the paper's §7 future work: exact
+//     accuracy and mean absolute level error for C = 2, 3, 5 classes.
+//  2. Message loss — the decentralized protocol under a lossy network
+//     (not evaluated in the paper, but a deployment concern §5 raises).
+//  3. Centralized batch MF vs decentralized DMFSGD — what decentralization
+//     costs on the same observed entries (DESIGN.md ablation).
+//  4. Wire-format overhead — AUC equality check between in-memory and
+//     serialized message exchange (the binary codec is lossless).
+//
+// Usage: ablation_extensions [--quick] [--seed=N]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/batch_mf.hpp"
+#include "core/multiclass.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace dmfsgd;
+
+void MulticlassAblation(const bench::PaperDataset& paper, std::uint64_t seed) {
+  std::cout << "\n[1] multiclass (ordinal) extension on " << paper.dataset.name
+            << ":\n";
+  common::Table table({"classes", "accuracy %", "chance %", "mean |level err|"});
+  for (const std::size_t classes : {2, 3, 5}) {
+    core::MulticlassConfig config;
+    config.num_classes = classes;
+    config.thresholds = core::EqualMassThresholds(paper.dataset, classes);
+    config.rank = 10;
+    config.neighbor_count = paper.default_k;
+    config.seed = seed;
+    core::OrdinalDmfsgdSimulation simulation(paper.dataset, config);
+    simulation.RunRounds(30 * paper.default_k);
+    const auto eval = simulation.Evaluate();
+    table.AddRow({std::to_string(classes),
+                  common::FormatFixed(eval.accuracy * 100.0, 1),
+                  common::FormatFixed(100.0 / static_cast<double>(classes), 1),
+                  common::FormatFixed(eval.mean_absolute_error, 3)});
+  }
+  table.Print(std::cout);
+}
+
+void MessageLossAblation(const bench::PaperDataset& paper, std::uint64_t seed) {
+  std::cout << "\n[2] message loss on " << paper.dataset.name
+            << " (fixed 30 x k round budget):\n";
+  common::Table table({"loss rate", "AUC", "applied measurements/node"});
+  for (const double loss : {0.0, 0.1, 0.3, 0.5}) {
+    core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+    config.message_loss = loss;
+    core::DmfsgdSimulation simulation(paper.dataset, config);
+    bench::Train(simulation, paper);
+    table.AddRow({common::FormatFixed(loss * 100.0, 0) + "%",
+                  common::FormatFixed(bench::EvalAuc(simulation), 3),
+                  common::FormatFixed(simulation.AverageMeasurementsPerNode(), 1)});
+  }
+  table.Print(std::cout);
+}
+
+void CentralizedAblation(const bench::PaperDataset& paper, std::uint64_t seed) {
+  std::cout << "\n[3] decentralized DMFSGD vs centralized batch MF on "
+            << paper.dataset.name << ":\n";
+  core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+  core::DmfsgdSimulation simulation(paper.dataset, config);
+  bench::Train(simulation, paper);
+
+  // Batch MF sees exactly the neighbor-pair labels the deployment trained on.
+  const std::size_t n = paper.dataset.NodeCount();
+  linalg::Matrix observed(n, n, linalg::Matrix::kMissing);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const core::NodeId j : simulation.Neighbors()[i]) {
+      observed(i, j) = static_cast<double>(datasets::ClassOf(
+          paper.dataset.metric, paper.dataset.Quantity(i, j), config.tau));
+    }
+  }
+  core::BatchMfConfig batch_config;
+  batch_config.rank = config.rank;
+  batch_config.epochs = 150;
+  batch_config.seed = seed;
+  const auto batch = core::FitBatchMf(observed, batch_config);
+
+  eval::CollectOptions options;
+  options.max_pairs = 100000;
+  const auto pairs = eval::CollectScoredPairs(simulation, options);
+  std::vector<double> batch_scores;
+  batch_scores.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    batch_scores.push_back(batch.Predict(pair.i, pair.j));
+  }
+  const auto labels = eval::Labels(pairs);
+  common::Table table({"solver", "AUC"});
+  table.AddRow({"DMFSGD (decentralized)",
+                common::FormatFixed(eval::Auc(eval::Scores(pairs), labels), 3)});
+  table.AddRow({"batch MF (centralized)",
+                common::FormatFixed(eval::Auc(batch_scores, labels), 3)});
+  table.Print(std::cout);
+}
+
+void WireAblation(const bench::PaperDataset& paper, std::uint64_t seed) {
+  std::cout << "\n[4] wire-format (serialized messages) on " << paper.dataset.name
+            << ":\n";
+  common::Table table({"transport", "AUC"});
+  for (const bool wire : {false, true}) {
+    core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+    config.use_wire_format = wire;
+    table.AddRow({wire ? "binary wire codec" : "in-memory",
+                  common::FormatFixed(bench::TrainedAuc(paper, config), 3)});
+  }
+  table.Print(std::cout);
+}
+
+void LossComparison(const bench::PaperDataset& paper, std::uint64_t seed) {
+  std::cout << "\n[5] classification losses on " << paper.dataset.name
+            << " (incl. the smooth-hinge extension):\n";
+  common::Table table({"loss", "AUC"});
+  for (const core::LossKind loss :
+       {core::LossKind::kLogistic, core::LossKind::kHinge,
+        core::LossKind::kSmoothHinge}) {
+    core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+    config.params.loss = loss;
+    table.AddRow({core::LossName(loss),
+                  common::FormatFixed(bench::TrainedAuc(paper, config), 3)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv, {"quick", "seed"});
+  const bool quick = flags.GetBool("quick", false);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  std::cout << "=== Ablations and extensions ===\n";
+
+  // Use the mid-size datasets to keep the ablation suite quick; the paper
+  // figures cover the full-scale runs.
+  const bench::PaperDataset meridian =
+      quick ? bench::MakePaperMeridian(true) : bench::MakePaperHpS3(false);
+  const bench::PaperDataset rtt = [&] {
+    bench::PaperDataset paper = bench::MakePaperMeridian(true);
+    return paper;
+  }();
+
+  MulticlassAblation(rtt, seed);
+  MessageLossAblation(rtt, seed);
+  CentralizedAblation(rtt, seed);
+  WireAblation(meridian, seed);
+  LossComparison(rtt, seed);
+  return 0;
+}

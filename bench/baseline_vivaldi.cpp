@@ -1,0 +1,213 @@
+// Baseline comparison: Vivaldi coordinates and IDES landmarks vs DMFSGD.
+//
+// The paper positions DMFSGD against Network Coordinate Systems (§2) and
+// borrows Vivaldi's architecture (§5.3).  This bench quantifies the
+// comparison the paper makes qualitatively, on the RTT datasets:
+//
+//  * class prediction: Vivaldi's predicted RTT thresholded at τ vs DMFSGD's
+//    native class scores (AUC on non-neighbor pairs);
+//  * peer selection: average stretch of picking the best-predicted peer.
+//
+// Expected shape on THIS substrate: Vivaldi wins on raw RTT accuracy —
+// unsurprisingly, because the synthetic delay space is literally a Euclidean
+// embedding plus access heights, i.e. Vivaldi's own generative model
+// (DESIGN.md notes this substitution artifact).  DMFSGD's advantages are
+// orthogonal: it handles asymmetric metrics (ABW) that no metric embedding
+// can express, and its inputs are cheap binary class probes rather than
+// exact quantities.  On real traces with heavy triangle-inequality
+// violations the gap closes (the paper's motivation for factorization).
+//
+// Usage: baseline_vivaldi [--quick] [--seed=N]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/ides.hpp"
+#include "core/vivaldi.hpp"
+#include "eval/peer_selection.hpp"
+#include "eval/regression_metrics.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace dmfsgd;
+
+/// AUC of thresholding Vivaldi's predicted RTT (smaller = better => score is
+/// the negated prediction) on pairs outside Vivaldi's neighbor sets.
+double VivaldiAuc(const core::VivaldiSimulation& vivaldi,
+                  const datasets::Dataset& dataset, double tau) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i == j || !dataset.IsKnown(i, j) || vivaldi.IsNeighborPair(i, j)) {
+        continue;
+      }
+      scores.push_back(-vivaldi.PredictRtt(i, j));
+      labels.push_back(
+          datasets::ClassOf(dataset.metric, dataset.Quantity(i, j), tau));
+    }
+  }
+  return eval::Auc(scores, labels);
+}
+
+/// Average stretch of best-predicted-peer selection with Vivaldi (peer sets
+/// mirror eval::EvaluatePeerSelection's construction).
+double VivaldiStretch(const core::VivaldiSimulation& vivaldi,
+                      const datasets::Dataset& dataset, std::size_t peer_count,
+                      std::uint64_t seed) {
+  common::Rng rng(seed);
+  double stretch_sum = 0.0;
+  std::size_t nodes = 0;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (j != i && dataset.IsKnown(i, j) && !vivaldi.IsNeighborPair(i, j)) {
+        candidates.push_back(j);
+      }
+    }
+    rng.Shuffle(std::span(candidates));
+    const std::size_t count = std::min(peer_count, candidates.size());
+    if (count == 0) {
+      continue;
+    }
+    std::size_t selected = candidates[0];
+    std::size_t best = candidates[0];
+    for (std::size_t p = 0; p < count; ++p) {
+      const std::size_t j = candidates[p];
+      if (vivaldi.PredictRtt(i, j) < vivaldi.PredictRtt(i, selected)) {
+        selected = j;
+      }
+      if (dataset.Quantity(i, j) < dataset.Quantity(i, best)) {
+        best = j;
+      }
+    }
+    stretch_sum += dataset.Quantity(i, selected) / dataset.Quantity(i, best);
+    ++nodes;
+  }
+  return stretch_sum / static_cast<double>(nodes);
+}
+
+}  // namespace
+
+/// AUC of thresholding IDES quantity estimates on host-host pairs.
+double IdesAuc(const core::IdesModel& ides, const datasets::Dataset& dataset,
+               double tau) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  const bool lower_better = datasets::LowerIsBetter(dataset.metric);
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i == j || !dataset.IsKnown(i, j) || ides.IsLandmark(i) ||
+          ides.IsLandmark(j)) {
+        continue;
+      }
+      scores.push_back(lower_better ? -ides.Predict(i, j) : ides.Predict(i, j));
+      labels.push_back(
+          datasets::ClassOf(dataset.metric, dataset.Quantity(i, j), tau));
+    }
+  }
+  return eval::Auc(scores, labels);
+}
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv, {"quick", "seed"});
+  const bool quick = flags.GetBool("quick", false);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  std::cout << "=== Baselines: Vivaldi and IDES vs DMFSGD ===\n";
+
+  std::vector<bench::PaperDataset> papers;
+  papers.push_back(bench::MakePaperHarvard(quick));
+  papers.push_back(bench::MakePaperMeridian(quick));
+  for (const bench::PaperDataset& paper : papers) {
+    const core::SimulationConfig dmf_config = bench::DefaultConfig(paper, seed);
+
+    // DMFSGD classification.
+    core::DmfsgdSimulation dmf(paper.dataset, dmf_config);
+    bench::Train(dmf, paper);
+
+    // Vivaldi with the same neighbor budget and a matched training budget.
+    core::VivaldiConfig vivaldi_config;
+    vivaldi_config.neighbor_count = paper.default_k;
+    vivaldi_config.seed = seed;
+    core::VivaldiSimulation vivaldi(paper.dataset, vivaldi_config);
+    vivaldi.RunRounds(30 * paper.default_k);
+
+    const double dmf_auc = bench::EvalAuc(dmf);
+    const double viv_auc = VivaldiAuc(vivaldi, paper.dataset, dmf_config.tau);
+
+    std::cout << "\n--- " << paper.dataset.name << " ---\n";
+    common::Table table({"system", "class AUC", "peer-selection stretch"});
+    {
+      eval::PeerSelectionConfig peer_config;
+      peer_config.peer_count = 30;
+      peer_config.seed = seed + 100;
+      const auto outcome = eval::EvaluatePeerSelection(
+          dmf, eval::SelectionMethod::kClassification, peer_config);
+      table.AddRow({"DMFSGD (classes)", common::FormatFixed(dmf_auc, 3),
+                    common::FormatFixed(outcome.average_stretch, 3)});
+    }
+    table.AddRow({"Vivaldi (embedding)", common::FormatFixed(viv_auc, 3),
+                  common::FormatFixed(
+                      VivaldiStretch(vivaldi, paper.dataset, 30, seed + 100), 3)});
+    table.Print(std::cout);
+
+    // Quantity-accuracy detail for the embedding (NCS-style statistics).
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    for (std::size_t i = 0; i < paper.dataset.NodeCount(); ++i) {
+      for (std::size_t j = 0; j < paper.dataset.NodeCount(); ++j) {
+        if (i == j || vivaldi.IsNeighborPair(i, j)) {
+          continue;
+        }
+        predicted.push_back(vivaldi.PredictRtt(i, j));
+        actual.push_back(paper.dataset.Quantity(i, j));
+      }
+    }
+    const auto rel = eval::SummarizeRelativeError(predicted, actual);
+    std::cout << "Vivaldi relative RTT error: median "
+              << common::FormatFixed(rel.median, 3) << ", p90 "
+              << common::FormatFixed(rel.p90, 3) << ", within-50% "
+              << common::FormatFixed(rel.within_half * 100.0, 1) << "%\n";
+  }
+
+  // IDES handles asymmetric metrics (unlike Vivaldi) but needs landmarks
+  // and a central solver (unlike DMFSGD) — compare on all three datasets.
+  std::cout << "\n--- IDES (landmark MF, m = 20 landmarks) vs DMFSGD ---\n";
+  {
+    common::Table table({"dataset", "IDES class AUC", "DMFSGD class AUC",
+                         "IDES measurements", "DMFSGD measurements"});
+    for (const bench::PaperDataset& paper : bench::AllPaperDatasets(quick)) {
+      core::IdesConfig ides_config;
+      ides_config.landmark_count = 20;
+      ides_config.rank = 10;
+      ides_config.seed = seed;
+      const core::IdesModel ides(paper.dataset, ides_config);
+
+      const core::SimulationConfig dmf_config = bench::DefaultConfig(paper, seed);
+      core::DmfsgdSimulation dmf(paper.dataset, dmf_config);
+      bench::Train(dmf, paper);
+
+      table.AddRow({paper.dataset.name,
+                    common::FormatFixed(
+                        IdesAuc(ides, paper.dataset, dmf_config.tau), 3),
+                    common::FormatFixed(bench::EvalAuc(dmf), 3),
+                    std::to_string(ides.MeasurementCount()),
+                    std::to_string(dmf.MeasurementCount())});
+    }
+    table.Print(std::cout);
+    std::cout << "IDES consumes exact *quantities* at special landmark nodes;"
+                 " DMFSGD consumes cheap class probes at ordinary peers\n";
+  }
+
+  std::cout << "\nnote: the synthetic substrates favor both baselines — the"
+               " delay space is Vivaldi's own generative model, and IDES gets"
+               " exact noise-free quantities plus a centralized SVD.  DMFSGD"
+               " trades a few AUC points for what the paper actually targets:"
+               " no landmarks, no central solver, no exact measurements —"
+               " only cheap binary probes between ordinary peers\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 6: robustness of class-based prediction against erroneous class
+// labels at 0/5/10/15% error levels.
+//
+// Paper setup: Types 1 (flip near τ) and 4 (good-to-bad) on Harvard and
+// Meridian; all four types on HP-S3 (Types 2 and 3 model ABW-specific
+// mechanisms: tool underestimation and malicious targets).  Expected shape:
+// random errors (Types 3/4) hurt noticeably; near-τ errors (Types 1/2)
+// barely move the AUC.
+//
+// Usage: fig6_robustness [--quick] [--seed=N]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace dmfsgd;
+
+core::ErrorSpec MakeSpec(const datasets::Dataset& dataset, double tau,
+                         core::ErrorType type, double level) {
+  core::ErrorSpec spec;
+  spec.type = type;
+  if (type == core::ErrorType::kFlipNearTau ||
+      type == core::ErrorType::kUnderestimationBias) {
+    spec.delta = core::DeltaForErrorRate(dataset, tau, type, level);
+  } else {
+    spec.fraction = level;
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv, {"quick", "seed"});
+  const bool quick = flags.GetBool("quick", false);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  const std::vector<double> levels{0.05, 0.10, 0.15};
+
+  std::cout << "=== Figure 6: robustness against erroneous class labels ===\n";
+
+  for (const bench::PaperDataset& paper : bench::AllPaperDatasets(quick)) {
+    const bool abw = paper.dataset.metric == datasets::Metric::kAbw;
+    std::vector<core::ErrorType> types{core::ErrorType::kFlipNearTau,
+                                       core::ErrorType::kGoodToBad};
+    if (abw) {
+      types = {core::ErrorType::kFlipNearTau, core::ErrorType::kUnderestimationBias,
+               core::ErrorType::kFlipRandom, core::ErrorType::kGoodToBad};
+    }
+
+    const core::SimulationConfig config = bench::DefaultConfig(paper, seed);
+    const double clean_auc = bench::TrainedAuc(paper, config);
+
+    std::cout << "\n--- " << paper.dataset.name << " ---\n";
+    common::Table table({"error type", "0%", "5%", "10%", "15%"});
+    for (const core::ErrorType type : types) {
+      std::vector<std::string> row{core::ErrorTypeName(type),
+                                   common::FormatFixed(clean_auc, 3)};
+      for (const double level : levels) {
+        const core::ErrorSpec spec =
+            MakeSpec(paper.dataset, config.tau, type, level);
+        const core::ErrorInjector injector(paper.dataset, config.tau,
+                                           std::vector<core::ErrorSpec>{spec},
+                                           seed + 17);
+        row.push_back(
+            common::FormatFixed(bench::TrainedAuc(paper, config, &injector), 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\npaper shape: random errors (Types 3-4) degrade AUC clearly;"
+               " near-tau errors (Types 1-2) have limited impact\n";
+  return 0;
+}

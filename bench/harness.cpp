@@ -1,0 +1,101 @@
+#include "harness.hpp"
+
+#include "datasets/harvard.hpp"
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+
+namespace dmfsgd::bench {
+
+PaperDataset MakePaperHarvard(bool quick, std::uint64_t seed) {
+  datasets::HarvardConfig config;
+  config.seed = seed;
+  if (quick) {
+    config.node_count = 80;
+    config.trace_records = 100000;
+  } else {
+    config.node_count = 226;
+    config.paper_scale = true;  // 2,492,546 records as in the paper
+  }
+  PaperDataset paper;
+  paper.dataset = datasets::MakeHarvard(config);
+  paper.default_k = 10;
+  paper.k_sweep = {5, 10, 30, 50};
+  return paper;
+}
+
+PaperDataset MakePaperMeridian(bool quick, std::uint64_t seed) {
+  datasets::MeridianConfig config;
+  config.seed = seed;
+  config.node_count = quick ? 300 : 2500;
+  PaperDataset paper;
+  paper.dataset = datasets::MakeMeridian(config);
+  paper.default_k = quick ? 16 : 32;
+  paper.k_sweep = quick ? std::vector<std::size_t>{8, 16, 32, 64}
+                        : std::vector<std::size_t>{16, 32, 64, 128};
+  return paper;
+}
+
+PaperDataset MakePaperHpS3(bool quick, std::uint64_t seed) {
+  datasets::HpS3Config config;
+  config.seed = seed;
+  config.host_count = quick ? 100 : 231;
+  PaperDataset paper;
+  paper.dataset = datasets::MakeHpS3(config);
+  paper.default_k = 10;
+  paper.k_sweep = {5, 10, 30, 50};
+  return paper;
+}
+
+std::vector<PaperDataset> AllPaperDatasets(bool quick) {
+  std::vector<PaperDataset> all;
+  all.push_back(MakePaperHarvard(quick));
+  all.push_back(MakePaperMeridian(quick));
+  all.push_back(MakePaperHpS3(quick));
+  return all;
+}
+
+core::SimulationConfig DefaultConfig(const PaperDataset& paper, std::uint64_t seed) {
+  core::SimulationConfig config;
+  config.rank = 10;
+  config.params.eta = 0.1;
+  config.params.lambda = 0.1;
+  config.params.loss = core::LossKind::kLogistic;
+  config.neighbor_count = paper.default_k;
+  config.tau = paper.dataset.MedianValue();
+  config.seed = seed;
+  return config;
+}
+
+void Train(core::DmfsgdSimulation& simulation, const PaperDataset& paper,
+           std::size_t budget_times_k) {
+  if (paper.dataset.trace.empty()) {
+    simulation.RunRounds(budget_times_k * simulation.config().neighbor_count);
+    return;
+  }
+  // Dynamic trace: replay a prefix proportional to the budget (the full
+  // trace corresponds to the full budget of 30).
+  const std::size_t records =
+      budget_times_k >= 30
+          ? paper.dataset.trace.size()
+          : paper.dataset.trace.size() * budget_times_k / 30;
+  (void)simulation.ReplayTrace(0, records);
+}
+
+double EvalAuc(const core::DmfsgdSimulation& simulation, std::size_t max_pairs) {
+  eval::CollectOptions options;
+  options.max_pairs = max_pairs;
+  const auto pairs = eval::CollectScoredPairs(simulation, options);
+  return eval::Auc(eval::Scores(pairs), eval::Labels(pairs));
+}
+
+double TrainedAuc(const PaperDataset& paper, const core::SimulationConfig& config,
+                  const core::ErrorInjector* injector,
+                  std::size_t budget_times_k) {
+  core::DmfsgdSimulation simulation(paper.dataset, config, injector);
+  Train(simulation, paper, budget_times_k);
+  return EvalAuc(simulation);
+}
+
+}  // namespace dmfsgd::bench

@@ -1,0 +1,58 @@
+// Shared experiment harness for the paper-reproduction bench binaries.
+//
+// Each bench binary regenerates one table or figure of the paper.  They all
+// need the same three datasets, the paper's default parameters (§6.2) and an
+// AUC-on-test-pairs evaluation, which live here.
+//
+// Every binary accepts `--quick` (reduced scale for smoke runs) and
+// `--seed=N`; paper-scale defaults follow §6.1:
+//   Harvard  226 nodes, 2.49M-record dynamic trace, k = 10
+//   Meridian 2500 nodes, static, k = 32
+//   HP-S3    231 nodes, static ABW with ~4% missing entries, k = 10
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::bench {
+
+struct PaperDataset {
+  datasets::Dataset dataset;
+  std::size_t default_k = 10;
+  std::vector<std::size_t> k_sweep;  ///< Figure 4(b) x-axis for this dataset
+};
+
+[[nodiscard]] PaperDataset MakePaperHarvard(bool quick, std::uint64_t seed = 226);
+[[nodiscard]] PaperDataset MakePaperMeridian(bool quick, std::uint64_t seed = 2011);
+[[nodiscard]] PaperDataset MakePaperHpS3(bool quick, std::uint64_t seed = 459);
+
+/// All three, in the paper's order (Harvard, Meridian, HP-S3).
+[[nodiscard]] std::vector<PaperDataset> AllPaperDatasets(bool quick);
+
+/// The paper's default simulation parameters for this dataset:
+/// η = λ = 0.1, r = 10, logistic loss, k = default_k, τ = median.
+[[nodiscard]] core::SimulationConfig DefaultConfig(const PaperDataset& paper,
+                                                   std::uint64_t seed = 1);
+
+/// Trains a deployment with the paper's protocol: static datasets run
+/// `budget_times_k` * k probing rounds; the Harvard trace is replayed in
+/// time order (the budget then caps the number of records proportionally).
+void Train(core::DmfsgdSimulation& simulation, const PaperDataset& paper,
+           std::size_t budget_times_k = 30);
+
+/// AUC on unmeasured pairs (reservoir-capped for the big Meridian matrix).
+[[nodiscard]] double EvalAuc(const core::DmfsgdSimulation& simulation,
+                             std::size_t max_pairs = 200000);
+
+/// Convenience: build, train with defaults (+overrides applied by caller on
+/// the returned config), evaluate.  Returns the AUC.
+[[nodiscard]] double TrainedAuc(const PaperDataset& paper,
+                                const core::SimulationConfig& config,
+                                const core::ErrorInjector* injector = nullptr,
+                                std::size_t budget_times_k = 30);
+
+}  // namespace dmfsgd::bench

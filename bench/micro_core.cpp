@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark): the hot kernels of the library.
+//
+// These quantify the per-operation costs behind the paper's scalability
+// claim — a DMFSGD update is O(r) vector arithmetic plus one small message,
+// so a node handles thousands of measurements per second regardless of the
+// network size.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/loss.hpp"
+#include "core/node.hpp"
+#include "core/simulation.hpp"
+#include "core/wire.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/roc.hpp"
+#include "linalg/svd.hpp"
+
+namespace {
+
+using namespace dmfsgd;
+
+void BM_LossGradient(benchmark::State& state) {
+  const auto kind = static_cast<core::LossKind>(state.range(0));
+  double x_hat = 0.37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::LossGradientScale(kind, 1.0, x_hat));
+    x_hat = -x_hat;
+  }
+}
+BENCHMARK(BM_LossGradient)
+    ->Arg(static_cast<int>(core::LossKind::kHinge))
+    ->Arg(static_cast<int>(core::LossKind::kLogistic))
+    ->Arg(static_cast<int>(core::LossKind::kL2));
+
+void BM_RttUpdate(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  core::DmfsgdNode node(0, rank, rng);
+  core::DmfsgdNode remote(1, rank, rng);
+  const core::UpdateParams params;
+  double label = 1.0;
+  for (auto _ : state) {
+    node.RttUpdate(label, remote.u(), remote.v(), params);
+    label = -label;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RttUpdate)->Arg(3)->Arg(10)->Arg(100);
+
+void BM_AbwUpdatePair(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  core::DmfsgdNode prober(0, rank, rng);
+  core::DmfsgdNode target(1, rank, rng);
+  const core::UpdateParams params;
+  for (auto _ : state) {
+    target.AbwTargetUpdate(1.0, prober.u(), params);
+    prober.AbwProberUpdate(1.0, target.v(), params);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AbwUpdatePair)->Arg(10);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  core::RttProbeReply reply{7, std::vector<double>(rank, 0.5),
+                            std::vector<double>(rank, -0.5)};
+  for (auto _ : state) {
+    const auto encoded = core::Encode(reply);
+    benchmark::DoNotOptimize(core::DecodeRttProbeReply(encoded));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * core::Encode(reply).size()));
+}
+BENCHMARK(BM_WireRoundTrip)->Arg(10)->Arg(100);
+
+void BM_SimulationRound(benchmark::State& state) {
+  datasets::MeridianConfig dataset_config;
+  dataset_config.node_count = static_cast<std::size_t>(state.range(0));
+  const datasets::Dataset dataset = datasets::MakeMeridian(dataset_config);
+  core::SimulationConfig config;
+  config.neighbor_count = 10;
+  config.tau = dataset.MedianValue();
+  core::DmfsgdSimulation simulation(dataset, config);
+  for (auto _ : state) {
+    simulation.RunRounds(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dataset.NodeCount()));
+}
+BENCHMARK(BM_SimulationRound)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_Auc(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(3);
+  std::vector<double> scores(count);
+  std::vector<int> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scores[i] = rng.Normal();
+    labels[i] = rng.Bernoulli(0.5) ? 1 : -1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::Auc(scores, labels));
+  }
+}
+BENCHMARK(BM_Auc)->Arg(10000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  linalg::Matrix m(n, n);
+  m.FillUniform(rng, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::JacobiSvd(m));
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_RandomizedTopKSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  linalg::Matrix m(n, n);
+  m.FillUniform(rng, -1.0, 1.0);
+  for (auto _ : state) {
+    common::Rng probe_rng(7);
+    benchmark::DoNotOptimize(linalg::RandomizedTopKSvd(m, 20, probe_rng));
+  }
+}
+BENCHMARK(BM_RandomizedTopKSvd)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    datasets::MeridianConfig config;
+    config.node_count = n;
+    benchmark::DoNotOptimize(datasets::MakeMeridian(config));
+  }
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1: the classification thresholds τ that produce 10/25/50/75/90%
+// "good" paths in each dataset.
+//
+// Paper values for reference (real traces): Harvard 27.5..324.2 ms,
+// Meridian 19.4..155.2 ms, HP-S3 88.2..10.4 Mbps (descending, since for ABW
+// more good paths need a lower threshold).
+//
+// Usage: table1_tau_portions [--quick]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmfsgd;
+
+  const common::Flags flags(argc, argv, {"quick"});
+  const bool quick = flags.GetBool("quick", false);
+
+  std::cout << "=== Table 1: tau vs portion of good paths ===\n";
+
+  const auto papers = bench::AllPaperDatasets(quick);
+  common::Table table({"good %", "Harvard (ms)", "Meridian (ms)", "HP-S3 (Mbps)"});
+  for (const double portion : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    std::vector<std::string> row{
+        common::FormatFixed(portion * 100.0, 0) + "%"};
+    for (const auto& paper : papers) {
+      row.push_back(
+          common::FormatFixed(paper.dataset.TauForGoodPortion(portion), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\npaper shape: RTT taus grow with the good portion; ABW taus"
+               " shrink (higher bandwidth thresholds admit fewer paths)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Overlay monitoring on a live measurement stream (the Harvard regime).
+//
+// An Azureus/Vuze-style overlay passively observes application-level RTTs
+// with very uneven pair coverage.  This demo replays the 4-hour dynamic
+// trace through the deployment in timestamp order and reports, for each
+// 30-minute window, how the class prediction on *unmeasured* pairs improves
+// as measurements accumulate — the decentralized system warms up from
+// nothing while the overlay runs.
+//
+// Usage: overlay_monitoring [--nodes=N] [--records=R] [--seed=S]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/simulation.hpp"
+#include "datasets/harvard.hpp"
+#include "eval/confusion.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmfsgd;
+
+  const common::Flags flags(argc, argv, {"nodes", "records", "seed"});
+  const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 226));
+  const auto records = static_cast<std::size_t>(flags.GetInt("records", 500000));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  datasets::HarvardConfig dataset_config;
+  dataset_config.node_count = nodes;
+  dataset_config.trace_records = records;
+  dataset_config.seed = seed;
+  const datasets::Dataset dataset = datasets::MakeHarvard(dataset_config);
+
+  core::SimulationConfig config;
+  config.neighbor_count = 10;
+  config.tau = dataset.MedianValue();
+  config.seed = seed;
+  core::DmfsgdSimulation simulation(dataset, config);
+
+  std::cout << "overlay with " << nodes << " clients; replaying "
+            << dataset.trace.size() << " passive RTT measurements over "
+            << dataset.trace.back().timestamp_s / 3600.0 << " hours\n"
+            << "tau = " << config.tau << " ms (median)\n\n";
+
+  common::Table table({"window", "records", "usable", "avg meas/node", "AUC",
+                       "accuracy %"});
+
+  const double window_s = 1800.0;
+  std::size_t cursor = 0;
+  std::size_t window_index = 1;
+  while (cursor < dataset.trace.size()) {
+    // Find the end of this half-hour window.
+    std::size_t end = cursor;
+    const double window_end = static_cast<double>(window_index) * window_s;
+    while (end < dataset.trace.size() &&
+           dataset.trace[end].timestamp_s <= window_end) {
+      ++end;
+    }
+    const std::size_t applied = simulation.ReplayTrace(cursor, end);
+
+    // Evaluate on unmeasured pairs after this window.
+    eval::CollectOptions options;
+    options.max_pairs = 30000;
+    const auto pairs = eval::CollectScoredPairs(simulation, options);
+    const auto scores = eval::Scores(pairs);
+    const auto labels = eval::Labels(pairs);
+    const double auc = eval::Auc(scores, labels);
+    const auto confusion = eval::ConfusionFromScores(scores, labels);
+
+    table.AddRow({"t<" + std::to_string(static_cast<int>(window_end / 60.0)) +
+                      "min",
+                  std::to_string(end - cursor), std::to_string(applied),
+                  common::FormatFixed(simulation.AverageMeasurementsPerNode(), 1),
+                  common::FormatFixed(auc, 3),
+                  common::FormatFixed(confusion.Accuracy() * 100.0, 1)});
+    cursor = end;
+    ++window_index;
+  }
+  table.Print(std::cout);
+  std::cout << "\nusable records are those observed toward a node's k=10"
+               " neighbors (passive probing, uneven coverage)\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmfsgd::common {
+
+namespace {
+
+void RequireCleanField(const std::string& field, char separator) {
+  if (field.find(separator) != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos) {
+    throw std::invalid_argument("WriteCsv: field contains separator or newline: " +
+                                field);
+  }
+}
+
+void WriteRow(std::ofstream& out, const std::vector<std::string>& row, char separator) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    RequireCleanField(row[i], separator);
+    if (i > 0) {
+      out << separator;
+    }
+    out << row[i];
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void WriteCsv(const std::filesystem::path& path,
+              const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows,
+              char separator) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteCsv: cannot open " + path.string());
+  }
+  if (!header.empty()) {
+    WriteRow(out, header, separator);
+  }
+  for (const auto& row : rows) {
+    WriteRow(out, row, separator);
+  }
+  if (!out) {
+    throw std::runtime_error("WriteCsv: write failed for " + path.string());
+  }
+}
+
+CsvDocument ReadCsv(const std::filesystem::path& path, bool has_header, char separator) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadCsv: cannot open " + path.string());
+  }
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    auto fields = SplitCsvLine(line, separator);
+    if (first && has_header) {
+      doc.header = std::move(fields);
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char separator) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (const char c : line) {
+    if (c == separator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+double ParseDouble(const std::string& field) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ParseDouble: not a number: '" + field + "'");
+  }
+  if (consumed != field.size()) {
+    throw std::invalid_argument("ParseDouble: trailing characters in '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace dmfsgd::common

@@ -1,0 +1,46 @@
+// Minimal CSV reader/writer used to persist datasets and experiment results.
+//
+// The dialect is deliberately simple (no quoting; fields must not contain the
+// separator or newlines), which is sufficient for the numeric tables this
+// library produces and keeps parsing unambiguous.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace dmfsgd::common {
+
+/// A parsed CSV document: rows of string fields.
+struct CsvDocument {
+  std::vector<std::string> header;            ///< empty if has_header was false
+  std::vector<std::vector<std::string>> rows;  ///< data rows, field-split
+};
+
+/// Writes rows (with optional header) to `path`, creating parent directories.
+/// Throws std::runtime_error on IO failure and std::invalid_argument if any
+/// field contains the separator or a newline.
+void WriteCsv(const std::filesystem::path& path,
+              const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows,
+              char separator = ',');
+
+/// Reads a CSV file written by WriteCsv (or any unquoted CSV).
+/// Throws std::runtime_error if the file cannot be opened.
+[[nodiscard]] CsvDocument ReadCsv(const std::filesystem::path& path,
+                                  bool has_header = true,
+                                  char separator = ',');
+
+/// Splits a single line on `separator` (no quoting).
+[[nodiscard]] std::vector<std::string> SplitCsvLine(const std::string& line,
+                                                    char separator = ',');
+
+/// Formats a double with enough digits to round-trip (shortest of %.17g that
+/// still parses back equal would be overkill; %.12g keeps files readable and
+/// is ample for measurement data).
+[[nodiscard]] std::string FormatDouble(double value);
+
+/// Parses a double; throws std::invalid_argument on garbage or trailing junk.
+[[nodiscard]] double ParseDouble(const std::string& field);
+
+}  // namespace dmfsgd::common

@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for the example and bench binaries.
+//
+// Supports `--name=value` and boolean `--name` arguments.  Unknown flags are
+// rejected so typos fail fast.  The paper harnesses use this for e.g.
+// `--quick` (reduced sweeps) and `--seed=N`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmfsgd::common {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed or unknown flags.
+  /// `allowed` lists the accepted flag names (without the leading dashes).
+  Flags(int argc, const char* const* argv, const std::vector<std::string>& allowed);
+
+  /// True if `--name` or `--name=...` was given.
+  [[nodiscard]] bool Has(const std::string& name) const;
+
+  /// String value, or `fallback` if not given.
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& fallback) const;
+
+  /// Integer value, or `fallback` if not given; throws on non-numeric value.
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t fallback) const;
+
+  /// Double value, or `fallback` if not given; throws on non-numeric value.
+  [[nodiscard]] double GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean flag (present without value, or =true/=false).
+  [[nodiscard]] bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& Positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dmfsgd::common

@@ -1,0 +1,181 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dmfsgd::common {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64Next(sm);
+  }
+  // xoshiro256++ must not be seeded with all zeros; SplitMix64 cannot emit
+  // four consecutive zeros, so no further check is needed.
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() noexcept {
+  // Top 53 bits mapped to [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::Uniform: lo > hi");
+  }
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("Rng::UniformInt: n must be positive");
+  }
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::UniformInt: lo > hi");
+  }
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+double Rng::Normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 0.0) {  // log(0) guard; probability ~2^-53 per draw
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (stddev < 0.0) {
+    throw std::invalid_argument("Rng::Normal: stddev must be >= 0");
+  }
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Rng::Exponential(double rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("Rng::Exponential: rate must be > 0");
+  }
+  double u = Uniform();
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Rng::Bernoulli: p must be in [0, 1]");
+  }
+  return Uniform() < p;
+}
+
+double Rng::Pareto(double scale, double shape) {
+  if (scale <= 0.0 || shape <= 0.0) {
+    throw std::invalid_argument("Rng::Pareto: scale and shape must be > 0");
+  }
+  double u = Uniform();
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n, std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("Rng::SampleWithoutReplacement: k > n");
+  }
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool[i] = i;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + UniformInt(static_cast<std::uint64_t>(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::Split() noexcept {
+  // Derive a child seed from two raw outputs; mixing through SplitMix64 in
+  // the constructor decorrelates the child stream from the parent.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ Rotl(b, 32) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfSampler: n must be positive");
+  }
+  if (exponent < 0.0) {
+    throw std::invalid_argument("ZipfSampler: exponent must be >= 0");
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf_[rank] = total;
+  }
+  for (auto& value : cdf_) {
+    value /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding drift at the tail
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.Uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace dmfsgd::common

@@ -1,0 +1,115 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through an explicitly seeded Rng object
+// (no global state, per C++ Core Guidelines I.2/I.3).  The generator is
+// xoshiro256++ seeded via SplitMix64, which is fast, has a 2^256-1 period and
+// passes BigCrush; std::mt19937 is avoided because its state is bulky to copy
+// into the thousands of simulated nodes used by the experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dmfsgd::common {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+/// Public because tests and hashing utilities reuse it.
+[[nodiscard]] constexpr std::uint64_t SplitMix64Next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ deterministic PRNG.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also be handed to
+/// <random> distributions, although the member helpers below are preferred.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64 (never all-zero).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double Uniform() noexcept;
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  [[nodiscard]] double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.  Unbiased (Lemire rejection).
+  [[nodiscard]] std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  [[nodiscard]] double Normal() noexcept;
+
+  /// Normal with given mean and standard deviation.  Requires stddev >= 0.
+  [[nodiscard]] double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)).  Requires sigma >= 0.
+  [[nodiscard]] double LogNormal(double mu, double sigma);
+
+  /// Exponential with the given rate.  Requires rate > 0.
+  [[nodiscard]] double Exponential(double rate);
+
+  /// True with probability p.  Requires p in [0, 1].
+  [[nodiscard]] bool Bernoulli(double p);
+
+  /// Pareto(scale, shape): heavy-tailed positive values >= scale.
+  /// Requires scale > 0 and shape > 0.
+  [[nodiscard]] double Pareto(double scale, double shape);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void Shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = UniformInt(static_cast<std::uint64_t>(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n) (partial Fisher-Yates).
+  /// Requires k <= n.
+  [[nodiscard]] std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                                  std::size_t k);
+
+  /// Independent child generator; decorrelated from this one and from other
+  /// children (used to give every simulated node its own RNG).
+  [[nodiscard]] Rng Split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Samples ranks from a Zipf distribution over {0, .., n-1} with exponent s,
+/// using precomputed CDF (suitable when n is at most a few thousand).
+class ZipfSampler {
+ public:
+  /// Requires n > 0 and exponent >= 0 (0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  [[nodiscard]] std::size_t Sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dmfsgd::common

@@ -1,0 +1,137 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dmfsgd::common {
+
+namespace {
+
+void RequireNonEmpty(std::span<const double> values, const char* what) {
+  if (values.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+
+/// Percentile of an already-sorted sample (linear interpolation).
+[[nodiscard]] double SortedPercentile(std::span<const double> sorted, double p) {
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double Mean(std::span<const double> values) {
+  RequireNonEmpty(values, "Mean");
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) {
+    throw std::invalid_argument("Variance: need at least two values");
+  }
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    const double d = v - mean;
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(std::span<const double> values) { return std::sqrt(Variance(values)); }
+
+double Median(std::span<const double> values) { return Percentile(values, 50.0); }
+
+double Percentile(std::span<const double> values, double p) {
+  RequireNonEmpty(values, "Percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Percentile: p must be in [0, 100]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return SortedPercentile(sorted, p);
+}
+
+double Min(std::span<const double> values) {
+  RequireNonEmpty(values, "Min");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  RequireNonEmpty(values, "Max");
+  return *std::max_element(values.begin(), values.end());
+}
+
+Summary Summarize(std::span<const double> values) {
+  if (values.size() < 2) {
+    throw std::invalid_argument("Summarize: need at least two values");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.mean = Mean(sorted);
+  s.stddev = StdDev(sorted);
+  s.min = sorted.front();
+  s.p25 = SortedPercentile(sorted, 25.0);
+  s.median = SortedPercentile(sorted, 50.0);
+  s.p75 = SortedPercentile(sorted, 75.0);
+  s.max = sorted.back();
+  return s;
+}
+
+void RunningStats::Add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::Mean() const {
+  if (count_ == 0) {
+    throw std::logic_error("RunningStats::Mean: no samples");
+  }
+  return mean_;
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    throw std::logic_error("RunningStats::Variance: need at least two samples");
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const {
+  if (count_ == 0) {
+    throw std::logic_error("RunningStats::Min: no samples");
+  }
+  return min_;
+}
+
+double RunningStats::Max() const {
+  if (count_ == 0) {
+    throw std::logic_error("RunningStats::Max: no samples");
+  }
+  return max_;
+}
+
+}  // namespace dmfsgd::common

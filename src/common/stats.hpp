@@ -1,0 +1,74 @@
+// Small descriptive-statistics toolkit used by dataset generators, the
+// evaluation library and the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::common {
+
+/// Arithmetic mean.  Requires a non-empty input.
+[[nodiscard]] double Mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator).  Requires size >= 2.
+[[nodiscard]] double Variance(std::span<const double> values);
+
+/// Unbiased sample standard deviation.  Requires size >= 2.
+[[nodiscard]] double StdDev(std::span<const double> values);
+
+/// Median (average of middle two for even sizes).  Requires non-empty input.
+/// Does not modify the input.
+[[nodiscard]] double Median(std::span<const double> values);
+
+/// p-th percentile with linear interpolation between closest ranks,
+/// p in [0, 100].  Requires non-empty input.  Does not modify the input.
+[[nodiscard]] double Percentile(std::span<const double> values, double p);
+
+/// Minimum.  Requires non-empty input.
+[[nodiscard]] double Min(std::span<const double> values);
+
+/// Maximum.  Requires non-empty input.
+[[nodiscard]] double Max(std::span<const double> values);
+
+/// Summary of a sample, produced in a single pass over the (copied) data.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a five-number-plus summary.  Requires size >= 2.
+[[nodiscard]] Summary Summarize(std::span<const double> values);
+
+/// Streaming mean/variance accumulator (Welford).  Useful when the sample is
+/// too large to buffer, e.g. per-pair error statistics over n^2 entries.
+class RunningStats {
+ public:
+  void Add(double value) noexcept;
+
+  [[nodiscard]] std::size_t Count() const noexcept { return count_; }
+  /// Requires Count() >= 1.
+  [[nodiscard]] double Mean() const;
+  /// Unbiased sample variance; requires Count() >= 2.
+  [[nodiscard]] double Variance() const;
+  [[nodiscard]] double StdDev() const;
+  /// Requires Count() >= 1.
+  [[nodiscard]] double Min() const;
+  /// Requires Count() >= 1.
+  [[nodiscard]] double Max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dmfsgd::common

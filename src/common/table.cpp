@@ -1,0 +1,95 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmfsgd::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table: header must not be empty");
+  }
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::AddRow: expected " +
+                                std::to_string(header_.size()) + " fields, got " +
+                                std::to_string(row.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (const double value : row) {
+    fields.push_back(FormatFixed(value, precision));
+  }
+  AddRow(std::move(fields));
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_border = [&] {
+    out << '+';
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  print_border();
+  print_row(header_);
+  print_border();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_border();
+}
+
+std::string Table::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+std::string FormatFixed(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void PrintSeries(std::ostream& out, const std::string& name,
+                 const std::vector<double>& xs, const std::vector<double>& ys,
+                 int precision) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("PrintSeries: xs and ys must have equal size");
+  }
+  out << "# series: " << name << '\n';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out << FormatFixed(xs[i], precision) << ' ' << FormatFixed(ys[i], precision)
+        << '\n';
+  }
+}
+
+}  // namespace dmfsgd::common

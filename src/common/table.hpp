@@ -1,0 +1,52 @@
+// Fixed-width ASCII table printer.
+//
+// Every bench binary regenerates a paper table or figure as text; this class
+// gives them a uniform, aligned look, e.g.
+//
+//   +----------+---------+---------+
+//   | dataset  | AUC     | acc%    |
+//   +----------+---------+---------+
+//   | Harvard  | 0.957   | 89.4    |
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmfsgd::common {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have exactly as many fields as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::vector<double>& row, int precision = 4);
+
+  /// Renders the table with +/- borders to the stream.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double to fixed precision, trimming to keep tables compact.
+[[nodiscard]] std::string FormatFixed(double value, int precision);
+
+/// Prints a named numeric series ("x y" pairs), the textual analogue of one
+/// curve in a paper figure.
+void PrintSeries(std::ostream& out, const std::string& name,
+                 const std::vector<double>& xs, const std::vector<double>& ys,
+                 int precision = 4);
+
+}  // namespace dmfsgd::common

@@ -1,0 +1,95 @@
+// Asynchronous (event-driven) DMFSGD deployment.
+//
+// The round-based simulator executes each probe exchange atomically; a real
+// deployment does not: the request flies for one one-way delay, the reply
+// for another, nodes keep probing while earlier exchanges are in flight, and
+// every coordinate vector a node receives is a *snapshot taken at send
+// time* — stale by the time it is consumed.  This module runs Algorithms
+// 1-2 on a discrete-event engine to demonstrate (and let tests verify) that
+// DMFSGD's convergence survives that asynchrony, which is what makes the
+// paper's "fully decentralized, large-scale" claim credible.
+//
+// Timing model:
+//  * each node fires probes according to an independent Poisson process
+//    (exponential think time with the configured mean);
+//  * one-way message delay for pair (i, j) is the ground-truth RTT / 2 for
+//    RTT datasets; ABW datasets carry no delay information, so a symmetric
+//    per-pair delay is derived deterministically from a pair-keyed hash in
+//    the configured range;
+//  * each protocol leg can be lost independently (message_loss), with the
+//    same semantics as the synchronous simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/node.hpp"
+#include "core/simulation.hpp"
+#include "datasets/dataset.hpp"
+#include "netsim/event_queue.hpp"
+
+namespace dmfsgd::core {
+
+struct AsyncSimulationConfig {
+  SimulationConfig base;              ///< rank, η/λ/loss, k, τ, seed, loss rate
+  double mean_probe_interval_s = 1.0; ///< mean think time between a node's probes
+  /// One-way delay bounds for metrics that don't define a delay (ABW).
+  double min_oneway_delay_s = 0.010;
+  double max_oneway_delay_s = 0.100;
+};
+
+class AsyncDmfsgdSimulation {
+ public:
+  AsyncDmfsgdSimulation(const datasets::Dataset& dataset,
+                        const AsyncSimulationConfig& config,
+                        const ErrorInjector* injector = nullptr);
+
+  /// Advances simulated time to `until_s`, executing all probe traffic due.
+  void RunUntil(double until_s);
+
+  /// x̂_ij = u_i · v_j with the current (live) coordinates.
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] double Now() const noexcept { return events_.Now(); }
+  [[nodiscard]] std::size_t MeasurementCount() const noexcept {
+    return measurement_count_;
+  }
+  [[nodiscard]] double AverageMeasurementsPerNode() const noexcept;
+  [[nodiscard]] std::size_t DroppedLegs() const noexcept { return dropped_legs_; }
+  /// Exchanges currently in flight (sent, not yet fully resolved).
+  [[nodiscard]] std::size_t InFlight() const noexcept { return in_flight_; }
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& Neighbors() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
+  [[nodiscard]] const datasets::Dataset& dataset() const noexcept {
+    return *dataset_;
+  }
+  [[nodiscard]] const SimulationConfig& config() const noexcept {
+    return config_.base;
+  }
+
+ private:
+  void ScheduleNextProbe(NodeId i);
+  void StartProbe(NodeId i);
+  [[nodiscard]] double OneWayDelay(NodeId i, NodeId j) const;
+  [[nodiscard]] double MeasurementFor(NodeId i, NodeId j) const;
+  [[nodiscard]] bool LegLost();
+
+  const datasets::Dataset* dataset_;
+  AsyncSimulationConfig config_;
+  const ErrorInjector* injector_;
+  common::Rng rng_;
+  netsim::EventQueue events_;
+  std::vector<DmfsgdNode> nodes_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::uint64_t delay_seed_ = 0;
+  std::size_t measurement_count_ = 0;
+  std::size_t dropped_legs_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,45 @@
+// Centralized batch matrix factorization baseline (paper §4.2).
+//
+// The paper's system architecture (Figure 2) is centralized before §5
+// decentralizes it: collect all known entries of X at one place and minimize
+// eq. 3 by full-gradient descent over the factors U and V.  This module
+// implements that baseline so the reproduction can quantify what, if
+// anything, decentralization costs (an ablation DESIGN.md calls out), and so
+// tests can cross-check DMFSGD against an independent optimizer of the same
+// objective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/loss.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::core {
+
+struct BatchMfConfig {
+  std::size_t rank = 10;
+  double eta = 0.5;      ///< step size on per-row-averaged gradients
+  double lambda = 0.1;
+  LossKind loss = LossKind::kLogistic;
+  std::size_t epochs = 200;
+  std::uint64_t seed = 1;
+};
+
+struct BatchMfResult {
+  linalg::Matrix u;  ///< n x r
+  linalg::Matrix v;  ///< n x r
+  /// Mean regularized loss over known entries after each epoch.
+  std::vector<double> loss_history;
+
+  /// x̂_ij = u_i · v_j.
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+};
+
+/// Minimizes eq. 3 on the known (non-NaN) entries of `x` by batch gradient
+/// descent with per-row gradient averaging.  Throws std::invalid_argument on
+/// a non-square matrix, rank 0, or a matrix with no known entries.
+[[nodiscard]] BatchMfResult FitBatchMf(const linalg::Matrix& x,
+                                       const BatchMfConfig& config);
+
+}  // namespace dmfsgd::core

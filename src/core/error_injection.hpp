@@ -1,0 +1,85 @@
+// Erroneous class-label injection (paper §6.3).
+//
+// The paper stresses DMFSGD against four error mechanisms.  Corruption is a
+// property of a *path*: once a pair's label is corrupted, every probe of
+// that pair observes the corrupted label (inaccurate tools and malicious
+// nodes are persistent, not per-probe, phenomena).  The injector therefore
+// precomputes a corrupted label matrix from the ground truth:
+//
+//   Type 1  flip near τ:   paths with quantity in [τ-δ, τ+δ] flip w.p. 0.5
+//   Type 2  underestimation bias (ABW-like): paths on the good side of τ
+//           within δ are mislabeled "bad"
+//   Type 3  flip randomly: a target fraction of paths flips
+//   Type 4  good-to-bad:   a target fraction of paths (drawn among "good"
+//           ones) is labeled "bad"
+//
+// For symmetric metrics (RTT) corruption is applied per unordered pair so
+// the corrupted labels stay symmetric.  "Error level" is defined throughout
+// as the fraction of known off-diagonal labels that end up wrong — the unit
+// of Figure 6's x-axis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::core {
+
+enum class ErrorType {
+  kFlipNearTau = 1,
+  kUnderestimationBias = 2,
+  kFlipRandom = 3,
+  kGoodToBad = 4,
+};
+
+/// Human-readable error-type name ("Type 1" .. "Type 4").
+[[nodiscard]] const char* ErrorTypeName(ErrorType type) noexcept;
+
+/// One corruption pass.  `delta` is used by Types 1-2 (quantity units),
+/// `fraction` by Types 3-4 (target fraction of all known labels).
+struct ErrorSpec {
+  ErrorType type = ErrorType::kFlipNearTau;
+  double delta = 0.0;
+  double fraction = 0.0;
+};
+
+class ErrorInjector {
+ public:
+  /// Precomputes corrupted labels for every known off-diagonal pair of
+  /// `dataset` under threshold `tau`, applying `specs` in order.
+  ErrorInjector(const datasets::Dataset& dataset, double tau,
+                std::span<const ErrorSpec> specs, std::uint64_t seed);
+
+  /// Corrupted (or clean) label of pair (i, j): +1 or -1.
+  /// Throws std::invalid_argument if the pair has no known ground truth.
+  [[nodiscard]] int Label(std::size_t i, std::size_t j) const;
+
+  /// True if the pair's label differs from its true label.
+  [[nodiscard]] bool IsCorrupted(std::size_t i, std::size_t j) const;
+
+  /// Realized fraction of known off-diagonal labels that are wrong.
+  [[nodiscard]] double ErrorRate() const noexcept;
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return n_; }
+
+ private:
+  [[nodiscard]] std::int8_t LabelAt(std::size_t i, std::size_t j) const;
+
+  std::size_t n_ = 0;
+  bool symmetric_ = false;
+  std::vector<std::int8_t> labels_;       // corrupted labels; 0 = missing
+  std::vector<std::int8_t> true_labels_;  // clean labels;     0 = missing
+  std::size_t known_count_ = 0;
+  std::size_t corrupted_count_ = 0;
+};
+
+/// Finds the δ that makes a Type-1 or Type-2 pass produce (in expectation)
+/// the target error level on this dataset/τ — the computation behind the
+/// paper's Table 3.  Throws if the target is unreachable (e.g. more errors
+/// requested than paths exist near τ) or if `type` is not 1 or 2.
+[[nodiscard]] double DeltaForErrorRate(const datasets::Dataset& dataset, double tau,
+                                       ErrorType type, double target_rate);
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,134 @@
+#include "core/ides.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::core {
+
+IdesModel::IdesModel(const datasets::Dataset& dataset, const IdesConfig& config) {
+  const std::size_t n = dataset.NodeCount();
+  const std::size_t m = config.landmark_count;
+  const std::size_t r = config.rank;
+  if (r == 0 || m < r) {
+    throw std::invalid_argument("IdesModel: need landmark_count >= rank >= 1");
+  }
+  if (m >= n) {
+    throw std::invalid_argument("IdesModel: landmark_count must be < node count");
+  }
+
+  // 1. Pick landmarks uniformly at random (IDES assumes well-known
+  // infrastructure nodes; random selection is its published default).
+  common::Rng rng(config.seed);
+  landmarks_ = rng.SampleWithoutReplacement(n, m);
+  is_landmark_.assign(n, false);
+  for (const std::size_t l : landmarks_) {
+    is_landmark_[l] = true;
+  }
+
+  // 2. Landmark matrix D (missing pairs -> 0, as in the IDES paper's
+  // treatment of unmeasurable pairs) and its rank-r SVD.
+  linalg::Matrix d(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      if (a != b && dataset.IsKnown(landmarks_[a], landmarks_[b])) {
+        d(a, b) = dataset.Quantity(landmarks_[a], landmarks_[b]);
+        ++measurement_count_;
+      }
+    }
+  }
+  linalg::SvdOptions svd_options;
+  svd_options.compute_u = true;
+  svd_options.compute_v = true;
+  const linalg::SvdResult svd = linalg::JacobiSvd(d, svd_options);
+
+  // Landmark coordinates: U_L = Û Ŝ^1/2, V_L = V̂ Ŝ^1/2 (rank-r truncation).
+  linalg::Matrix u_l(m, r, 0.0);
+  linalg::Matrix v_l(m, r, 0.0);
+  for (std::size_t c = 0; c < r; ++c) {
+    const double scale = std::sqrt(svd.singular_values[c]);
+    for (std::size_t row = 0; row < m; ++row) {
+      u_l(row, c) = svd.u(row, c) * scale;
+      v_l(row, c) = svd.v(row, c) * scale;
+    }
+  }
+
+  // 3. Place every node.  Landmarks take their factorized rows directly;
+  // ordinary hosts solve least squares against the landmark coordinates.
+  u_ = linalg::Matrix(n, r, 0.0);
+  v_ = linalg::Matrix(n, r, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t c = 0; c < r; ++c) {
+      u_(landmarks_[a], c) = u_l(a, c);
+      v_(landmarks_[a], c) = v_l(a, c);
+    }
+  }
+
+  for (std::size_t host = 0; host < n; ++host) {
+    if (is_landmark_[host]) {
+      continue;
+    }
+    // Outgoing measurements host -> landmark constrain u_host against V_L;
+    // incoming ones constrain v_host against U_L.  Skip unknown pairs.
+    std::vector<std::size_t> out_rows;
+    std::vector<std::size_t> in_rows;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (dataset.IsKnown(host, landmarks_[a])) {
+        out_rows.push_back(a);
+      }
+      if (dataset.IsKnown(landmarks_[a], host)) {
+        in_rows.push_back(a);
+      }
+    }
+    if (out_rows.size() < r || in_rows.size() < r) {
+      throw std::invalid_argument(
+          "IdesModel: host has fewer usable landmark measurements than rank");
+    }
+    measurement_count_ += out_rows.size() + in_rows.size();
+
+    linalg::Matrix a_out(out_rows.size(), r);
+    std::vector<double> b_out(out_rows.size());
+    for (std::size_t row = 0; row < out_rows.size(); ++row) {
+      for (std::size_t c = 0; c < r; ++c) {
+        a_out(row, c) = v_l(out_rows[row], c);
+      }
+      b_out[row] = dataset.Quantity(host, landmarks_[out_rows[row]]);
+    }
+    const auto u_host = linalg::SolveLeastSquares(a_out, b_out, config.ridge);
+
+    linalg::Matrix a_in(in_rows.size(), r);
+    std::vector<double> b_in(in_rows.size());
+    for (std::size_t row = 0; row < in_rows.size(); ++row) {
+      for (std::size_t c = 0; c < r; ++c) {
+        a_in(row, c) = u_l(in_rows[row], c);
+      }
+      b_in[row] = dataset.Quantity(landmarks_[in_rows[row]], host);
+    }
+    const auto v_host = linalg::SolveLeastSquares(a_in, b_in, config.ridge);
+
+    for (std::size_t c = 0; c < r; ++c) {
+      u_(host, c) = u_host[c];
+      v_(host, c) = v_host[c];
+    }
+  }
+}
+
+bool IdesModel::IsLandmark(std::size_t i) const {
+  if (i >= is_landmark_.size()) {
+    throw std::out_of_range("IdesModel::IsLandmark: index out of range");
+  }
+  return is_landmark_[i];
+}
+
+double IdesModel::Predict(std::size_t i, std::size_t j) const {
+  if (i >= u_.Rows() || j >= v_.Rows()) {
+    throw std::out_of_range("IdesModel::Predict: index out of range");
+  }
+  return linalg::Dot(u_.Row(i), v_.Row(j));
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,66 @@
+// IDES — Internet Distance Estimation Service (Mao, Saul & Smith, JSAC
+// 2006), the landmark-based matrix-factorization system of the paper's
+// related work (§2, [13]).
+//
+// IDES is the architectural contrast to DMFSGD: it also factorizes the
+// performance matrix as X ≈ U Vᵀ (so it handles asymmetric metrics, unlike
+// Vivaldi), but it relies on *special* landmark nodes and centralized
+// computation:
+//
+//   1. m landmarks measure each other -> an m x m matrix D;
+//   2. a central service computes a rank-r SVD of D, giving landmark
+//      coordinates U_L = Û Ŝ^1/2, V_L = V̂ Ŝ^1/2;
+//   3. an ordinary host measures to/from all m landmarks and solves two
+//      least-squares problems for its own u (against V_L, from its outgoing
+//      measurements) and v (against U_L, from its incoming ones).
+//
+// Implemented here as the second baseline for the comparison bench: what
+// the landmark architecture buys and costs relative to the fully
+// decentralized approach.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::core {
+
+struct IdesConfig {
+  std::size_t landmark_count = 20;
+  std::size_t rank = 10;
+  double ridge = 1e-6;  ///< regularization of the per-host least squares
+  std::uint64_t seed = 1;
+};
+
+class IdesModel {
+ public:
+  /// Fits landmarks and all ordinary hosts against `dataset` (any metric;
+  /// missing host-landmark measurements are skipped in the least squares).
+  /// Throws std::invalid_argument on insufficient landmarks / rank, or if
+  /// some host has fewer usable landmark measurements than the rank.
+  IdesModel(const datasets::Dataset& dataset, const IdesConfig& config);
+
+  /// Predicted quantity from i to j (same units as the dataset metric).
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& Landmarks() const noexcept {
+    return landmarks_;
+  }
+  [[nodiscard]] bool IsLandmark(std::size_t i) const;
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return u_.Rows(); }
+  /// Total measurements consumed: m^2 landmark pairs + 2m per ordinary host.
+  [[nodiscard]] std::size_t MeasurementCount() const noexcept {
+    return measurement_count_;
+  }
+
+ private:
+  std::vector<std::size_t> landmarks_;
+  std::vector<bool> is_landmark_;
+  linalg::Matrix u_;  // n x r
+  linalg::Matrix v_;  // n x r
+  std::size_t measurement_count_ = 0;
+};
+
+}  // namespace dmfsgd::core

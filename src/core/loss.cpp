@@ -1,0 +1,100 @@
+#include "core/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmfsgd::core {
+
+const char* LossName(LossKind kind) noexcept {
+  switch (kind) {
+    case LossKind::kHinge:
+      return "hinge";
+    case LossKind::kLogistic:
+      return "logistic";
+    case LossKind::kL2:
+      return "L2";
+    case LossKind::kSmoothHinge:
+      return "smooth-hinge";
+  }
+  return "?";
+}
+
+LossKind ParseLossName(const std::string& name) {
+  if (name == "hinge") {
+    return LossKind::kHinge;
+  }
+  if (name == "logistic") {
+    return LossKind::kLogistic;
+  }
+  if (name == "L2" || name == "l2") {
+    return LossKind::kL2;
+  }
+  if (name == "smooth-hinge") {
+    return LossKind::kSmoothHinge;
+  }
+  throw std::invalid_argument("ParseLossName: unknown loss '" + name + "'");
+}
+
+double LossValue(LossKind kind, double x, double x_hat) noexcept {
+  switch (kind) {
+    case LossKind::kHinge:
+      return std::max(0.0, 1.0 - x * x_hat);
+    case LossKind::kLogistic: {
+      // Numerically stable log(1 + e^{-m}): for large m the exp underflows
+      // harmlessly; for very negative m use m + log(1 + e^{m}).
+      const double margin = x * x_hat;
+      if (margin > 0.0) {
+        return std::log1p(std::exp(-margin));
+      }
+      return -margin + std::log1p(std::exp(margin));
+    }
+    case LossKind::kL2: {
+      const double d = x - x_hat;
+      return d * d;
+    }
+    case LossKind::kSmoothHinge: {
+      const double margin = x * x_hat;
+      if (margin >= 1.0) {
+        return 0.0;
+      }
+      if (margin <= 0.0) {
+        return 0.5 - margin;
+      }
+      const double gap = 1.0 - margin;
+      return 0.5 * gap * gap;
+    }
+  }
+  return 0.0;
+}
+
+double LossGradientScale(LossKind kind, double x, double x_hat) noexcept {
+  switch (kind) {
+    case LossKind::kHinge:
+      // Subgradient: zero for correctly classified samples (1 - x·x̂ <= 0).
+      return (1.0 - x * x_hat > 0.0) ? -x : 0.0;
+    case LossKind::kLogistic: {
+      // -x / (1 + e^{x·x̂}), computed to avoid overflow for large |x·x̂|.
+      const double margin = x * x_hat;
+      if (margin > 35.0) {
+        return 0.0;  // e^margin overflows; gradient is ~0 anyway
+      }
+      return -x / (1.0 + std::exp(margin));
+    }
+    case LossKind::kL2:
+      return -(x - x_hat);  // factor 2 dropped, matching the paper
+    case LossKind::kSmoothHinge: {
+      const double margin = x * x_hat;
+      if (margin >= 1.0) {
+        return 0.0;
+      }
+      if (margin <= 0.0) {
+        return -x;
+      }
+      return -x * (1.0 - margin);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,47 @@
+// Loss functions and their (sub)gradients (paper §4.1 and §5.2.3).
+//
+// For binary classification the reference value x is ±1 and the prediction
+// x̂ = u vᵀ is real-valued; hinge and logistic penalize x·x̂ < 1 and are
+// insensitive to the magnitude of x̂ once the sign is right.  The L2 loss
+// serves the quantity-based (regression) variant used for comparison in the
+// peer-selection study (§6.4).
+//
+// All three gradients share the form  dl/du = g(x, x̂) · v  and
+// dl/dv = g(x, x̂) · u  for a scalar g, which is what makes the per-node SGD
+// updates O(r):
+//
+//   hinge:        g = -x       if 1 - x·x̂ > 0, else 0      (subgradient)
+//   logistic:     g = -x / (1 + exp(x·x̂))
+//   L2:           g = -(x - x̂)                              (factor 2 dropped,
+//                                                            as in the paper)
+//   smooth hinge: g = -x        if x·x̂ <= 0
+//                 g = -x(1 - x·x̂) if 0 < x·x̂ < 1, else 0    (extension)
+#pragma once
+
+#include <string>
+
+namespace dmfsgd::core {
+
+enum class LossKind {
+  kHinge,
+  kLogistic,
+  kL2,
+  /// Extension beyond the paper: Rennie's smoothly differentiable hinge
+  /// (used by the MMMF line of work the paper cites [20, 22]) — hinge's
+  /// sparsity with a continuous gradient at the margin boundary.
+  kSmoothHinge,
+};
+
+/// Human-readable loss name ("hinge" / "logistic" / "L2").
+[[nodiscard]] const char* LossName(LossKind kind) noexcept;
+
+/// Parses a loss name; throws std::invalid_argument on unknown names.
+[[nodiscard]] LossKind ParseLossName(const std::string& name);
+
+/// l(x, x̂) as defined in §4.1.
+[[nodiscard]] double LossValue(LossKind kind, double x, double x_hat) noexcept;
+
+/// The scalar g such that dl/du = g·v and dl/dv = g·u (§5.2.3).
+[[nodiscard]] double LossGradientScale(LossKind kind, double x, double x_hat) noexcept;
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,21 @@
+#include "core/messages.hpp"
+
+namespace dmfsgd::core {
+
+bool operator==(const RttProbeRequest& a, const RttProbeRequest& b) {
+  return a.prober == b.prober;
+}
+
+bool operator==(const RttProbeReply& a, const RttProbeReply& b) {
+  return a.target == b.target && a.u == b.u && a.v == b.v;
+}
+
+bool operator==(const AbwProbeRequest& a, const AbwProbeRequest& b) {
+  return a.prober == b.prober && a.u == b.u && a.rate_mbps == b.rate_mbps;
+}
+
+bool operator==(const AbwProbeReply& a, const AbwProbeReply& b) {
+  return a.target == b.target && a.measurement == b.measurement && a.v == b.v;
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,64 @@
+// Protocol messages exchanged by DMFSGD nodes (paper §5.3, Algorithms 1-2).
+//
+// The decentralized factorization never ships matrices around — only
+// length-r coordinate vectors and, for ABW, the single measured class.  The
+// four message types below are exactly the payloads of the two algorithms:
+//
+//   Algorithm 1 (RTT):  i --RttProbeRequest--> j
+//                       j --RttProbeReply(u_j, v_j)--> i
+//                       (i measures x_ij itself from the probe timing)
+//
+//   Algorithm 2 (ABW):  i --AbwProbeRequest(u_i, rate)--> j
+//                       j --AbwProbeReply(x_ij, v_j)--> i
+//                       (j infers x_ij at the receiver side)
+//
+// wire.hpp provides a binary serialization of these structs so the protocol
+// has a concrete, testable wire format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmfsgd::core {
+
+/// Node identifier within a deployment.
+using NodeId = std::uint32_t;
+
+/// RTT probe: carries no payload beyond the prober's identity; the RTT
+/// itself is inferred by the prober from the request/reply timing (ping).
+struct RttProbeRequest {
+  NodeId prober = 0;
+};
+
+/// RTT reply: the target returns both of its coordinate rows so the prober
+/// can update u_i against v_j and v_i against u_j (eqs. 9-10).
+struct RttProbeReply {
+  NodeId target = 0;
+  std::vector<double> u;
+  std::vector<double> v;
+};
+
+/// ABW probe: a UDP train sent at `rate_mbps` (the classification threshold
+/// τ); carries u_i because the *target* computes the measurement and needs
+/// the prober's coordinates for its own update (eq. 13).
+struct AbwProbeRequest {
+  NodeId prober = 0;
+  std::vector<double> u;
+  double rate_mbps = 0.0;
+};
+
+/// ABW reply: the target's congestion verdict (the binary class measure,
+/// +1 good / -1 bad — or a quantity in regression mode) plus v_j for the
+/// prober's update (eq. 12).
+struct AbwProbeReply {
+  NodeId target = 0;
+  double measurement = 0.0;
+  std::vector<double> v;
+};
+
+[[nodiscard]] bool operator==(const RttProbeRequest& a, const RttProbeRequest& b);
+[[nodiscard]] bool operator==(const RttProbeReply& a, const RttProbeReply& b);
+[[nodiscard]] bool operator==(const AbwProbeRequest& a, const AbwProbeRequest& b);
+[[nodiscard]] bool operator==(const AbwProbeReply& a, const AbwProbeReply& b);
+
+}  // namespace dmfsgd::core

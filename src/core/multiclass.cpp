@@ -1,0 +1,215 @@
+#include "core/multiclass.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::core {
+
+namespace {
+
+using datasets::Dataset;
+using datasets::LowerIsBetter;
+using datasets::Metric;
+
+void RequireConfig(const Dataset& dataset, const MulticlassConfig& config) {
+  if (config.num_classes < 2) {
+    throw std::invalid_argument("OrdinalDmfsgd: need at least 2 classes");
+  }
+  if (config.thresholds.size() != config.num_classes - 1) {
+    throw std::invalid_argument("OrdinalDmfsgd: need C-1 thresholds");
+  }
+  if (config.rank == 0) {
+    throw std::invalid_argument("OrdinalDmfsgd: rank must be > 0");
+  }
+  if (config.neighbor_count == 0 ||
+      config.neighbor_count >= dataset.NodeCount()) {
+    throw std::invalid_argument("OrdinalDmfsgd: invalid neighbor_count");
+  }
+}
+
+/// Logistic gradient on the margin y (s - b):  dl/ds = -y / (1 + e^{y(s-b)}).
+double LogisticScale(double y, double margin) noexcept {
+  if (margin > 35.0) {
+    return 0.0;
+  }
+  return -y / (1.0 + std::exp(margin));
+}
+
+}  // namespace
+
+std::size_t LevelOf(Metric metric, double quantity,
+                    std::span<const double> thresholds) {
+  std::size_t level = 0;
+  for (const double t : thresholds) {
+    const bool clears = LowerIsBetter(metric) ? quantity <= t : quantity >= t;
+    if (clears) {
+      ++level;
+    }
+  }
+  return level;
+}
+
+std::vector<double> EqualMassThresholds(const Dataset& dataset,
+                                        std::size_t num_classes) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("EqualMassThresholds: need at least 2 classes");
+  }
+  std::vector<double> thresholds(num_classes - 1);
+  for (std::size_t c = 0; c < thresholds.size(); ++c) {
+    // Quality increases with the threshold index: level c requires clearing
+    // thresholds 0..c-1.  For RTT "clearing" means being below, so the RTT
+    // thresholds must descend as quality rises; percentiles handle both.
+    const double portion =
+        static_cast<double>(c + 1) / static_cast<double>(num_classes);
+    const double percentile = datasets::LowerIsBetter(dataset.metric)
+                                  ? (1.0 - portion) * 100.0
+                                  : portion * 100.0;
+    thresholds[c] = dataset.PercentileValue(percentile);
+  }
+  return thresholds;
+}
+
+OrdinalDmfsgdSimulation::OrdinalDmfsgdSimulation(const Dataset& dataset,
+                                                 const MulticlassConfig& config)
+    : dataset_(&dataset), config_(config), rng_(config.seed) {
+  RequireConfig(dataset, config);
+  config_.params.loss = LossKind::kLogistic;  // the ordinal scheme is logistic
+
+  const std::size_t n = dataset.NodeCount();
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), config_.rank, rng_);
+  }
+  // Biases start spread in [0, 1) ascending so thresholds are distinct.
+  biases_.resize(n);
+  for (auto& b : biases_) {
+    b.resize(config_.num_classes - 1);
+    for (std::size_t t = 0; t < b.size(); ++t) {
+      b[t] = static_cast<double>(t + 1) /
+             static_cast<double>(config_.num_classes);
+    }
+  }
+
+  neighbors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<NodeId> candidates;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && dataset.IsKnown(i, j)) {
+        candidates.push_back(static_cast<NodeId>(j));
+      }
+    }
+    if (candidates.size() < config_.neighbor_count) {
+      throw std::invalid_argument(
+          "OrdinalDmfsgd: node has fewer measurable pairs than k");
+    }
+    rng_.Shuffle(std::span(candidates));
+    candidates.resize(config_.neighbor_count);
+    std::sort(candidates.begin(), candidates.end());
+    neighbors_[i] = std::move(candidates);
+  }
+}
+
+bool OrdinalDmfsgdSimulation::IsNeighborPair(std::size_t i, std::size_t j) const {
+  const auto& nb = neighbors_[i];
+  return std::binary_search(nb.begin(), nb.end(), static_cast<NodeId>(j));
+}
+
+std::span<const double> OrdinalDmfsgdSimulation::Biases(std::size_t i) const {
+  if (i >= biases_.size()) {
+    throw std::out_of_range("OrdinalDmfsgd::Biases: index out of range");
+  }
+  return biases_[i];
+}
+
+void OrdinalDmfsgdSimulation::Probe(NodeId i, NodeId j) {
+  const std::size_t level =
+      LevelOf(dataset_->metric, dataset_->Quantity(i, j), config_.thresholds);
+  const auto u_j = nodes_[j].UCopy();
+  const auto v_j = nodes_[j].VCopy();
+
+  // Accumulate threshold gradients on the shared score s = u_i · v_j ...
+  const double s_ij = nodes_[i].Predict(v_j);
+  double g_u_total = 0.0;
+  auto& b = biases_[i];
+  for (std::size_t t = 0; t < b.size(); ++t) {
+    const double y = level > t ? 1.0 : -1.0;
+    const double g = LogisticScale(y, y * (s_ij - b[t]));
+    g_u_total += g;
+    // dl/db = -dl/ds = -g  =>  b -= η (-g)  =>  b += η g.
+    b[t] += config_.params.eta * g;
+  }
+  // ... and symmetrically on s' = u_j · v_i for the v_i update (RTT-style
+  // symmetric exchange, x_ji = x_ij).
+  const double s_ji = linalg::Dot(u_j, nodes_[i].v());
+  double g_v_total = 0.0;
+  for (std::size_t t = 0; t < b.size(); ++t) {
+    const double y = level > t ? 1.0 : -1.0;
+    g_v_total += LogisticScale(y, y * (s_ji - b[t]));
+  }
+
+  nodes_[i].GradientStepU(g_u_total, v_j, config_.params);
+  nodes_[i].GradientStepV(g_v_total, u_j, config_.params);
+}
+
+void OrdinalDmfsgdSimulation::RunRounds(std::size_t rounds) {
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      const auto& nb = neighbors_[i];
+      const NodeId j = nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
+      Probe(i, j);
+    }
+  }
+}
+
+std::size_t OrdinalDmfsgdSimulation::PredictLevel(std::size_t i,
+                                                  std::size_t j) const {
+  if (i >= nodes_.size() || j >= nodes_.size()) {
+    throw std::out_of_range("OrdinalDmfsgd::PredictLevel: index out of range");
+  }
+  const double s = nodes_[i].Predict(nodes_[j].v());
+  std::size_t level = 0;
+  for (const double b : biases_[i]) {
+    if (s > b) {
+      ++level;
+    }
+  }
+  return level;
+}
+
+std::size_t OrdinalDmfsgdSimulation::TrueLevel(std::size_t i, std::size_t j) const {
+  if (!dataset_->IsKnown(i, j)) {
+    throw std::invalid_argument("OrdinalDmfsgd::TrueLevel: pair unknown");
+  }
+  return LevelOf(dataset_->metric, dataset_->Quantity(i, j), config_.thresholds);
+}
+
+OrdinalDmfsgdSimulation::Evaluation OrdinalDmfsgdSimulation::Evaluate() const {
+  Evaluation eval;
+  double absolute_error = 0.0;
+  std::size_t exact = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (i == j || !dataset_->IsKnown(i, j) || IsNeighborPair(i, j)) {
+        continue;
+      }
+      const std::size_t predicted = PredictLevel(i, j);
+      const std::size_t actual = TrueLevel(i, j);
+      const auto diff = predicted > actual ? predicted - actual : actual - predicted;
+      absolute_error += static_cast<double>(diff);
+      if (diff == 0) {
+        ++exact;
+      }
+      ++eval.pair_count;
+    }
+  }
+  if (eval.pair_count > 0) {
+    eval.accuracy = static_cast<double>(exact) / static_cast<double>(eval.pair_count);
+    eval.mean_absolute_error = absolute_error / static_cast<double>(eval.pair_count);
+  }
+  return eval;
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,95 @@
+// Multiclass (ordinal) extension of DMFSGD — the paper's future work (§7).
+//
+// "While we focus here on binary classification, our framework could be
+//  extended to the prediction of more than two performance classes."
+//
+// This module implements that extension with an *immediate-threshold ordinal
+// regression* scheme that stays fully decentralized:
+//
+//  * performance levels 0 (worst) .. C-1 (best) are defined by C-1 ascending
+//    quality thresholds on the metric;
+//  * each node keeps its coordinates u_i, v_i plus a private bias vector
+//    b_i[0..C-2]; the score s = u_i · v_j is shared across all thresholds;
+//  * a measurement of level c yields C-1 binary targets
+//    y_t = +1 if c > t else -1, each trained with the logistic loss on the
+//    margin y_t (s - b_i[t]); gradients on u_i/v_i accumulate over t, the
+//    biases take their own SGD step;
+//  * the predicted level of (i, j) counts the thresholds the score clears:
+//    |{t : s > b_i[t]}|.
+//
+// With C = 2 and b ≡ 0 this degenerates to exactly the binary DMFSGD rules,
+// which the tests verify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/node.hpp"
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::core {
+
+struct MulticlassConfig {
+  std::size_t num_classes = 3;      ///< C >= 2
+  std::vector<double> thresholds;   ///< C-1 metric thresholds, ascending quality
+  std::size_t rank = 10;
+  UpdateParams params;              ///< η, λ, loss is forced to logistic
+  std::size_t neighbor_count = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Level (0 = worst .. C-1 = best) of a quantity under quality thresholds.
+/// For RTT (lower better) thresholds must be *descending* RTT values
+/// (ascending quality); for ABW ascending Mbps.  A level is the number of
+/// thresholds the quantity clears.
+[[nodiscard]] std::size_t LevelOf(datasets::Metric metric, double quantity,
+                                  std::span<const double> thresholds);
+
+/// Builds C-1 thresholds from dataset percentiles that split known pairs
+/// into C equal-mass classes.
+[[nodiscard]] std::vector<double> EqualMassThresholds(
+    const datasets::Dataset& dataset, std::size_t num_classes);
+
+class OrdinalDmfsgdSimulation {
+ public:
+  OrdinalDmfsgdSimulation(const datasets::Dataset& dataset,
+                          const MulticlassConfig& config);
+
+  /// Runs probing rounds (every node probes one random neighbor per round,
+  /// symmetric Algorithm-1 style exchange).
+  void RunRounds(std::size_t rounds);
+
+  /// Predicted level of pair (i, j).
+  [[nodiscard]] std::size_t PredictLevel(std::size_t i, std::size_t j) const;
+
+  /// True level of pair (i, j); throws if unknown.
+  [[nodiscard]] std::size_t TrueLevel(std::size_t i, std::size_t j) const;
+
+  /// Exact-match accuracy and mean absolute level error over non-neighbor
+  /// known pairs.
+  struct Evaluation {
+    double accuracy = 0.0;
+    double mean_absolute_error = 0.0;
+    std::size_t pair_count = 0;
+  };
+  [[nodiscard]] Evaluation Evaluate() const;
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const MulticlassConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::span<const double> Biases(std::size_t i) const;
+
+ private:
+  void Probe(NodeId i, NodeId j);
+  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
+
+  const datasets::Dataset* dataset_;
+  MulticlassConfig config_;
+  common::Rng rng_;
+  std::vector<DmfsgdNode> nodes_;
+  std::vector<std::vector<double>> biases_;  // node -> C-1 thresholds on score
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,96 @@
+#include "core/node.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::core {
+
+DmfsgdNode::DmfsgdNode(NodeId id, std::size_t rank, common::Rng& rng) : id_(id) {
+  if (rank == 0) {
+    throw std::invalid_argument("DmfsgdNode: rank must be > 0");
+  }
+  u_.resize(rank);
+  v_.resize(rank);
+  for (double& value : u_) {
+    value = rng.Uniform();
+  }
+  for (double& value : v_) {
+    value = rng.Uniform();
+  }
+}
+
+void DmfsgdNode::RequireRank(std::size_t remote_rank) const {
+  if (remote_rank != u_.size()) {
+    throw std::invalid_argument("DmfsgdNode: rank mismatch (local " +
+                                std::to_string(u_.size()) + ", remote " +
+                                std::to_string(remote_rank) + ")");
+  }
+}
+
+double DmfsgdNode::Predict(std::span<const double> v_remote) const {
+  RequireRank(v_remote.size());
+  return linalg::Dot(u_, v_remote);
+}
+
+void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
+                           std::span<const double> v_remote,
+                           const UpdateParams& params) {
+  RequireRank(u_remote.size());
+  RequireRank(v_remote.size());
+
+  // Compute both gradient scales before touching any state: eq. 9 reads
+  // u_i·v_j and eq. 10 reads u_j·v_i, neither of which depends on the other
+  // update, but evaluating first keeps the rules exactly simultaneous.
+  const double x_hat_ij = linalg::Dot(u_, v_remote);
+  const double g_u = LossGradientScale(params.loss, x, x_hat_ij);
+  const double x_hat_ji = linalg::Dot(u_remote, v_);
+  const double g_v = LossGradientScale(params.loss, x, x_hat_ji);
+
+  GradientStepU(g_u, v_remote, params);  // eq. 9
+  GradientStepV(g_v, u_remote, params);  // eq. 10 (x_ji = x_ij for RTT)
+}
+
+void DmfsgdNode::AbwProberUpdate(double x, std::span<const double> v_remote,
+                                 const UpdateParams& params) {
+  RequireRank(v_remote.size());
+  const double x_hat = linalg::Dot(u_, v_remote);
+  const double g = LossGradientScale(params.loss, x, x_hat);
+  GradientStepU(g, v_remote, params);  // eq. 12
+}
+
+void DmfsgdNode::AbwTargetUpdate(double x, std::span<const double> u_remote,
+                                 const UpdateParams& params) {
+  RequireRank(u_remote.size());
+  const double x_hat = linalg::Dot(u_remote, v_);
+  const double g = LossGradientScale(params.loss, x, x_hat);
+  GradientStepV(g, u_remote, params);  // eq. 13
+}
+
+void DmfsgdNode::GradientStepU(double g, std::span<const double> v_remote,
+                               const UpdateParams& params) {
+  RequireRank(v_remote.size());
+  // u_i = (1 - ηλ) u_i - η g v_remote
+  linalg::Scale(1.0 - params.eta * params.lambda, std::span<double>(u_));
+  linalg::Axpy(-params.eta * g, v_remote, std::span<double>(u_));
+}
+
+void DmfsgdNode::GradientStepV(double g, std::span<const double> u_remote,
+                               const UpdateParams& params) {
+  RequireRank(u_remote.size());
+  // v_i = (1 - ηλ) v_i - η g u_remote
+  linalg::Scale(1.0 - params.eta * params.lambda, std::span<double>(v_));
+  linalg::Axpy(-params.eta * g, u_remote, std::span<double>(v_));
+}
+
+double DmfsgdNode::LocalLoss(double x, std::span<const double> v_remote,
+                             const UpdateParams& params) const {
+  RequireRank(v_remote.size());
+  const double x_hat = linalg::Dot(u_, v_remote);
+  return LossValue(params.loss, x, x_hat) +
+         params.lambda * linalg::SquaredNorm(u_);
+}
+
+}  // namespace dmfsgd::core

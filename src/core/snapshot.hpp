@@ -1,0 +1,40 @@
+// Coordinate snapshots: persistence of a deployment's learned state.
+//
+// A real DMFSGD deployment wants warm restarts — a node that reboots should
+// resume from its last coordinates instead of re-randomizing, and operators
+// want to archive the system state for offline analysis.  A snapshot holds
+// every node's (u_i, v_i) rows; predictions can be served directly from it.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace dmfsgd::core {
+
+struct CoordinateSnapshot {
+  std::size_t rank = 0;
+  /// u[i] / v[i] are node i's coordinate rows, each of length `rank`.
+  std::vector<std::vector<double>> u;
+  std::vector<std::vector<double>> v;
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return u.size(); }
+
+  /// x̂_ij from the archived coordinates.  Throws on bad indices.
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+};
+
+/// Captures the current coordinates of every node in a deployment.
+[[nodiscard]] CoordinateSnapshot TakeSnapshot(const DmfsgdSimulation& simulation);
+
+/// Writes a snapshot as CSV (one row per node: u..., v...).
+void SaveSnapshot(const CoordinateSnapshot& snapshot,
+                  const std::filesystem::path& path);
+
+/// Reads a snapshot written by SaveSnapshot.  Throws std::runtime_error /
+/// std::invalid_argument on malformed input.
+[[nodiscard]] CoordinateSnapshot LoadSnapshot(const std::filesystem::path& path);
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,182 @@
+#include "core/vivaldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace dmfsgd::core {
+
+namespace {
+
+constexpr double kMinHeightMs = 0.1;
+constexpr double kMaxErrorEstimate = 2.0;
+
+}  // namespace
+
+VivaldiSimulation::VivaldiSimulation(const datasets::Dataset& dataset,
+                                     const VivaldiConfig& config)
+    : dataset_(&dataset), config_(config), rng_(config.seed) {
+  if (dataset.metric != datasets::Metric::kRtt) {
+    throw std::invalid_argument(
+        "VivaldiSimulation: Vivaldi embeds RTT datasets only");
+  }
+  if (config.dimensions == 0) {
+    throw std::invalid_argument("VivaldiSimulation: dimensions must be > 0");
+  }
+  if (config.cc <= 0.0 || config.cc > 1.0 || config.ce <= 0.0 || config.ce > 1.0) {
+    throw std::invalid_argument("VivaldiSimulation: gains must be in (0, 1]");
+  }
+  const std::size_t n = dataset.NodeCount();
+  if (config.neighbor_count == 0 || config.neighbor_count >= n) {
+    throw std::invalid_argument("VivaldiSimulation: invalid neighbor_count");
+  }
+
+  // Vivaldi canonically starts everyone at the origin and lets the random
+  // direction kick separate them; starting from tiny random offsets is
+  // equivalent and avoids the all-coincident special case.
+  positions_.resize(n);
+  for (auto& position : positions_) {
+    position.resize(config.dimensions);
+    for (double& c : position) {
+      c = rng_.Uniform(-0.5, 0.5);
+    }
+  }
+  heights_.assign(n, kMinHeightMs);
+  error_.assign(n, 1.0);
+
+  neighbors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint32_t> candidates;
+    candidates.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && dataset.IsKnown(i, j)) {
+        candidates.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    if (candidates.size() < config.neighbor_count) {
+      throw std::invalid_argument(
+          "VivaldiSimulation: node has fewer measurable pairs than k");
+    }
+    rng_.Shuffle(std::span(candidates));
+    candidates.resize(config.neighbor_count);
+    std::sort(candidates.begin(), candidates.end());
+    neighbors_[i] = std::move(candidates);
+  }
+}
+
+bool VivaldiSimulation::IsNeighborPair(std::size_t i, std::size_t j) const {
+  if (i >= positions_.size() || j >= positions_.size()) {
+    throw std::out_of_range("VivaldiSimulation::IsNeighborPair: out of range");
+  }
+  const auto& nb = neighbors_[i];
+  return std::binary_search(nb.begin(), nb.end(), static_cast<std::uint32_t>(j));
+}
+
+double VivaldiSimulation::Height(std::size_t i) const {
+  if (i >= heights_.size()) {
+    throw std::out_of_range("VivaldiSimulation::Height: out of range");
+  }
+  return heights_[i];
+}
+
+double VivaldiSimulation::ErrorEstimate(std::size_t i) const {
+  if (i >= error_.size()) {
+    throw std::out_of_range("VivaldiSimulation::ErrorEstimate: out of range");
+  }
+  return error_[i];
+}
+
+double VivaldiSimulation::PredictRtt(std::size_t i, std::size_t j) const {
+  if (i >= positions_.size() || j >= positions_.size()) {
+    throw std::out_of_range("VivaldiSimulation::PredictRtt: out of range");
+  }
+  double sum = 0.0;
+  for (std::size_t d = 0; d < config_.dimensions; ++d) {
+    const double delta = positions_[i][d] - positions_[j][d];
+    sum += delta * delta;
+  }
+  double predicted = std::sqrt(sum);
+  if (config_.use_height) {
+    predicted += heights_[i] + heights_[j];
+  }
+  return predicted;
+}
+
+void VivaldiSimulation::Update(std::size_t i, std::size_t j, double measured_rtt) {
+  const double predicted = PredictRtt(i, j);
+
+  // Confidence weighting: w = e_i / (e_i + e_j).
+  const double w = error_[i] / (error_[i] + error_[j]);
+
+  // Update i's error estimate toward the observed relative sample error.
+  const double sample_error = std::abs(predicted - measured_rtt) / measured_rtt;
+  error_[i] = std::min(kMaxErrorEstimate,
+                       sample_error * config_.ce * w + error_[i] * (1.0 - config_.ce * w));
+
+  // Spring force along the unit vector from j to i (random direction when
+  // coincident, per the original algorithm).
+  std::vector<double> direction(config_.dimensions);
+  double norm = 0.0;
+  for (std::size_t d = 0; d < config_.dimensions; ++d) {
+    direction[d] = positions_[i][d] - positions_[j][d];
+    norm += direction[d] * direction[d];
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-9) {
+    for (double& c : direction) {
+      c = rng_.Normal();
+    }
+    norm = 0.0;
+    for (const double c : direction) {
+      norm += c * c;
+    }
+    norm = std::sqrt(norm);
+  }
+  for (double& c : direction) {
+    c /= norm;
+  }
+
+  const double delta = config_.cc * w;
+  const double displacement = delta * (measured_rtt - predicted);
+  for (std::size_t d = 0; d < config_.dimensions; ++d) {
+    positions_[i][d] += displacement * direction[d];
+  }
+  if (config_.use_height) {
+    // The height axis always points "up": moving away from everyone.
+    heights_[i] = std::max(kMinHeightMs, heights_[i] + displacement);
+  }
+}
+
+void VivaldiSimulation::RunRounds(std::size_t rounds) {
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      const auto& nb = neighbors_[i];
+      const std::uint32_t j =
+          nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
+      Update(i, j, dataset_->Quantity(i, j));
+    }
+  }
+}
+
+double VivaldiSimulation::MedianRelativeError() const {
+  std::vector<double> errors;
+  const std::size_t n = positions_.size();
+  errors.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || !dataset_->IsKnown(i, j) || IsNeighborPair(i, j)) {
+        continue;
+      }
+      const double truth = dataset_->Quantity(i, j);
+      errors.push_back(std::abs(PredictRtt(i, j) - truth) / truth);
+    }
+  }
+  if (errors.empty()) {
+    throw std::logic_error("VivaldiSimulation::MedianRelativeError: no test pairs");
+  }
+  return common::Median(errors);
+}
+
+}  // namespace dmfsgd::core

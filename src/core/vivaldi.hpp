@@ -1,0 +1,68 @@
+// Vivaldi network coordinates (Dabek et al., SIGCOMM 2004) — the paper's
+// §2/§5.3 reference system and architectural template for DMFSGD.
+//
+// Vivaldi embeds nodes into a low-dimensional Euclidean space plus a
+// per-node "height" (modeling the access link) so that
+// ‖x_i - x_j‖ + h_i + h_j ≈ rtt(i, j).  Like DMFSGD it is fully
+// decentralized with each node probing a small random neighbor set; unlike
+// DMFSGD it predicts metric *quantities* and — being a metric embedding —
+// cannot express triangle-inequality violations or asymmetric metrics.
+// This implementation serves as the quantitative baseline the reproduction
+// compares class-based prediction against (bench/baseline_vivaldi).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::core {
+
+struct VivaldiConfig {
+  std::size_t dimensions = 3;
+  bool use_height = true;
+  double cc = 0.25;  ///< coordinate adaptation gain
+  double ce = 0.25;  ///< error-estimate adaptation gain
+  std::size_t neighbor_count = 10;
+  std::uint64_t seed = 1;
+};
+
+class VivaldiSimulation {
+ public:
+  /// Requires an RTT dataset (Vivaldi embeds symmetric delays).
+  VivaldiSimulation(const datasets::Dataset& dataset, const VivaldiConfig& config);
+
+  /// Runs probing rounds: per round every node measures one random neighbor
+  /// and applies the Vivaldi spring update.
+  void RunRounds(std::size_t rounds);
+
+  /// Predicted RTT in ms: ‖x_i - x_j‖ + h_i + h_j.
+  [[nodiscard]] double PredictRtt(std::size_t i, std::size_t j) const;
+
+  /// Median relative prediction error |predicted - true| / true over
+  /// non-neighbor pairs — the standard Vivaldi accuracy criterion.
+  [[nodiscard]] double MedianRelativeError() const;
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return positions_.size(); }
+  [[nodiscard]] double Height(std::size_t i) const;
+  [[nodiscard]] double ErrorEstimate(std::size_t i) const;
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& Neighbors()
+      const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
+
+ private:
+  void Update(std::size_t i, std::size_t j, double measured_rtt);
+
+  const datasets::Dataset* dataset_;
+  VivaldiConfig config_;
+  common::Rng rng_;
+  std::vector<std::vector<double>> positions_;
+  std::vector<double> heights_;
+  std::vector<double> error_;  // relative error estimates, start at 1
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+};
+
+}  // namespace dmfsgd::core

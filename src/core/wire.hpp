@@ -1,0 +1,59 @@
+// Binary wire format for DMFSGD protocol messages.
+//
+// Layout (all integers little-endian, doubles IEEE-754 binary64):
+//
+//   byte 0      protocol version (kWireVersion)
+//   byte 1      message type tag (MessageType)
+//   bytes 2..   type-specific payload; vectors are encoded as a u16 element
+//               count followed by the raw doubles
+//
+// The format is versioned and length-checked: Decode* functions throw
+// WireError on truncated buffers, version or tag mismatches, so a corrupted
+// datagram can never silently produce a bogus coordinate update.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/messages.hpp"
+
+namespace dmfsgd::core {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kRttProbeRequest = 1,
+  kRttProbeReply = 2,
+  kAbwProbeRequest = 3,
+  kAbwProbeReply = 4,
+};
+
+/// Thrown on any malformed buffer (truncation, bad version, bad tag,
+/// oversized vector).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Maximum coordinate vector length accepted on decode — sanity bound that
+/// rejects garbage length fields before allocating.
+inline constexpr std::size_t kMaxWireVectorSize = 4096;
+
+[[nodiscard]] std::vector<std::byte> Encode(const RttProbeRequest& message);
+[[nodiscard]] std::vector<std::byte> Encode(const RttProbeReply& message);
+[[nodiscard]] std::vector<std::byte> Encode(const AbwProbeRequest& message);
+[[nodiscard]] std::vector<std::byte> Encode(const AbwProbeReply& message);
+
+/// Peeks at the message type of an encoded buffer (throws WireError if the
+/// header is malformed).
+[[nodiscard]] MessageType PeekType(std::span<const std::byte> buffer);
+
+[[nodiscard]] RttProbeRequest DecodeRttProbeRequest(std::span<const std::byte> buffer);
+[[nodiscard]] RttProbeReply DecodeRttProbeReply(std::span<const std::byte> buffer);
+[[nodiscard]] AbwProbeRequest DecodeAbwProbeRequest(std::span<const std::byte> buffer);
+[[nodiscard]] AbwProbeReply DecodeAbwProbeReply(std::span<const std::byte> buffer);
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,119 @@
+#include "datasets/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "linalg/low_rank.hpp"
+
+namespace dmfsgd::datasets {
+
+const char* MetricName(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kRtt:
+      return "RTT";
+    case Metric::kAbw:
+      return "ABW";
+  }
+  return "?";
+}
+
+bool LowerIsBetter(Metric metric) noexcept { return metric == Metric::kRtt; }
+
+int ClassOf(Metric metric, double quantity, double tau) noexcept {
+  if (LowerIsBetter(metric)) {
+    return quantity <= tau ? 1 : -1;
+  }
+  return quantity >= tau ? 1 : -1;
+}
+
+double Dataset::PercentileValue(double p) const {
+  const auto values = linalg::KnownOffDiagonal(ground_truth);
+  return common::Percentile(values, p);
+}
+
+double Dataset::MedianValue() const { return PercentileValue(50.0); }
+
+double Dataset::TauForGoodPortion(double portion_good) const {
+  if (portion_good <= 0.0 || portion_good >= 1.0) {
+    throw std::invalid_argument("TauForGoodPortion: portion must be in (0, 1)");
+  }
+  const double percentile =
+      LowerIsBetter(metric) ? portion_good * 100.0 : (1.0 - portion_good) * 100.0;
+  return PercentileValue(percentile);
+}
+
+linalg::Matrix Dataset::ClassMatrix(double tau) const {
+  return linalg::ClassMatrix(ground_truth, tau, LowerIsBetter(metric));
+}
+
+double Dataset::GoodFraction(double tau) const {
+  const auto values = linalg::KnownOffDiagonal(ground_truth);
+  if (values.empty()) {
+    throw std::logic_error("GoodFraction: dataset has no known pairs");
+  }
+  std::size_t good = 0;
+  for (const double v : values) {
+    if (ClassOf(metric, v, tau) > 0) {
+      ++good;
+    }
+  }
+  return static_cast<double>(good) / static_cast<double>(values.size());
+}
+
+void ValidateDataset(const Dataset& dataset) {
+  const auto& m = dataset.ground_truth;
+  if (m.Rows() != m.Cols()) {
+    throw std::invalid_argument("ValidateDataset: matrix must be square");
+  }
+  if (m.Rows() < 2) {
+    throw std::invalid_argument("ValidateDataset: need at least 2 nodes");
+  }
+  for (std::size_t i = 0; i < m.Rows(); ++i) {
+    if (!linalg::Matrix::IsMissing(m(i, i))) {
+      throw std::invalid_argument("ValidateDataset: diagonal must be NaN");
+    }
+  }
+  for (std::size_t i = 0; i < m.Rows(); ++i) {
+    for (std::size_t j = 0; j < m.Cols(); ++j) {
+      const double v = m(i, j);
+      if (!linalg::Matrix::IsMissing(v) && v <= 0.0) {
+        throw std::invalid_argument(
+            "ValidateDataset: known quantities must be positive");
+      }
+    }
+  }
+  if (dataset.metric == Metric::kRtt) {
+    for (std::size_t i = 0; i < m.Rows(); ++i) {
+      for (std::size_t j = i + 1; j < m.Cols(); ++j) {
+        const double a = m(i, j);
+        const double b = m(j, i);
+        const bool a_missing = linalg::Matrix::IsMissing(a);
+        const bool b_missing = linalg::Matrix::IsMissing(b);
+        if (a_missing != b_missing ||
+            (!a_missing && std::abs(a - b) > 1e-9 * std::max(a, b))) {
+          throw std::invalid_argument("ValidateDataset: RTT matrix must be symmetric");
+        }
+      }
+    }
+  }
+  double previous_time = 0.0;
+  for (const TraceRecord& record : dataset.trace) {
+    if (record.src >= m.Rows() || record.dst >= m.Rows()) {
+      throw std::invalid_argument("ValidateDataset: trace node out of range");
+    }
+    if (record.src == record.dst) {
+      throw std::invalid_argument("ValidateDataset: trace contains self-pair");
+    }
+    if (record.value <= 0.0) {
+      throw std::invalid_argument("ValidateDataset: trace value must be positive");
+    }
+    if (record.timestamp_s < previous_time) {
+      throw std::invalid_argument("ValidateDataset: trace timestamps must be sorted");
+    }
+    previous_time = record.timestamp_s;
+  }
+}
+
+}  // namespace dmfsgd::datasets

@@ -1,0 +1,28 @@
+// HP-S3-like available-bandwidth dataset (synthetic stand-in, DESIGN.md §3).
+//
+// The real HP-S3 dataset holds pathChirp ABW estimates between 459 nodes of
+// HP's S3 monitoring system; the paper extracts a dense 231-node submatrix
+// with ~4% missing entries.  This generator grows a tiered capacity tree
+// (SEQUOIA's tree-metric observation), reads asymmetric ground-truth ABW off
+// it, applies pathChirp-style measurement distortion (underestimation bias +
+// lognormal noise, since the *dataset itself* was measured with pathChirp)
+// and finally knocks out ~4% of the entries at random.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::datasets {
+
+struct HpS3Config {
+  std::size_t host_count = 231;
+  double missing_fraction = 0.04;
+  std::uint64_t seed = 459;
+};
+
+/// Builds the synthetic HP-S3 dataset (static, asymmetric ABW, no trace).
+[[nodiscard]] Dataset MakeHpS3(const HpS3Config& config = {});
+
+}  // namespace dmfsgd::datasets

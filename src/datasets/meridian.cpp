@@ -1,0 +1,33 @@
+#include "datasets/meridian.hpp"
+
+#include "netsim/delay_space.hpp"
+
+namespace dmfsgd::datasets {
+
+Dataset MakeMeridian(const MeridianConfig& config) {
+  netsim::DelaySpaceConfig space;
+  space.node_count = config.node_count;
+  // Meridian nodes are globally distributed: more clusters, wider world than
+  // the Harvard (single-application swarm) deployment.
+  space.continent_count = 5;
+  space.cluster_count = 20;
+  space.dimensions = 3;
+  space.cluster_radius_ms = 8.0;
+  space.continent_radius_ms = 22.0;
+  space.world_radius_ms = 130.0;
+  space.min_access_ms = 0.3;
+  space.access_lognormal_mu = 0.6;
+  space.access_lognormal_sigma = 0.8;
+  space.detour_cluster_sigma = 0.15;
+  space.detour_pair_sigma = 0.03;
+  space.seed = config.seed;
+
+  const netsim::DelaySpace delay_space(space);
+  Dataset dataset;
+  dataset.name = "Meridian";
+  dataset.metric = Metric::kRtt;
+  dataset.ground_truth = delay_space.ToMatrix();
+  return dataset;
+}
+
+}  // namespace dmfsgd::datasets

@@ -1,0 +1,24 @@
+// Meridian-like static RTT dataset (synthetic stand-in, DESIGN.md §3).
+//
+// The real Meridian dataset holds static RTT measurements between 2500
+// nodes; the paper also carves a 2255x2255 submatrix out of it for the
+// Figure 1 rank study.  This generator produces a clustered geometric delay
+// space of the same scale with symmetric RTTs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::datasets {
+
+struct MeridianConfig {
+  std::size_t node_count = 2500;
+  std::uint64_t seed = 2011;
+};
+
+/// Builds the synthetic Meridian dataset (static, symmetric RTT, no trace).
+[[nodiscard]] Dataset MakeMeridian(const MeridianConfig& config = {});
+
+}  // namespace dmfsgd::datasets

@@ -1,0 +1,61 @@
+#include "eval/confusion.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dmfsgd::eval {
+
+namespace {
+
+double Ratio(std::size_t numerator, std::size_t denominator, const char* what) {
+  if (denominator == 0) {
+    throw std::logic_error(std::string("ConfusionMatrix::") + what +
+                           ": undefined (empty denominator)");
+  }
+  return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+}  // namespace
+
+double ConfusionMatrix::Accuracy() const {
+  return Ratio(true_positive + true_negative, Total(), "Accuracy");
+}
+
+double ConfusionMatrix::GoodRecall() const {
+  return Ratio(true_positive, ActualPositives(), "GoodRecall");
+}
+
+double ConfusionMatrix::BadRecall() const {
+  return Ratio(true_negative, ActualNegatives(), "BadRecall");
+}
+
+double ConfusionMatrix::Tpr() const { return GoodRecall(); }
+
+double ConfusionMatrix::Fpr() const {
+  return Ratio(false_positive, ActualNegatives(), "Fpr");
+}
+
+double ConfusionMatrix::Precision() const {
+  return Ratio(true_positive, true_positive + false_positive, "Precision");
+}
+
+ConfusionMatrix ConfusionFromScores(std::span<const double> scores,
+                                    std::span<const int> labels, double threshold) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("ConfusionFromScores: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t idx = 0; idx < scores.size(); ++idx) {
+    const bool predicted_good = scores[idx] > threshold;
+    if (labels[idx] == 1) {
+      predicted_good ? ++cm.true_positive : ++cm.false_negative;
+    } else if (labels[idx] == -1) {
+      predicted_good ? ++cm.false_positive : ++cm.true_negative;
+    } else {
+      throw std::invalid_argument("ConfusionFromScores: labels must be +1 or -1");
+    }
+  }
+  return cm;
+}
+
+}  // namespace dmfsgd::eval

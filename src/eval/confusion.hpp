@@ -1,0 +1,49 @@
+// Confusion matrix and accuracy (paper §6.2.4, Table 2).
+//
+// The paper's Table 2 decides classes by taking the sign of x̂_ij (i.e.
+// τ_c = 0) and reports the overall accuracy plus row-normalized confusion
+// percentages (Actual Good -> Predicted Good/Bad, Actual Bad -> ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dmfsgd::eval {
+
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;   ///< actual good, predicted good
+  std::size_t false_negative = 0;  ///< actual good, predicted bad
+  std::size_t false_positive = 0;  ///< actual bad, predicted good
+  std::size_t true_negative = 0;   ///< actual bad, predicted bad
+
+  [[nodiscard]] std::size_t Total() const noexcept {
+    return true_positive + false_negative + false_positive + true_negative;
+  }
+  [[nodiscard]] std::size_t ActualPositives() const noexcept {
+    return true_positive + false_negative;
+  }
+  [[nodiscard]] std::size_t ActualNegatives() const noexcept {
+    return false_positive + true_negative;
+  }
+
+  /// Fraction of all predictions that are correct.
+  [[nodiscard]] double Accuracy() const;
+  /// P(predicted good | actual good) — Table 2's top-left cell.
+  [[nodiscard]] double GoodRecall() const;
+  /// P(predicted bad | actual bad) — Table 2's bottom-right cell.
+  [[nodiscard]] double BadRecall() const;
+  /// True positive rate (== GoodRecall).
+  [[nodiscard]] double Tpr() const;
+  /// False positive rate.
+  [[nodiscard]] double Fpr() const;
+  /// Precision of the "good" class.
+  [[nodiscard]] double Precision() const;
+};
+
+/// Builds the confusion matrix by thresholding scores at `threshold`
+/// (x̂ > threshold -> predicted good).  Labels must be ±1.
+[[nodiscard]] ConfusionMatrix ConfusionFromScores(std::span<const double> scores,
+                                                  std::span<const int> labels,
+                                                  double threshold = 0.0);
+
+}  // namespace dmfsgd::eval

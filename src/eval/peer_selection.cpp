@@ -1,0 +1,134 @@
+#include "eval/peer_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::eval {
+
+namespace {
+
+using datasets::ClassOf;
+using datasets::LowerIsBetter;
+
+}  // namespace
+
+const char* SelectionMethodName(SelectionMethod method) noexcept {
+  switch (method) {
+    case SelectionMethod::kRandom:
+      return "Random";
+    case SelectionMethod::kClassification:
+      return "Classification";
+    case SelectionMethod::kRegression:
+      return "Regression";
+  }
+  return "?";
+}
+
+PeerSelectionOutcome EvaluatePeerSelection(const core::DmfsgdSimulation& simulation,
+                                           SelectionMethod method,
+                                           const PeerSelectionConfig& config) {
+  if (config.peer_count == 0) {
+    throw std::invalid_argument("EvaluatePeerSelection: peer_count must be > 0");
+  }
+  const auto& dataset = simulation.dataset();
+  const std::size_t n = dataset.NodeCount();
+  const double tau = simulation.config().tau;
+  const bool lower_better = LowerIsBetter(dataset.metric);
+
+  common::Rng rng(config.seed);
+  PeerSelectionOutcome outcome;
+  double stretch_sum = 0.0;
+  std::size_t unsatisfied = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Candidate peers: measurable pairs outside the training (neighbor) set.
+    std::vector<std::size_t> candidates;
+    candidates.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && dataset.IsKnown(i, j) && !simulation.IsNeighborPair(i, j)) {
+        candidates.push_back(j);
+      }
+    }
+    // Peer-set construction consumes the same RNG stream regardless of the
+    // method, so the sets are identical across methods for a given seed.
+    rng.Shuffle(std::span(candidates));
+    const std::size_t peer_count = std::min(config.peer_count, candidates.size());
+    if (peer_count == 0) {
+      continue;
+    }
+    const std::span<const std::size_t> peers(candidates.data(), peer_count);
+
+    // Selection.
+    std::size_t selected = peers[0];
+    switch (method) {
+      case SelectionMethod::kRandom:
+        selected = peers[rng.UniformInt(static_cast<std::uint64_t>(peer_count))];
+        break;
+      case SelectionMethod::kClassification: {
+        // "the peer which is the most likely to be good": the largest raw
+        // x̂_ij, no sign-taking or thresholding (paper §6.4).
+        double best_score = simulation.Predict(i, peers[0]);
+        for (const std::size_t j : peers) {
+          const double score = simulation.Predict(i, j);
+          if (score > best_score) {
+            best_score = score;
+            selected = j;
+          }
+        }
+        break;
+      }
+      case SelectionMethod::kRegression: {
+        // Predicted best-performing peer: smallest x̂ for RTT, largest for ABW.
+        double best_score = simulation.Predict(i, peers[0]);
+        for (const std::size_t j : peers) {
+          const double score = simulation.Predict(i, j);
+          const bool better = lower_better ? score < best_score : score > best_score;
+          if (better) {
+            best_score = score;
+            selected = j;
+          }
+        }
+        break;
+      }
+    }
+
+    // True best peer in the set.
+    std::size_t best = peers[0];
+    bool any_good = false;
+    for (const std::size_t j : peers) {
+      const double quantity = dataset.Quantity(i, j);
+      const bool better = lower_better ? quantity < dataset.Quantity(i, best)
+                                       : quantity > dataset.Quantity(i, best);
+      if (better) {
+        best = j;
+      }
+      if (ClassOf(dataset.metric, quantity, tau) > 0) {
+        any_good = true;
+      }
+    }
+
+    stretch_sum += dataset.Quantity(i, selected) / dataset.Quantity(i, best);
+    ++outcome.stretch_nodes;
+
+    if (any_good) {
+      ++outcome.satisfaction_nodes;
+      if (ClassOf(dataset.metric, dataset.Quantity(i, selected), tau) < 0) {
+        ++unsatisfied;
+      }
+    }
+  }
+
+  if (outcome.stretch_nodes > 0) {
+    outcome.average_stretch = stretch_sum / static_cast<double>(outcome.stretch_nodes);
+  }
+  if (outcome.satisfaction_nodes > 0) {
+    outcome.unsatisfied_fraction =
+        static_cast<double>(unsatisfied) /
+        static_cast<double>(outcome.satisfaction_nodes);
+  }
+  return outcome;
+}
+
+}  // namespace dmfsgd::eval

@@ -1,0 +1,56 @@
+// Peer selection: optimality vs satisfaction (paper §6.4, Figure 7).
+//
+// Every node draws a random peer set (disjoint from its neighbor/training
+// set) and selects one peer to interact with:
+//
+//   Random          uniform choice (the paper's baseline)
+//   Classification  peer with the largest raw score x̂_ij (no thresholding)
+//   Regression      predicted best quantity: smallest x̂ for RTT, largest
+//                   for ABW (quantity-based prediction with the L2 loss)
+//
+// Two criteria are reported:
+//
+//   stretch       s_i = x_i•/x_i◦ over true quantities (• selected peer,
+//                 ◦ true best peer); > 1 for RTT, < 1 for ABW; 1 is optimal
+//   satisfaction  fraction of *unsatisfied* nodes — nodes that picked a
+//                 truly "bad" peer although a "good" one existed in their
+//                 peer set; nodes with all-bad peer sets are excluded
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace dmfsgd::eval {
+
+enum class SelectionMethod {
+  kRandom,
+  kClassification,
+  kRegression,
+};
+
+/// Human-readable method name.
+[[nodiscard]] const char* SelectionMethodName(SelectionMethod method) noexcept;
+
+struct PeerSelectionConfig {
+  std::size_t peer_count = 10;
+  std::uint64_t seed = 17;
+};
+
+struct PeerSelectionOutcome {
+  double average_stretch = 0.0;
+  double unsatisfied_fraction = 0.0;
+  std::size_t stretch_nodes = 0;       ///< nodes contributing to the stretch
+  std::size_t satisfaction_nodes = 0;  ///< nodes with >= 1 good peer
+};
+
+/// Evaluates one peer-selection method on a trained deployment.  Peer sets
+/// are a deterministic function of (config.seed, node id, the deployment's
+/// neighbor sets), so different methods evaluated with the same seed against
+/// deployments sharing neighbor sets face identical peer sets.
+[[nodiscard]] PeerSelectionOutcome EvaluatePeerSelection(
+    const core::DmfsgdSimulation& simulation, SelectionMethod method,
+    const PeerSelectionConfig& config);
+
+}  // namespace dmfsgd::eval

@@ -1,0 +1,73 @@
+#include "eval/precision_recall.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dmfsgd::eval {
+
+std::vector<PrPoint> PrecisionRecallCurve(std::span<const double> scores,
+                                          std::span<const int> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("PrecisionRecall: scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    throw std::invalid_argument("PrecisionRecall: empty input");
+  }
+  std::size_t positives = 0;
+  for (const int label : labels) {
+    if (label != 1 && label != -1) {
+      throw std::invalid_argument("PrecisionRecall: labels must be +1 or -1");
+    }
+    if (label == 1) {
+      ++positives;
+    }
+  }
+  if (positives == 0 || positives == labels.size()) {
+    throw std::invalid_argument(
+        "PrecisionRecall: need at least one positive and one negative");
+  }
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<PrPoint> curve;
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t index = 0;
+  while (index < order.size()) {
+    const double score = scores[order[index]];
+    while (index < order.size() && scores[order[index]] == score) {
+      if (labels[order[index]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++index;
+    }
+    curve.push_back(PrPoint{
+        static_cast<double>(tp) / static_cast<double>(positives),
+        static_cast<double>(tp) / static_cast<double>(tp + fp), score});
+  }
+  return curve;
+}
+
+double AveragePrecision(std::span<const double> scores,
+                        std::span<const int> labels) {
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  double area = 0.0;
+  double previous_recall = 0.0;
+  double previous_precision = 1.0;  // precision at recall 0 by convention
+  for (const PrPoint& point : curve) {
+    area += (point.recall - previous_recall) * 0.5 *
+            (point.precision + previous_precision);
+    previous_recall = point.recall;
+    previous_precision = point.precision;
+  }
+  return area;
+}
+
+}  // namespace dmfsgd::eval

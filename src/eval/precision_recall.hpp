@@ -1,0 +1,28 @@
+// Precision-recall analysis (paper §6.1, Figure 5(b)).
+//
+// Same threshold sweep as the ROC curve, but each point reports the
+// precision of the positive ("good") class against its recall (= TPR).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::eval {
+
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;  ///< the τ_c producing this point
+};
+
+/// Precision-recall curve from scores and ±1 labels, ordered by ascending
+/// recall.  Requires at least one positive and one negative label.
+[[nodiscard]] std::vector<PrPoint> PrecisionRecallCurve(
+    std::span<const double> scores, std::span<const int> labels);
+
+/// Area under the precision-recall curve (average precision, trapezoidal).
+[[nodiscard]] double AveragePrecision(std::span<const double> scores,
+                                      std::span<const int> labels);
+
+}  // namespace dmfsgd::eval

@@ -1,0 +1,73 @@
+#include "eval/regression_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace dmfsgd::eval {
+
+namespace {
+
+std::vector<double> Errors(std::span<const double> predicted,
+                           std::span<const double> actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("RelativeError: size mismatch");
+  }
+  if (predicted.empty()) {
+    throw std::invalid_argument("RelativeError: empty input");
+  }
+  std::vector<double> errors;
+  errors.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    errors.push_back(RelativeError(predicted[i], actual[i]));
+  }
+  return errors;
+}
+
+}  // namespace
+
+double RelativeError(double predicted, double actual) {
+  if (actual <= 0.0) {
+    throw std::invalid_argument("RelativeError: actual must be > 0");
+  }
+  return std::abs(predicted - actual) / actual;
+}
+
+RelativeErrorSummary SummarizeRelativeError(std::span<const double> predicted,
+                                            std::span<const double> actual) {
+  const auto errors = Errors(predicted, actual);
+  RelativeErrorSummary summary;
+  summary.count = errors.size();
+  summary.mean = common::Mean(errors);
+  summary.median = common::Median(errors);
+  summary.p90 = common::Percentile(errors, 90.0);
+  std::size_t close = 0;
+  for (const double e : errors) {
+    if (e <= 0.5) {
+      ++close;
+    }
+  }
+  summary.within_half = static_cast<double>(close) / static_cast<double>(errors.size());
+  return summary;
+}
+
+std::vector<double> RelativeErrorCdf(std::span<const double> predicted,
+                                     std::span<const double> actual,
+                                     std::span<const double> levels) {
+  const auto errors = Errors(predicted, actual);
+  std::vector<double> cdf;
+  cdf.reserve(levels.size());
+  for (const double level : levels) {
+    std::size_t below = 0;
+    for (const double e : errors) {
+      if (e <= level) {
+        ++below;
+      }
+    }
+    cdf.push_back(static_cast<double>(below) / static_cast<double>(errors.size()));
+  }
+  return cdf;
+}
+
+}  // namespace dmfsgd::eval

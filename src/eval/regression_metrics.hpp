@@ -1,0 +1,40 @@
+// Quantity-prediction (regression) accuracy metrics.
+//
+// The NCS literature the paper builds on (Vivaldi, IDES, DMF) reports
+// *relative error* statistics for predicted quantities; this module provides
+// them for comparing the quantity-based DMFSGD variant and the Vivaldi
+// baseline against ground truth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::eval {
+
+/// Relative error of one prediction: |predicted - actual| / actual.
+/// Requires actual > 0.
+[[nodiscard]] double RelativeError(double predicted, double actual);
+
+struct RelativeErrorSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  /// Fraction of predictions within 50% of the truth (an NCS-community
+  /// staple: "REL50").
+  double within_half = 0.0;
+};
+
+/// Summary over paired (predicted, actual) samples.  Requires equal-sized,
+/// non-empty inputs with positive actuals.
+[[nodiscard]] RelativeErrorSummary SummarizeRelativeError(
+    std::span<const double> predicted, std::span<const double> actual);
+
+/// Points of the relative-error CDF at the requested error levels:
+/// result[i] = fraction of samples with relative error <= levels[i].
+[[nodiscard]] std::vector<double> RelativeErrorCdf(
+    std::span<const double> predicted, std::span<const double> actual,
+    std::span<const double> levels);
+
+}  // namespace dmfsgd::eval

@@ -1,0 +1,86 @@
+#include "eval/roc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace dmfsgd::eval {
+
+namespace {
+
+struct Counts {
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  std::vector<std::size_t> order;  // indices sorted by descending score
+};
+
+Counts Prepare(std::span<const double> scores, std::span<const int> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("Roc: scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    throw std::invalid_argument("Roc: empty input");
+  }
+  Counts counts;
+  for (const int label : labels) {
+    if (label == 1) {
+      ++counts.positives;
+    } else if (label == -1) {
+      ++counts.negatives;
+    } else {
+      throw std::invalid_argument("Roc: labels must be +1 or -1");
+    }
+  }
+  if (counts.positives == 0 || counts.negatives == 0) {
+    throw std::invalid_argument("Roc: need at least one positive and one negative");
+  }
+  counts.order.resize(scores.size());
+  std::iota(counts.order.begin(), counts.order.end(), std::size_t{0});
+  std::sort(counts.order.begin(), counts.order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  return counts;
+}
+
+}  // namespace
+
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               std::span<const int> labels) {
+  const Counts counts = Prepare(scores, labels);
+  std::vector<RocPoint> curve;
+  curve.reserve(scores.size() + 2);
+  curve.push_back(RocPoint{0.0, 0.0, std::numeric_limits<double>::infinity()});
+
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t index = 0;
+  while (index < counts.order.size()) {
+    // Consume a whole tie group before emitting a point, so ties produce a
+    // single diagonal segment instead of an order-dependent staircase.
+    const double score = scores[counts.order[index]];
+    while (index < counts.order.size() && scores[counts.order[index]] == score) {
+      if (labels[counts.order[index]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++index;
+    }
+    curve.push_back(RocPoint{
+        static_cast<double>(fp) / static_cast<double>(counts.negatives),
+        static_cast<double>(tp) / static_cast<double>(counts.positives), score});
+  }
+  return curve;
+}
+
+double Auc(std::span<const double> scores, std::span<const int> labels) {
+  const auto curve = RocCurve(scores, labels);
+  double area = 0.0;
+  for (std::size_t p = 1; p < curve.size(); ++p) {
+    const double width = curve[p].fpr - curve[p - 1].fpr;
+    area += width * 0.5 * (curve[p].tpr + curve[p - 1].tpr);
+  }
+  return area;
+}
+
+}  // namespace dmfsgd::eval

@@ -1,0 +1,32 @@
+// ROC analysis (paper §6.1).
+//
+// The paper's headline accuracy number is the AUC: scores x̂_ij are swept
+// over a discrimination threshold τ_c from +∞ down to -∞; at each distinct
+// score the true/false positive rates against the ±1 ground truth labels
+// give one ROC point.  The AUC here is computed exactly as the area under
+// that curve (trapezoidal over tie groups), which equals the Mann-Whitney
+// U statistic with the standard 1/2 tie correction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::eval {
+
+struct RocPoint {
+  double fpr = 0.0;        ///< false positive rate
+  double tpr = 0.0;        ///< true positive rate
+  double threshold = 0.0;  ///< the τ_c producing this point
+};
+
+/// ROC curve from prediction scores and ±1 labels.  Points are ordered by
+/// ascending FPR, beginning at (0,0) and ending at (1,1).  Requires equal
+/// sizes, at least one positive and one negative label.
+[[nodiscard]] std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                                             std::span<const int> labels);
+
+/// Exact area under the ROC curve in [0, 1].
+[[nodiscard]] double Auc(std::span<const double> scores, std::span<const int> labels);
+
+}  // namespace dmfsgd::eval

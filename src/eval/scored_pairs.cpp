@@ -1,0 +1,66 @@
+#include "eval/scored_pairs.hpp"
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::eval {
+
+std::vector<ScoredPair> CollectScoredPairs(const core::DmfsgdSimulation& simulation,
+                                           const CollectOptions& options) {
+  const auto& dataset = simulation.dataset();
+  const std::size_t n = dataset.NodeCount();
+  const double tau = simulation.config().tau;
+
+  common::Rng rng(options.seed);
+  std::vector<ScoredPair> reservoir;
+  const std::size_t capacity = options.max_pairs;
+  if (capacity > 0) {
+    reservoir.reserve(capacity);
+  }
+  std::size_t seen = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || !dataset.IsKnown(i, j)) {
+        continue;
+      }
+      if (options.exclude_neighbor_pairs && simulation.IsNeighborPair(i, j)) {
+        continue;
+      }
+      const double quantity = dataset.Quantity(i, j);
+      ScoredPair pair{i, j, simulation.Predict(i, j),
+                      datasets::ClassOf(dataset.metric, quantity, tau), quantity};
+      ++seen;
+      if (capacity == 0 || reservoir.size() < capacity) {
+        reservoir.push_back(pair);
+      } else {
+        // Vitter's algorithm R: replace a random slot with probability
+        // capacity/seen, keeping a uniform sample of everything seen.
+        const std::size_t slot = rng.UniformInt(static_cast<std::uint64_t>(seen));
+        if (slot < capacity) {
+          reservoir[slot] = pair;
+        }
+      }
+    }
+  }
+  return reservoir;
+}
+
+std::vector<double> Scores(const std::vector<ScoredPair>& pairs) {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const ScoredPair& pair : pairs) {
+    scores.push_back(pair.score);
+  }
+  return scores;
+}
+
+std::vector<int> Labels(const std::vector<ScoredPair>& pairs) {
+  std::vector<int> labels;
+  labels.reserve(pairs.size());
+  for (const ScoredPair& pair : pairs) {
+    labels.push_back(pair.label);
+  }
+  return labels;
+}
+
+}  // namespace dmfsgd::eval

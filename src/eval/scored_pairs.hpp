@@ -1,0 +1,42 @@
+// Test-set extraction from a trained DMFSGD deployment.
+//
+// Gathers (prediction score, true class label, true quantity) triplets for
+// the pairs a deployment was *not* trained on — the paper evaluates the
+// prediction accuracy on unobserved entries of X.  Large deployments
+// (Meridian: 6.25M ordered pairs) can be subsampled reproducibly with
+// reservoir sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace dmfsgd::eval {
+
+struct ScoredPair {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double score = 0.0;     ///< x̂_ij = u_i · v_j
+  int label = 0;          ///< true class under the simulation's τ
+  double quantity = 0.0;  ///< true metric value
+};
+
+struct CollectOptions {
+  /// Skip pairs (i, j) with j in i's neighbor set (the training data).
+  bool exclude_neighbor_pairs = true;
+  /// If non-zero, reservoir-sample down to this many pairs.
+  std::size_t max_pairs = 0;
+  std::uint64_t seed = 9;
+};
+
+/// Collects scored test pairs from a trained simulation.  Unknown
+/// ground-truth pairs and the diagonal are always skipped.
+[[nodiscard]] std::vector<ScoredPair> CollectScoredPairs(
+    const core::DmfsgdSimulation& simulation, const CollectOptions& options = {});
+
+/// Convenience extraction for the metric functions.
+[[nodiscard]] std::vector<double> Scores(const std::vector<ScoredPair>& pairs);
+[[nodiscard]] std::vector<int> Labels(const std::vector<ScoredPair>& pairs);
+
+}  // namespace dmfsgd::eval

@@ -1,0 +1,80 @@
+#include "linalg/low_rank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::linalg {
+
+std::size_t EffectiveRank(std::span<const double> singular_values, double energy) {
+  if (singular_values.empty()) {
+    throw std::invalid_argument("EffectiveRank: empty spectrum");
+  }
+  if (energy <= 0.0 || energy > 1.0) {
+    throw std::invalid_argument("EffectiveRank: energy must be in (0, 1]");
+  }
+  double total = 0.0;
+  for (const double s : singular_values) {
+    total += s * s;
+  }
+  if (total == 0.0) {
+    return 0;
+  }
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < singular_values.size(); ++i) {
+    cumulative += singular_values[i] * singular_values[i];
+    if (cumulative >= energy * total) {
+      return i + 1;
+    }
+  }
+  return singular_values.size();
+}
+
+double RankTruncationError(std::span<const double> singular_values, std::size_t r) {
+  if (singular_values.empty()) {
+    throw std::invalid_argument("RankTruncationError: empty spectrum");
+  }
+  double total = 0.0;
+  double tail = 0.0;
+  for (std::size_t i = 0; i < singular_values.size(); ++i) {
+    const double sq = singular_values[i] * singular_values[i];
+    total += sq;
+    if (i >= r) {
+      tail += sq;
+    }
+  }
+  if (total == 0.0) {
+    return 0.0;
+  }
+  return std::sqrt(tail / total);
+}
+
+Matrix RandomLowRankMatrix(std::size_t rows, std::size_t cols, std::size_t r,
+                           common::Rng& rng, double lo, double hi) {
+  if (r == 0 || r > std::min(rows, cols)) {
+    throw std::invalid_argument("RandomLowRankMatrix: invalid rank");
+  }
+  Matrix u(rows, r);
+  Matrix v(cols, r);
+  u.FillUniform(rng, lo, hi);
+  v.FillUniform(rng, lo, hi);
+  return MultiplyTransposed(u, v);
+}
+
+Matrix ClassMatrix(const Matrix& values, double threshold, bool good_if_below) {
+  Matrix classes(values.Rows(), values.Cols(), Matrix::kMissing);
+  for (std::size_t r = 0; r < values.Rows(); ++r) {
+    for (std::size_t c = 0; c < values.Cols(); ++c) {
+      const double v = values(r, c);
+      if (Matrix::IsMissing(v)) {
+        continue;
+      }
+      const bool good = good_if_below ? (v <= threshold) : (v >= threshold);
+      classes(r, c) = good ? 1.0 : -1.0;
+    }
+  }
+  return classes;
+}
+
+}  // namespace dmfsgd::linalg

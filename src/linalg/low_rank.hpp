@@ -1,0 +1,44 @@
+// Low-rank analysis helpers built on the SVD.
+//
+// Section 4.1 of the paper justifies matrix completion by the low effective
+// rank of performance matrices; these helpers quantify that (effective rank,
+// best rank-r approximation error) for tests and the Figure 1 bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::common {
+class Rng;
+}
+
+namespace dmfsgd::linalg {
+
+/// Smallest r such that the top-r singular values capture `energy` of the
+/// total squared spectrum (energy in (0, 1]).  Input must be descending.
+[[nodiscard]] std::size_t EffectiveRank(std::span<const double> singular_values,
+                                        double energy);
+
+/// Relative Frobenius error of the best rank-r approximation, computed from
+/// the spectrum alone: sqrt(sum_{i>r} s_i^2 / sum_i s_i^2).
+[[nodiscard]] double RankTruncationError(std::span<const double> singular_values,
+                                         std::size_t r);
+
+/// Builds a random rank-r matrix U Vᵀ with entries of the factors iid
+/// uniform in [lo, hi) — used by property tests (an exactly-rank-r input must
+/// be recovered by SVD with only r nonzero singular values).
+[[nodiscard]] Matrix RandomLowRankMatrix(std::size_t rows, std::size_t cols,
+                                         std::size_t r, common::Rng& rng,
+                                         double lo = -1.0, double hi = 1.0);
+
+/// Element-wise sign matrix: +1 if entry > threshold ... the paper's class
+/// matrix  (entries <= threshold map to -1).  NaN entries stay NaN.
+/// For RTT-like metrics lower is better, so callers typically pass
+/// `good_if_below = true` to map small values to +1.
+[[nodiscard]] Matrix ClassMatrix(const Matrix& values, double threshold,
+                                 bool good_if_below);
+
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,205 @@
+#include "linalg/matrix.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::At(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::At(" + std::to_string(r) + ", " +
+                            std::to_string(c) + ") out of " + std::to_string(rows_) +
+                            "x" + std::to_string(cols_));
+  }
+  return (*this)(r, c);
+}
+
+double Matrix::At(std::size_t r, std::size_t c) const {
+  return const_cast<Matrix&>(*this).At(r, c);
+}
+
+std::span<double> Matrix::Row(std::size_t r) {
+  if (r >= rows_) {
+    throw std::out_of_range("Matrix::Row: " + std::to_string(r));
+  }
+  return std::span<double>(data_).subspan(r * cols_, cols_);
+}
+
+std::span<const double> Matrix::Row(std::size_t r) const {
+  if (r >= rows_) {
+    throw std::out_of_range("Matrix::Row: " + std::to_string(r));
+  }
+  return std::span<const double>(data_).subspan(r * cols_, cols_);
+}
+
+std::size_t Matrix::KnownCount() const noexcept {
+  std::size_t count = 0;
+  for (const double v : data_) {
+    if (!IsMissing(v)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Matrix::Fill(double value) noexcept {
+  for (double& v : data_) {
+    v = value;
+  }
+}
+
+void Matrix::FillUniform(common::Rng& rng, double lo, double hi) {
+  for (double& v : data_) {
+    v = rng.Uniform(lo, hi);
+  }
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Symmetrized() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::Symmetrized: matrix must be square");
+  }
+  Matrix s(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double a = (*this)(r, c);
+      const double b = (*this)(c, r);
+      if (IsMissing(a)) {
+        s(r, c) = b;
+      } else if (IsMissing(b)) {
+        s(r, c) = a;
+      } else {
+        s(r, c) = 0.5 * (a + b);
+      }
+    }
+  }
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const noexcept {
+  double sum = 0.0;
+  for (const double v : data_) {
+    if (!IsMissing(v)) {
+      sum += v * v;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+bool Matrix::AlmostEqual(const Matrix& other, double tolerance) const noexcept {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const bool a_missing = IsMissing(data_[i]);
+    const bool b_missing = IsMissing(other.data_[i]);
+    if (a_missing != b_missing) {
+      return false;
+    }
+    if (!a_missing && std::abs(data_[i] - other.data_[i]) > tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) noexcept {
+  return a.AlmostEqual(b, 0.0);
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  if (a.Cols() != b.Rows()) {
+    throw std::invalid_argument("Multiply: inner dimensions differ");
+  }
+  Matrix c(a.Rows(), b.Cols(), 0.0);
+  // i-k-j loop order for row-major cache friendliness.
+  for (std::size_t i = 0; i < a.Rows(); ++i) {
+    for (std::size_t k = 0; k < a.Cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < b.Cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposed(const Matrix& a, const Matrix& b) {
+  if (a.Cols() != b.Cols()) {
+    throw std::invalid_argument("MultiplyTransposed: column counts differ");
+  }
+  Matrix c(a.Rows(), b.Rows(), 0.0);
+  for (std::size_t i = 0; i < a.Rows(); ++i) {
+    const auto row_a = a.Row(i);
+    for (std::size_t j = 0; j < b.Rows(); ++j) {
+      const auto row_b = b.Row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < row_a.size(); ++k) {
+        sum += row_a[k] * row_b[k];
+      }
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+double FrobeniusDistance(const Matrix& a, const Matrix& b) {
+  if (a.Rows() != b.Rows() || a.Cols() != b.Cols()) {
+    throw std::invalid_argument("FrobeniusDistance: shape mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.Data().size(); ++i) {
+    const double x = a.Data()[i];
+    const double y = b.Data()[i];
+    if (!Matrix::IsMissing(x) && !Matrix::IsMissing(y)) {
+      const double d = x - y;
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+Matrix TopLeftSubmatrix(const Matrix& m, std::size_t n) {
+  if (n > m.Rows() || n > m.Cols()) {
+    throw std::invalid_argument("TopLeftSubmatrix: n exceeds matrix size");
+  }
+  Matrix sub(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      sub(r, c) = m(r, c);
+    }
+  }
+  return sub;
+}
+
+std::vector<double> KnownOffDiagonal(const Matrix& m) {
+  std::vector<double> values;
+  values.reserve(m.Size());
+  for (std::size_t r = 0; r < m.Rows(); ++r) {
+    for (std::size_t c = 0; c < m.Cols(); ++c) {
+      if (r != c && !Matrix::IsMissing(m(r, c))) {
+        values.push_back(m(r, c));
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,111 @@
+// Dense row-major matrix of doubles.
+//
+// This is the substrate for the centralized pieces of the reproduction: the
+// ground-truth performance matrices X, the low-rank factors U and V when
+// analyzed centrally (Figure 1, batch-MF baseline), and the evaluation
+// plumbing.  The decentralized algorithm itself never materializes a matrix —
+// it only touches per-node rows (see core/).
+//
+// Missing entries (the paper's "unknown" pairs, and HP-S3's 4% holes) are
+// represented as NaN; helpers below make the convention explicit.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::common {
+class Rng;
+}
+
+namespace dmfsgd::linalg {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t Rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t Cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t Size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool Empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (hot paths); prefer At() at API boundaries.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] double& At(std::size_t r, std::size_t c);
+  [[nodiscard]] double At(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<double> Row(std::size_t r);
+  [[nodiscard]] std::span<const double> Row(std::size_t r) const;
+
+  /// Whole storage, row-major.
+  [[nodiscard]] std::span<double> Data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> Data() const noexcept { return data_; }
+
+  /// Missing-entry convention: NaN marks an unknown measurement.
+  static constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+  [[nodiscard]] static bool IsMissing(double value) noexcept {
+    return std::isnan(value);
+  }
+
+  /// Number of non-NaN entries.
+  [[nodiscard]] std::size_t KnownCount() const noexcept;
+
+  void Fill(double value) noexcept;
+
+  /// Fills with iid uniform values in [lo, hi) (the paper's coordinate init
+  /// draws from [0, 1)).
+  void FillUniform(common::Rng& rng, double lo, double hi);
+
+  [[nodiscard]] Matrix Transposed() const;
+
+  /// (this + thisᵀ) / 2; requires a square matrix.  NaN entries are treated
+  /// as absorbing: if either (i,j) or (j,i) is missing the result is the
+  /// known one (or NaN if both missing).
+  [[nodiscard]] Matrix Symmetrized() const;
+
+  /// Frobenius norm over known (non-NaN) entries.
+  [[nodiscard]] double FrobeniusNorm() const noexcept;
+
+  /// Element-wise comparison with tolerance; NaNs compare equal to NaNs.
+  [[nodiscard]] bool AlmostEqual(const Matrix& other, double tolerance) const noexcept;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.  Throws on inner-dimension mismatch.
+[[nodiscard]] Matrix Multiply(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ — the reconstruction X̂ = U Vᵀ of eq. 2.  Throws if
+/// a.Cols() != b.Cols().
+[[nodiscard]] Matrix MultiplyTransposed(const Matrix& a, const Matrix& b);
+
+/// Element-wise difference ||A - B||_F over entries known in both.
+[[nodiscard]] double FrobeniusDistance(const Matrix& a, const Matrix& b);
+
+/// Extracts the top-left square submatrix of size n (used to carve the
+/// paper's 2255- and 201-node submatrices out of the full datasets).
+[[nodiscard]] Matrix TopLeftSubmatrix(const Matrix& m, std::size_t n);
+
+/// All known (non-NaN) off-diagonal values, row-major order.
+[[nodiscard]] std::vector<double> KnownOffDiagonal(const Matrix& m);
+
+}  // namespace dmfsgd::linalg

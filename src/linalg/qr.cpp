@@ -1,0 +1,68 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dmfsgd::linalg {
+
+QrResult QrDecompose(const Matrix& a, double tolerance) {
+  const std::size_t m = a.Rows();
+  const std::size_t n = a.Cols();
+  if (m < n) {
+    throw std::invalid_argument("QrDecompose: requires rows >= cols");
+  }
+  QrResult result{Matrix(m, n, 0.0), Matrix(n, n, 0.0)};
+  Matrix& q = result.q;
+  Matrix& r = result.r;
+
+  // Work column by column (modified Gram-Schmidt: project against already
+  // orthonormalized columns one at a time for numerical stability).
+  for (std::size_t j = 0; j < n; ++j) {
+    // v = a[:, j]
+    std::vector<double> v(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      v[i] = a(i, j);
+    }
+    for (std::size_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        proj += q(i, k) * v[i];
+      }
+      r(k, j) = proj;
+      for (std::size_t i = 0; i < m; ++i) {
+        v[i] -= proj * q(i, k);
+      }
+    }
+    double norm = 0.0;
+    for (const double x : v) {
+      norm += x * x;
+    }
+    norm = std::sqrt(norm);
+    r(j, j) = norm;
+    if (norm > tolerance) {
+      for (std::size_t i = 0; i < m; ++i) {
+        q(i, j) = v[i] / norm;
+      }
+    }
+    // else: leave the Q column zero (rank-deficient input).
+  }
+  return result;
+}
+
+double OrthonormalityDefect(const Matrix& q) {
+  const std::size_t n = q.Cols();
+  double defect = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < q.Rows(); ++i) {
+        dot += q(i, a) * q(i, b);
+      }
+      const double expected = (a == b) ? 1.0 : 0.0;
+      defect = std::max(defect, std::abs(dot - expected));
+    }
+  }
+  return defect;
+}
+
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,25 @@
+// Thin QR factorization via modified Gram-Schmidt.
+//
+// Used by the randomized SVD range finder (Figure 1 needs the top singular
+// values of matrices up to 2255x2255, where full Jacobi SVD is too slow).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::linalg {
+
+struct QrResult {
+  Matrix q;  ///< m x n with orthonormal columns
+  Matrix r;  ///< n x n upper triangular
+};
+
+/// Thin QR of an m x n matrix with m >= n.  Rank-deficient columns (norm
+/// below `tolerance` after projection) are replaced by zero columns in Q so
+/// the factorization never divides by ~0; callers relying on a full basis
+/// should check R's diagonal.
+[[nodiscard]] QrResult QrDecompose(const Matrix& a, double tolerance = 1e-12);
+
+/// Max |qᵀq - I| entry — orthonormality defect, used by tests.
+[[nodiscard]] double OrthonormalityDefect(const Matrix& q);
+
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,97 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dmfsgd::linalg {
+
+std::vector<double> SolveLinearSystem(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.Rows();
+  if (a.Cols() != n) {
+    throw std::invalid_argument("SolveLinearSystem: matrix must be square");
+  }
+  if (b.size() != n) {
+    throw std::invalid_argument("SolveLinearSystem: rhs size mismatch");
+  }
+  // Augmented working copy.
+  Matrix work = a;
+  std::vector<double> rhs(b.begin(), b.end());
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(work(row, col)) > std::abs(work(pivot, col))) {
+        pivot = row;
+      }
+    }
+    if (std::abs(work(pivot, col)) < 1e-12) {
+      throw std::runtime_error("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work(col, c), work(pivot, c));
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = work(row, col) / work(col, col);
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        work(row, c) -= factor * work(col, c);
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = rhs[row];
+    for (std::size_t c = row + 1; c < n; ++c) {
+      sum -= work(row, c) * x[c];
+    }
+    x[row] = sum / work(row, row);
+  }
+  return x;
+}
+
+std::vector<double> SolveLeastSquares(const Matrix& a, std::span<const double> b,
+                                      double ridge) {
+  const std::size_t m = a.Rows();
+  const std::size_t r = a.Cols();
+  if (m < r) {
+    throw std::invalid_argument("SolveLeastSquares: need rows >= cols");
+  }
+  if (b.size() != m) {
+    throw std::invalid_argument("SolveLeastSquares: rhs size mismatch");
+  }
+  if (ridge < 0.0) {
+    throw std::invalid_argument("SolveLeastSquares: ridge must be >= 0");
+  }
+  // Normal equations: (AᵀA + ridge I) x = Aᵀ b.
+  Matrix normal(r, r, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = i; j < r; ++j) {
+      double sum = 0.0;
+      for (std::size_t row = 0; row < m; ++row) {
+        sum += a(row, i) * a(row, j);
+      }
+      normal(i, j) = sum;
+      normal(j, i) = sum;
+    }
+    normal(i, i) += ridge;
+  }
+  std::vector<double> atb(r, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t row = 0; row < m; ++row) {
+      atb[i] += a(row, i) * b[row];
+    }
+  }
+  return SolveLinearSystem(normal, atb);
+}
+
+}  // namespace dmfsgd::linalg

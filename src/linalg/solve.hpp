@@ -1,0 +1,30 @@
+// Dense linear solvers.
+//
+// Gaussian elimination with partial pivoting for small square systems, plus
+// least squares via the normal equations — enough for the IDES baseline
+// (core/ides.hpp), where every ordinary host solves an r x r system to place
+// itself relative to the landmarks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::linalg {
+
+/// Solves A x = b for square A by Gaussian elimination with partial
+/// pivoting.  Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error if A is (numerically) singular.
+[[nodiscard]] std::vector<double> SolveLinearSystem(const Matrix& a,
+                                                    std::span<const double> b);
+
+/// Least-squares solution of min ||A x - b||^2 for a tall A (rows >= cols)
+/// via the normal equations AᵀA x = Aᵀb.  Adds `ridge` to the diagonal of
+/// AᵀA (Tikhonov regularization; 0 disables).  Throws on shape mismatch or
+/// a singular normal matrix.
+[[nodiscard]] std::vector<double> SolveLeastSquares(const Matrix& a,
+                                                    std::span<const double> b,
+                                                    double ridge = 0.0);
+
+}  // namespace dmfsgd::linalg

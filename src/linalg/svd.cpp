@@ -1,0 +1,238 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "linalg/qr.hpp"
+
+namespace dmfsgd::linalg {
+
+namespace {
+
+void RequireFinite(const Matrix& a, const char* what) {
+  if (a.Empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty matrix");
+  }
+  for (const double v : a.Data()) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": matrix contains NaN/inf entries");
+    }
+  }
+}
+
+/// One-sided Jacobi on the columns of `work` (m x n, m >= n).  On return the
+/// columns of `work` are mutually orthogonal; their norms are the singular
+/// values.  If `v` is non-null it accumulates the right rotations (n x n).
+int OrthogonalizeColumns(Matrix& work, Matrix* v, int max_sweeps, double tolerance) {
+  const std::size_t m = work.Rows();
+  const std::size_t n = work.Cols();
+  int sweeps = 0;
+  for (; sweeps < max_sweeps; ++sweeps) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0;
+        double beta = 0.0;
+        double gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double xp = work(i, p);
+          const double xq = work(i, q);
+          alpha += xp * xp;
+          beta += xq * xq;
+          gamma += xp * xq;
+        }
+        if (std::abs(gamma) <= tolerance * std::sqrt(alpha * beta)) {
+          continue;
+        }
+        rotated = true;
+        // Jacobi rotation annihilating the (p,q) off-diagonal of the Gram
+        // matrix: tan(2θ) = 2γ / (β - α).
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = std::copysign(1.0, zeta) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double xp = work(i, p);
+          const double xq = work(i, q);
+          work(i, p) = c * xp - s * xq;
+          work(i, q) = s * xp + c * xq;
+        }
+        if (v != nullptr) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const double vp = (*v)(i, p);
+            const double vq = (*v)(i, q);
+            (*v)(i, p) = c * vp - s * vq;
+            (*v)(i, q) = s * vp + c * vq;
+          }
+        }
+      }
+    }
+    if (!rotated) {
+      break;
+    }
+  }
+  return sweeps;
+}
+
+}  // namespace
+
+SvdResult JacobiSvd(const Matrix& a, const SvdOptions& options) {
+  RequireFinite(a, "JacobiSvd");
+
+  // One-sided Jacobi needs rows >= cols; transpose if necessary and swap the
+  // roles of U and V on output.
+  const bool transposed = a.Rows() < a.Cols();
+  Matrix work = transposed ? a.Transposed() : a;
+  const std::size_t m = work.Rows();
+  const std::size_t n = work.Cols();
+
+  const bool need_left = transposed ? options.compute_v : options.compute_u;
+  const bool need_right = transposed ? options.compute_u : options.compute_v;
+
+  Matrix v;
+  Matrix* v_ptr = nullptr;
+  if (need_right) {
+    v = Matrix(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      v(i, i) = 1.0;
+    }
+    v_ptr = &v;
+  }
+
+  SvdResult result;
+  result.sweeps =
+      OrthogonalizeColumns(work, v_ptr, options.max_sweeps, options.tolerance);
+
+  // Column norms are the singular values.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      norm += work(i, j) * work(i, j);
+    }
+    sigma[j] = std::sqrt(norm);
+  }
+
+  // Sort descending, permuting the factors along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&sigma](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  result.singular_values.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.singular_values[j] = sigma[order[j]];
+  }
+
+  Matrix left;
+  if (need_left) {
+    left = Matrix(m, n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t src = order[j];
+      if (sigma[src] > 0.0) {
+        for (std::size_t i = 0; i < m; ++i) {
+          left(i, j) = work(i, src) / sigma[src];
+        }
+      }
+    }
+  }
+  Matrix right;
+  if (need_right) {
+    right = Matrix(n, n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t src = order[j];
+      for (std::size_t i = 0; i < n; ++i) {
+        right(i, j) = v(i, src);
+      }
+    }
+  }
+
+  if (transposed) {
+    result.u = std::move(right);
+    result.v = std::move(left);
+  } else {
+    result.u = std::move(left);
+    result.v = std::move(right);
+  }
+  return result;
+}
+
+SvdResult RandomizedTopKSvd(const Matrix& a, std::size_t k, common::Rng& rng,
+                            const RandomizedSvdOptions& options) {
+  RequireFinite(a, "RandomizedTopKSvd");
+  const std::size_t m = a.Rows();
+  const std::size_t n = a.Cols();
+  if (k == 0 || k > std::min(m, n)) {
+    throw std::invalid_argument("RandomizedTopKSvd: invalid k");
+  }
+  const std::size_t l = std::min(std::min(m, n), k + options.oversample);
+
+  // Gaussian probe: Y = A * Omega, Omega in R^{n x l}.
+  Matrix omega(n, l);
+  for (double& value : omega.Data()) {
+    value = rng.Normal();
+  }
+  Matrix y = Multiply(a, omega);
+
+  // Power iterations with re-orthonormalization: Y <- A (Aᵀ Y) sharpens the
+  // separation between the wanted subspace and the tail.
+  const Matrix at = a.Transposed();
+  for (int it = 0; it < options.power_iterations; ++it) {
+    y = QrDecompose(y).q;
+    Matrix z = Multiply(at, y);
+    z = QrDecompose(z).q;
+    y = Multiply(a, z);
+  }
+
+  const Matrix q = QrDecompose(y).q;  // m x l orthonormal basis of range(A)
+
+  // Project: B = Qᵀ A  (l x n), then exact SVD of the small B.
+  const Matrix b = Multiply(q.Transposed(), a);
+  SvdOptions inner;
+  inner.compute_u = true;
+  inner.compute_v = true;
+  SvdResult small = JacobiSvd(b, inner);
+
+  SvdResult result;
+  result.sweeps = small.sweeps;
+  const std::size_t keep = std::min(k, small.singular_values.size());
+  result.singular_values.assign(small.singular_values.begin(),
+                                small.singular_values.begin() + keep);
+  // U = Q * U_small (columns 0..keep), V = V_small columns.
+  Matrix u_full = Multiply(q, small.u);
+  result.u = Matrix(m, keep);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) {
+      result.u(i, j) = u_full(i, j);
+    }
+  }
+  result.v = Matrix(n, keep);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) {
+      result.v(i, j) = small.v(i, j);
+    }
+  }
+  return result;
+}
+
+std::vector<double> NormalizeSpectrum(std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("NormalizeSpectrum: empty spectrum");
+  }
+  const double head = values.front();
+  if (head <= 0.0) {
+    throw std::invalid_argument("NormalizeSpectrum: head singular value must be > 0");
+  }
+  for (double& v : values) {
+    v /= head;
+  }
+  return values;
+}
+
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,64 @@
+// Singular value decomposition.
+//
+// Two flavors:
+//  * JacobiSvd — exact one-sided Jacobi, O(m n^2) per sweep.  Used for small
+//    matrices (tests, the 201x201 ABW submatrix of Figure 1, the inner step
+//    of the randomized method).
+//  * RandomizedTopKSvd — Halko-Martinsson-Tropp randomized range finder with
+//    power iterations, for the top-k spectrum of large matrices (the
+//    2255x2255 RTT submatrix of Figure 1).
+//
+// Figure 1 of the paper plots exactly these normalized top-20 singular
+// values to argue that performance matrices (and their class versions!) are
+// low-rank, which is what justifies factorizing X ≈ U Vᵀ at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::common {
+class Rng;
+}
+
+namespace dmfsgd::linalg {
+
+struct SvdOptions {
+  bool compute_u = false;
+  bool compute_v = false;
+  int max_sweeps = 60;            ///< Jacobi sweep cap
+  double tolerance = 1e-12;       ///< off-diagonal convergence threshold
+};
+
+struct SvdResult {
+  /// Singular values, descending.
+  std::vector<double> singular_values;
+  /// Left/right singular vectors as columns; empty unless requested.
+  Matrix u;
+  Matrix v;
+  /// Number of Jacobi sweeps actually performed (diagnostics).
+  int sweeps = 0;
+};
+
+/// Exact SVD of an m x n matrix (any shape) by one-sided Jacobi.
+/// Throws std::invalid_argument on an empty matrix or NaN entries.
+[[nodiscard]] SvdResult JacobiSvd(const Matrix& a, const SvdOptions& options = {});
+
+struct RandomizedSvdOptions {
+  std::size_t oversample = 10;  ///< extra probe columns beyond k
+  int power_iterations = 2;     ///< subspace iterations to sharpen the spectrum
+};
+
+/// Approximate top-k singular values (and optionally vectors) of `a`.
+/// Accuracy is excellent for rapidly decaying spectra — precisely the regime
+/// Figure 1 demonstrates.  Throws on k == 0 or k > min(m, n) or NaN entries.
+[[nodiscard]] SvdResult RandomizedTopKSvd(const Matrix& a, std::size_t k,
+                                          common::Rng& rng,
+                                          const RandomizedSvdOptions& options = {});
+
+/// Normalizes singular values so the largest equals 1 (the Figure 1 y-axis).
+/// Requires a non-empty, descending-sorted input with positive head.
+[[nodiscard]] std::vector<double> NormalizeSpectrum(std::vector<double> values);
+
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,69 @@
+// Span-based dense vector kernels.
+//
+// These are the inner loops of every SGD update (eqs. 9-13 of the paper): the
+// coordinate vectors u_i, v_i are length-r arrays owned by each node, and all
+// updates reduce to dot products and axpy operations on them.  Kept
+// header-only so the compiler can inline them into the update rules.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace dmfsgd::linalg {
+
+/// Dot product.  Requires equal sizes.
+[[nodiscard]] inline double Dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("Dot: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+/// y += alpha * x.  Requires equal sizes.
+inline void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// x *= alpha.
+inline void Scale(double alpha, std::span<double> x) noexcept {
+  for (double& v : x) {
+    v *= alpha;
+  }
+}
+
+/// Euclidean norm.
+[[nodiscard]] inline double Norm2(std::span<const double> x) noexcept {
+  double sum = 0.0;
+  for (const double v : x) {
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+/// Squared Euclidean norm (the regularization term u uᵀ in eq. 3).
+[[nodiscard]] inline double SquaredNorm(std::span<const double> x) noexcept {
+  double sum = 0.0;
+  for (const double v : x) {
+    sum += v * v;
+  }
+  return sum;
+}
+
+/// Sets all elements to `value`.
+inline void Fill(std::span<double> x, double value) noexcept {
+  for (double& v : x) {
+    v = value;
+  }
+}
+
+}  // namespace dmfsgd::linalg

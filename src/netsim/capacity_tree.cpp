@@ -1,0 +1,143 @@
+#include "netsim/capacity_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dmfsgd::netsim {
+
+CapacityTree::CapacityTree(const CapacityTreeConfig& config) {
+  if (config.host_count < 2) {
+    throw std::invalid_argument("CapacityTree: need at least 2 hosts");
+  }
+  if (config.branching_min < 2 || config.branching_max < config.branching_min) {
+    throw std::invalid_argument("CapacityTree: invalid branching range");
+  }
+  if (config.depth == 0) {
+    throw std::invalid_argument("CapacityTree: depth must be > 0");
+  }
+  if (config.tier_capacity_mbps.empty()) {
+    throw std::invalid_argument("CapacityTree: tier_capacity_mbps must not be empty");
+  }
+  if (config.max_utilization < 0.0 || config.max_utilization >= 1.0) {
+    throw std::invalid_argument("CapacityTree: max_utilization must be in [0, 1)");
+  }
+
+  common::Rng rng(config.seed);
+
+  // Grow the tree breadth-first: internal nodes until `depth`, then attach
+  // hosts round-robin to the deepest frontier until host_count is reached.
+  parent_.push_back(0);  // root
+  depth_.push_back(0);
+  edge_.push_back(EdgeLoad{});  // unused sentinel for the root
+
+  std::vector<std::size_t> frontier{0};
+  for (std::size_t level = 1; level < config.depth; ++level) {
+    std::vector<std::size_t> next;
+    for (const std::size_t node : frontier) {
+      const auto children = static_cast<std::size_t>(rng.UniformInt(
+          static_cast<std::int64_t>(config.branching_min),
+          static_cast<std::int64_t>(config.branching_max)));
+      for (std::size_t c = 0; c < children; ++c) {
+        const std::size_t id = parent_.size();
+        parent_.push_back(node);
+        depth_.push_back(level);
+        edge_.push_back(EdgeLoad{});
+        next.push_back(id);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Attach hosts as leaves below the frontier (round-robin with a random
+  // start so host ids do not align with subtrees deterministically).
+  hosts_.reserve(config.host_count);
+  std::size_t cursor = rng.UniformInt(static_cast<std::uint64_t>(frontier.size()));
+  for (std::size_t h = 0; h < config.host_count; ++h) {
+    const std::size_t attach = frontier[cursor % frontier.size()];
+    ++cursor;
+    const std::size_t id = parent_.size();
+    parent_.push_back(attach);
+    depth_.push_back(config.depth);
+    edge_.push_back(EdgeLoad{});
+    hosts_.push_back(id);
+  }
+
+  // Assign capacities and directional utilizations to every non-root edge.
+  for (std::size_t node = 1; node < parent_.size(); ++node) {
+    const std::size_t tier =
+        std::min(depth_[node] - 1, config.tier_capacity_mbps.size() - 1);
+    EdgeLoad& e = edge_[node];
+    e.capacity_mbps = config.tier_capacity_mbps[tier] *
+                      rng.LogNormal(0.0, config.capacity_jitter_sigma);
+    // U^shape skews utilization toward 0 (lightly loaded links dominate).
+    e.utilization_up =
+        config.max_utilization * std::pow(rng.Uniform(), config.utilization_shape);
+    e.utilization_down =
+        config.max_utilization * std::pow(rng.Uniform(), config.utilization_shape);
+  }
+}
+
+double CapacityTree::Residual(std::size_t tree_node, bool upward) const noexcept {
+  const EdgeLoad& e = edge_[tree_node];
+  const double utilization = upward ? e.utilization_up : e.utilization_down;
+  return e.capacity_mbps * (1.0 - utilization);
+}
+
+double CapacityTree::Abw(std::size_t i, std::size_t j) const {
+  if (i >= HostCount() || j >= HostCount()) {
+    throw std::out_of_range("CapacityTree::Abw: host index out of range");
+  }
+  if (i == j) {
+    throw std::invalid_argument("CapacityTree::Abw: i == j has no path");
+  }
+  // Walk both endpoints up to their lowest common ancestor; edges on the
+  // source side are traversed upward, edges on the destination side downward.
+  std::size_t a = hosts_[i];
+  std::size_t b = hosts_[j];
+  double bottleneck = std::numeric_limits<double>::infinity();
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      bottleneck = std::min(bottleneck, Residual(a, /*upward=*/true));
+      a = parent_[a];
+    } else {
+      bottleneck = std::min(bottleneck, Residual(b, /*upward=*/false));
+      b = parent_[b];
+    }
+  }
+  return bottleneck;
+}
+
+std::size_t CapacityTree::PathLength(std::size_t i, std::size_t j) const {
+  if (i >= HostCount() || j >= HostCount()) {
+    throw std::out_of_range("CapacityTree::PathLength: host index out of range");
+  }
+  std::size_t a = hosts_[i];
+  std::size_t b = hosts_[j];
+  std::size_t edges = 0;
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      a = parent_[a];
+    } else {
+      b = parent_[b];
+    }
+    ++edges;
+  }
+  return edges;
+}
+
+linalg::Matrix CapacityTree::ToMatrix() const {
+  const std::size_t n = HostCount();
+  linalg::Matrix m(n, n, linalg::Matrix::kMissing);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        m(i, j) = Abw(i, j);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dmfsgd::netsim

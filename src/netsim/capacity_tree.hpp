@@ -1,0 +1,80 @@
+// Synthetic bandwidth substrate: hosts hanging off a random capacity tree.
+//
+// Substitute for the unavailable HP-S3 pathChirp trace (DESIGN.md §3).  The
+// SEQUOIA work the paper cites ("On the treeness of Internet latency and
+// bandwidth", SIGMETRICS 2009) observed that end-to-end available bandwidth
+// embeds well into a tree metric; we therefore *generate* ABW directly from
+// a tree:
+//
+//   abw(i -> j) = min over edges e on tree path i->j of
+//                   capacity(e) * (1 - utilization(e, direction))
+//
+// Edges carry tiered capacities (access < metro < core) and asymmetric
+// up/down background utilization, which makes the matrix asymmetric like
+// real ABW while keeping the low-rank/tree structure the paper's Figure 1
+// demonstrates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dmfsgd::netsim {
+
+struct CapacityTreeConfig {
+  std::size_t host_count = 231;
+  std::size_t branching_min = 2;   ///< children per internal node, lower bound
+  std::size_t branching_max = 4;   ///< children per internal node, upper bound
+  std::size_t depth = 4;           ///< tiers between root and hosts
+  /// Capacity by tier, Mbps, index 0 = edges at the root (core).  If the
+  /// tree is deeper than the vector, the last entry repeats.
+  std::vector<double> tier_capacity_mbps = {10000.0, 1000.0, 100.0, 100.0};
+  /// Per-tier capacity jitter: capacity *= LogNormal(0, jitter).
+  double capacity_jitter_sigma = 0.3;
+  /// Background utilization drawn per edge AND per direction from
+  /// Beta-like(U^shape) in [0, max_utilization].
+  double max_utilization = 0.9;
+  double utilization_shape = 2.0;  ///< larger -> skewed toward low utilization
+  std::uint64_t seed = 7;
+};
+
+/// Immutable random capacity tree with hosts at the leaves.
+class CapacityTree {
+ public:
+  explicit CapacityTree(const CapacityTreeConfig& config);
+
+  [[nodiscard]] std::size_t HostCount() const noexcept { return hosts_.size(); }
+
+  /// Ground-truth available bandwidth from host i to host j in Mbps
+  /// (asymmetric, > 0).  Throws std::out_of_range / std::invalid_argument.
+  [[nodiscard]] double Abw(std::size_t i, std::size_t j) const;
+
+  /// Materializes the full (asymmetric) ABW matrix, diagonal NaN.
+  [[nodiscard]] linalg::Matrix ToMatrix() const;
+
+  /// Number of nodes (internal + leaves) in the underlying tree.
+  [[nodiscard]] std::size_t TreeNodeCount() const noexcept { return parent_.size(); }
+
+  /// Tree-path length in edges between two hosts (diagnostics/tests).
+  [[nodiscard]] std::size_t PathLength(std::size_t i, std::size_t j) const;
+
+ private:
+  struct EdgeLoad {
+    double capacity_mbps = 0.0;
+    double utilization_up = 0.0;    ///< toward the root
+    double utilization_down = 0.0;  ///< away from the root
+  };
+
+  /// Residual bandwidth of the edge above `tree_node` in the given direction.
+  [[nodiscard]] double Residual(std::size_t tree_node, bool upward) const noexcept;
+
+  std::vector<std::size_t> parent_;   // tree_node -> parent (root: itself)
+  std::vector<std::size_t> depth_;    // tree_node -> depth (root: 0)
+  std::vector<EdgeLoad> edge_;        // tree_node -> edge to its parent
+  std::vector<std::size_t> hosts_;    // host index -> tree node (leaf)
+};
+
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,63 @@
+#include "netsim/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmfsgd::netsim {
+
+CongestionProcess::CongestionProcess(std::size_t node_count,
+                                     const CongestionConfig& config)
+    : config_(config), rng_(config.seed), level_(node_count, 0.0) {
+  if (node_count == 0) {
+    throw std::invalid_argument("CongestionProcess: node_count must be > 0");
+  }
+  if (config.ar_coefficient < 0.0 || config.ar_coefficient >= 1.0) {
+    throw std::invalid_argument(
+        "CongestionProcess: ar_coefficient must be in [0, 1)");
+  }
+  // Start each node at its stationary distribution so early samples are not
+  // biased toward zero congestion.
+  const double stationary_stddev =
+      config.noise_stddev_ms /
+      std::sqrt(1.0 - config.ar_coefficient * config.ar_coefficient);
+  for (double& level : level_) {
+    level = rng_.Normal(0.0, stationary_stddev);
+  }
+}
+
+void CongestionProcess::Step() {
+  for (double& level : level_) {
+    level = config_.ar_coefficient * level +
+            rng_.Normal(0.0, config_.noise_stddev_ms);
+  }
+  ++tick_;
+}
+
+void CongestionProcess::Advance(std::size_t ticks) {
+  for (std::size_t t = 0; t < ticks; ++t) {
+    Step();
+  }
+}
+
+double CongestionProcess::Level(std::size_t node) const {
+  if (node >= level_.size()) {
+    throw std::out_of_range("CongestionProcess::Level: node out of range");
+  }
+  // The AR(1) state is signed; observable extra queueing delay is its
+  // positive part.
+  return std::max(0.0, level_[node]);
+}
+
+double CongestionProcess::PathExtraDelay(std::size_t i, std::size_t j) {
+  if (i >= level_.size() || j >= level_.size()) {
+    throw std::out_of_range("CongestionProcess::PathExtraDelay: node out of range");
+  }
+  double extra = Level(i) + Level(j);
+  if (rng_.Bernoulli(config_.spike_probability)) {
+    extra += rng_.Pareto(config_.spike_scale_ms, config_.spike_shape);
+  }
+  return extra;
+}
+
+}  // namespace dmfsgd::netsim

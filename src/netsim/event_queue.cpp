@@ -1,0 +1,47 @@
+#include "netsim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dmfsgd::netsim {
+
+void EventQueue::Schedule(double delay_s, Callback callback) {
+  if (delay_s < 0.0) {
+    throw std::invalid_argument("EventQueue::Schedule: negative delay");
+  }
+  if (!callback) {
+    throw std::invalid_argument("EventQueue::Schedule: empty callback");
+  }
+  queue_.push(Entry{now_ + delay_s, next_sequence_++, std::move(callback)});
+}
+
+std::uint64_t EventQueue::RunUntil(double until_s) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= until_s) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.time;
+    entry.callback();
+    ++executed_;
+    ++ran;
+  }
+  if (now_ < until_s) {
+    now_ = until_s;
+  }
+  return ran;
+}
+
+bool EventQueue::RunOne() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.time;
+  entry.callback();
+  ++executed_;
+  return true;
+}
+
+}  // namespace dmfsgd::netsim

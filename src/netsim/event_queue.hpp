@@ -1,0 +1,67 @@
+// Discrete-event simulation engine.
+//
+// The round-based driver in core/simulation.hpp executes probes as atomic
+// exchanges; this engine supports the *asynchronous* deployment model of a
+// real network (core/async_simulation.hpp): messages take one-way delays to
+// travel, so the coordinates a node learns from are snapshots that may be
+// stale by the time they arrive — exactly the regime SGD must tolerate in
+// practice.
+//
+// Events fire in (time, insertion order) — ties are FIFO, which keeps runs
+// fully deterministic for a given schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dmfsgd::netsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time in seconds.
+  [[nodiscard]] double Now() const noexcept { return now_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t Pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t Executed() const noexcept { return executed_; }
+
+  /// Schedules `callback` to run `delay_s` seconds from now.
+  /// Requires delay_s >= 0 and a non-empty callback.
+  void Schedule(double delay_s, Callback callback);
+
+  /// Runs events until the queue drains or simulated time would exceed
+  /// `until_s`.  Events scheduled during execution participate.  Returns the
+  /// number of events executed by this call.
+  std::uint64_t RunUntil(double until_s);
+
+  /// Runs exactly one event if available; returns whether one ran.
+  bool RunOne();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;  // tie-breaker: FIFO among equal times
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,122 @@
+#include "transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dmfsgd::transport {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddress(std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return address;
+}
+
+constexpr std::size_t kMaxDatagramBytes = 65536;
+
+}  // namespace
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    ThrowErrno("UdpSocket: socket");
+  }
+  sockaddr_in address = LoopbackAddress(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    Close();
+    ThrowErrno("UdpSocket: bind");
+  }
+  sockaddr_in bound{};
+  socklen_t length = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &length) != 0) {
+    Close();
+    ThrowErrno("UdpSocket: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpSocket::~UdpSocket() { Close(); }
+
+void UdpSocket::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void UdpSocket::SendTo(std::span<const std::byte> payload, std::uint16_t port) {
+  if (payload.empty()) {
+    throw std::invalid_argument("UdpSocket::SendTo: empty payload");
+  }
+  if (fd_ < 0) {
+    throw std::runtime_error("UdpSocket::SendTo: socket is closed");
+  }
+  const sockaddr_in address = LoopbackAddress(port);
+  const ssize_t sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+  if (sent < 0 || static_cast<std::size_t>(sent) != payload.size()) {
+    ThrowErrno("UdpSocket::SendTo: sendto");
+  }
+}
+
+std::optional<Datagram> UdpSocket::Receive(int timeout_ms) {
+  if (fd_ < 0) {
+    throw std::runtime_error("UdpSocket::Receive: socket is closed");
+  }
+  pollfd poller{fd_, POLLIN, 0};
+  const int ready = ::poll(&poller, 1, timeout_ms);
+  if (ready < 0) {
+    ThrowErrno("UdpSocket::Receive: poll");
+  }
+  if (ready == 0) {
+    return std::nullopt;
+  }
+  Datagram datagram;
+  datagram.payload.resize(kMaxDatagramBytes);
+  sockaddr_in sender{};
+  socklen_t sender_length = sizeof(sender);
+  const ssize_t received =
+      ::recvfrom(fd_, datagram.payload.data(), datagram.payload.size(), 0,
+                 reinterpret_cast<sockaddr*>(&sender), &sender_length);
+  if (received < 0) {
+    ThrowErrno("UdpSocket::Receive: recvfrom");
+  }
+  datagram.payload.resize(static_cast<std::size_t>(received));
+  datagram.sender_port = ntohs(sender.sin_port);
+  return datagram;
+}
+
+}  // namespace dmfsgd::transport

@@ -1,0 +1,55 @@
+// Minimal RAII UDP socket (IPv4 loopback-oriented).
+//
+// The simulators prove the algorithm; this transport proves the *protocol*:
+// DMFSGD messages are small self-contained datagrams (core/wire.hpp), so a
+// node is just a UDP socket plus two length-r vectors.  UdpDmfsgdPeer
+// (udp_peer.hpp) runs Algorithms 1-2 over real sockets; the udp_swarm
+// example and transport tests exercise it on the loopback interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::transport {
+
+/// A received datagram: payload plus the sender's loopback port.
+struct Datagram {
+  std::vector<std::byte> payload;
+  std::uint16_t sender_port = 0;
+};
+
+/// Move-only RAII wrapper around an IPv4 UDP socket bound to 127.0.0.1.
+class UdpSocket {
+ public:
+  /// Binds to 127.0.0.1:`port`; port 0 picks an ephemeral port.
+  /// Throws std::runtime_error on socket/bind failure.
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// The bound local port.
+  [[nodiscard]] std::uint16_t Port() const noexcept { return port_; }
+
+  /// Sends a datagram to 127.0.0.1:`port`.  Throws std::runtime_error on
+  /// send failure and std::invalid_argument on an empty payload.
+  void SendTo(std::span<const std::byte> payload, std::uint16_t port);
+
+  /// Receives one datagram, waiting up to `timeout_ms` (0 = just poll).
+  /// Returns std::nullopt on timeout.  Throws std::runtime_error on error.
+  [[nodiscard]] std::optional<Datagram> Receive(int timeout_ms);
+
+ private:
+  void Close() noexcept;
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dmfsgd::transport

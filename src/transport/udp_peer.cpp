@@ -1,0 +1,105 @@
+#include "transport/udp_peer.hpp"
+
+#include <stdexcept>
+
+#include "core/wire.hpp"
+
+namespace dmfsgd::transport {
+
+UdpDmfsgdPeer::UdpDmfsgdPeer(const UdpPeerConfig& config, MeasurementFn measure)
+    : config_(config),
+      measure_(std::move(measure)),
+      rng_(config.seed),
+      node_(config.id, config.rank, rng_),
+      socket_(0) {
+  if (!measure_) {
+    throw std::invalid_argument("UdpDmfsgdPeer: measurement callback required");
+  }
+}
+
+void UdpDmfsgdPeer::AddNeighbor(core::NodeId id, std::uint16_t port) {
+  if (id == config_.id) {
+    throw std::invalid_argument("UdpDmfsgdPeer::AddNeighbor: cannot neighbor self");
+  }
+  neighbors_.emplace_back(id, port);
+  contact_[id] = port;
+}
+
+void UdpDmfsgdPeer::Probe() {
+  if (neighbors_.empty()) {
+    return;
+  }
+  const auto& [id, port] =
+      neighbors_[rng_.UniformInt(static_cast<std::uint64_t>(neighbors_.size()))];
+  (void)id;
+  if (config_.symmetric_metric) {
+    socket_.SendTo(core::Encode(core::RttProbeRequest{config_.id}), port);
+  } else {
+    socket_.SendTo(
+        core::Encode(core::AbwProbeRequest{config_.id, node_.UCopy(), config_.tau}),
+        port);
+  }
+}
+
+std::size_t UdpDmfsgdPeer::Pump(std::size_t max_datagrams) {
+  std::size_t handled = 0;
+  while (handled < max_datagrams) {
+    const auto datagram = socket_.Receive(/*timeout_ms=*/0);
+    if (!datagram.has_value()) {
+      break;
+    }
+    Handle(*datagram);
+    ++handled;
+  }
+  return handled;
+}
+
+void UdpDmfsgdPeer::Handle(const Datagram& datagram) {
+  // A hostile or corrupted datagram must never take the node down: decode
+  // errors and rank mismatches are counted and the packet dropped.
+  try {
+    switch (core::PeekType(datagram.payload)) {
+      case core::MessageType::kRttProbeRequest: {
+        const auto request = core::DecodeRttProbeRequest(datagram.payload);
+        (void)request;
+        socket_.SendTo(core::Encode(core::RttProbeReply{config_.id, node_.UCopy(),
+                                                        node_.VCopy()}),
+                       datagram.sender_port);
+        break;
+      }
+      case core::MessageType::kRttProbeReply: {
+        const auto reply = core::DecodeRttProbeReply(datagram.payload);
+        // Algorithm 1: the prober measures x_ij itself (in a real agent the
+        // request/reply timing *is* the measurement; here the callback
+        // supplies it).
+        const double x = measure_(config_.id, reply.target);
+        node_.RttUpdate(x, reply.u, reply.v, config_.params);
+        ++measurements_applied_;
+        break;
+      }
+      case core::MessageType::kAbwProbeRequest: {
+        const auto request = core::DecodeAbwProbeRequest(datagram.payload);
+        // Algorithm 2, target side: infer x_ij, reply with the pre-update
+        // v_j (step 3 sends before step 4 updates).
+        const double x = measure_(request.prober, config_.id);
+        socket_.SendTo(
+            core::Encode(core::AbwProbeReply{config_.id, x, node_.VCopy()}),
+            datagram.sender_port);
+        node_.AbwTargetUpdate(x, request.u, config_.params);
+        ++measurements_applied_;
+        break;
+      }
+      case core::MessageType::kAbwProbeReply: {
+        const auto reply = core::DecodeAbwProbeReply(datagram.payload);
+        node_.AbwProberUpdate(reply.measurement, reply.v, config_.params);
+        break;
+      }
+    }
+  } catch (const core::WireError&) {
+    ++malformed_datagrams_;
+  } catch (const std::invalid_argument&) {
+    ++malformed_datagrams_;  // e.g. rank mismatch from a foreign deployment
+  }
+}
+
+}  // namespace dmfsgd::transport

@@ -1,0 +1,92 @@
+// A DMFSGD node speaking the wire protocol over a real UDP socket.
+//
+// This is what a deployed agent looks like: a DmfsgdNode (two length-r
+// vectors), a UDP socket, a table mapping neighbor node-ids to ports, and a
+// measurement callback (in production: run ping / send a UDP train; here:
+// supplied by the caller, typically backed by a netsim substrate).
+//
+// The peer is single-threaded and non-blocking: call Probe() to launch an
+// exchange toward a random neighbor, and Pump() regularly to service
+// incoming datagrams (answering probe requests from others and consuming
+// replies to our own probes).  Malformed datagrams are counted and dropped
+// — a corrupt packet can never crash the node or poison its coordinates
+// (core/wire.hpp length/version checks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/node.hpp"
+#include "transport/udp.hpp"
+
+namespace dmfsgd::transport {
+
+/// Produces the training measurement for a directed pair: a ±1 class label
+/// in classification mode or a τ-normalized quantity in regression mode.
+using MeasurementFn =
+    std::function<double(core::NodeId prober, core::NodeId target)>;
+
+struct UdpPeerConfig {
+  core::NodeId id = 0;
+  std::size_t rank = 10;
+  core::UpdateParams params;
+  /// True for symmetric sender-measured metrics (Algorithm 1 / RTT);
+  /// false for target-measured metrics (Algorithm 2 / ABW).
+  bool symmetric_metric = true;
+  double tau = 1.0;  ///< carried in ABW probe requests (the probing rate)
+  std::uint64_t seed = 1;
+};
+
+class UdpDmfsgdPeer {
+ public:
+  /// Binds an ephemeral loopback port.  `measure` must outlive the peer.
+  UdpDmfsgdPeer(const UdpPeerConfig& config, MeasurementFn measure);
+
+  [[nodiscard]] std::uint16_t Port() const noexcept { return socket_.Port(); }
+  [[nodiscard]] core::NodeId Id() const noexcept { return config_.id; }
+
+  /// Registers a neighbor's contact address.
+  void AddNeighbor(core::NodeId id, std::uint16_t port);
+  [[nodiscard]] std::size_t NeighborCount() const noexcept {
+    return neighbors_.size();
+  }
+
+  /// Sends one probe to a uniformly random neighbor (no-op without
+  /// neighbors).  The exchange completes later, through Pump().
+  void Probe();
+
+  /// Services up to `max_datagrams` pending datagrams without blocking.
+  /// Returns the number handled.
+  std::size_t Pump(std::size_t max_datagrams = 64);
+
+  /// x̂ toward a remote node whose v row is known (for serving predictions).
+  [[nodiscard]] double Predict(std::span<const double> v_remote) const {
+    return node_.Predict(v_remote);
+  }
+  [[nodiscard]] const core::DmfsgdNode& node() const noexcept { return node_; }
+
+  [[nodiscard]] std::size_t MeasurementsApplied() const noexcept {
+    return measurements_applied_;
+  }
+  [[nodiscard]] std::size_t MalformedDatagrams() const noexcept {
+    return malformed_datagrams_;
+  }
+
+ private:
+  void Handle(const Datagram& datagram);
+
+  UdpPeerConfig config_;
+  MeasurementFn measure_;
+  common::Rng rng_;
+  core::DmfsgdNode node_;
+  UdpSocket socket_;
+  std::vector<std::pair<core::NodeId, std::uint16_t>> neighbors_;
+  std::map<core::NodeId, std::uint16_t> contact_;  // id -> port (all known peers)
+  std::size_t measurements_applied_ = 0;
+  std::size_t malformed_datagrams_ = 0;
+};
+
+}  // namespace dmfsgd::transport

@@ -1,0 +1,310 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dmfsgd::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Uniform();
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-5.0, 13.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 13.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.Uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.UniformInt(6));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(Rng, UniformIntZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.UniformInt(std::uint64_t{0}), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(std::int64_t{-3}, std::int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformIntIsUnbiasedAcrossBuckets) {
+  Rng rng(17);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(std::uint64_t{kBuckets})];
+  }
+  for (const int count : counts) {
+    // Each bucket expects 20000 +- 5 sigma (sigma ~ 134).
+    EXPECT_NEAR(count, kDraws / kBuckets, 700);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double variance = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(variance, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(29);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+  EXPECT_THROW((void)rng.Normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(31);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Exponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.25, 0.01);
+  EXPECT_THROW((void)rng.Exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(41);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+  EXPECT_THROW((void)rng.Bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW((void)rng.Bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(5.0, 2.0), 5.0);
+  }
+  EXPECT_THROW((void)rng.Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.Pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // E[Pareto(s, a)] = s a / (a - 1) for a > 1.
+  Rng rng(53);
+  constexpr int kDraws = 400000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Pareto(1.0, 3.0);
+  }
+  EXPECT_NEAR(sum / kDraws, 1.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.Shuffle(std::span(shuffled));
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(61);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) {
+    values[i] = i;
+  }
+  auto shuffled = values;
+  rng.Shuffle(std::span(shuffled));
+  EXPECT_NE(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(67);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t v : sample) {
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(71);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_THROW((void)rng.SampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesDecorrelatedChild) {
+  Rng parent(73);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  Rng rng(79);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / 10, 600);
+  }
+}
+
+TEST(ZipfSampler, SkewsTowardLowRanks) {
+  Rng rng(83);
+  ZipfSampler zipf(1000, 1.0);
+  constexpr int kDraws = 100000;
+  int head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) < 10) {
+      ++head;
+    }
+  }
+  // With s=1 and n=1000, the top-10 ranks carry ~39% of the mass.
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.3);
+}
+
+TEST(ZipfSampler, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, SamplesAlwaysInRange) {
+  Rng rng(89);
+  ZipfSampler zipf(17, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 17u);
+  }
+}
+
+// Parameterized sweep: every distribution helper must be deterministic under
+// reseeding, whatever the seed.
+class RngDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngDeterminismTest, AllHelpersReplayExactly) {
+  const std::uint64_t seed = GetParam();
+  Rng a(seed);
+  Rng b(seed);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Uniform(), b.Uniform());
+    EXPECT_EQ(a.Normal(), b.Normal());
+    EXPECT_EQ(a.Exponential(2.0), b.Exponential(2.0));
+    EXPECT_EQ(a.LogNormal(0.5, 0.2), b.LogNormal(0.5, 0.2));
+    EXPECT_EQ(a.UniformInt(std::uint64_t{97}), b.UniformInt(std::uint64_t{97}));
+    EXPECT_EQ(a.Bernoulli(0.4), b.Bernoulli(0.4));
+    EXPECT_EQ(a.Pareto(2.0, 1.5), b.Pareto(2.0, 1.5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDeterminismTest,
+                         ::testing::Values(0, 1, 42, 1234567, 0xdeadbeefULL,
+                                           ~std::uint64_t{0}));
+
+}  // namespace
+}  // namespace dmfsgd::common

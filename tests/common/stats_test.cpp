@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::common {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  EXPECT_THROW((void)Mean({}), std::invalid_argument);
+}
+
+TEST(Stats, VarianceIsUnbiasedSample) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; sample (n-1) variance is 32/7.
+  EXPECT_NEAR(Variance(values), 32.0 / 7.0, 1e-12);
+  EXPECT_THROW((void)Variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Stats, StdDevIsSqrtOfVariance) {
+  const std::vector<double> values{1.0, 3.0};
+  EXPECT_NEAR(StdDev(values), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, MedianDoesNotModifyInput) {
+  const std::vector<double> values{9.0, 1.0, 5.0};
+  (void)Median(values);
+  EXPECT_EQ(values, (std::vector<double>{9.0, 1.0, 5.0}));
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 40.0);
+}
+
+TEST(Stats, PercentileInterpolatesLinearly) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 5.0);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_THROW((void)Percentile(values, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)Percentile(values, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> values{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(values), -1.0);
+  EXPECT_DOUBLE_EQ(Max(values), 7.0);
+}
+
+TEST(Stats, SummarizeAgreesWithIndividualFunctions) {
+  Rng rng(5);
+  std::vector<double> values(501);
+  for (double& v : values) {
+    v = rng.Normal(3.0, 2.0);
+  }
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, values.size());
+  EXPECT_DOUBLE_EQ(s.mean, Mean(values));
+  EXPECT_DOUBLE_EQ(s.stddev, StdDev(values));
+  EXPECT_DOUBLE_EQ(s.min, Min(values));
+  EXPECT_DOUBLE_EQ(s.max, Max(values));
+  EXPECT_DOUBLE_EQ(s.median, Median(values));
+  EXPECT_DOUBLE_EQ(s.p25, Percentile(values, 25.0));
+  EXPECT_DOUBLE_EQ(s.p75, Percentile(values, 75.0));
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng(11);
+  std::vector<double> values(1000);
+  RunningStats running;
+  for (double& v : values) {
+    v = rng.Uniform(-10.0, 10.0);
+    running.Add(v);
+  }
+  EXPECT_EQ(running.Count(), values.size());
+  EXPECT_NEAR(running.Mean(), Mean(values), 1e-10);
+  EXPECT_NEAR(running.Variance(), Variance(values), 1e-9);
+  EXPECT_DOUBLE_EQ(running.Min(), Min(values));
+  EXPECT_DOUBLE_EQ(running.Max(), Max(values));
+}
+
+TEST(RunningStats, ThrowsWithoutSamples) {
+  RunningStats running;
+  EXPECT_THROW((void)running.Mean(), std::logic_error);
+  EXPECT_THROW((void)running.Min(), std::logic_error);
+  running.Add(1.0);
+  EXPECT_DOUBLE_EQ(running.Mean(), 1.0);
+  EXPECT_THROW((void)running.Variance(), std::logic_error);
+}
+
+// Property sweep: percentile must be monotone in p for any sample.
+class PercentileMonotoneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> values(200);
+  for (double& v : values) {
+    v = rng.LogNormal(2.0, 1.0);
+  }
+  double previous = Percentile(values, 0.0);
+  for (int p = 5; p <= 100; p += 5) {
+    const double current = Percentile(values, static_cast<double>(p));
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dmfsgd::common

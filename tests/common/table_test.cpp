@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dmfsgd::common {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.AddRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow(std::vector<std::string>{"x", "1"});
+  table.AddRow(std::vector<std::string>{"longer-name", "2"});
+  const std::string out = table.ToString();
+  // Every rendered line must be equally wide.
+  std::istringstream stream(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(stream, line)) {
+    if (width == 0) {
+      width = line.size();
+    }
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatsWithPrecision) {
+  Table table({"x", "y"});
+  table.AddRow(std::vector<double>{1.23456, 2.0}, 2);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(Table, RowCountTracksAdds) {
+  Table table({"a"});
+  EXPECT_EQ(table.RowCount(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.RowCount(), 2u);
+}
+
+TEST(FormatFixed, RespectsPrecision) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(-1.0, 3), "-1.000");
+  EXPECT_EQ(FormatFixed(0.5, 0), "0" /* %.0f rounds half-to-even */);
+}
+
+TEST(PrintSeries, EmitsHeaderAndPairs) {
+  std::ostringstream out;
+  PrintSeries(out, "curve", {1.0, 2.0}, {0.5, 0.25}, 2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# series: curve"), std::string::npos);
+  EXPECT_NE(text.find("1.00 0.50"), std::string::npos);
+  EXPECT_NE(text.find("2.00 0.25"), std::string::npos);
+}
+
+TEST(PrintSeries, RejectsLengthMismatch) {
+  std::ostringstream out;
+  EXPECT_THROW(PrintSeries(out, "bad", {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfsgd::common

@@ -1,0 +1,128 @@
+#include "core/batch_mf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/low_rank.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+TEST(BatchMf, ValidatesArguments) {
+  EXPECT_THROW((void)FitBatchMf(linalg::Matrix(2, 3), BatchMfConfig{}),
+               std::invalid_argument);
+  BatchMfConfig config;
+  config.rank = 0;
+  EXPECT_THROW((void)FitBatchMf(linalg::Matrix(3, 3), config),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)FitBatchMf(linalg::Matrix(3, 3, linalg::Matrix::kMissing),
+                       BatchMfConfig{}),
+      std::invalid_argument);
+}
+
+TEST(BatchMf, LossDecreasesMonotonicallyEarlyOn) {
+  common::Rng rng(3);
+  const linalg::Matrix x =
+      linalg::ClassMatrix(linalg::RandomLowRankMatrix(30, 30, 4, rng), 0.0, true);
+  BatchMfConfig config;
+  config.rank = 6;
+  config.epochs = 50;
+  const BatchMfResult result = FitBatchMf(x, config);
+  ASSERT_EQ(result.loss_history.size(), 50u);
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+  // The first few epochs must strictly improve.
+  for (std::size_t e = 1; e < 5; ++e) {
+    EXPECT_LE(result.loss_history[e], result.loss_history[e - 1] + 1e-9);
+  }
+}
+
+TEST(BatchMf, RecoversExactLowRankSignPattern) {
+  common::Rng rng(5);
+  const linalg::Matrix x =
+      linalg::ClassMatrix(linalg::RandomLowRankMatrix(25, 25, 3, rng), 0.0, true);
+  BatchMfConfig config;
+  config.rank = 8;
+  config.epochs = 400;
+  config.eta = 0.5;
+  const BatchMfResult result = FitBatchMf(x, config);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 25; ++i) {
+    for (std::size_t j = 0; j < 25; ++j) {
+      const bool predicted_good = result.Predict(i, j) > 0.0;
+      const bool actual_good = x(i, j) > 0.0;
+      correct += predicted_good == actual_good ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.95);
+}
+
+TEST(BatchMf, CompletesMissingEntries) {
+  // The actual matrix-completion use case: hide 40% of the entries, fit on
+  // the rest, check sign agreement on the hidden ones.
+  common::Rng rng(7);
+  const linalg::Matrix full =
+      linalg::ClassMatrix(linalg::RandomLowRankMatrix(30, 30, 3, rng), 0.0, true);
+  linalg::Matrix observed = full;
+  std::vector<std::pair<std::size_t, std::size_t>> hidden;
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        observed(i, j) = linalg::Matrix::kMissing;
+        hidden.emplace_back(i, j);
+      }
+    }
+  }
+  BatchMfConfig config;
+  config.rank = 6;
+  config.epochs = 400;
+  config.eta = 0.5;
+  const BatchMfResult result = FitBatchMf(observed, config);
+  std::size_t correct = 0;
+  for (const auto& [i, j] : hidden) {
+    if ((result.Predict(i, j) > 0.0) == (full(i, j) > 0.0)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(hidden.size()),
+            0.85);
+}
+
+TEST(BatchMf, L2LossFitsRealValues) {
+  common::Rng rng(9);
+  const linalg::Matrix x = linalg::RandomLowRankMatrix(20, 20, 3, rng);
+  BatchMfConfig config;
+  config.rank = 6;
+  config.loss = LossKind::kL2;
+  config.lambda = 0.001;
+  config.eta = 0.2;
+  config.epochs = 800;
+  const BatchMfResult result = FitBatchMf(x, config);
+  double error = 0.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      const double d = result.Predict(i, j) - x(i, j);
+      error += d * d;
+      norm += x(i, j) * x(i, j);
+    }
+  }
+  EXPECT_LT(std::sqrt(error / norm), 0.2);
+}
+
+TEST(BatchMf, DeterministicForSeed) {
+  common::Rng rng(11);
+  const linalg::Matrix x =
+      linalg::ClassMatrix(linalg::RandomLowRankMatrix(15, 15, 2, rng), 0.0, true);
+  BatchMfConfig config;
+  config.epochs = 20;
+  const BatchMfResult a = FitBatchMf(x, config);
+  const BatchMfResult b = FitBatchMf(x, config);
+  EXPECT_TRUE(a.u == b.u);
+  EXPECT_TRUE(a.v == b.v);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

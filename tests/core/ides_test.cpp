@@ -1,0 +1,154 @@
+#include "core/ides.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/regression_metrics.hpp"
+#include "eval/roc.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 120;
+  config.seed = 31;
+  return datasets::MakeMeridian(config);
+}
+
+Dataset SmallAbw() {
+  datasets::HpS3Config config;
+  config.host_count = 120;
+  config.seed = 33;
+  return datasets::MakeHpS3(config);
+}
+
+IdesConfig DefaultConfig() {
+  IdesConfig config;
+  config.landmark_count = 20;
+  config.rank = 8;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Ides, ValidatesConfig) {
+  const Dataset dataset = SmallRtt();
+  IdesConfig config = DefaultConfig();
+  config.rank = 0;
+  EXPECT_THROW(IdesModel(dataset, config), std::invalid_argument);
+  config = DefaultConfig();
+  config.landmark_count = config.rank - 1;
+  EXPECT_THROW(IdesModel(dataset, config), std::invalid_argument);
+  config = DefaultConfig();
+  config.landmark_count = dataset.NodeCount();
+  EXPECT_THROW(IdesModel(dataset, config), std::invalid_argument);
+}
+
+TEST(Ides, PicksRequestedLandmarkCount) {
+  const Dataset dataset = SmallRtt();
+  const IdesModel model(dataset, DefaultConfig());
+  EXPECT_EQ(model.Landmarks().size(), 20u);
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    if (model.IsLandmark(i)) {
+      ++flagged;
+    }
+  }
+  EXPECT_EQ(flagged, 20u);
+  EXPECT_THROW((void)model.IsLandmark(dataset.NodeCount()), std::out_of_range);
+}
+
+TEST(Ides, MeasurementBudgetIsLandmarkBased) {
+  const Dataset dataset = SmallRtt();
+  const IdesModel model(dataset, DefaultConfig());
+  // m(m-1) landmark pairs + 2m per ordinary host.
+  const std::size_t m = 20;
+  const std::size_t hosts = dataset.NodeCount() - m;
+  EXPECT_EQ(model.MeasurementCount(), m * (m - 1) + hosts * 2 * m);
+}
+
+TEST(Ides, PredictsRttQuantitiesWell) {
+  const Dataset dataset = SmallRtt();
+  const IdesModel model(dataset, DefaultConfig());
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      // Evaluate only host-host pairs, which IDES never measured.
+      if (i == j || model.IsLandmark(i) || model.IsLandmark(j)) {
+        continue;
+      }
+      predicted.push_back(model.Predict(i, j));
+      actual.push_back(dataset.Quantity(i, j));
+    }
+  }
+  const auto summary = eval::SummarizeRelativeError(predicted, actual);
+  EXPECT_LT(summary.median, 0.35);
+}
+
+TEST(Ides, HandlesAsymmetricAbw) {
+  const Dataset dataset = SmallAbw();
+  const IdesModel model(dataset, DefaultConfig());
+  // Class prediction via thresholded quantity estimates.
+  const double tau = dataset.MedianValue();
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i == j || !dataset.IsKnown(i, j) || model.IsLandmark(i) ||
+          model.IsLandmark(j)) {
+        continue;
+      }
+      scores.push_back(model.Predict(i, j));  // higher ABW = better
+      labels.push_back(
+          datasets::ClassOf(dataset.metric, dataset.Quantity(i, j), tau));
+    }
+  }
+  EXPECT_GT(eval::Auc(scores, labels), 0.85);
+}
+
+TEST(Ides, DeterministicForSeed) {
+  const Dataset dataset = SmallRtt();
+  const IdesModel a(dataset, DefaultConfig());
+  const IdesModel b(dataset, DefaultConfig());
+  EXPECT_EQ(a.Landmarks(), b.Landmarks());
+  EXPECT_DOUBLE_EQ(a.Predict(1, 2), b.Predict(1, 2));
+}
+
+TEST(Ides, MoreLandmarksImproveAccuracy) {
+  const Dataset dataset = SmallRtt();
+  IdesConfig few = DefaultConfig();
+  few.landmark_count = 10;
+  IdesConfig many = DefaultConfig();
+  many.landmark_count = 40;
+  const IdesModel model_few(dataset, few);
+  const IdesModel model_many(dataset, many);
+
+  const auto median_error = [&dataset](const IdesModel& model) {
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+      for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+        if (i == j || model.IsLandmark(i) || model.IsLandmark(j)) {
+          continue;
+        }
+        predicted.push_back(model.Predict(i, j));
+        actual.push_back(dataset.Quantity(i, j));
+      }
+    }
+    return eval::SummarizeRelativeError(predicted, actual).median;
+  };
+  EXPECT_LT(median_error(model_many), median_error(model_few) + 0.02);
+}
+
+TEST(Ides, PredictBoundsChecked) {
+  const Dataset dataset = SmallRtt();
+  const IdesModel model(dataset, DefaultConfig());
+  EXPECT_THROW((void)model.Predict(0, dataset.NodeCount()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

@@ -1,0 +1,149 @@
+#include "core/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "datasets/meridian.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+using datasets::Metric;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 60;
+  config.seed = 51;
+  return datasets::MakeMeridian(config);
+}
+
+TEST(LevelOf, RttLevelsCountClearedThresholds) {
+  // RTT quality thresholds descend: level 2 needs rtt <= 50 AND <= 20.
+  const std::vector<double> thresholds{50.0, 20.0};
+  EXPECT_EQ(LevelOf(Metric::kRtt, 100.0, thresholds), 0u);
+  EXPECT_EQ(LevelOf(Metric::kRtt, 30.0, thresholds), 1u);
+  EXPECT_EQ(LevelOf(Metric::kRtt, 10.0, thresholds), 2u);
+}
+
+TEST(LevelOf, AbwLevelsCountClearedThresholds) {
+  const std::vector<double> thresholds{10.0, 50.0};
+  EXPECT_EQ(LevelOf(Metric::kAbw, 5.0, thresholds), 0u);
+  EXPECT_EQ(LevelOf(Metric::kAbw, 20.0, thresholds), 1u);
+  EXPECT_EQ(LevelOf(Metric::kAbw, 80.0, thresholds), 2u);
+}
+
+TEST(EqualMassThresholds, SplitsDatasetEvenly) {
+  const Dataset dataset = SmallRtt();
+  const auto thresholds = EqualMassThresholds(dataset, 3);
+  ASSERT_EQ(thresholds.size(), 2u);
+  // RTT thresholds descend as quality rises.
+  EXPECT_GT(thresholds[0], thresholds[1]);
+
+  // Count the level distribution: each of the 3 levels should hold roughly a
+  // third of the pairs.
+  std::array<std::size_t, 3> counts{0, 0, 0};
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i != j && dataset.IsKnown(i, j)) {
+        ++counts[LevelOf(dataset.metric, dataset.Quantity(i, j), thresholds)];
+        ++total;
+      }
+    }
+  }
+  for (const std::size_t count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / static_cast<double>(total), 1.0 / 3.0,
+                0.05);
+  }
+}
+
+TEST(EqualMassThresholds, RejectsTooFewClasses) {
+  EXPECT_THROW((void)EqualMassThresholds(SmallRtt(), 1), std::invalid_argument);
+}
+
+MulticlassConfig DefaultConfig(const Dataset& dataset, std::size_t classes) {
+  MulticlassConfig config;
+  config.num_classes = classes;
+  config.thresholds = EqualMassThresholds(dataset, classes);
+  config.rank = 10;
+  config.neighbor_count = 10;
+  config.seed = 3;
+  return config;
+}
+
+TEST(OrdinalDmfsgd, ValidatesConfig) {
+  const Dataset dataset = SmallRtt();
+  MulticlassConfig config = DefaultConfig(dataset, 3);
+  config.num_classes = 1;
+  EXPECT_THROW(OrdinalDmfsgdSimulation(dataset, config), std::invalid_argument);
+  config = DefaultConfig(dataset, 3);
+  config.thresholds.pop_back();
+  EXPECT_THROW(OrdinalDmfsgdSimulation(dataset, config), std::invalid_argument);
+  config = DefaultConfig(dataset, 3);
+  config.rank = 0;
+  EXPECT_THROW(OrdinalDmfsgdSimulation(dataset, config), std::invalid_argument);
+  config = DefaultConfig(dataset, 3);
+  config.neighbor_count = dataset.NodeCount();
+  EXPECT_THROW(OrdinalDmfsgdSimulation(dataset, config), std::invalid_argument);
+}
+
+TEST(OrdinalDmfsgd, LearningBeatsPriorGuessing) {
+  const Dataset dataset = SmallRtt();
+  OrdinalDmfsgdSimulation simulation(dataset, DefaultConfig(dataset, 3));
+  const auto before = simulation.Evaluate();
+  simulation.RunRounds(300);
+  const auto after = simulation.Evaluate();
+  EXPECT_GT(after.pair_count, 0u);
+  // Random guessing over 3 equal-mass classes gives ~1/3 accuracy and MAE
+  // ~0.74; trained ordinal DMFSGD must clearly beat both.
+  EXPECT_GT(after.accuracy, 0.5);
+  EXPECT_LT(after.mean_absolute_error, 0.6);
+  EXPECT_GT(after.accuracy, before.accuracy);
+}
+
+TEST(OrdinalDmfsgd, MoreClassesStillLearn) {
+  const Dataset dataset = SmallRtt();
+  OrdinalDmfsgdSimulation simulation(dataset, DefaultConfig(dataset, 5));
+  simulation.RunRounds(400);
+  const auto eval = simulation.Evaluate();
+  EXPECT_GT(eval.accuracy, 0.35);  // 5-class chance is 0.2
+  EXPECT_LT(eval.mean_absolute_error, 1.0);
+}
+
+TEST(OrdinalDmfsgd, BinaryDegenerateCaseMatchesSignSemantics) {
+  // With C = 2, level prediction reduces to a thresholded score, the binary
+  // problem of the main algorithm.
+  const Dataset dataset = SmallRtt();
+  OrdinalDmfsgdSimulation simulation(dataset, DefaultConfig(dataset, 2));
+  simulation.RunRounds(300);
+  const auto eval = simulation.Evaluate();
+  EXPECT_GT(eval.accuracy, 0.75);
+}
+
+TEST(OrdinalDmfsgd, PredictAndTrueLevelBoundsChecked) {
+  const Dataset dataset = SmallRtt();
+  const OrdinalDmfsgdSimulation simulation(dataset, DefaultConfig(dataset, 3));
+  EXPECT_THROW((void)simulation.PredictLevel(0, dataset.NodeCount()),
+               std::out_of_range);
+  EXPECT_THROW((void)simulation.Biases(dataset.NodeCount()), std::out_of_range);
+  EXPECT_EQ(simulation.Biases(0).size(), 2u);
+}
+
+TEST(OrdinalDmfsgd, PredictedLevelsAreWithinRange) {
+  const Dataset dataset = SmallRtt();
+  OrdinalDmfsgdSimulation simulation(dataset, DefaultConfig(dataset, 4));
+  simulation.RunRounds(100);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      if (i != j) {
+        EXPECT_LT(simulation.PredictLevel(i, j), 4u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

@@ -1,0 +1,191 @@
+#include "core/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+std::vector<double> ToVector(std::span<const double> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(DmfsgdNode, InitializesCoordinatesInUnitInterval) {
+  common::Rng rng(3);
+  const DmfsgdNode node(5, 10, rng);
+  EXPECT_EQ(node.id(), 5u);
+  EXPECT_EQ(node.rank(), 10u);
+  for (const double value : node.u()) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+  for (const double value : node.v()) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(DmfsgdNode, RejectsZeroRank) {
+  common::Rng rng(3);
+  EXPECT_THROW(DmfsgdNode(0, 0, rng), std::invalid_argument);
+}
+
+TEST(DmfsgdNode, PredictIsDotProduct) {
+  common::Rng rng(7);
+  const DmfsgdNode node(0, 4, rng);
+  const std::vector<double> v_remote{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(node.Predict(v_remote), linalg::Dot(node.u(), v_remote));
+}
+
+TEST(DmfsgdNode, RankMismatchThrowsEverywhere) {
+  common::Rng rng(7);
+  DmfsgdNode node(0, 4, rng);
+  const std::vector<double> wrong(3, 1.0);
+  const std::vector<double> right(4, 1.0);
+  const UpdateParams params;
+  EXPECT_THROW((void)node.Predict(wrong), std::invalid_argument);
+  EXPECT_THROW(node.RttUpdate(1.0, wrong, right, params), std::invalid_argument);
+  EXPECT_THROW(node.RttUpdate(1.0, right, wrong, params), std::invalid_argument);
+  EXPECT_THROW(node.AbwProberUpdate(1.0, wrong, params), std::invalid_argument);
+  EXPECT_THROW(node.AbwTargetUpdate(1.0, wrong, params), std::invalid_argument);
+}
+
+TEST(DmfsgdNode, RttUpdateMatchesHandComputedEquations) {
+  common::Rng rng(11);
+  DmfsgdNode node(0, 3, rng);
+  const std::vector<double> u_before = ToVector(node.u());
+  const std::vector<double> v_before = ToVector(node.v());
+  const std::vector<double> u_remote{0.2, -0.4, 0.6};
+  const std::vector<double> v_remote{-0.1, 0.5, 0.3};
+  UpdateParams params;
+  params.eta = 0.05;
+  params.lambda = 0.2;
+  params.loss = LossKind::kLogistic;
+  const double x = 1.0;
+
+  // Hand-compute eqs. 9 and 10.
+  const double x_hat_ij = linalg::Dot(u_before, v_remote);
+  const double g_u = -x / (1.0 + std::exp(x * x_hat_ij));
+  const double x_hat_ji = linalg::Dot(u_remote, v_before);
+  const double g_v = -x / (1.0 + std::exp(x * x_hat_ji));
+  const double decay = 1.0 - params.eta * params.lambda;
+
+  node.RttUpdate(x, u_remote, v_remote, params);
+
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(node.u()[d], decay * u_before[d] - params.eta * g_u * v_remote[d],
+                1e-12);
+    EXPECT_NEAR(node.v()[d], decay * v_before[d] - params.eta * g_v * u_remote[d],
+                1e-12);
+  }
+}
+
+TEST(DmfsgdNode, AbwUpdatesTouchOnlyTheDocumentedVector) {
+  common::Rng rng(13);
+  DmfsgdNode node(0, 3, rng);
+  const std::vector<double> remote{0.3, 0.3, 0.3};
+  UpdateParams params;
+
+  const std::vector<double> v_before = ToVector(node.v());
+  node.AbwProberUpdate(-1.0, remote, params);  // eq. 12: updates u only
+  EXPECT_EQ(ToVector(node.v()), v_before);
+
+  const std::vector<double> u_before = ToVector(node.u());
+  node.AbwTargetUpdate(-1.0, remote, params);  // eq. 13: updates v only
+  EXPECT_EQ(ToVector(node.u()), u_before);
+}
+
+TEST(DmfsgdNode, CorrectlyClassifiedHingeSampleOnlyDecays) {
+  common::Rng rng(17);
+  DmfsgdNode node(0, 2, rng);
+  UpdateParams params;
+  params.loss = LossKind::kHinge;
+  params.eta = 0.1;
+  params.lambda = 0.5;
+  // Build a remote v so that x·(u·v) is comfortably above 1.
+  std::vector<double> v_remote(2);
+  const double norm = linalg::SquaredNorm(node.u());
+  ASSERT_GT(norm, 0.0);
+  for (std::size_t d = 0; d < 2; ++d) {
+    v_remote[d] = node.u()[d] * (2.0 / norm);  // u·v == 2
+  }
+  const std::vector<double> u_before = ToVector(node.u());
+  node.AbwProberUpdate(1.0, v_remote, params);
+  const double decay = 1.0 - params.eta * params.lambda;
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_NEAR(node.u()[d], decay * u_before[d], 1e-12);
+  }
+}
+
+TEST(DmfsgdNode, RepeatedUpdatesDrivePredictionTowardLabel) {
+  common::Rng rng(19);
+  DmfsgdNode node(0, 5, rng);
+  DmfsgdNode remote(1, 5, rng);
+  UpdateParams params;
+  params.loss = LossKind::kLogistic;
+  // Train the pair toward "bad" (-1) from the default positive-ish init.
+  for (int step = 0; step < 200; ++step) {
+    node.RttUpdate(-1.0, remote.u(), remote.v(), params);
+  }
+  EXPECT_LT(node.Predict(remote.v()), 0.0);
+}
+
+TEST(DmfsgdNode, RegularizationBoundsCoordinateNorms) {
+  // Property from eq. 3 / §6.2.1: with λ > 0 the norms stay bounded even
+  // under adversarially alternating labels.
+  common::Rng rng(23);
+  DmfsgdNode node(0, 8, rng);
+  DmfsgdNode remote(1, 8, rng);
+  UpdateParams params;
+  params.eta = 0.1;
+  params.lambda = 0.1;
+  for (int step = 0; step < 5000; ++step) {
+    node.RttUpdate(step % 2 == 0 ? 1.0 : -1.0, remote.u(), remote.v(), params);
+  }
+  EXPECT_LT(linalg::Norm2(node.u()), 50.0);
+  EXPECT_LT(linalg::Norm2(node.v()), 50.0);
+}
+
+TEST(DmfsgdNode, LocalLossIncludesRegularization) {
+  common::Rng rng(29);
+  const DmfsgdNode node(0, 3, rng);
+  const std::vector<double> v_remote{0.5, 0.5, 0.5};
+  UpdateParams params;
+  params.lambda = 0.3;
+  const double x_hat = node.Predict(v_remote);
+  const double expected = LossValue(params.loss, 1.0, x_hat) +
+                          0.3 * linalg::SquaredNorm(node.u());
+  EXPECT_NEAR(node.LocalLoss(1.0, v_remote, params), expected, 1e-12);
+}
+
+TEST(DmfsgdNode, L2UpdateConvergesToQuantity) {
+  // Regression mode sanity: with a fixed remote coordinate and L2 loss the
+  // prediction converges to the measured value.
+  common::Rng rng(31);
+  DmfsgdNode node(0, 4, rng);
+  const std::vector<double> v_remote{0.4, 0.1, 0.8, 0.2};
+  UpdateParams params;
+  params.loss = LossKind::kL2;
+  params.eta = 0.1;
+  params.lambda = 0.001;
+  const double target = 2.5;
+  for (int step = 0; step < 500; ++step) {
+    node.AbwProberUpdate(target, v_remote, params);
+  }
+  EXPECT_NEAR(node.Predict(v_remote), target, 0.05);
+}
+
+TEST(DmfsgdNode, UCopyVCopyMatchSpans) {
+  common::Rng rng(37);
+  const DmfsgdNode node(0, 6, rng);
+  EXPECT_EQ(node.UCopy(), ToVector(node.u()));
+  EXPECT_EQ(node.VCopy(), ToVector(node.v()));
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

@@ -1,0 +1,120 @@
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datasets/meridian.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("dmfsgd_snapshot_test_") + info->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Dataset SmallRtt() {
+    datasets::MeridianConfig config;
+    config.node_count = 40;
+    config.seed = 81;
+    return datasets::MakeMeridian(config);
+  }
+
+  static DmfsgdSimulation TrainedSim(const Dataset& dataset) {
+    SimulationConfig config;
+    config.neighbor_count = 8;
+    config.tau = dataset.MedianValue();
+    DmfsgdSimulation simulation(dataset, config);
+    simulation.RunRounds(100);
+    return simulation;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotTest, CapturesLivePredictions) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation = TrainedSim(dataset);
+  const CoordinateSnapshot snapshot = TakeSnapshot(simulation);
+  EXPECT_EQ(snapshot.NodeCount(), dataset.NodeCount());
+  EXPECT_EQ(snapshot.rank, simulation.config().rank);
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(snapshot.Predict(i, j), simulation.Predict(i, j));
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripsThroughDisk) {
+  const Dataset dataset = SmallRtt();
+  const CoordinateSnapshot original = TakeSnapshot(TrainedSim(dataset));
+  const auto path = dir_ / "model.csv";
+  SaveSnapshot(original, path);
+  const CoordinateSnapshot loaded = LoadSnapshot(path);
+  ASSERT_EQ(loaded.NodeCount(), original.NodeCount());
+  ASSERT_EQ(loaded.rank, original.rank);
+  for (std::size_t i = 0; i < loaded.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < loaded.NodeCount(); ++j) {
+      if (i != j) {
+        EXPECT_NEAR(loaded.Predict(i, j), original.Predict(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, PredictBoundsChecked) {
+  const CoordinateSnapshot snapshot = TakeSnapshot(TrainedSim(SmallRtt()));
+  EXPECT_THROW((void)snapshot.Predict(0, snapshot.NodeCount()),
+               std::out_of_range);
+}
+
+TEST_F(SnapshotTest, SaveRejectsMalformedSnapshot) {
+  CoordinateSnapshot snapshot;
+  snapshot.rank = 0;
+  EXPECT_THROW(SaveSnapshot(snapshot, dir_ / "bad.csv"), std::invalid_argument);
+
+  snapshot.rank = 2;
+  snapshot.u = {{1.0, 2.0}};
+  snapshot.v = {{1.0}};  // wrong rank
+  EXPECT_THROW(SaveSnapshot(snapshot, dir_ / "bad.csv"), std::invalid_argument);
+}
+
+TEST_F(SnapshotTest, LoadRejectsForeignFiles) {
+  const auto path = dir_ / "foreign.csv";
+  {
+    std::ofstream out(path);
+    out << "something,else,3\n1,2,3\n";
+  }
+  EXPECT_THROW((void)LoadSnapshot(path), std::invalid_argument);
+  EXPECT_THROW((void)LoadSnapshot(dir_ / "missing.csv"), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, LoadRejectsTruncatedRows) {
+  const Dataset dataset = SmallRtt();
+  const auto path = dir_ / "model.csv";
+  SaveSnapshot(TakeSnapshot(TrainedSim(dataset)), path);
+  // Corrupt: drop the last line.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents.erase(contents.find_last_of('\n', contents.size() - 2) + 1);
+  std::ofstream out(path);
+  out << contents;
+  out.close();
+  EXPECT_THROW((void)LoadSnapshot(path), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

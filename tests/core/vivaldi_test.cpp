@@ -1,0 +1,129 @@
+#include "core/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 100;
+  config.seed = 31;
+  return datasets::MakeMeridian(config);
+}
+
+VivaldiConfig DefaultConfig() {
+  VivaldiConfig config;
+  config.dimensions = 3;
+  config.neighbor_count = 16;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Vivaldi, RejectsAbwDatasets) {
+  datasets::HpS3Config config;
+  config.host_count = 50;
+  const Dataset abw = datasets::MakeHpS3(config);
+  EXPECT_THROW(VivaldiSimulation(abw, DefaultConfig()), std::invalid_argument);
+}
+
+TEST(Vivaldi, ValidatesConfig) {
+  const Dataset dataset = SmallRtt();
+  VivaldiConfig config = DefaultConfig();
+  config.dimensions = 0;
+  EXPECT_THROW(VivaldiSimulation(dataset, config), std::invalid_argument);
+  config = DefaultConfig();
+  config.cc = 0.0;
+  EXPECT_THROW(VivaldiSimulation(dataset, config), std::invalid_argument);
+  config = DefaultConfig();
+  config.ce = 1.5;
+  EXPECT_THROW(VivaldiSimulation(dataset, config), std::invalid_argument);
+  config = DefaultConfig();
+  config.neighbor_count = dataset.NodeCount();
+  EXPECT_THROW(VivaldiSimulation(dataset, config), std::invalid_argument);
+}
+
+TEST(Vivaldi, PredictionIsSymmetricAndNonNegative) {
+  const Dataset dataset = SmallRtt();
+  VivaldiSimulation simulation(dataset, DefaultConfig());
+  simulation.RunRounds(100);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(simulation.PredictRtt(i, j), simulation.PredictRtt(j, i));
+      EXPECT_GE(simulation.PredictRtt(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Vivaldi, TrainingReducesMedianRelativeError) {
+  const Dataset dataset = SmallRtt();
+  VivaldiSimulation simulation(dataset, DefaultConfig());
+  const double before = simulation.MedianRelativeError();
+  simulation.RunRounds(600);
+  const double after = simulation.MedianRelativeError();
+  EXPECT_LT(after, before);
+  // Vivaldi on clustered RTT data typically lands around 10-30% median
+  // relative error.
+  EXPECT_LT(after, 0.35);
+}
+
+TEST(Vivaldi, ErrorEstimatesShrinkWithTraining) {
+  const Dataset dataset = SmallRtt();
+  VivaldiSimulation simulation(dataset, DefaultConfig());
+  simulation.RunRounds(600);
+  double total_error = 0.0;
+  for (std::size_t i = 0; i < simulation.NodeCount(); ++i) {
+    total_error += simulation.ErrorEstimate(i);
+  }
+  EXPECT_LT(total_error / static_cast<double>(simulation.NodeCount()), 0.6);
+}
+
+TEST(Vivaldi, HeightsStayPositive) {
+  const Dataset dataset = SmallRtt();
+  VivaldiSimulation simulation(dataset, DefaultConfig());
+  simulation.RunRounds(300);
+  for (std::size_t i = 0; i < simulation.NodeCount(); ++i) {
+    EXPECT_GT(simulation.Height(i), 0.0);
+  }
+}
+
+TEST(Vivaldi, DeterministicForSeed) {
+  const Dataset dataset = SmallRtt();
+  VivaldiSimulation a(dataset, DefaultConfig());
+  VivaldiSimulation b(dataset, DefaultConfig());
+  a.RunRounds(50);
+  b.RunRounds(50);
+  EXPECT_DOUBLE_EQ(a.PredictRtt(1, 2), b.PredictRtt(1, 2));
+}
+
+TEST(Vivaldi, BoundsCheckedAccess) {
+  const Dataset dataset = SmallRtt();
+  const VivaldiSimulation simulation(dataset, DefaultConfig());
+  const std::size_t n = simulation.NodeCount();
+  EXPECT_THROW((void)simulation.PredictRtt(0, n), std::out_of_range);
+  EXPECT_THROW((void)simulation.Height(n), std::out_of_range);
+  EXPECT_THROW((void)simulation.ErrorEstimate(n), std::out_of_range);
+  EXPECT_THROW((void)simulation.IsNeighborPair(n, 0), std::out_of_range);
+}
+
+TEST(Vivaldi, HeightModelHelpsOnAccessDelayData) {
+  // Access delays are what the height term models; disabling it must not
+  // improve accuracy on our access-delay-rich datasets.
+  const Dataset dataset = SmallRtt();
+  VivaldiConfig with_height = DefaultConfig();
+  VivaldiConfig without_height = DefaultConfig();
+  without_height.use_height = false;
+  VivaldiSimulation tall(dataset, with_height);
+  VivaldiSimulation flat(dataset, without_height);
+  tall.RunRounds(600);
+  flat.RunRounds(600);
+  EXPECT_LE(tall.MedianRelativeError(), flat.MedianRelativeError() * 1.1);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

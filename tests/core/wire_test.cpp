@@ -1,0 +1,175 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+TEST(Wire, RttProbeRequestRoundTrip) {
+  const RttProbeRequest original{42};
+  const auto encoded = Encode(original);
+  EXPECT_EQ(PeekType(encoded), MessageType::kRttProbeRequest);
+  EXPECT_TRUE(DecodeRttProbeRequest(encoded) == original);
+}
+
+TEST(Wire, RttProbeReplyRoundTrip) {
+  const RttProbeReply original{7, {0.5, -1.25, 3.0}, {2.0, 0.0, -9.5}};
+  const auto encoded = Encode(original);
+  EXPECT_EQ(PeekType(encoded), MessageType::kRttProbeReply);
+  EXPECT_TRUE(DecodeRttProbeReply(encoded) == original);
+}
+
+TEST(Wire, AbwProbeRequestRoundTrip) {
+  const AbwProbeRequest original{3, {1.0, 2.0}, 43.0};
+  const auto encoded = Encode(original);
+  EXPECT_EQ(PeekType(encoded), MessageType::kAbwProbeRequest);
+  EXPECT_TRUE(DecodeAbwProbeRequest(encoded) == original);
+}
+
+TEST(Wire, AbwProbeReplyRoundTrip) {
+  const AbwProbeReply original{9, -1.0, {0.25, 0.75, -0.5, 8.0}};
+  const auto encoded = Encode(original);
+  EXPECT_EQ(PeekType(encoded), MessageType::kAbwProbeReply);
+  EXPECT_TRUE(DecodeAbwProbeReply(encoded) == original);
+}
+
+TEST(Wire, EmptyVectorsSurvive) {
+  const RttProbeReply original{1, {}, {}};
+  EXPECT_TRUE(DecodeRttProbeReply(Encode(original)) == original);
+}
+
+TEST(Wire, SpecialDoublesSurvive) {
+  const AbwProbeReply original{
+      2, -0.0,
+      {std::numeric_limits<double>::infinity(), 1e-308, -1e308}};
+  const AbwProbeReply decoded = DecodeAbwProbeReply(Encode(original));
+  EXPECT_EQ(decoded.v.size(), 3u);
+  EXPECT_TRUE(std::isinf(decoded.v[0]));
+  EXPECT_DOUBLE_EQ(decoded.v[1], 1e-308);
+  EXPECT_DOUBLE_EQ(decoded.v[2], -1e308);
+}
+
+TEST(Wire, TruncatedBufferThrows) {
+  auto encoded = Encode(RttProbeReply{7, {1.0, 2.0}, {3.0}});
+  encoded.pop_back();
+  EXPECT_THROW((void)DecodeRttProbeReply(encoded), WireError);
+  encoded.clear();
+  EXPECT_THROW((void)PeekType(encoded), WireError);
+}
+
+TEST(Wire, WrongVersionThrows) {
+  auto encoded = Encode(RttProbeRequest{1});
+  encoded[0] = static_cast<std::byte>(kWireVersion + 1);
+  EXPECT_THROW((void)DecodeRttProbeRequest(encoded), WireError);
+  EXPECT_THROW((void)PeekType(encoded), WireError);
+}
+
+TEST(Wire, WrongTypeTagThrows) {
+  const auto encoded = Encode(RttProbeRequest{1});
+  EXPECT_THROW((void)DecodeAbwProbeRequest(encoded), WireError);
+}
+
+TEST(Wire, UnknownTagRejectedByPeek) {
+  auto encoded = Encode(RttProbeRequest{1});
+  encoded[1] = static_cast<std::byte>(200);
+  EXPECT_THROW((void)PeekType(encoded), WireError);
+}
+
+TEST(Wire, TrailingBytesThrow) {
+  auto encoded = Encode(RttProbeRequest{1});
+  encoded.push_back(std::byte{0});
+  EXPECT_THROW((void)DecodeRttProbeRequest(encoded), WireError);
+}
+
+TEST(Wire, OversizedVectorRejectedOnEncode) {
+  RttProbeReply reply;
+  reply.u.resize(kMaxWireVectorSize + 1, 0.0);
+  reply.v.resize(1, 0.0);
+  EXPECT_THROW((void)Encode(reply), WireError);
+}
+
+TEST(Wire, CorruptedLengthFieldRejected) {
+  auto encoded = Encode(RttProbeReply{1, {1.0}, {2.0}});
+  // The u-vector length lives right after version, tag and the u32 id.
+  encoded[6] = static_cast<std::byte>(0xff);
+  encoded[7] = static_cast<std::byte>(0xff);
+  EXPECT_THROW((void)DecodeRttProbeReply(encoded), WireError);
+}
+
+// Fuzz: random mutations of valid messages must either decode cleanly or
+// throw WireError — never crash, hang, or return garbage silently accepted
+// as a *different* message type.
+TEST(Wire, FuzzedBuffersNeverCrash) {
+  dmfsgd::common::Rng rng(0xf22);
+  const auto base = Encode(RttProbeReply{9, {0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}});
+  int decoded_ok = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto buffer = base;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(std::uint64_t{4}));
+    for (int m = 0; m < mutations; ++m) {
+      const auto kind = rng.UniformInt(std::uint64_t{3});
+      if (kind == 0 && !buffer.empty()) {  // flip a byte
+        const auto pos = rng.UniformInt(static_cast<std::uint64_t>(buffer.size()));
+        buffer[pos] = static_cast<std::byte>(rng.UniformInt(std::uint64_t{256}));
+      } else if (kind == 1 && buffer.size() > 1) {  // truncate
+        buffer.resize(1 + rng.UniformInt(
+                              static_cast<std::uint64_t>(buffer.size() - 1)));
+      } else {  // append junk
+        buffer.push_back(static_cast<std::byte>(rng.UniformInt(std::uint64_t{256})));
+      }
+    }
+    try {
+      (void)DecodeRttProbeReply(buffer);
+      ++decoded_ok;
+    } catch (const WireError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(decoded_ok + rejected, 5000);
+  EXPECT_GT(rejected, 4000);  // almost all mutations must be rejected
+}
+
+TEST(Wire, FuzzedRandomBuffersAllRejected) {
+  dmfsgd::common::Rng rng(0xabcdef);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::byte> buffer(rng.UniformInt(std::uint64_t{64}));
+    for (auto& b : buffer) {
+      b = static_cast<std::byte>(rng.UniformInt(std::uint64_t{256}));
+    }
+    // Pure random bytes essentially never form a valid v1 reply; accept
+    // either outcome but require no crash and no non-WireError exception.
+    try {
+      (void)DecodeAbwProbeRequest(buffer);
+    } catch (const WireError&) {
+    }
+  }
+  SUCCEED();
+}
+
+// Property sweep: round-trip must hold for any rank.
+class WireRankTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WireRankTest, ReplyRoundTripsAtRank) {
+  const std::size_t rank = GetParam();
+  RttProbeReply reply{static_cast<NodeId>(rank), {}, {}};
+  for (std::size_t i = 0; i < rank; ++i) {
+    reply.u.push_back(0.1 * static_cast<double>(i));
+    reply.v.push_back(-0.2 * static_cast<double>(i));
+  }
+  EXPECT_TRUE(DecodeRttProbeReply(Encode(reply)) == reply);
+
+  AbwProbeRequest request{static_cast<NodeId>(rank), reply.u, 10.0};
+  EXPECT_TRUE(DecodeAbwProbeRequest(Encode(request)) == request);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, WireRankTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 4096));
+
+}  // namespace
+}  // namespace dmfsgd::core

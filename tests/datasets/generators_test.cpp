@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "datasets/harvard.hpp"
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+#include "linalg/low_rank.hpp"
+#include "linalg/svd.hpp"
+
+namespace dmfsgd::datasets {
+namespace {
+
+HarvardConfig SmallHarvard() {
+  HarvardConfig config;
+  config.node_count = 40;
+  config.trace_records = 20000;
+  config.seed = 11;
+  return config;
+}
+
+MeridianConfig SmallMeridian() {
+  MeridianConfig config;
+  config.node_count = 80;
+  config.seed = 13;
+  return config;
+}
+
+HpS3Config SmallHpS3() {
+  HpS3Config config;
+  config.host_count = 50;
+  config.seed = 17;
+  return config;
+}
+
+TEST(Meridian, GeneratesValidSymmetricRtt) {
+  const Dataset dataset = MakeMeridian(SmallMeridian());
+  EXPECT_EQ(dataset.name, "Meridian");
+  EXPECT_EQ(dataset.metric, Metric::kRtt);
+  EXPECT_EQ(dataset.NodeCount(), 80u);
+  EXPECT_TRUE(dataset.trace.empty());
+  EXPECT_NO_THROW(ValidateDataset(dataset));
+}
+
+TEST(Meridian, DeterministicForSeed) {
+  const Dataset a = MakeMeridian(SmallMeridian());
+  const Dataset b = MakeMeridian(SmallMeridian());
+  EXPECT_TRUE(a.ground_truth == b.ground_truth);
+}
+
+TEST(Meridian, LowEffectiveRankClassMatrix) {
+  // The property Figure 1 of the paper hinges on: both the raw RTT matrix
+  // and its thresholded class matrix concentrate energy in few components.
+  const Dataset dataset = MakeMeridian(SmallMeridian());
+  linalg::Matrix classes = dataset.ClassMatrix(dataset.MedianValue());
+  for (std::size_t i = 0; i < classes.Rows(); ++i) {
+    classes(i, i) = 0.0;
+  }
+  const auto svd = linalg::JacobiSvd(classes);
+  EXPECT_LE(linalg::EffectiveRank(svd.singular_values, 0.8), 20u);
+}
+
+TEST(Harvard, GeneratesValidDatasetWithTrace) {
+  const Dataset dataset = MakeHarvard(SmallHarvard());
+  EXPECT_EQ(dataset.name, "Harvard");
+  EXPECT_EQ(dataset.metric, Metric::kRtt);
+  EXPECT_EQ(dataset.NodeCount(), 40u);
+  EXPECT_EQ(dataset.trace.size(), 20000u);
+  EXPECT_NO_THROW(ValidateDataset(dataset));
+}
+
+TEST(Harvard, TraceIsTimeOrderedWithinDuration) {
+  const Dataset dataset = MakeHarvard(SmallHarvard());
+  double previous = 0.0;
+  for (const TraceRecord& record : dataset.trace) {
+    EXPECT_GE(record.timestamp_s, previous);
+    EXPECT_LE(record.timestamp_s, 4.0 * 3600.0);
+    previous = record.timestamp_s;
+  }
+}
+
+TEST(Harvard, PairPopularityIsSkewed) {
+  // Zipf popularity: the most-probed pair must see far more records than the
+  // median pair (footnote 4 of the paper).
+  const Dataset dataset = MakeHarvard(SmallHarvard());
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> counts;
+  for (const TraceRecord& record : dataset.trace) {
+    const auto key = std::minmax(record.src, record.dst);
+    ++counts[{key.first, key.second}];
+  }
+  int max_count = 0;
+  for (const auto& [pair, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  const double average =
+      static_cast<double>(dataset.trace.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(max_count, 5.0 * average);
+}
+
+TEST(Harvard, TraceValuesAreCloseToGroundTruthMedians) {
+  // Per-pair medians of the trace must track the static ground truth (the
+  // ground truth *is* defined as the median of the observation process).
+  const Dataset dataset = MakeHarvard(SmallHarvard());
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>> streams;
+  for (const TraceRecord& record : dataset.trace) {
+    const auto key = std::minmax(record.src, record.dst);
+    streams[{key.first, key.second}].push_back(record.value);
+  }
+  std::size_t checked = 0;
+  for (auto& [pair, values] : streams) {
+    if (values.size() < 30) {
+      continue;  // median of few noisy samples is itself noisy
+    }
+    std::sort(values.begin(), values.end());
+    const double trace_median = values[values.size() / 2];
+    const double truth = dataset.ground_truth(pair.first, pair.second);
+    EXPECT_NEAR(trace_median / truth, 1.0, 0.25);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(Harvard, PaperScaleFlagControlsRecordCount) {
+  HarvardConfig config = SmallHarvard();
+  config.node_count = 10;
+  config.trace_records = 500;
+  const Dataset small = MakeHarvard(config);
+  EXPECT_EQ(small.trace.size(), 500u);
+}
+
+TEST(Harvard, RejectsDegenerateConfigs) {
+  HarvardConfig config = SmallHarvard();
+  config.node_count = 1;
+  EXPECT_THROW((void)MakeHarvard(config), std::invalid_argument);
+  config = SmallHarvard();
+  config.trace_records = 0;
+  EXPECT_THROW((void)MakeHarvard(config), std::invalid_argument);
+}
+
+TEST(HpS3, GeneratesValidAsymmetricAbw) {
+  const Dataset dataset = MakeHpS3(SmallHpS3());
+  EXPECT_EQ(dataset.name, "HP-S3");
+  EXPECT_EQ(dataset.metric, Metric::kAbw);
+  EXPECT_EQ(dataset.NodeCount(), 50u);
+  EXPECT_NO_THROW(ValidateDataset(dataset));
+}
+
+TEST(HpS3, MissingFractionApproximatelyFourPercent) {
+  const Dataset dataset = MakeHpS3(SmallHpS3());
+  const std::size_t n = dataset.NodeCount();
+  const std::size_t off_diagonal = n * (n - 1);
+  const std::size_t known = dataset.ground_truth.KnownCount();
+  const double missing =
+      1.0 - static_cast<double>(known) / static_cast<double>(off_diagonal);
+  EXPECT_NEAR(missing, 0.04, 0.02);
+}
+
+TEST(HpS3, AsymmetricPairsExist) {
+  const Dataset dataset = MakeHpS3(SmallHpS3());
+  std::size_t asymmetric = 0;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = i + 1; j < dataset.NodeCount(); ++j) {
+      if (dataset.IsKnown(i, j) && dataset.IsKnown(j, i) &&
+          dataset.Quantity(i, j) != dataset.Quantity(j, i)) {
+        ++asymmetric;
+      }
+    }
+  }
+  EXPECT_GT(asymmetric, 100u);
+}
+
+TEST(HpS3, BandwidthInPlausibleRange) {
+  const Dataset dataset = MakeHpS3(SmallHpS3());
+  const double median = dataset.MedianValue();
+  // The real HP-S3 median is 43 Mbps; the synthetic stand-in should land in
+  // the same order of magnitude.
+  EXPECT_GT(median, 5.0);
+  EXPECT_LT(median, 200.0);
+}
+
+TEST(HpS3, RejectsBadMissingFraction) {
+  HpS3Config config = SmallHpS3();
+  config.missing_fraction = 1.0;
+  EXPECT_THROW((void)MakeHpS3(config), std::invalid_argument);
+  config.missing_fraction = -0.1;
+  EXPECT_THROW((void)MakeHpS3(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfsgd::datasets

@@ -1,0 +1,84 @@
+#include "datasets/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datasets/harvard.hpp"
+#include "datasets/hps3.hpp"
+
+namespace dmfsgd::datasets {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("dmfsgd_io_test_") + info->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetIoTest, RoundTripsStaticDatasetWithMissingEntries) {
+  HpS3Config config;
+  config.host_count = 20;
+  config.seed = 5;
+  const Dataset original = MakeHpS3(config);
+  SaveDataset(original, dir_ / "hps3");
+  const Dataset loaded = LoadDataset(dir_ / "hps3");
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.metric, original.metric);
+  EXPECT_TRUE(loaded.ground_truth.AlmostEqual(original.ground_truth, 1e-9));
+  EXPECT_TRUE(loaded.trace.empty());
+}
+
+TEST_F(DatasetIoTest, RoundTripsDynamicTrace) {
+  HarvardConfig config;
+  config.node_count = 12;
+  config.trace_records = 300;
+  config.seed = 7;
+  const Dataset original = MakeHarvard(config);
+  SaveDataset(original, dir_ / "harvard");
+  const Dataset loaded = LoadDataset(dir_ / "harvard");
+
+  ASSERT_EQ(loaded.trace.size(), original.trace.size());
+  for (std::size_t r = 0; r < loaded.trace.size(); ++r) {
+    EXPECT_EQ(loaded.trace[r].src, original.trace[r].src);
+    EXPECT_EQ(loaded.trace[r].dst, original.trace[r].dst);
+    EXPECT_NEAR(loaded.trace[r].value, original.trace[r].value,
+                1e-9 * original.trace[r].value);
+    EXPECT_NEAR(loaded.trace[r].timestamp_s, original.trace[r].timestamp_s, 1e-6);
+  }
+  EXPECT_NO_THROW(ValidateDataset(loaded));
+}
+
+TEST_F(DatasetIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)LoadDataset(dir_ / "nothing"), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, LoadRejectsCorruptedHeader) {
+  const auto path = dir_ / "corrupt.matrix.csv";
+  {
+    std::ofstream out(path);
+    out << "name,NOT_A_METRIC,2\n1,2\n3,4\n";
+  }
+  EXPECT_THROW((void)LoadDataset(dir_ / "corrupt"), std::invalid_argument);
+}
+
+TEST_F(DatasetIoTest, LoadRejectsRowCountMismatch) {
+  const auto path = dir_ / "short.matrix.csv";
+  {
+    std::ofstream out(path);
+    out << "name,RTT,3\nnan,1,2\n1,nan,3\n";  // only 2 of 3 rows
+  }
+  EXPECT_THROW((void)LoadDataset(dir_ / "short"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfsgd::datasets

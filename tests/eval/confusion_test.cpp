@@ -1,0 +1,79 @@
+#include "eval/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmfsgd::eval {
+namespace {
+
+TEST(Confusion, CountsCellsCorrectly) {
+  const std::vector<double> scores{1.0, -1.0, 0.5, -0.5, 2.0};
+  const std::vector<int> labels{1, 1, -1, -1, 1};
+  const ConfusionMatrix cm = ConfusionFromScores(scores, labels);
+  EXPECT_EQ(cm.true_positive, 2u);   // 1.0, 2.0
+  EXPECT_EQ(cm.false_negative, 1u);  // -1.0
+  EXPECT_EQ(cm.false_positive, 1u);  // 0.5
+  EXPECT_EQ(cm.true_negative, 1u);   // -0.5
+  EXPECT_EQ(cm.Total(), 5u);
+}
+
+TEST(Confusion, DerivedRates) {
+  ConfusionMatrix cm;
+  cm.true_positive = 90;
+  cm.false_negative = 10;
+  cm.false_positive = 20;
+  cm.true_negative = 80;
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.85);
+  EXPECT_DOUBLE_EQ(cm.GoodRecall(), 0.9);
+  EXPECT_DOUBLE_EQ(cm.BadRecall(), 0.8);
+  EXPECT_DOUBLE_EQ(cm.Tpr(), 0.9);
+  EXPECT_DOUBLE_EQ(cm.Fpr(), 0.2);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 90.0 / 110.0);
+}
+
+TEST(Confusion, ThresholdShiftsDecisions) {
+  const std::vector<double> scores{0.4, 0.6};
+  const std::vector<int> labels{1, 1};
+  EXPECT_EQ(ConfusionFromScores(scores, labels, 0.0).true_positive, 2u);
+  EXPECT_EQ(ConfusionFromScores(scores, labels, 0.5).true_positive, 1u);
+  EXPECT_EQ(ConfusionFromScores(scores, labels, 0.7).true_positive, 0u);
+}
+
+TEST(Confusion, ExactlyAtThresholdIsPredictedBad) {
+  const std::vector<double> scores{0.0};
+  const std::vector<int> labels{1};
+  const ConfusionMatrix cm = ConfusionFromScores(scores, labels, 0.0);
+  EXPECT_EQ(cm.false_negative, 1u);
+}
+
+TEST(Confusion, UndefinedRatesThrow) {
+  ConfusionMatrix cm;
+  EXPECT_THROW((void)cm.Accuracy(), std::logic_error);
+  cm.true_positive = 1;
+  EXPECT_NO_THROW((void)cm.Accuracy());
+  EXPECT_THROW((void)cm.BadRecall(), std::logic_error);
+}
+
+TEST(Confusion, RejectsMalformedInput) {
+  EXPECT_THROW(
+      (void)ConfusionFromScores(std::vector<double>{1.0}, std::vector<int>{1, -1}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)ConfusionFromScores(std::vector<double>{1.0}, std::vector<int>{7}),
+      std::invalid_argument);
+}
+
+TEST(Confusion, RowPercentagesSumToOne) {
+  const std::vector<double> scores{0.3, -0.2, 0.8, -0.9, 0.1, -0.4};
+  const std::vector<int> labels{1, 1, -1, -1, 1, -1};
+  const ConfusionMatrix cm = ConfusionFromScores(scores, labels);
+  EXPECT_NEAR(cm.GoodRecall() +
+                  static_cast<double>(cm.false_negative) /
+                      static_cast<double>(cm.ActualPositives()),
+              1.0, 1e-12);
+  EXPECT_NEAR(cm.BadRecall() + cm.Fpr(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval

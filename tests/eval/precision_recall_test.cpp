@@ -1,0 +1,90 @@
+#include "eval/precision_recall.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+TEST(PrecisionRecall, PerfectClassifierCurve) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, -1, -1};
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  // Until recall hits 1.0 the precision stays 1.0.
+  for (const PrPoint& point : curve) {
+    if (point.recall <= 1.0 && point.precision < 1.0) {
+      EXPECT_EQ(point.recall, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, labels), 1.0);
+}
+
+TEST(PrecisionRecall, CurveEndsAtFullRecall) {
+  const std::vector<double> scores{0.9, 0.4, 0.6, 0.2};
+  const std::vector<int> labels{1, 1, -1, -1};
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  // At full recall with all samples predicted positive, precision equals the
+  // positive prevalence.
+  EXPECT_DOUBLE_EQ(curve.back().precision, 0.5);
+}
+
+TEST(PrecisionRecall, HandComputedPoints) {
+  // Sorted by descending score: (0.9, +), (0.6, -), (0.4, +), (0.2, -).
+  const std::vector<double> scores{0.9, 0.4, 0.6, 0.2};
+  const std::vector<int> labels{1, 1, -1, -1};
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[2].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].precision, 0.5);
+}
+
+TEST(PrecisionRecall, RecallIsMonotone) {
+  common::Rng rng(9);
+  std::vector<double> scores(200);
+  std::vector<int> labels(200);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.3) ? 1 : -1;
+  }
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  for (std::size_t p = 1; p < curve.size(); ++p) {
+    EXPECT_GE(curve[p].recall, curve[p - 1].recall);
+  }
+}
+
+TEST(PrecisionRecall, RandomScoresGivePrevalencePrecision) {
+  common::Rng rng(11);
+  std::vector<double> scores(20000);
+  std::vector<int> labels(20000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.25) ? 1 : -1;
+  }
+  EXPECT_NEAR(AveragePrecision(scores, labels), 0.25, 0.03);
+}
+
+TEST(PrecisionRecall, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)PrecisionRecallCurve({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)PrecisionRecallCurve(std::vector<double>{1.0, 2.0},
+                                          std::vector<int>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)PrecisionRecallCurve(std::vector<double>{1.0},
+                                          std::vector<int>{1, -1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)PrecisionRecallCurve(std::vector<double>{1.0, 2.0},
+                                          std::vector<int>{1, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval

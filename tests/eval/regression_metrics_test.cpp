@@ -1,0 +1,83 @@
+#include "eval/regression_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+TEST(RelativeError, BasicCases) {
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(15.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 10.0), 0.5);
+  EXPECT_THROW((void)RelativeError(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)RelativeError(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(SummarizeRelativeError, PerfectPredictions) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const auto summary = SummarizeRelativeError(values, values);
+  EXPECT_EQ(summary.count, 3u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.median, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p90, 0.0);
+  EXPECT_DOUBLE_EQ(summary.within_half, 1.0);
+}
+
+TEST(SummarizeRelativeError, HandComputed) {
+  const std::vector<double> predicted{11.0, 20.0, 5.0};
+  const std::vector<double> actual{10.0, 10.0, 10.0};
+  // errors: 0.1, 1.0, 0.5
+  const auto summary = SummarizeRelativeError(predicted, actual);
+  EXPECT_NEAR(summary.mean, (0.1 + 1.0 + 0.5) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(summary.median, 0.5);
+  EXPECT_NEAR(summary.within_half, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SummarizeRelativeError, RejectsMalformedInput) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)SummarizeRelativeError(one, two), std::invalid_argument);
+  EXPECT_THROW((void)SummarizeRelativeError({}, {}), std::invalid_argument);
+}
+
+TEST(RelativeErrorCdf, MonotoneAndBounded) {
+  common::Rng rng(3);
+  std::vector<double> actual(500);
+  std::vector<double> predicted(500);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    actual[i] = rng.Uniform(1.0, 100.0);
+    predicted[i] = actual[i] * rng.LogNormal(0.0, 0.4);
+  }
+  const std::vector<double> levels{0.0, 0.1, 0.25, 0.5, 1.0, 10.0};
+  const auto cdf = RelativeErrorCdf(predicted, actual, levels);
+  ASSERT_EQ(cdf.size(), levels.size());
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], 0.0);
+    EXPECT_LE(cdf[i], 1.0);
+    if (i > 0) {
+      EXPECT_GE(cdf[i], cdf[i - 1]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);  // lognormal(0.4) rarely exceeds 10x
+}
+
+TEST(RelativeErrorCdf, AgreesWithSummary) {
+  common::Rng rng(5);
+  std::vector<double> actual(200);
+  std::vector<double> predicted(200);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    actual[i] = rng.Uniform(5.0, 50.0);
+    predicted[i] = actual[i] + rng.Normal(0.0, 5.0);
+  }
+  const auto summary = SummarizeRelativeError(predicted, actual);
+  const std::vector<double> levels{0.5};
+  const auto cdf = RelativeErrorCdf(predicted, actual, levels);
+  EXPECT_DOUBLE_EQ(cdf[0], summary.within_half);
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval

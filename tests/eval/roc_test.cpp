@@ -1,0 +1,164 @@
+#include "eval/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+TEST(Auc, PerfectClassifierScoresOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 1.0);
+}
+
+TEST(Auc, InvertedClassifierScoresZero) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.0);
+}
+
+TEST(Auc, ConstantScoresGiveHalf) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.5);
+}
+
+TEST(Auc, MatchesHandComputedExample) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pair wins: (0.8 beats 0.6, 0.2) = 2; (0.4 beats 0.2) = 1 -> 3/4.
+  const std::vector<double> scores{0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> labels{1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.75);
+}
+
+TEST(Auc, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5}: the tie counts 1/2.
+  const std::vector<double> scores{0.5, 0.5, 0.9, 0.1};
+  const std::vector<int> labels{1, -1, 1, -1};
+  // Pairs: (0.5 vs 0.5) = 0.5, (0.5 vs 0.1) = 1, (0.9 vs 0.5) = 1,
+  // (0.9 vs 0.1) = 1 -> 3.5/4.
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), 0.875);
+}
+
+TEST(Auc, RandomScoresNearHalf) {
+  common::Rng rng(3);
+  std::vector<double> scores(20000);
+  std::vector<int> labels(20000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.5) ? 1 : -1;
+  }
+  EXPECT_NEAR(Auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Auc, InvariantUnderMonotoneTransform) {
+  common::Rng rng(5);
+  std::vector<double> scores(500);
+  std::vector<int> labels(500);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.Normal();
+    labels[i] = rng.Bernoulli(scores[i] > -0.2 ? 0.8 : 0.3) ? 1 : -1;
+  }
+  std::vector<double> transformed(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = std::tanh(3.0 * scores[i]) * 10.0 + 5.0;
+  }
+  EXPECT_NEAR(Auc(scores, labels), Auc(transformed, labels), 1e-12);
+}
+
+TEST(RocCurve, StartsAtOriginEndsAtOne) {
+  const std::vector<double> scores{0.9, 0.4, 0.6, 0.2};
+  const std::vector<int> labels{1, 1, -1, -1};
+  const auto curve = RocCurve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(RocCurve, MonotoneNonDecreasing) {
+  common::Rng rng(7);
+  std::vector<double> scores(300);
+  std::vector<int> labels(300);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.4) ? 1 : -1;
+  }
+  const auto curve = RocCurve(scores, labels);
+  for (std::size_t p = 1; p < curve.size(); ++p) {
+    EXPECT_GE(curve[p].fpr, curve[p - 1].fpr);
+    EXPECT_GE(curve[p].tpr, curve[p - 1].tpr);
+    EXPECT_LE(curve[p].threshold, curve[p - 1].threshold);
+  }
+}
+
+TEST(RocCurve, GroupsTiesIntoSinglePoints) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, -1, 1, -1};
+  const auto curve = RocCurve(scores, labels);
+  // (0,0) then one point at (1,1) for the single tie group.
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[1].fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].tpr, 1.0);
+}
+
+TEST(Roc, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)Auc({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)Auc(std::vector<double>{1.0}, std::vector<int>{1, -1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Auc(std::vector<double>{1.0, 2.0}, std::vector<int>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Auc(std::vector<double>{1.0, 2.0}, std::vector<int>{1, 0}),
+               std::invalid_argument);
+}
+
+// Property: AUC equals the normalized Mann-Whitney U statistic computed by
+// brute force, for random inputs of any size.
+class AucPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AucPropertyTest, MatchesBruteForceMannWhitney) {
+  common::Rng rng(GetParam());
+  const std::size_t count = 50 + rng.UniformInt(std::uint64_t{100});
+  std::vector<double> scores(count);
+  std::vector<int> labels(count);
+  labels[0] = 1;  // guarantee both classes
+  labels[1] = -1;
+  scores[0] = rng.Uniform();
+  scores[1] = rng.Uniform();
+  for (std::size_t i = 2; i < count; ++i) {
+    // Quantized scores force plenty of ties.
+    scores[i] = std::round(rng.Uniform() * 10.0) / 10.0;
+    labels[i] = rng.Bernoulli(0.5) ? 1 : -1;
+  }
+  double wins = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t p = 0; p < count; ++p) {
+    if (labels[p] != 1) {
+      continue;
+    }
+    for (std::size_t q = 0; q < count; ++q) {
+      if (labels[q] != -1) {
+        continue;
+      }
+      ++pairs;
+      if (scores[p] > scores[q]) {
+        wins += 1.0;
+      } else if (scores[p] == scores[q]) {
+        wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(Auc(scores, labels), wins / static_cast<double>(pairs), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace dmfsgd::eval

@@ -1,0 +1,112 @@
+#include "eval/scored_pairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/meridian.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+using core::DmfsgdSimulation;
+using core::SimulationConfig;
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 40;
+  config.seed = 61;
+  return datasets::MakeMeridian(config);
+}
+
+SimulationConfig DefaultConfig(const Dataset& dataset) {
+  SimulationConfig config;
+  config.neighbor_count = 8;
+  config.tau = dataset.MedianValue();
+  return config;
+}
+
+TEST(ScoredPairs, ExcludesNeighborPairsByDefault) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  const auto pairs = CollectScoredPairs(simulation);
+  for (const ScoredPair& pair : pairs) {
+    EXPECT_FALSE(simulation.IsNeighborPair(pair.i, pair.j));
+    EXPECT_NE(pair.i, pair.j);
+  }
+  // n(n-1) minus n*k neighbor pairs.
+  const std::size_t n = dataset.NodeCount();
+  EXPECT_EQ(pairs.size(), n * (n - 1) - n * 8);
+}
+
+TEST(ScoredPairs, IncludesNeighborPairsWhenAsked) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  CollectOptions options;
+  options.exclude_neighbor_pairs = false;
+  const auto pairs = CollectScoredPairs(simulation, options);
+  const std::size_t n = dataset.NodeCount();
+  EXPECT_EQ(pairs.size(), n * (n - 1));
+}
+
+TEST(ScoredPairs, LabelsAndQuantitiesMatchDataset) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  const double tau = simulation.config().tau;
+  const auto pairs = CollectScoredPairs(simulation);
+  for (const ScoredPair& pair : pairs) {
+    EXPECT_DOUBLE_EQ(pair.quantity, dataset.Quantity(pair.i, pair.j));
+    EXPECT_EQ(pair.label, datasets::ClassOf(dataset.metric, pair.quantity, tau));
+    EXPECT_DOUBLE_EQ(pair.score, simulation.Predict(pair.i, pair.j));
+  }
+}
+
+TEST(ScoredPairs, ReservoirSamplingCapsSize) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  CollectOptions options;
+  options.max_pairs = 100;
+  const auto pairs = CollectScoredPairs(simulation, options);
+  EXPECT_EQ(pairs.size(), 100u);
+  // Distinct pairs only.
+  std::set<std::pair<std::size_t, std::size_t>> unique;
+  for (const ScoredPair& pair : pairs) {
+    unique.insert({pair.i, pair.j});
+  }
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(ScoredPairs, ReservoirIsDeterministicPerSeed) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  CollectOptions options;
+  options.max_pairs = 50;
+  options.seed = 77;
+  const auto a = CollectScoredPairs(simulation, options);
+  const auto b = CollectScoredPairs(simulation, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].i, b[p].i);
+    EXPECT_EQ(a[p].j, b[p].j);
+  }
+}
+
+TEST(ScoredPairs, ExtractorsAlign) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  CollectOptions options;
+  options.max_pairs = 20;
+  const auto pairs = CollectScoredPairs(simulation, options);
+  const auto scores = Scores(pairs);
+  const auto labels = Labels(pairs);
+  ASSERT_EQ(scores.size(), pairs.size());
+  ASSERT_EQ(labels.size(), pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    EXPECT_DOUBLE_EQ(scores[p], pairs[p].score);
+    EXPECT_EQ(labels[p], pairs[p].label);
+  }
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval

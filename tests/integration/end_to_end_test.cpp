@@ -1,0 +1,275 @@
+// Integration tests: the full pipeline of the reproduction — dataset
+// generation -> decentralized DMFSGD training -> evaluation — exercised at
+// reduced scale, checking the qualitative claims of the paper end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/batch_mf.hpp"
+#include "core/error_injection.hpp"
+#include "core/simulation.hpp"
+#include "datasets/harvard.hpp"
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/confusion.hpp"
+#include "eval/peer_selection.hpp"
+#include "eval/precision_recall.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd {
+namespace {
+
+using core::DmfsgdSimulation;
+using core::SimulationConfig;
+using datasets::Dataset;
+
+Dataset MiniMeridian() {
+  datasets::MeridianConfig config;
+  config.node_count = 100;
+  config.seed = 91;
+  return datasets::MakeMeridian(config);
+}
+
+Dataset MiniHpS3() {
+  datasets::HpS3Config config;
+  config.host_count = 100;
+  config.seed = 93;
+  return datasets::MakeHpS3(config);
+}
+
+Dataset MiniHarvard() {
+  datasets::HarvardConfig config;
+  config.node_count = 60;
+  config.trace_records = 200000;
+  config.seed = 95;
+  return datasets::MakeHarvard(config);
+}
+
+SimulationConfig DefaultConfig(const Dataset& dataset) {
+  SimulationConfig config;
+  config.rank = 10;
+  config.neighbor_count = 16;
+  config.tau = dataset.MedianValue();
+  config.seed = 7;
+  return config;
+}
+
+double TestAuc(const DmfsgdSimulation& simulation) {
+  const auto pairs = eval::CollectScoredPairs(simulation);
+  return eval::Auc(eval::Scores(pairs), eval::Labels(pairs));
+}
+
+TEST(EndToEnd, AllThreeDatasetsReachPaperBallparkAuc) {
+  // Paper Figure 5: AUC well above 0.9 on all datasets under defaults.
+  {
+    const Dataset dataset = MiniMeridian();
+    DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+    simulation.RunRounds(600);
+    EXPECT_GT(TestAuc(simulation), 0.9);
+  }
+  {
+    const Dataset dataset = MiniHpS3();
+    DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+    simulation.RunRounds(600);
+    EXPECT_GT(TestAuc(simulation), 0.9);
+  }
+  {
+    const Dataset dataset = MiniHarvard();
+    DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+    (void)simulation.ReplayTrace();
+    EXPECT_GT(TestAuc(simulation), 0.85);
+  }
+}
+
+TEST(EndToEnd, AccuracyInPaperBallpark) {
+  // Paper Table 2: accuracies of 85-89% at the sign threshold.
+  const Dataset dataset = MiniMeridian();
+  DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  simulation.RunRounds(600);
+  const auto pairs = eval::CollectScoredPairs(simulation);
+  const auto cm = eval::ConfusionFromScores(eval::Scores(pairs),
+                                            eval::Labels(pairs));
+  EXPECT_GT(cm.Accuracy(), 0.8);
+  EXPECT_GT(cm.GoodRecall(), 0.7);
+  EXPECT_GT(cm.BadRecall(), 0.7);
+}
+
+TEST(EndToEnd, SingularValuesDecayFastForBothMetricsAndClasses) {
+  // Paper Figure 1 at reduced scale.
+  for (const Dataset& dataset : {MiniMeridian(), MiniHpS3()}) {
+    linalg::Matrix raw = dataset.ground_truth;
+    for (std::size_t i = 0; i < raw.Rows(); ++i) {
+      for (std::size_t j = 0; j < raw.Cols(); ++j) {
+        if (linalg::Matrix::IsMissing(raw(i, j))) {
+          raw(i, j) = 0.0;
+        }
+      }
+    }
+    linalg::Matrix classes = dataset.ClassMatrix(dataset.MedianValue());
+    for (std::size_t i = 0; i < classes.Rows(); ++i) {
+      for (std::size_t j = 0; j < classes.Cols(); ++j) {
+        if (linalg::Matrix::IsMissing(classes(i, j))) {
+          classes(i, j) = 0.0;
+        }
+      }
+    }
+    for (const linalg::Matrix* m : {&raw, &classes}) {
+      const auto spectrum =
+          linalg::NormalizeSpectrum(linalg::JacobiSvd(*m).singular_values);
+      // By the 20th singular value the normalized spectrum is tiny.
+      EXPECT_LT(spectrum[19], 0.16);
+    }
+  }
+}
+
+TEST(EndToEnd, ConvergenceWithinTwentyTimesK) {
+  // Paper Figure 5(c): converged after <= 20k measurements per node.
+  const Dataset dataset = MiniMeridian();
+  SimulationConfig config = DefaultConfig(dataset);
+  DmfsgdSimulation simulation(dataset, config);
+  simulation.RunRounds(20 * config.neighbor_count);
+  const double early = TestAuc(simulation);
+  simulation.RunRounds(30 * config.neighbor_count);
+  const double late = TestAuc(simulation);
+  EXPECT_GT(early, 0.87);
+  EXPECT_LT(std::abs(late - early), 0.05);  // already converged
+}
+
+TEST(EndToEnd, RobustnessOrderingMatchesFigure6) {
+  // Random errors (good-to-bad) hurt more than near-tau flips at the same
+  // error level.
+  const Dataset dataset = MiniMeridian();
+  const SimulationConfig config = DefaultConfig(dataset);
+  const double tau = config.tau;
+
+  const double delta =
+      core::DeltaForErrorRate(dataset, tau, core::ErrorType::kFlipNearTau, 0.15);
+  const std::vector<core::ErrorSpec> near_tau{{core::ErrorType::kFlipNearTau,
+                                               delta, 0.0}};
+  const std::vector<core::ErrorSpec> good_to_bad{{core::ErrorType::kGoodToBad,
+                                                  0.0, 0.15}};
+  const core::ErrorInjector near_injector(dataset, tau, near_tau, 11);
+  const core::ErrorInjector random_injector(dataset, tau, good_to_bad, 11);
+
+  DmfsgdSimulation clean(dataset, config);
+  DmfsgdSimulation near_sim(dataset, config, &near_injector);
+  DmfsgdSimulation random_sim(dataset, config, &random_injector);
+  clean.RunRounds(500);
+  near_sim.RunRounds(500);
+  random_sim.RunRounds(500);
+
+  const double auc_clean = TestAuc(clean);
+  const double auc_near = TestAuc(near_sim);
+  const double auc_random = TestAuc(random_sim);
+  EXPECT_GT(auc_clean, auc_near - 0.01);
+  EXPECT_GT(auc_near, auc_random);
+}
+
+TEST(EndToEnd, PeerSelectionStoryHolds) {
+  // Figure 7's qualitative story on RTT: both predictors beat random on
+  // stretch; regression at least matches classification on stretch;
+  // classification keeps unsatisfied nodes low.
+  const Dataset dataset = MiniMeridian();
+  SimulationConfig class_config = DefaultConfig(dataset);
+  DmfsgdSimulation class_sim(dataset, class_config);
+  class_sim.RunRounds(400);
+
+  SimulationConfig reg_config = DefaultConfig(dataset);
+  reg_config.mode = core::PredictionMode::kRegression;
+  reg_config.params.loss = core::LossKind::kL2;
+  reg_config.params.lambda = 0.01;  // weaker shrinkage for quantities
+  DmfsgdSimulation reg_sim(dataset, reg_config);
+  reg_sim.RunRounds(400);
+
+  eval::PeerSelectionConfig peer_config;
+  peer_config.peer_count = 30;
+  const auto random = eval::EvaluatePeerSelection(
+      class_sim, eval::SelectionMethod::kRandom, peer_config);
+  const auto classified = eval::EvaluatePeerSelection(
+      class_sim, eval::SelectionMethod::kClassification, peer_config);
+  const auto regressed = eval::EvaluatePeerSelection(
+      reg_sim, eval::SelectionMethod::kRegression, peer_config);
+
+  EXPECT_LT(classified.average_stretch, random.average_stretch);
+  EXPECT_LT(regressed.average_stretch, random.average_stretch);
+  EXPECT_LT(classified.unsatisfied_fraction, 0.2);
+  EXPECT_LT(classified.unsatisfied_fraction, random.unsatisfied_fraction);
+}
+
+TEST(EndToEnd, DecentralizedTracksCentralizedBaseline) {
+  // Ablation (DESIGN.md): DMFSGD should land within a few AUC points of the
+  // centralized batch solver on the same observed entries.
+  const Dataset dataset = MiniMeridian();
+  SimulationConfig config = DefaultConfig(dataset);
+  DmfsgdSimulation simulation(dataset, config);
+  simulation.RunRounds(600);
+
+  // Build the observed label matrix: exactly the neighbor-pair labels.
+  const std::size_t n = dataset.NodeCount();
+  linalg::Matrix observed(n, n, linalg::Matrix::kMissing);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const core::NodeId j : simulation.Neighbors()[i]) {
+      observed(i, j) = static_cast<double>(
+          datasets::ClassOf(dataset.metric, dataset.Quantity(i, j), config.tau));
+    }
+  }
+  core::BatchMfConfig batch_config;
+  batch_config.rank = config.rank;
+  batch_config.epochs = 150;
+  const auto batch = core::FitBatchMf(observed, batch_config);
+
+  // Evaluate both on the same test pairs.
+  const auto pairs = eval::CollectScoredPairs(simulation);
+  std::vector<double> batch_scores;
+  batch_scores.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    batch_scores.push_back(batch.Predict(pair.i, pair.j));
+  }
+  const auto labels = eval::Labels(pairs);
+  const double auc_decentralized = eval::Auc(eval::Scores(pairs), labels);
+  const double auc_centralized = eval::Auc(batch_scores, labels);
+  EXPECT_GT(auc_decentralized, auc_centralized - 0.05);
+}
+
+TEST(EndToEnd, SymmetricUpdateAblationOnRttData) {
+  // Design-choice ablation: on symmetric RTT data, Algorithm 1 (which
+  // updates both u_i and v_i per measurement) must not lose to a
+  // hypothetical one-sided variant.  We emulate the one-sided variant by an
+  // ABW-mode run on the symmetrized data with the same budget.
+  const Dataset rtt = MiniMeridian();
+  SimulationConfig config = DefaultConfig(rtt);
+  DmfsgdSimulation two_sided(rtt, config);
+  two_sided.RunRounds(200);
+
+  Dataset as_abw = rtt;
+  as_abw.metric = datasets::Metric::kAbw;
+  // For ABW semantics "good == above tau", so flip labels by using the
+  // complementary threshold portion: choose tau so the good fraction stays
+  // one half (the median still works since the distribution is unchanged).
+  SimulationConfig abw_config = config;
+  DmfsgdSimulation one_sided(as_abw, abw_config);
+  one_sided.RunRounds(200);
+
+  const double auc_two = TestAuc(two_sided);
+  const double auc_one = TestAuc(one_sided);
+  EXPECT_GT(auc_two + 0.02, auc_one);
+}
+
+TEST(EndToEnd, CoordinatesStayBoundedUnderLongTraining) {
+  // eq. 4 non-uniqueness: without drift control coordinates could blow up;
+  // the regularizer must keep norms bounded over long runs.
+  const Dataset dataset = MiniMeridian();
+  DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));
+  simulation.RunRounds(1000);
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    EXPECT_LT(linalg::Norm2(simulation.node(i).u()), 100.0);
+    EXPECT_LT(linalg::Norm2(simulation.node(i).v()), 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace dmfsgd

@@ -1,0 +1,99 @@
+#include "linalg/low_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/svd.hpp"
+
+namespace dmfsgd::linalg {
+namespace {
+
+TEST(EffectiveRank, FullEnergyNeedsWholeSpectrumOfFlatInput) {
+  const std::vector<double> flat{1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(EffectiveRank(flat, 1.0), 4u);
+  EXPECT_EQ(EffectiveRank(flat, 0.5), 2u);
+  EXPECT_EQ(EffectiveRank(flat, 0.25), 1u);
+}
+
+TEST(EffectiveRank, FastDecayGivesSmallRank) {
+  const std::vector<double> decaying{10.0, 1.0, 0.1, 0.01};
+  EXPECT_EQ(EffectiveRank(decaying, 0.98), 1u);
+}
+
+TEST(EffectiveRank, RejectsBadArguments) {
+  EXPECT_THROW((void)EffectiveRank({}, 0.9), std::invalid_argument);
+  EXPECT_THROW((void)EffectiveRank(std::vector<double>{1.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)EffectiveRank(std::vector<double>{1.0}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(RankTruncationError, ZeroWhenNothingTruncated) {
+  const std::vector<double> s{3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(RankTruncationError(s, 3), 0.0);
+  EXPECT_DOUBLE_EQ(RankTruncationError(s, 10), 0.0);
+}
+
+TEST(RankTruncationError, FullTruncationIsOne) {
+  const std::vector<double> s{3.0, 2.0};
+  EXPECT_DOUBLE_EQ(RankTruncationError(s, 0), 1.0);
+}
+
+TEST(RankTruncationError, MatchesHandComputation) {
+  const std::vector<double> s{2.0, 1.0, 1.0};
+  // tail = 1 + 1 = 2, total = 6 -> sqrt(1/3)
+  EXPECT_NEAR(RankTruncationError(s, 1), std::sqrt(2.0 / 6.0), 1e-12);
+}
+
+TEST(RandomLowRankMatrix, HasRequestedRank) {
+  common::Rng rng(3);
+  const Matrix m = RandomLowRankMatrix(10, 8, 4, rng);
+  const SvdResult svd = JacobiSvd(m);
+  EXPECT_GT(svd.singular_values[3], 1e-10);
+  EXPECT_NEAR(svd.singular_values[4], 0.0, 1e-9 * svd.singular_values[0]);
+}
+
+TEST(RandomLowRankMatrix, RejectsInvalidRank) {
+  common::Rng rng(3);
+  EXPECT_THROW((void)RandomLowRankMatrix(4, 4, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)RandomLowRankMatrix(4, 4, 5, rng), std::invalid_argument);
+}
+
+TEST(ClassMatrix, ThresholdsWithGoodBelow) {
+  Matrix values(2, 2, Matrix::kMissing);
+  values(0, 1) = 10.0;
+  values(1, 0) = 100.0;
+  const Matrix classes = ClassMatrix(values, 50.0, /*good_if_below=*/true);
+  EXPECT_DOUBLE_EQ(classes(0, 1), 1.0);    // 10 <= 50: good
+  EXPECT_DOUBLE_EQ(classes(1, 0), -1.0);   // 100 > 50: bad
+  EXPECT_TRUE(Matrix::IsMissing(classes(0, 0)));
+}
+
+TEST(ClassMatrix, ThresholdsWithGoodAbove) {
+  Matrix values(1, 2, 0.0);
+  values(0, 0) = 80.0;
+  values(0, 1) = 20.0;
+  const Matrix classes = ClassMatrix(values, 50.0, /*good_if_below=*/false);
+  EXPECT_DOUBLE_EQ(classes(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(classes(0, 1), -1.0);
+}
+
+TEST(ClassMatrix, BoundaryCountsAsGood) {
+  Matrix values(1, 1, 50.0);
+  EXPECT_DOUBLE_EQ(ClassMatrix(values, 50.0, true)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ClassMatrix(values, 50.0, false)(0, 0), 1.0);
+}
+
+TEST(ClassMatrixRank, ClassMatrixOfLowRankInputIsLowEffectiveRank) {
+  // The empirical cornerstone of the paper's Figure 1: thresholding a
+  // low-rank matrix keeps the effective rank small.
+  common::Rng rng(7);
+  const Matrix values = RandomLowRankMatrix(40, 40, 3, rng);
+  const Matrix classes = ClassMatrix(values, 0.0, /*good_if_below=*/true);
+  const SvdResult svd = JacobiSvd(classes);
+  const std::size_t rank90 = EffectiveRank(svd.singular_values, 0.9);
+  EXPECT_LT(rank90, 12u);  // far below the ambient dimension 40
+}
+
+}  // namespace
+}  // namespace dmfsgd::linalg

@@ -1,0 +1,209 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  const Matrix m;
+  EXPECT_TRUE(m.Empty());
+  EXPECT_EQ(m.Rows(), 0u);
+  EXPECT_EQ(m.Cols(), 0u);
+}
+
+TEST(Matrix, ConstructWithFill) {
+  const Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 3u);
+  EXPECT_EQ(m.Size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+    }
+  }
+}
+
+TEST(Matrix, AtBoundsChecks) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.At(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.At(0, 2), std::out_of_range);
+  m.At(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(3, 4);
+  auto row = m.Row(1);
+  ASSERT_EQ(row.size(), 4u);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+  EXPECT_THROW((void)m.Row(3), std::out_of_range);
+}
+
+TEST(Matrix, MissingConvention) {
+  Matrix m(2, 2, Matrix::kMissing);
+  EXPECT_TRUE(Matrix::IsMissing(m(0, 0)));
+  EXPECT_EQ(m.KnownCount(), 0u);
+  m(0, 1) = 3.0;
+  EXPECT_EQ(m.KnownCount(), 1u);
+}
+
+TEST(Matrix, FillUniformWithinBounds) {
+  common::Rng rng(1);
+  Matrix m(10, 10);
+  m.FillUniform(rng, 2.0, 5.0);
+  for (const double v : m.Data()) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = -2.0;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.Rows(), 3u);
+  EXPECT_EQ(t.Cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -2.0);
+}
+
+TEST(Matrix, SymmetrizedAveragesPairs) {
+  Matrix m(2, 2, 0.0);
+  m(0, 1) = 4.0;
+  m(1, 0) = 2.0;
+  const Matrix s = m.Symmetrized();
+  EXPECT_DOUBLE_EQ(s(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 3.0);
+}
+
+TEST(Matrix, SymmetrizedPropagatesKnownSide) {
+  Matrix m(2, 2, Matrix::kMissing);
+  m(0, 1) = 4.0;
+  const Matrix s = m.Symmetrized();
+  EXPECT_DOUBLE_EQ(s(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 4.0);
+  EXPECT_TRUE(Matrix::IsMissing(s(0, 0)));
+}
+
+TEST(Matrix, SymmetrizedRequiresSquare) {
+  const Matrix m(2, 3);
+  EXPECT_THROW((void)m.Symmetrized(), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNormSkipsMissing) {
+  Matrix m(2, 2, Matrix::kMissing);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(Matrix, AlmostEqualToleratesDifferences) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b(0, 0) = 1.05;
+  EXPECT_TRUE(a.AlmostEqual(b, 0.1));
+  EXPECT_FALSE(a.AlmostEqual(b, 0.01));
+}
+
+TEST(Matrix, AlmostEqualTreatsNanAsEqual) {
+  Matrix a(1, 2, Matrix::kMissing);
+  Matrix b(1, 2, Matrix::kMissing);
+  EXPECT_TRUE(a.AlmostEqual(b, 0.0));
+  b(0, 0) = 1.0;
+  EXPECT_FALSE(a.AlmostEqual(b, 0.0));
+}
+
+TEST(Matrix, EqualityOperator) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 2.0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Multiply, MatchesHandComputedProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double value = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = value++;
+    }
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      b(r, c) = value++;
+    }
+  }
+  const Matrix c = Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Multiply, RejectsDimensionMismatch) {
+  EXPECT_THROW((void)Multiply(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(MultiplyTransposed, EqualsMultiplyWithExplicitTranspose) {
+  common::Rng rng(3);
+  Matrix a(4, 3);
+  Matrix b(5, 3);
+  a.FillUniform(rng, -1.0, 1.0);
+  b.FillUniform(rng, -1.0, 1.0);
+  const Matrix direct = MultiplyTransposed(a, b);
+  const Matrix expected = Multiply(a, b.Transposed());
+  EXPECT_TRUE(direct.AlmostEqual(expected, 1e-12));
+}
+
+TEST(MultiplyTransposed, RejectsColumnMismatch) {
+  EXPECT_THROW((void)MultiplyTransposed(Matrix(2, 3), Matrix(2, 4)),
+               std::invalid_argument);
+}
+
+TEST(FrobeniusDistance, ZeroForIdenticalMatrices) {
+  Matrix a(3, 3, 2.0);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, a), 0.0);
+}
+
+TEST(FrobeniusDistance, SkipsMissingEntries) {
+  Matrix a(1, 2, 1.0);
+  Matrix b(1, 2, 4.0);
+  b(0, 1) = Matrix::kMissing;
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, b), 3.0);
+  EXPECT_THROW((void)FrobeniusDistance(a, Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(TopLeftSubmatrix, ExtractsCorner) {
+  Matrix m(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      m(r, c) = static_cast<double>(r * 3 + c);
+    }
+  }
+  const Matrix sub = TopLeftSubmatrix(m, 2);
+  EXPECT_EQ(sub.Rows(), 2u);
+  EXPECT_DOUBLE_EQ(sub(1, 1), 4.0);
+  EXPECT_THROW((void)TopLeftSubmatrix(m, 4), std::invalid_argument);
+}
+
+TEST(KnownOffDiagonal, SkipsDiagonalAndMissing) {
+  Matrix m(2, 2, Matrix::kMissing);
+  m(0, 0) = 99.0;  // diagonal: ignored even though known
+  m(0, 1) = 1.0;
+  const auto values = KnownOffDiagonal(m);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+}
+
+}  // namespace
+}  // namespace dmfsgd::linalg

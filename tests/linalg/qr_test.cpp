@@ -1,0 +1,91 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::linalg {
+namespace {
+
+TEST(Qr, IdentityFactorsTrivially) {
+  Matrix eye(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    eye(i, i) = 1.0;
+  }
+  const QrResult qr = QrDecompose(eye);
+  EXPECT_TRUE(qr.q.AlmostEqual(eye, 1e-12));
+  EXPECT_TRUE(qr.r.AlmostEqual(eye, 1e-12));
+}
+
+TEST(Qr, ReconstructsInput) {
+  common::Rng rng(5);
+  Matrix a(8, 5);
+  a.FillUniform(rng, -2.0, 2.0);
+  const QrResult qr = QrDecompose(a);
+  const Matrix reconstructed = Multiply(qr.q, qr.r);
+  EXPECT_TRUE(reconstructed.AlmostEqual(a, 1e-10));
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  common::Rng rng(7);
+  Matrix a(20, 6);
+  a.FillUniform(rng, -1.0, 1.0);
+  const QrResult qr = QrDecompose(a);
+  EXPECT_LT(OrthonormalityDefect(qr.q), 1e-10);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  common::Rng rng(9);
+  Matrix a(6, 4);
+  a.FillUniform(rng, -1.0, 1.0);
+  const QrResult qr = QrDecompose(a);
+  for (std::size_t r = 1; r < 4; ++r) {
+    for (std::size_t c = 0; c < r; ++c) {
+      EXPECT_DOUBLE_EQ(qr.r(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Qr, RequiresTallMatrix) {
+  EXPECT_THROW((void)QrDecompose(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Qr, HandlesRankDeficiencyWithoutNan) {
+  // Second column is a multiple of the first: the projected column vanishes.
+  Matrix a(4, 2, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);
+  }
+  const QrResult qr = QrDecompose(a);
+  for (const double v : qr.q.Data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_NEAR(qr.r(1, 1), 0.0, 1e-10);  // rank deficiency shows up in R
+  const Matrix reconstructed = Multiply(qr.q, qr.r);
+  EXPECT_TRUE(reconstructed.AlmostEqual(a, 1e-10));
+}
+
+// Property sweep over shapes: QR must reconstruct and stay orthonormal.
+class QrPropertyTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrPropertyTest, ReconstructionAndOrthogonality) {
+  const auto [rows, cols] = GetParam();
+  common::Rng rng(rows * 31 + cols);
+  Matrix a(rows, cols);
+  a.FillUniform(rng, -3.0, 3.0);
+  const QrResult qr = QrDecompose(a);
+  EXPECT_TRUE(Multiply(qr.q, qr.r).AlmostEqual(a, 1e-9));
+  EXPECT_LT(OrthonormalityDefect(qr.q), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrPropertyTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{5, 5},
+                                           std::pair<std::size_t, std::size_t>{10, 3},
+                                           std::pair<std::size_t, std::size_t>{40, 12},
+                                           std::pair<std::size_t, std::size_t>{100, 20}));
+
+}  // namespace
+}  // namespace dmfsgd::linalg

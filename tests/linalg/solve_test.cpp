@@ -1,0 +1,154 @@
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::linalg {
+namespace {
+
+TEST(SolveLinearSystem, Solves2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const std::vector<double> b{5.0, 10.0};
+  const auto x = SolveLinearSystem(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, IdentityReturnsRhs) {
+  Matrix eye(4, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    eye(i, i) = 1.0;
+  }
+  const std::vector<double> b{1.0, -2.0, 3.5, 0.0};
+  const auto x = SolveLinearSystem(eye, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(x[i], b[i]);
+  }
+}
+
+TEST(SolveLinearSystem, PivotingHandlesZeroDiagonal) {
+  // Leading zero requires a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = SolveLinearSystem(a, std::vector<double>{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RejectsSingularAndBadShapes) {
+  Matrix singular(2, 2, 1.0);  // rank 1
+  EXPECT_THROW((void)SolveLinearSystem(singular, std::vector<double>{1.0, 1.0}),
+               std::runtime_error);
+  EXPECT_THROW((void)SolveLinearSystem(Matrix(2, 3), std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)SolveLinearSystem(Matrix(2, 2, 1.0), std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, RandomSystemsRoundTrip) {
+  common::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(std::uint64_t{8});
+    Matrix a(n, n);
+    a.FillUniform(rng, -2.0, 2.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, i) += 3.0;  // diagonal dominance keeps it well-conditioned
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) {
+      v = rng.Uniform(-5.0, 5.0);
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        b[i] += a(i, j) * x_true[j];
+      }
+    }
+    const auto x = SolveLinearSystem(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(SolveLeastSquares, ExactSystemRecovered) {
+  // Tall consistent system: least squares equals the exact solution.
+  common::Rng rng(5);
+  Matrix a(10, 3);
+  a.FillUniform(rng, -1.0, 1.0);
+  const std::vector<double> x_true{1.5, -2.0, 0.5};
+  std::vector<double> b(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      b[i] += a(i, j) * x_true[j];
+    }
+  }
+  const auto x = SolveLeastSquares(a, b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(x[j], x_true[j], 1e-9);
+  }
+}
+
+TEST(SolveLeastSquares, ResidualIsOrthogonalToColumns) {
+  // The defining property of the least-squares solution: Aᵀ(b - Ax) = 0.
+  common::Rng rng(7);
+  Matrix a(20, 4);
+  a.FillUniform(rng, -1.0, 1.0);
+  std::vector<double> b(20);
+  for (double& v : b) {
+    v = rng.Uniform(-3.0, 3.0);
+  }
+  const auto x = SolveLeastSquares(a, b);
+  for (std::size_t j = 0; j < 4; ++j) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      double ax = 0.0;
+      for (std::size_t c = 0; c < 4; ++c) {
+        ax += a(i, c) * x[c];
+      }
+      dot += a(i, j) * (b[i] - ax);
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-8);
+  }
+}
+
+TEST(SolveLeastSquares, RidgeShrinksSolution) {
+  common::Rng rng(9);
+  Matrix a(15, 3);
+  a.FillUniform(rng, -1.0, 1.0);
+  std::vector<double> b(15);
+  for (double& v : b) {
+    v = rng.Uniform(-3.0, 3.0);
+  }
+  const auto plain = SolveLeastSquares(a, b, 0.0);
+  const auto ridged = SolveLeastSquares(a, b, 100.0);
+  double norm_plain = 0.0;
+  double norm_ridged = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    norm_plain += plain[j] * plain[j];
+    norm_ridged += ridged[j] * ridged[j];
+  }
+  EXPECT_LT(norm_ridged, norm_plain);
+}
+
+TEST(SolveLeastSquares, RejectsBadShapes) {
+  EXPECT_THROW((void)SolveLeastSquares(Matrix(2, 3), std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)SolveLeastSquares(Matrix(3, 2, 1.0), std::vector<double>{1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)SolveLeastSquares(Matrix(3, 2, 1.0),
+                                       std::vector<double>{1.0, 2.0, 3.0}, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfsgd::linalg

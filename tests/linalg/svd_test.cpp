@@ -1,0 +1,200 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/low_rank.hpp"
+#include "linalg/qr.hpp"
+
+namespace dmfsgd::linalg {
+namespace {
+
+Matrix DiagonalMatrix(std::initializer_list<double> values) {
+  Matrix m(values.size(), values.size(), 0.0);
+  std::size_t i = 0;
+  for (const double v : values) {
+    m(i, i) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(JacobiSvd, DiagonalMatrixSpectrumIsSortedAbsolutes) {
+  const Matrix m = DiagonalMatrix({3.0, -7.0, 1.0});
+  const SvdResult svd = JacobiSvd(m);
+  ASSERT_EQ(svd.singular_values.size(), 3u);
+  EXPECT_NEAR(svd.singular_values[0], 7.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 3.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiSvd, Known2x2) {
+  // A = [3 0; 4 5] has singular values sqrt(45) and sqrt(5).
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 0) = 4.0;
+  a(1, 1) = 5.0;
+  const SvdResult svd = JacobiSvd(a);
+  EXPECT_NEAR(svd.singular_values[0], std::sqrt(45.0), 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], std::sqrt(5.0), 1e-10);
+}
+
+TEST(JacobiSvd, ReconstructsMatrixFromFactors) {
+  common::Rng rng(11);
+  Matrix a(7, 5);
+  a.FillUniform(rng, -2.0, 2.0);
+  SvdOptions options;
+  options.compute_u = true;
+  options.compute_v = true;
+  const SvdResult svd = JacobiSvd(a, options);
+
+  // A ?= U diag(s) V^T
+  Matrix us = svd.u;  // 7 x 5
+  for (std::size_t r = 0; r < us.Rows(); ++r) {
+    for (std::size_t c = 0; c < us.Cols(); ++c) {
+      us(r, c) *= svd.singular_values[c];
+    }
+  }
+  const Matrix reconstructed = MultiplyTransposed(us, svd.v);
+  EXPECT_TRUE(reconstructed.AlmostEqual(a, 1e-9));
+}
+
+TEST(JacobiSvd, WideMatrixHandledByTransposition) {
+  common::Rng rng(13);
+  Matrix a(3, 9);
+  a.FillUniform(rng, -1.0, 1.0);
+  SvdOptions options;
+  options.compute_u = true;
+  options.compute_v = true;
+  const SvdResult svd = JacobiSvd(a, options);
+  ASSERT_EQ(svd.singular_values.size(), 3u);
+  EXPECT_EQ(svd.u.Rows(), 3u);
+  EXPECT_EQ(svd.v.Rows(), 9u);
+
+  Matrix us = svd.u;
+  for (std::size_t r = 0; r < us.Rows(); ++r) {
+    for (std::size_t c = 0; c < us.Cols(); ++c) {
+      us(r, c) *= svd.singular_values[c];
+    }
+  }
+  EXPECT_TRUE(MultiplyTransposed(us, svd.v).AlmostEqual(a, 1e-9));
+}
+
+TEST(JacobiSvd, SingularVectorsAreOrthonormal) {
+  common::Rng rng(17);
+  Matrix a(10, 6);
+  a.FillUniform(rng, -1.0, 1.0);
+  SvdOptions options;
+  options.compute_u = true;
+  options.compute_v = true;
+  const SvdResult svd = JacobiSvd(a, options);
+  EXPECT_LT(OrthonormalityDefect(svd.u), 1e-9);
+  EXPECT_LT(OrthonormalityDefect(svd.v), 1e-9);
+}
+
+TEST(JacobiSvd, ExactLowRankMatrixHasZeroTail) {
+  common::Rng rng(19);
+  const Matrix a = RandomLowRankMatrix(12, 12, 3, rng);
+  const SvdResult svd = JacobiSvd(a);
+  ASSERT_EQ(svd.singular_values.size(), 12u);
+  EXPECT_GT(svd.singular_values[2], 1e-8);
+  for (std::size_t i = 3; i < 12; ++i) {
+    EXPECT_NEAR(svd.singular_values[i], 0.0, 1e-8 * svd.singular_values[0]);
+  }
+}
+
+TEST(JacobiSvd, FrobeniusNormIdentity) {
+  // ||A||_F^2 == sum of squared singular values.
+  common::Rng rng(23);
+  Matrix a(9, 9);
+  a.FillUniform(rng, -1.0, 1.0);
+  const SvdResult svd = JacobiSvd(a);
+  double sum = 0.0;
+  for (const double s : svd.singular_values) {
+    sum += s * s;
+  }
+  EXPECT_NEAR(std::sqrt(sum), a.FrobeniusNorm(), 1e-9);
+}
+
+TEST(JacobiSvd, RejectsEmptyAndNonFinite) {
+  EXPECT_THROW((void)JacobiSvd(Matrix()), std::invalid_argument);
+  Matrix with_nan(2, 2, 0.0);
+  with_nan(0, 1) = Matrix::kMissing;
+  EXPECT_THROW((void)JacobiSvd(with_nan), std::invalid_argument);
+}
+
+TEST(RandomizedSvd, MatchesExactTopKOnModeratelyLowRank) {
+  common::Rng rng(29);
+  // Rank-8 matrix + small noise: a realistic fast-decaying spectrum.
+  Matrix a = RandomLowRankMatrix(60, 60, 8, rng);
+  for (double& v : a.Data()) {
+    v += rng.Normal(0.0, 1e-3);
+  }
+  const SvdResult exact = JacobiSvd(a);
+  common::Rng probe_rng(31);
+  const SvdResult approx = RandomizedTopKSvd(a, 10, probe_rng);
+  ASSERT_EQ(approx.singular_values.size(), 10u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(approx.singular_values[i], exact.singular_values[i],
+                1e-6 * exact.singular_values[0]);
+  }
+}
+
+TEST(RandomizedSvd, FactorsReconstructLowRankInput) {
+  common::Rng rng(37);
+  const Matrix a = RandomLowRankMatrix(40, 30, 5, rng);
+  common::Rng probe_rng(41);
+  const SvdResult svd = RandomizedTopKSvd(a, 5, probe_rng);
+  Matrix us = svd.u;
+  for (std::size_t r = 0; r < us.Rows(); ++r) {
+    for (std::size_t c = 0; c < us.Cols(); ++c) {
+      us(r, c) *= svd.singular_values[c];
+    }
+  }
+  const Matrix reconstructed = MultiplyTransposed(us, svd.v);
+  EXPECT_LT(FrobeniusDistance(reconstructed, a), 1e-6 * a.FrobeniusNorm());
+}
+
+TEST(RandomizedSvd, RejectsInvalidK) {
+  common::Rng rng(43);
+  Matrix a(5, 5, 1.0);
+  EXPECT_THROW((void)RandomizedTopKSvd(a, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)RandomizedTopKSvd(a, 6, rng), std::invalid_argument);
+}
+
+TEST(NormalizeSpectrum, HeadBecomesOne) {
+  const auto normalized = NormalizeSpectrum({4.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(normalized[0], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[1], 0.5);
+  EXPECT_DOUBLE_EQ(normalized[2], 0.25);
+}
+
+TEST(NormalizeSpectrum, RejectsDegenerateInput) {
+  EXPECT_THROW((void)NormalizeSpectrum({}), std::invalid_argument);
+  EXPECT_THROW((void)NormalizeSpectrum({0.0, 0.0}), std::invalid_argument);
+}
+
+// Property sweep: the top singular value must upper-bound the column norms
+// and the spectrum must be non-negative and sorted, for any input.
+class SvdPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvdPropertyTest, SpectrumSortedNonNegative) {
+  common::Rng rng(GetParam());
+  Matrix a(15, 8);
+  a.FillUniform(rng, -5.0, 5.0);
+  const SvdResult svd = JacobiSvd(a);
+  for (std::size_t i = 0; i < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1] + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvdPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dmfsgd::linalg

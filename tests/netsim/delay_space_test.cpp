@@ -1,0 +1,147 @@
+#include "netsim/delay_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "linalg/low_rank.hpp"
+#include "linalg/svd.hpp"
+
+namespace dmfsgd::netsim {
+namespace {
+
+DelaySpaceConfig SmallConfig() {
+  DelaySpaceConfig config;
+  config.node_count = 60;
+  config.cluster_count = 4;
+  config.seed = 123;
+  return config;
+}
+
+TEST(DelaySpace, DeterministicAcrossInstances) {
+  const DelaySpace a(SmallConfig());
+  const DelaySpace b(SmallConfig());
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(a.Rtt(i, j), b.Rtt(i, j));
+    }
+  }
+}
+
+TEST(DelaySpace, RttIsSymmetric) {
+  const DelaySpace space(SmallConfig());
+  for (std::size_t i = 0; i < space.NodeCount(); ++i) {
+    for (std::size_t j = i + 1; j < space.NodeCount(); ++j) {
+      EXPECT_DOUBLE_EQ(space.Rtt(i, j), space.Rtt(j, i));
+    }
+  }
+}
+
+TEST(DelaySpace, RttIsPositive) {
+  const DelaySpace space(SmallConfig());
+  for (std::size_t i = 0; i < space.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < space.NodeCount(); ++j) {
+      if (i != j) {
+        EXPECT_GT(space.Rtt(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(DelaySpace, RejectsSelfPairAndBadIndex) {
+  const DelaySpace space(SmallConfig());
+  EXPECT_THROW((void)space.Rtt(1, 1), std::invalid_argument);
+  EXPECT_THROW((void)space.Rtt(0, space.NodeCount()), std::out_of_range);
+  EXPECT_THROW((void)space.Cluster(space.NodeCount()), std::out_of_range);
+}
+
+TEST(DelaySpace, RejectsDegenerateConfigs) {
+  DelaySpaceConfig config = SmallConfig();
+  config.node_count = 1;
+  EXPECT_THROW(DelaySpace{config}, std::invalid_argument);
+  config = SmallConfig();
+  config.cluster_count = 0;
+  EXPECT_THROW(DelaySpace{config}, std::invalid_argument);
+  config = SmallConfig();
+  config.dimensions = 0;
+  EXPECT_THROW(DelaySpace{config}, std::invalid_argument);
+}
+
+TEST(DelaySpace, IntraClusterShorterThanInterClusterOnAverage) {
+  const DelaySpace space(SmallConfig());
+  common::RunningStats intra;
+  common::RunningStats inter;
+  for (std::size_t i = 0; i < space.NodeCount(); ++i) {
+    for (std::size_t j = i + 1; j < space.NodeCount(); ++j) {
+      if (space.Cluster(i) == space.Cluster(j)) {
+        intra.Add(space.Rtt(i, j));
+      } else {
+        inter.Add(space.Rtt(i, j));
+      }
+    }
+  }
+  ASSERT_GT(intra.Count(), 10u);
+  ASSERT_GT(inter.Count(), 10u);
+  EXPECT_LT(intra.Mean(), inter.Mean());
+}
+
+TEST(DelaySpace, MatrixMatchesPairQueries) {
+  const DelaySpace space(SmallConfig());
+  const linalg::Matrix m = space.ToMatrix();
+  EXPECT_EQ(m.Rows(), space.NodeCount());
+  EXPECT_TRUE(linalg::Matrix::IsMissing(m(3, 3)));
+  EXPECT_DOUBLE_EQ(m(2, 5), space.Rtt(2, 5));
+  EXPECT_DOUBLE_EQ(m(5, 2), m(2, 5));
+}
+
+TEST(DelaySpace, MatrixHasLowEffectiveRank) {
+  // The structural property that justifies matrix factorization (paper §4.1):
+  // 90% of the spectral energy concentrates in a handful of components.
+  const DelaySpace space(SmallConfig());
+  linalg::Matrix m = space.ToMatrix();
+  for (std::size_t i = 0; i < m.Rows(); ++i) {
+    m(i, i) = 0.0;  // SVD needs finite entries
+  }
+  const auto svd = linalg::JacobiSvd(m);
+  const std::size_t rank = linalg::EffectiveRank(svd.singular_values, 0.9);
+  EXPECT_LE(rank, 10u);
+}
+
+TEST(DelaySpace, DifferentSeedsGiveDifferentWorlds) {
+  DelaySpaceConfig other = SmallConfig();
+  other.seed = 321;
+  const DelaySpace a(SmallConfig());
+  const DelaySpace b(other);
+  int equal = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      if (a.Rtt(i, j) == b.Rtt(i, j)) {
+        ++equal;
+      }
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DelaySpace, DetourInflatesBeyondPureGeometry) {
+  // With a large detour sigma RTTs must (on average) exceed the same space
+  // with detours disabled; checks the lognormal detour is actually applied.
+  DelaySpaceConfig no_detour = SmallConfig();
+  no_detour.detour_cluster_sigma = 0.0;
+  no_detour.detour_pair_sigma = 0.0;
+  DelaySpaceConfig detour = SmallConfig();
+  detour.detour_cluster_sigma = 0.5;
+  detour.detour_pair_sigma = 0.05;
+  const DelaySpace base(no_detour);
+  const DelaySpace inflated(detour);
+  common::RunningStats ratio;
+  for (std::size_t i = 0; i < base.NodeCount(); ++i) {
+    for (std::size_t j = i + 1; j < base.NodeCount(); ++j) {
+      ratio.Add(inflated.Rtt(i, j) / base.Rtt(i, j));
+    }
+  }
+  // LogNormal(0, 0.5) has mean exp(0.125) ≈ 1.13 > 1.
+  EXPECT_GT(ratio.Mean(), 1.02);
+}
+
+}  // namespace
+}  // namespace dmfsgd::netsim

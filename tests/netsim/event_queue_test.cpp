@@ -1,0 +1,104 @@
+#include "netsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmfsgd::netsim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue queue;
+  EXPECT_DOUBLE_EQ(queue.Now(), 0.0);
+  EXPECT_EQ(queue.Pending(), 0u);
+  EXPECT_FALSE(queue.RunOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(3.0, [&] { order.push_back(3); });
+  queue.Schedule(1.0, [&] { order.push_back(1); });
+  queue.Schedule(2.0, [&] { order.push_back(2); });
+  queue.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.Now(), 10.0);
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.RunUntil(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(1.0, [&] { ++fired; });
+  queue.Schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.RunUntil(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.Pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.Now(), 2.0);
+  queue.RunUntil(5.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue queue;
+  int chain = 0;
+  std::function<void()> self_schedule = [&] {
+    ++chain;
+    if (chain < 5) {
+      queue.Schedule(1.0, self_schedule);
+    }
+  };
+  queue.Schedule(1.0, self_schedule);
+  queue.RunUntil(100.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(queue.Now(), 100.0);
+  EXPECT_EQ(queue.Executed(), 5u);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue queue;
+  double observed = -1.0;
+  queue.Schedule(2.5, [&] { observed = queue.Now(); });
+  queue.RunUntil(3.0);
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(EventQueue, RunOneExecutesExactlyOne) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(1.0, [&] { ++fired; });
+  queue.Schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(queue.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.Now(), 1.0);
+}
+
+TEST(EventQueue, RejectsBadArguments) {
+  EventQueue queue;
+  EXPECT_THROW(queue.Schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.Schedule(1.0, EventQueue::Callback{}), std::invalid_argument);
+}
+
+TEST(EventQueue, RelativeDelaysCompose) {
+  // An event scheduled from within a callback is relative to the callback's
+  // firing time, not the original schedule time.
+  EventQueue queue;
+  double second_fire = 0.0;
+  queue.Schedule(2.0, [&] {
+    queue.Schedule(3.0, [&] { second_fire = queue.Now(); });
+  });
+  queue.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(second_fire, 5.0);
+}
+
+}  // namespace
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,82 @@
+#include "transport/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace dmfsgd::transport {
+namespace {
+
+std::vector<std::byte> Bytes(const char* text) {
+  std::vector<std::byte> out(std::strlen(text));
+  std::memcpy(out.data(), text, out.size());
+  return out;
+}
+
+TEST(UdpSocket, BindsEphemeralPort) {
+  UdpSocket socket;
+  EXPECT_GT(socket.Port(), 0);
+}
+
+TEST(UdpSocket, DistinctSocketsGetDistinctPorts) {
+  UdpSocket a;
+  UdpSocket b;
+  EXPECT_NE(a.Port(), b.Port());
+}
+
+TEST(UdpSocket, SendReceiveRoundTrip) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  const auto payload = Bytes("hello dmfsgd");
+  sender.SendTo(payload, receiver.Port());
+  const auto datagram = receiver.Receive(1000);
+  ASSERT_TRUE(datagram.has_value());
+  EXPECT_EQ(datagram->payload, payload);
+  EXPECT_EQ(datagram->sender_port, sender.Port());
+}
+
+TEST(UdpSocket, ReceiveTimesOutWhenIdle) {
+  UdpSocket socket;
+  EXPECT_FALSE(socket.Receive(0).has_value());
+  EXPECT_FALSE(socket.Receive(10).has_value());
+}
+
+TEST(UdpSocket, RejectsEmptyPayload) {
+  UdpSocket socket;
+  EXPECT_THROW(socket.SendTo({}, socket.Port()), std::invalid_argument);
+}
+
+TEST(UdpSocket, PreservesMessageBoundaries) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  sender.SendTo(Bytes("one"), receiver.Port());
+  sender.SendTo(Bytes("twotwo"), receiver.Port());
+  const auto first = receiver.Receive(1000);
+  const auto second = receiver.Receive(1000);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->payload.size(), 3u);
+  EXPECT_EQ(second->payload.size(), 6u);
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  UdpSocket original;
+  const std::uint16_t port = original.Port();
+  UdpSocket moved(std::move(original));
+  EXPECT_EQ(moved.Port(), port);
+  UdpSocket sender;
+  sender.SendTo(Bytes("x"), port);
+  EXPECT_TRUE(moved.Receive(1000).has_value());
+  EXPECT_THROW((void)original.Receive(0), std::runtime_error);  // NOLINT
+}
+
+TEST(UdpSocket, SelfSendWorks) {
+  UdpSocket socket;
+  socket.SendTo(Bytes("loop"), socket.Port());
+  const auto datagram = socket.Receive(1000);
+  ASSERT_TRUE(datagram.has_value());
+  EXPECT_EQ(datagram->sender_port, socket.Port());
+}
+
+}  // namespace
+}  // namespace dmfsgd::transport
