@@ -1,0 +1,174 @@
+// BENCH_core.json: the hot-path perf record of the repo.
+//
+// Times the DMFSGD SGD update inner loop — the operation every deployment
+// executes once per measurement — under the two coordinate layouts:
+//
+//   per-node-vector   each node owns two heap std::vector<double> (the
+//                     pre-refactor layout; pointer-chasing across the heap)
+//   soa               all rows in one contiguous CoordinateStore buffer per
+//                     factor (the current layout)
+//
+// Both variants run the identical update arithmetic (DmfsgdNode's rules for
+// SoA, the same Scale/Axpy sequence for the legacy layout), sweeping a
+// deployment-sized population in node order against pseudo-random remote
+// rows — the access pattern of a probing round.  Results are written as
+// machine-readable JSON so successive PRs can track the trajectory.
+//
+// Usage: bench_core [output.json] [--quick]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/coordinate_store.hpp"
+#include "core/node.hpp"
+#include "harness.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace dmfsgd;
+
+constexpr std::size_t kRank = 10;
+
+/// The pre-refactor node layout: two independently heap-allocated vectors.
+struct LegacyNode {
+  std::vector<double> u;
+  std::vector<double> v;
+};
+
+/// One eq. 9-10 style update on raw spans — identical arithmetic to
+/// DmfsgdNode::RttUpdate with the logistic loss, kept local so the legacy
+/// layout doesn't need a DmfsgdNode wrapper.
+void LegacyRttUpdate(std::span<double> u, std::span<double> v, double x,
+                     std::span<const double> u_remote,
+                     std::span<const double> v_remote,
+                     const core::UpdateParams& params) {
+  const double x_hat_ij = linalg::Dot(u, v_remote);
+  const double g_u = core::LossGradientScale(params.loss, x, x_hat_ij);
+  const double x_hat_ji = linalg::Dot(u_remote, v);
+  const double g_v = core::LossGradientScale(params.loss, x, x_hat_ji);
+  linalg::Scale(1.0 - params.eta * params.lambda, u);
+  linalg::Axpy(-params.eta * g_u, v_remote, u);
+  linalg::Scale(1.0 - params.eta * params.lambda, v);
+  linalg::Axpy(-params.eta * g_v, u_remote, v);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Sweeps `sweeps` probing rounds over n legacy-layout nodes; returns wall
+/// seconds.
+double TimeLegacy(std::size_t n, std::size_t sweeps) {
+  common::Rng rng(1);
+  const core::UpdateParams params;
+  // Interleave a decoy allocation per node, reproducing the heap scatter a
+  // long-lived deployment accumulates between coordinate vectors.
+  std::vector<LegacyNode> nodes(n);
+  std::vector<std::vector<double>> decoys;
+  decoys.reserve(n);
+  for (auto& node : nodes) {
+    node.u.resize(kRank);
+    node.v.resize(kRank);
+    decoys.emplace_back(64, 0.0);
+    for (std::size_t d = 0; d < kRank; ++d) {
+      node.u[d] = rng.Uniform();
+      node.v[d] = rng.Uniform();
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  double label = 1.0;
+  for (std::size_t round = 0; round < sweeps; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i * 7 + round) % n;
+      LegacyRttUpdate(nodes[i].u, nodes[i].v, label, nodes[j].u, nodes[j].v,
+                      params);
+      label = -label;
+    }
+  }
+  return SecondsSince(start);
+}
+
+/// Same sweep over the SoA CoordinateStore through DmfsgdNode views.
+double TimeSoa(std::size_t n, std::size_t sweeps) {
+  common::Rng rng(1);
+  const core::UpdateParams params;
+  core::CoordinateStore store(n, kRank);
+  std::vector<core::DmfsgdNode> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.emplace_back(static_cast<core::NodeId>(i), store, i, rng);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  double label = 1.0;
+  for (std::size_t round = 0; round < sweeps; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i * 7 + round) % n;
+      nodes[i].RttUpdate(label, store.U(j), store.V(j), params);
+      label = -label;
+    }
+  }
+  return SecondsSince(start);
+}
+
+/// Best-of-three to shrug off scheduler noise.
+template <typename TimeFn>
+bench::BenchJsonEntry Measure(const std::string& name, std::size_t n,
+                              std::size_t sweeps, TimeFn time_fn) {
+  double best = time_fn(n, sweeps);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const double seconds = time_fn(n, sweeps);
+    if (seconds < best) {
+      best = seconds;
+    }
+  }
+  bench::BenchJsonEntry entry;
+  entry.name = name;
+  entry.items = n * sweeps;
+  entry.seconds = best;
+  entry.ops_per_sec = static_cast<double>(entry.items) / best;
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_core.json";
+  bool quick = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      output = arg;
+    }
+  }
+
+  // The layout difference is a cache effect: it only shows once the factor
+  // working set outgrows L2, so even --quick keeps a deployment-scale n.
+  const std::size_t n = quick ? 4096 : 8192;       // deployment size
+  const std::size_t sweeps = quick ? 250 : 500;    // probing rounds
+
+  const auto legacy =
+      Measure("sgd_update/per-node-vector", n, sweeps, TimeLegacy);
+  const auto soa = Measure("sgd_update/soa", n, sweeps, TimeSoa);
+  const double speedup = soa.ops_per_sec / legacy.ops_per_sec;
+
+  try {
+    bench::WriteBenchJson(output, {legacy, soa},
+                          {{"nodes", static_cast<double>(n)},
+                           {"rank", static_cast<double>(kRank)},
+                           {"soa_speedup", speedup}});
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("%-28s %12.0f ops/s\n", legacy.name.c_str(), legacy.ops_per_sec);
+  std::printf("%-28s %12.0f ops/s\n", soa.name.c_str(), soa.ops_per_sec);
+  std::printf("soa speedup: %.3fx  -> %s\n", speedup, output.c_str());
+  return 0;
+}

@@ -1,5 +1,9 @@
 #include "harness.hpp"
 
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
 #include "datasets/harvard.hpp"
 #include "datasets/hps3.hpp"
 #include "datasets/meridian.hpp"
@@ -96,6 +100,33 @@ double TrainedAuc(const PaperDataset& paper, const core::SimulationConfig& confi
   core::DmfsgdSimulation simulation(paper.dataset, config, injector);
   Train(simulation, paper, budget_times_k);
   return EvalAuc(simulation);
+}
+
+void WriteBenchJson(const std::filesystem::path& path,
+                    const std::vector<BenchJsonEntry>& entries,
+                    const std::vector<std::pair<std::string, double>>& summary) {
+  std::ostringstream out;
+  out.precision(15);
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const BenchJsonEntry& entry = entries[e];
+    out << "    {\"name\": \"" << entry.name
+        << "\", \"ops_per_sec\": " << entry.ops_per_sec
+        << ", \"items\": " << entry.items << ", \"seconds\": " << entry.seconds
+        << "}" << (e + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"summary\": {";
+  for (std::size_t s = 0; s < summary.size(); ++s) {
+    out << "\"" << summary[s].first << "\": " << summary[s].second
+        << (s + 1 < summary.size() ? ", " : "");
+  }
+  out << "}\n}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("WriteBenchJson: cannot open " + path.string());
+  }
+  file << out.str();
 }
 
 }  // namespace dmfsgd::bench

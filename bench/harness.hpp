@@ -12,13 +12,31 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/simulation.hpp"
 #include "datasets/dataset.hpp"
 
 namespace dmfsgd::bench {
+
+/// One timed result destined for a machine-readable BENCH_*.json file (the
+/// repo's perf-trajectory record; see bench/bench_core.cpp).
+struct BenchJsonEntry {
+  std::string name;        ///< e.g. "sgd_update/soa"
+  double ops_per_sec = 0;  ///< primary metric
+  std::size_t items = 0;   ///< operations timed
+  double seconds = 0;      ///< wall time for `items`
+};
+
+/// Writes `entries` plus free-form `summary` scalars as a small JSON
+/// document: {"benchmarks": [...], "summary": {...}}.  No external JSON
+/// dependency — the schema is flat by design.
+void WriteBenchJson(const std::filesystem::path& path,
+                    const std::vector<BenchJsonEntry>& entries,
+                    const std::vector<std::pair<std::string, double>>& summary);
 
 struct PaperDataset {
   datasets::Dataset dataset;

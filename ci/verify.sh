@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full test suite,
+# and record the hot-path perf trajectory (BENCH_core.json).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+# Perf record: SGD update loop, SoA store vs the legacy per-node layout.
+./build/bench_bench_core BENCH_core.json --quick
+cat BENCH_core.json

@@ -7,18 +7,9 @@ namespace dmfsgd::core {
 
 namespace {
 
-using datasets::Dataset;
 using datasets::Metric;
 
-}  // namespace
-
-AsyncDmfsgdSimulation::AsyncDmfsgdSimulation(const Dataset& dataset,
-                                             const AsyncSimulationConfig& config,
-                                             const ErrorInjector* injector)
-    : dataset_(&dataset),
-      config_(config),
-      injector_(injector),
-      rng_(config.base.seed) {
+const AsyncSimulationConfig& Validate(const AsyncSimulationConfig& config) {
   if (config.mean_probe_interval_s <= 0.0) {
     throw std::invalid_argument(
         "AsyncDmfsgdSimulation: mean_probe_interval_s must be > 0");
@@ -27,74 +18,31 @@ AsyncDmfsgdSimulation::AsyncDmfsgdSimulation(const Dataset& dataset,
       config.max_oneway_delay_s < config.min_oneway_delay_s) {
     throw std::invalid_argument("AsyncDmfsgdSimulation: bad one-way delay range");
   }
-  // Reuse the synchronous simulator's validation for the shared knobs by
-  // constructing the node and neighbor state the same way it does.
-  if (config.base.rank == 0 || config.base.neighbor_count == 0 ||
-      config.base.neighbor_count >= dataset.NodeCount() || config.base.tau <= 0.0 ||
-      config.base.message_loss < 0.0 || config.base.message_loss >= 1.0 ||
-      config.base.params.eta <= 0.0 || config.base.params.lambda < 0.0) {
-    throw std::invalid_argument("AsyncDmfsgdSimulation: invalid base config");
-  }
-  if (injector_ != nullptr && injector_->NodeCount() != dataset.NodeCount()) {
-    throw std::invalid_argument(
-        "AsyncDmfsgdSimulation: injector node count mismatch");
-  }
+  return config;
+}
 
-  delay_seed_ = rng_();
-  const std::size_t n = dataset.NodeCount();
-  nodes_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    nodes_.emplace_back(static_cast<NodeId>(i), config_.base.rank, rng_);
-  }
-  neighbors_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<NodeId> candidates;
-    candidates.reserve(n - 1);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i && dataset.IsKnown(i, j)) {
-        candidates.push_back(static_cast<NodeId>(j));
-      }
-    }
-    if (candidates.size() < config_.base.neighbor_count) {
-      throw std::invalid_argument(
-          "AsyncDmfsgdSimulation: node has fewer measurable pairs than k");
-    }
-    rng_.Shuffle(std::span(candidates));
-    candidates.resize(config_.base.neighbor_count);
-    std::sort(candidates.begin(), candidates.end());
-    neighbors_[i] = std::move(candidates);
-  }
+}  // namespace
+
+AsyncDmfsgdSimulation::AsyncDmfsgdSimulation(const datasets::Dataset& dataset,
+                                             const AsyncSimulationConfig& config,
+                                             const ErrorInjector* injector)
+    : config_(Validate(config)),
+      delayed_(events_,
+               [this](NodeId i, NodeId j) { return OneWayDelay(i, j); }),
+      engine_(dataset, config.base, injector,
+              StackChannel(delayed_, wire_, config.base.use_wire_format)) {
+  delay_seed_ = engine_.rng()();
 
   // Kick off every node's probe loop with a random initial phase so the
   // Poisson processes don't fire in lockstep at t = 0.
-  for (NodeId i = 0; i < n; ++i) {
+  for (NodeId i = 0; i < engine_.NodeCount(); ++i) {
     ScheduleNextProbe(i);
   }
 }
 
-bool AsyncDmfsgdSimulation::IsNeighborPair(std::size_t i, std::size_t j) const {
-  if (i >= nodes_.size() || j >= nodes_.size()) {
-    throw std::out_of_range("AsyncDmfsgdSimulation::IsNeighborPair: out of range");
-  }
-  const auto& nb = neighbors_[i];
-  return std::binary_search(nb.begin(), nb.end(), static_cast<NodeId>(j));
-}
-
-double AsyncDmfsgdSimulation::AverageMeasurementsPerNode() const noexcept {
-  return static_cast<double>(measurement_count_) /
-         static_cast<double>(nodes_.size());
-}
-
-double AsyncDmfsgdSimulation::Predict(std::size_t i, std::size_t j) const {
-  if (i >= nodes_.size() || j >= nodes_.size()) {
-    throw std::out_of_range("AsyncDmfsgdSimulation::Predict: out of range");
-  }
-  return nodes_[i].Predict(nodes_[j].v());
-}
-
 double AsyncDmfsgdSimulation::OneWayDelay(NodeId i, NodeId j) const {
-  if (dataset_->metric == Metric::kRtt) {
-    return dataset_->Quantity(i, j) / 2.0 / 1000.0;  // ms -> s
+  if (engine_.dataset().metric == Metric::kRtt) {
+    return engine_.dataset().Quantity(i, j) / 2.0 / 1000.0;  // ms -> s
   }
   // ABW datasets carry no delay; derive a symmetric per-pair delay from a
   // keyed hash so repeated exchanges see a consistent network.
@@ -105,31 +53,8 @@ double AsyncDmfsgdSimulation::OneWayDelay(NodeId i, NodeId j) const {
   return pair_rng.Uniform(config_.min_oneway_delay_s, config_.max_oneway_delay_s);
 }
 
-double AsyncDmfsgdSimulation::MeasurementFor(NodeId i, NodeId j) const {
-  const double quantity = dataset_->Quantity(i, j);
-  if (config_.base.mode == PredictionMode::kRegression) {
-    return quantity / config_.base.tau;
-  }
-  if (injector_ != nullptr) {
-    return static_cast<double>(injector_->Label(i, j));
-  }
-  return static_cast<double>(
-      datasets::ClassOf(dataset_->metric, quantity, config_.base.tau));
-}
-
-bool AsyncDmfsgdSimulation::LegLost() {
-  if (config_.base.message_loss <= 0.0) {
-    return false;
-  }
-  const bool lost = rng_.Bernoulli(config_.base.message_loss);
-  if (lost) {
-    ++dropped_legs_;
-  }
-  return lost;
-}
-
 void AsyncDmfsgdSimulation::ScheduleNextProbe(NodeId i) {
-  const double wait = rng_.Exponential(1.0 / config_.mean_probe_interval_s);
+  const double wait = engine_.rng().Exponential(1.0 / config_.mean_probe_interval_s);
   events_.Schedule(wait, [this, i] {
     StartProbe(i);
     ScheduleNextProbe(i);
@@ -137,59 +62,11 @@ void AsyncDmfsgdSimulation::ScheduleNextProbe(NodeId i) {
 }
 
 void AsyncDmfsgdSimulation::StartProbe(NodeId i) {
-  const auto& nb = neighbors_[i];
-  const NodeId j = nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
-  const double oneway = OneWayDelay(i, j);
-  const UpdateParams params = config_.base.params;
-  ++in_flight_;
-
-  if (dataset_->metric == Metric::kRtt) {
-    // Algorithm 1, asynchronous: the request carries nothing; the reply
-    // carries (u_j, v_j) *as of the moment j answers*.
-    if (LegLost()) {
-      --in_flight_;
-      return;
-    }
-    events_.Schedule(oneway, [this, i, j, oneway, params] {
-      if (LegLost()) {
-        --in_flight_;
-        return;
-      }
-      // Snapshot at send time of the reply: stale by `oneway` on arrival.
-      RttProbeReply reply{j, nodes_[j].UCopy(), nodes_[j].VCopy()};
-      events_.Schedule(oneway, [this, i, j, reply = std::move(reply), params] {
-        const double x = MeasurementFor(i, j);
-        nodes_[i].RttUpdate(x, reply.u, reply.v, params);
-        ++measurement_count_;
-        --in_flight_;
-      });
-    });
-    return;
-  }
-
-  // Algorithm 2, asynchronous: the request carries u_i (snapshot at send
-  // time); the target measures, updates v_j, and replies with its
-  // *pre-update* v_j.
-  if (LegLost()) {
-    --in_flight_;
-    return;
-  }
-  AbwProbeRequest request{i, nodes_[i].UCopy(), config_.base.tau};
-  events_.Schedule(oneway, [this, i, j, oneway, request = std::move(request),
-                            params] {
-    const double x = MeasurementFor(i, j);
-    AbwProbeReply reply{j, x, nodes_[j].VCopy()};
-    nodes_[j].AbwTargetUpdate(x, request.u, params);
-    ++measurement_count_;
-    if (LegLost()) {
-      --in_flight_;
-      return;
-    }
-    events_.Schedule(oneway, [this, i, reply = std::move(reply), params] {
-      nodes_[i].AbwProberUpdate(reply.measurement, reply.v, params);
-      --in_flight_;
-    });
-  });
+  // Per-probe churn roll: the async analogue of the round-based driver's
+  // per-round sweep (each node fires about once per mean interval).
+  (void)engine_.MaybeChurnNode(i);
+  const NodeId j = engine_.PickNeighbor(i);
+  engine_.StartExchange(i, j, std::nullopt);
 }
 
 void AsyncDmfsgdSimulation::RunUntil(double until_s) {

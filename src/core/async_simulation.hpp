@@ -1,39 +1,42 @@
-// Asynchronous (event-driven) DMFSGD deployment.
+// Asynchronous (event-driven) DMFSGD deployment driver.
 //
-// The round-based simulator executes each probe exchange atomically; a real
+// The round-based driver executes each probe exchange atomically; a real
 // deployment does not: the request flies for one one-way delay, the reply
 // for another, nodes keep probing while earlier exchanges are in flight, and
 // every coordinate vector a node receives is a *snapshot taken at send
-// time* — stale by the time it is consumed.  This module runs Algorithms
-// 1-2 on a discrete-event engine to demonstrate (and let tests verify) that
-// DMFSGD's convergence survives that asynchrony, which is what makes the
-// paper's "fully decentralized, large-scale" claim credible.
+// time* — stale by the time it is consumed.  This driver runs the shared
+// deployment core (core/engine.hpp) over an EventQueueDeliveryChannel to
+// demonstrate (and let tests verify) that DMFSGD's convergence survives that
+// asynchrony, which is what makes the paper's "fully decentralized,
+// large-scale" claim credible.
 //
-// Timing model:
+// Because the protocol lives in the engine, everything the synchronous
+// driver supports — probe strategies, churn, error injection, message loss,
+// the wire codec — works identically here:
+//
 //  * each node fires probes according to an independent Poisson process
-//    (exponential think time with the configured mean);
+//    (exponential think time with the configured mean); churn is rolled per
+//    probe firing, the async analogue of the per-round sweep;
 //  * one-way message delay for pair (i, j) is the ground-truth RTT / 2 for
 //    RTT datasets; ABW datasets carry no delay information, so a symmetric
 //    per-pair delay is derived deterministically from a pair-keyed hash in
 //    the configured range;
-//  * each protocol leg can be lost independently (message_loss), with the
-//    same semantics as the synchronous simulator.
+//  * each protocol leg can be lost independently (message_loss), with
+//    engine semantics shared verbatim with the synchronous driver.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "core/node.hpp"
-#include "core/simulation.hpp"
-#include "datasets/dataset.hpp"
+#include "core/engine.hpp"
 #include "netsim/event_queue.hpp"
 
 namespace dmfsgd::core {
 
 struct AsyncSimulationConfig {
-  SimulationConfig base;              ///< rank, η/λ/loss, k, τ, seed, loss rate
+  SimulationConfig base;              ///< rank, η/λ/loss, k, τ, seed, loss rate,
+                                      ///< strategy, churn, wire format
   double mean_probe_interval_s = 1.0; ///< mean think time between a node's probes
   /// One-way delay bounds for metrics that don't define a delay (ABW).
   double min_oneway_delay_s = 0.010;
@@ -50,46 +53,63 @@ class AsyncDmfsgdSimulation {
   void RunUntil(double until_s);
 
   /// x̂_ij = u_i · v_j with the current (live) coordinates.
-  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const {
+    return engine_.Predict(i, j);
+  }
 
   [[nodiscard]] double Now() const noexcept { return events_.Now(); }
   [[nodiscard]] std::size_t MeasurementCount() const noexcept {
-    return measurement_count_;
+    return engine_.MeasurementCount();
   }
-  [[nodiscard]] double AverageMeasurementsPerNode() const noexcept;
-  [[nodiscard]] std::size_t DroppedLegs() const noexcept { return dropped_legs_; }
+  [[nodiscard]] double AverageMeasurementsPerNode() const noexcept {
+    return engine_.AverageMeasurementsPerNode();
+  }
+  [[nodiscard]] std::size_t DroppedLegs() const noexcept {
+    return engine_.DroppedLegs();
+  }
   /// Exchanges currently in flight (sent, not yet fully resolved).
-  [[nodiscard]] std::size_t InFlight() const noexcept { return in_flight_; }
-  [[nodiscard]] std::size_t NodeCount() const noexcept { return nodes_.size(); }
-  [[nodiscard]] const std::vector<std::vector<NodeId>>& Neighbors() const noexcept {
-    return neighbors_;
+  [[nodiscard]] std::size_t InFlight() const noexcept {
+    return engine_.InFlight();
   }
-  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
+  /// Nodes churned so far (per-probe churn rolls).
+  [[nodiscard]] std::size_t ChurnCount() const noexcept {
+    return engine_.ChurnCount();
+  }
+  [[nodiscard]] std::size_t NodeCount() const noexcept {
+    return engine_.NodeCount();
+  }
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& Neighbors() const noexcept {
+    return engine_.Neighbors();
+  }
+  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const {
+    return engine_.IsNeighborPair(i, j);
+  }
   [[nodiscard]] const datasets::Dataset& dataset() const noexcept {
-    return *dataset_;
+    return engine_.dataset();
   }
   [[nodiscard]] const SimulationConfig& config() const noexcept {
-    return config_.base;
+    return engine_.config();
   }
+  [[nodiscard]] const DmfsgdNode& node(std::size_t i) const {
+    return engine_.node(i);
+  }
+
+  /// The shared deployment core (read access for snapshots and evaluation).
+  [[nodiscard]] const DeploymentEngine& engine() const noexcept { return engine_; }
 
  private:
   void ScheduleNextProbe(NodeId i);
   void StartProbe(NodeId i);
   [[nodiscard]] double OneWayDelay(NodeId i, NodeId j) const;
-  [[nodiscard]] double MeasurementFor(NodeId i, NodeId j) const;
-  [[nodiscard]] bool LegLost();
 
-  const datasets::Dataset* dataset_;
   AsyncSimulationConfig config_;
-  const ErrorInjector* injector_;
-  common::Rng rng_;
   netsim::EventQueue events_;
-  std::vector<DmfsgdNode> nodes_;
-  std::vector<std::vector<NodeId>> neighbors_;
+  /// Channel stack: event-queue delivery, optionally decorated by the wire
+  /// codec.  Declared before the engine, which binds its sink onto them.
+  EventQueueDeliveryChannel delayed_;
+  std::optional<WireCodecDeliveryChannel> wire_;
+  DeploymentEngine engine_;
   std::uint64_t delay_seed_ = 0;
-  std::size_t measurement_count_ = 0;
-  std::size_t dropped_legs_ = 0;
-  std::size_t in_flight_ = 0;
 };
 
 }  // namespace dmfsgd::core

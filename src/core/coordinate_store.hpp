@@ -1,0 +1,77 @@
+// Structure-of-arrays storage for the DMFSGD coordinate factors.
+//
+// Every node owns two length-r rows, u_i and v_i (the i-th rows of U and V).
+// Storing each factor as one contiguous buffer — instead of two heap vectors
+// per node — keeps the SGD inner loop on cache lines that prefetch cleanly
+// when a deployment sweeps its nodes, and gives snapshots, the batch-MF
+// bridge and the benches a single flat view of the whole factor.
+//
+// Rows are exposed as spans.  The store never reallocates after
+// construction/Reset, so row spans stay valid for the store's lifetime —
+// exactly what DmfsgdNode (a view over one row) and the deployment engine
+// rely on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmfsgd::common {
+class Rng;
+}
+
+namespace dmfsgd::core {
+
+class CoordinateStore {
+ public:
+  /// Empty store (0 nodes, rank 0).
+  CoordinateStore() = default;
+
+  /// `node_count` rows of `rank` doubles per factor, zero-initialized.
+  /// Requires rank > 0.
+  CoordinateStore(std::size_t node_count, std::size_t rank);
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept {
+    return rank_ == 0 ? 0 : u_data_.size() / rank_;
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// Row views; unchecked in release-style hot paths, so callers validate
+  /// indices at API boundaries.
+  [[nodiscard]] std::span<double> U(std::size_t i) noexcept {
+    return {u_data_.data() + i * rank_, rank_};
+  }
+  [[nodiscard]] std::span<const double> U(std::size_t i) const noexcept {
+    return {u_data_.data() + i * rank_, rank_};
+  }
+  [[nodiscard]] std::span<double> V(std::size_t i) noexcept {
+    return {v_data_.data() + i * rank_, rank_};
+  }
+  [[nodiscard]] std::span<const double> V(std::size_t i) const noexcept {
+    return {v_data_.data() + i * rank_, rank_};
+  }
+
+  /// Whole-factor views (row-major, stride = rank).
+  [[nodiscard]] std::span<const double> UData() const noexcept { return u_data_; }
+  [[nodiscard]] std::span<const double> VData() const noexcept { return v_data_; }
+  [[nodiscard]] std::span<double> UData() noexcept { return u_data_; }
+  [[nodiscard]] std::span<double> VData() noexcept { return v_data_; }
+
+  /// Fills u_i then v_i with uniform random values in [0, 1) — the paper's
+  /// initialization (§5.3), also used when a churned node rejoins fresh.
+  void RandomizeRow(std::size_t i, common::Rng& rng);
+
+  /// Discards all rows and reshapes the store.  Invalidates row spans.
+  void Reset(std::size_t node_count, std::size_t rank);
+
+  /// x̂_ij = u_i · v_j straight from the flat buffers.  Throws
+  /// std::out_of_range on bad indices.
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t rank_ = 0;
+  std::vector<double> u_data_;
+  std::vector<double> v_data_;
+};
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,71 @@
+#include "core/delivery.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/wire.hpp"
+#include "netsim/event_queue.hpp"
+
+namespace dmfsgd::core {
+
+std::vector<std::byte> EncodeMessage(const ProtocolMessage& message) {
+  return std::visit([](const auto& typed) { return Encode(typed); }, message);
+}
+
+ProtocolMessage DecodeMessage(std::span<const std::byte> buffer) {
+  switch (PeekType(buffer)) {
+    case MessageType::kRttProbeRequest:
+      return DecodeRttProbeRequest(buffer);
+    case MessageType::kRttProbeReply:
+      return DecodeRttProbeReply(buffer);
+    case MessageType::kAbwProbeRequest:
+      return DecodeAbwProbeRequest(buffer);
+    case MessageType::kAbwProbeReply:
+      return DecodeAbwProbeReply(buffer);
+  }
+  throw WireError("DecodeMessage: unknown message type");
+}
+
+NodeId SenderOf(const ProtocolMessage& message) noexcept {
+  return std::visit(
+      [](const auto& typed) {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, RttProbeRequest> ||
+                      std::is_same_v<T, AbwProbeRequest>) {
+          return typed.prober;
+        } else {
+          return typed.target;
+        }
+      },
+      message);
+}
+
+void ImmediateDeliveryChannel::Send(NodeId from, NodeId to,
+                                    ProtocolMessage message) {
+  DeliverNow(from, to, message);
+}
+
+void WireCodecDeliveryChannel::Send(NodeId from, NodeId to,
+                                    ProtocolMessage message) {
+  // Encode + decode every payload so a codec regression can never hide
+  // behind in-process delivery.
+  inner_->Send(from, to, DecodeMessage(EncodeMessage(message)));
+}
+
+EventQueueDeliveryChannel::EventQueueDeliveryChannel(netsim::EventQueue& events,
+                                                     DelayFn delay)
+    : events_(&events), delay_(std::move(delay)) {
+  if (!delay_) {
+    throw std::invalid_argument("EventQueueDeliveryChannel: delay fn required");
+  }
+}
+
+void EventQueueDeliveryChannel::Send(NodeId from, NodeId to,
+                                     ProtocolMessage message) {
+  events_->Schedule(delay_(from, to),
+                    [this, from, to, message = std::move(message)] {
+                      DeliverNow(from, to, message);
+                    });
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,137 @@
+// Pluggable message delivery for DMFSGD deployments.
+//
+// The deployment engine (core/engine.hpp) is a pure protocol state machine:
+// it reacts to delivered protocol messages and emits new ones.  *How* a
+// message travels from node i to node j — instantly (round-based
+// simulation), after a one-way delay (discrete-event simulation), through
+// the binary wire codec (serialization proof), or over a real UDP socket
+// (transport/udp_channel.hpp) — is a DeliveryChannel implementation.  This
+// is the seam that lets one engine serve every deployment style the paper
+// argues are equivalent (§5.3 vs §6.1), and the one future transports
+// (sharded execution, batching, real networks) plug into.
+//
+// Channels move messages; they do not model loss.  Message loss is protocol
+// semantics (a lost leg loses exactly the updates a real deployment would
+// lose), so the engine rolls it before handing a message to the channel.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "core/messages.hpp"
+
+namespace dmfsgd::netsim {
+class EventQueue;
+}
+
+namespace dmfsgd::core {
+
+/// Any of the four protocol payloads of Algorithms 1-2.
+using ProtocolMessage =
+    std::variant<RttProbeRequest, RttProbeReply, AbwProbeRequest, AbwProbeReply>;
+
+/// Serializes any protocol message through the binary wire codec.
+[[nodiscard]] std::vector<std::byte> EncodeMessage(const ProtocolMessage& message);
+
+/// Decodes a wire buffer into whichever message type it carries.  Throws
+/// WireError (core/wire.hpp) on malformed input.
+[[nodiscard]] ProtocolMessage DecodeMessage(std::span<const std::byte> buffer);
+
+/// The node id embedded in a message by its sender (prober for requests,
+/// target for replies) — datagram transports use it to learn return routes.
+[[nodiscard]] NodeId SenderOf(const ProtocolMessage& message) noexcept;
+
+/// Transports protocol messages between nodes of one deployment.  The engine
+/// binds a sink once; every implementation eventually hands each sent
+/// message (addressed from -> to) back to that sink.
+class DeliveryChannel {
+ public:
+  using Sink =
+      std::function<void(NodeId from, NodeId to, const ProtocolMessage& message)>;
+
+  virtual ~DeliveryChannel() = default;
+
+  /// Registers the receiver-side dispatcher.  Decorating channels forward
+  /// the binding to their inner channel.
+  virtual void BindSink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Ships one message.  Delivery may happen synchronously inside the call
+  /// (immediate channel) or later (event queue, sockets).
+  virtual void Send(NodeId from, NodeId to, ProtocolMessage message) = 0;
+
+  [[nodiscard]] virtual const char* Name() const noexcept = 0;
+
+ protected:
+  /// Invokes the bound sink; no-op if none is bound.
+  void DeliverNow(NodeId from, NodeId to, const ProtocolMessage& message) {
+    if (sink_) {
+      sink_(from, to, message);
+    }
+  }
+
+ private:
+  Sink sink_;
+};
+
+/// Atomic delivery: Send() invokes the sink before returning.  The
+/// round-based simulator's timing model.
+class ImmediateDeliveryChannel final : public DeliveryChannel {
+ public:
+  void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  [[nodiscard]] const char* Name() const noexcept override { return "immediate"; }
+};
+
+/// Decorator that round-trips every message through the binary wire codec
+/// (core/wire.hpp) before handing it to the inner channel — proving each
+/// exchange is implementable over a datagram transport, bit-for-bit.
+class WireCodecDeliveryChannel final : public DeliveryChannel {
+ public:
+  /// `inner` must outlive this channel.
+  explicit WireCodecDeliveryChannel(DeliveryChannel& inner) : inner_(&inner) {}
+
+  void BindSink(Sink sink) override { inner_->BindSink(std::move(sink)); }
+  void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  [[nodiscard]] const char* Name() const noexcept override { return "wire-codec"; }
+
+ private:
+  DeliveryChannel* inner_;
+};
+
+/// Assembles a driver's channel stack: the base channel, optionally wrapped
+/// by the wire-codec decorator.  `base` and `wire` must outlive whatever
+/// binds to the returned channel (drivers declare them as members ahead of
+/// the engine).
+[[nodiscard]] inline DeliveryChannel& StackChannel(
+    DeliveryChannel& base, std::optional<WireCodecDeliveryChannel>& wire,
+    bool use_wire_format) {
+  if (use_wire_format) {
+    wire.emplace(base);
+    return *wire;
+  }
+  return base;
+}
+
+/// Delivery after a per-pair one-way delay on a discrete-event queue — the
+/// asynchronous deployment model: payloads are snapshots taken at send time,
+/// stale by the flight time when consumed.
+class EventQueueDeliveryChannel final : public DeliveryChannel {
+ public:
+  /// One-way delay in seconds for a directed pair.
+  using DelayFn = std::function<double(NodeId from, NodeId to)>;
+
+  /// `events` must outlive this channel; `delay` must be valid.
+  EventQueueDeliveryChannel(netsim::EventQueue& events, DelayFn delay);
+
+  void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  [[nodiscard]] const char* Name() const noexcept override { return "event-queue"; }
+
+ private:
+  netsim::EventQueue* events_;
+  DelayFn delay_;
+};
+
+}  // namespace dmfsgd::core

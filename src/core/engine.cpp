@@ -1,0 +1,360 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::core {
+
+namespace {
+
+using datasets::Dataset;
+using datasets::Metric;
+
+/// Throwing pass-through so the config is validated before any member that
+/// depends on it (the store sizes itself off config.rank) is built.
+const SimulationConfig& RequireConfig(const Dataset& dataset,
+                                      const SimulationConfig& config) {
+  if (config.rank == 0) {
+    throw std::invalid_argument("DeploymentEngine: rank must be > 0");
+  }
+  if (config.neighbor_count == 0) {
+    throw std::invalid_argument("DeploymentEngine: neighbor_count must be > 0");
+  }
+  if (config.neighbor_count >= dataset.NodeCount()) {
+    throw std::invalid_argument(
+        "DeploymentEngine: neighbor_count must be < node count");
+  }
+  if (config.tau <= 0.0) {
+    throw std::invalid_argument("DeploymentEngine: tau must be set (> 0)");
+  }
+  if (config.message_loss < 0.0 || config.message_loss >= 1.0) {
+    throw std::invalid_argument("DeploymentEngine: message_loss must be in [0, 1)");
+  }
+  if (config.params.eta <= 0.0) {
+    throw std::invalid_argument("DeploymentEngine: eta must be > 0");
+  }
+  if (config.params.lambda < 0.0) {
+    throw std::invalid_argument("DeploymentEngine: lambda must be >= 0");
+  }
+  if (config.churn_rate < 0.0 || config.churn_rate >= 1.0) {
+    throw std::invalid_argument("DeploymentEngine: churn_rate must be in [0, 1)");
+  }
+  if (config.exploration < 0.0 || config.exploration > 1.0) {
+    throw std::invalid_argument("DeploymentEngine: exploration must be in [0, 1]");
+  }
+  return config;
+}
+
+}  // namespace
+
+const char* ProbeStrategyName(ProbeStrategy strategy) noexcept {
+  switch (strategy) {
+    case ProbeStrategy::kUniformRandom:
+      return "uniform-random";
+    case ProbeStrategy::kRoundRobin:
+      return "round-robin";
+    case ProbeStrategy::kLossDriven:
+      return "loss-driven";
+  }
+  return "?";
+}
+
+DeploymentEngine::DeploymentEngine(const Dataset& dataset,
+                                   const SimulationConfig& config,
+                                   const ErrorInjector* injector,
+                                   DeliveryChannel& channel)
+    : dataset_(&dataset),
+      config_(RequireConfig(dataset, config)),
+      injector_(injector),
+      channel_(&channel),
+      rng_(config.seed),
+      abw_(dataset.metric == Metric::kAbw),
+      store_(dataset.NodeCount(), config.rank) {
+  if (injector_ != nullptr && injector_->NodeCount() != dataset.NodeCount()) {
+    throw std::invalid_argument(
+        "DeploymentEngine: injector node count does not match the dataset");
+  }
+
+  const std::size_t n = dataset.NodeCount();
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), store_, i, rng_);
+  }
+
+  // Random neighbor sets, restricted to pairs with known ground truth
+  // (HP-S3 has ~4% unmeasured pairs that can't be probed).
+  neighbors_.resize(n);
+  round_robin_cursor_.assign(n, 0);
+  neighbor_loss_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RebuildNeighborSet(static_cast<NodeId>(i));
+  }
+
+  channel_->BindSink([this](NodeId from, NodeId to, const ProtocolMessage& message) {
+    OnMessage(from, to, message);
+  });
+}
+
+void DeploymentEngine::RebuildNeighborSet(NodeId i) {
+  const std::size_t n = nodes_.size();
+  std::vector<NodeId> candidates;
+  candidates.reserve(n - 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i && dataset_->IsKnown(i, j)) {
+      candidates.push_back(static_cast<NodeId>(j));
+    }
+  }
+  if (candidates.size() < config_.neighbor_count) {
+    throw std::invalid_argument(
+        "DeploymentEngine: node has fewer measurable pairs than k");
+  }
+  rng_.Shuffle(std::span(candidates));
+  candidates.resize(config_.neighbor_count);
+  std::sort(candidates.begin(), candidates.end());
+  neighbors_[i] = std::move(candidates);
+  round_robin_cursor_[i] = 0;
+  // Unprobed neighbors carry +inf loss so the loss-driven strategy visits
+  // everyone at least once before exploiting.
+  neighbor_loss_[i].assign(config_.neighbor_count,
+                           std::numeric_limits<double>::infinity());
+}
+
+void DeploymentEngine::ResetNode(NodeId i) {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("DeploymentEngine::ResetNode: index out of range");
+  }
+  store_.RandomizeRow(i, rng_);
+  RebuildNeighborSet(i);
+  ++churn_count_;
+}
+
+void DeploymentEngine::ChurnSweep() {
+  if (config_.churn_rate <= 0.0) {
+    return;
+  }
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (rng_.Bernoulli(config_.churn_rate)) {
+      ResetNode(i);
+    }
+  }
+}
+
+bool DeploymentEngine::MaybeChurnNode(NodeId i) {
+  if (config_.churn_rate <= 0.0 || !rng_.Bernoulli(config_.churn_rate)) {
+    return false;
+  }
+  ResetNode(i);
+  return true;
+}
+
+NodeId DeploymentEngine::PickNeighbor(NodeId i) {
+  const auto& nb = neighbors_[i];
+  switch (config_.strategy) {
+    case ProbeStrategy::kUniformRandom:
+      return nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
+    case ProbeStrategy::kRoundRobin: {
+      const NodeId j = nb[round_robin_cursor_[i] % nb.size()];
+      ++round_robin_cursor_[i];
+      return j;
+    }
+    case ProbeStrategy::kLossDriven: {
+      if (rng_.Bernoulli(config_.exploration)) {
+        return nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
+      }
+      const auto& losses = neighbor_loss_[i];
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < losses.size(); ++p) {
+        if (losses[p] > losses[best]) {
+          best = p;
+        }
+      }
+      return nb[best];
+    }
+  }
+  return nb[0];
+}
+
+const DmfsgdNode& DeploymentEngine::node(std::size_t i) const {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("DeploymentEngine::node: index out of range");
+  }
+  return nodes_[i];
+}
+
+bool DeploymentEngine::IsNeighborPair(std::size_t i, std::size_t j) const {
+  if (i >= nodes_.size() || j >= nodes_.size()) {
+    throw std::out_of_range("DeploymentEngine::IsNeighborPair: index out of range");
+  }
+  const auto& nb = neighbors_[i];
+  return std::binary_search(nb.begin(), nb.end(), static_cast<NodeId>(j));
+}
+
+double DeploymentEngine::AverageMeasurementsPerNode() const noexcept {
+  return static_cast<double>(measurement_count_) /
+         static_cast<double>(nodes_.size());
+}
+
+double DeploymentEngine::Predict(std::size_t i, std::size_t j) const {
+  if (i >= nodes_.size() || j >= nodes_.size()) {
+    throw std::out_of_range("DeploymentEngine::Predict: index out of range");
+  }
+  return store_.Predict(i, j);
+}
+
+bool DeploymentEngine::LegLost() {
+  if (config_.message_loss <= 0.0) {
+    return false;
+  }
+  const bool lost = rng_.Bernoulli(config_.message_loss);
+  if (lost) {
+    ++dropped_legs_;
+  }
+  return lost;
+}
+
+double DeploymentEngine::MeasurementFor(
+    std::size_t i, std::size_t j, std::optional<double> observed_quantity) const {
+  const double quantity =
+      observed_quantity.has_value() ? *observed_quantity : dataset_->Quantity(i, j);
+  if (config_.mode == PredictionMode::kRegression) {
+    // τ-normalization keeps SGD stable across metrics (DESIGN.md §3); the
+    // prediction target is then a dimensionless "multiples of τ".
+    return quantity / config_.tau;
+  }
+  // Classification: corrupted paths report their corrupted label on *every*
+  // probe (inaccurate tools and malicious nodes are persistent, §6.3), so
+  // the injector overrides even dynamically observed quantities.
+  if (injector_ != nullptr) {
+    return static_cast<double>(injector_->Label(i, j));
+  }
+  return static_cast<double>(ClassOf(dataset_->metric, quantity, config_.tau));
+}
+
+void DeploymentEngine::RecordNeighborLoss(NodeId i, NodeId j, double x,
+                                          std::span<const double> v_remote) {
+  if (config_.strategy != ProbeStrategy::kLossDriven) {
+    return;
+  }
+  const auto& nb = neighbors_[i];
+  const auto it = std::lower_bound(nb.begin(), nb.end(), j);
+  if (it != nb.end() && *it == j) {
+    const double x_hat = linalg::Dot(nodes_[i].u(), v_remote);
+    neighbor_loss_[i][static_cast<std::size_t>(it - nb.begin())] =
+        LossValue(config_.params.loss, x, x_hat);
+  }
+}
+
+void DeploymentEngine::StartExchange(NodeId i, NodeId j,
+                                     std::optional<double> observed_quantity) {
+  if (abw_ && observed_quantity.has_value()) {
+    // Algorithm 2 measures at the *target*; a prober-side trace value has
+    // nowhere to go, and silently training on the static matrix instead
+    // would corrupt the experiment.
+    throw std::logic_error(
+        "DeploymentEngine: trace replay is not supported for target-measured "
+        "(ABW) metrics");
+  }
+  ++in_flight_;
+  // Leg 1: the probe itself (Algorithm 1's ping, Algorithm 2's UDP train).
+  if (LegLost()) {
+    --in_flight_;
+    return;
+  }
+  if (abw_) {
+    channel_->Send(i, j, AbwProbeRequest{i, nodes_[i].UCopy(), config_.tau});
+    return;
+  }
+  trace_observed_ = observed_quantity;
+  trace_observed_consumed_ = false;
+  const std::size_t dropped_before = dropped_legs_;
+  channel_->Send(i, j, RttProbeRequest{i});
+  // Only an immediate channel resolves the exchange within the send.  A
+  // trace override that was neither consumed by the reply handler nor
+  // killed by leg loss would silently train on the static matrix instead —
+  // fail loudly rather than corrupt the experiment.
+  const bool resolved =
+      trace_observed_consumed_ || dropped_legs_ > dropped_before;
+  trace_observed_.reset();
+  if (observed_quantity.has_value() && !resolved) {
+    throw std::logic_error(
+        "DeploymentEngine: trace replay requires an immediate delivery "
+        "channel");
+  }
+}
+
+void DeploymentEngine::OnMessage(NodeId from, NodeId to,
+                                 const ProtocolMessage& message) {
+  std::visit(
+      [&](const auto& typed) {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, RttProbeRequest>) {
+          HandleRttRequest(from, to);
+        } else if constexpr (std::is_same_v<T, RttProbeReply>) {
+          HandleRttReply(to, typed);
+        } else if constexpr (std::is_same_v<T, AbwProbeRequest>) {
+          HandleAbwRequest(to, typed);
+        } else {
+          HandleAbwReply(to, typed);
+        }
+      },
+      message);
+}
+
+void DeploymentEngine::ResolveExchange() {
+  // Saturating: a duplicated or unsolicited reply (possible over datagram
+  // transports) must not wrap the counter.
+  if (in_flight_ > 0) {
+    --in_flight_;
+  }
+}
+
+void DeploymentEngine::HandleRttRequest(NodeId prober, NodeId target) {
+  // Leg 2: the reply carrying (u_j, v_j) — a snapshot taken now, stale by
+  // one flight time when the prober consumes it.
+  if (LegLost()) {
+    ResolveExchange();
+    return;
+  }
+  channel_->Send(target, prober,
+                 RttProbeReply{target, nodes_[target].UCopy(),
+                               nodes_[target].VCopy()});
+}
+
+void DeploymentEngine::HandleRttReply(NodeId prober, const RttProbeReply& reply) {
+  // Its timing gives the prober x_ij (or the trace record supplies it).
+  const double x = MeasurementFor(prober, reply.target, trace_observed_);
+  trace_observed_consumed_ = trace_observed_.has_value();
+  RecordNeighborLoss(prober, reply.target, x, reply.v);
+  nodes_[prober].RttUpdate(x, reply.u, reply.v, config_.params);
+  ++measurement_count_;
+  ResolveExchange();
+}
+
+void DeploymentEngine::HandleAbwRequest(NodeId target,
+                                        const AbwProbeRequest& request) {
+  // The target infers x_ij, replies with its pre-update v_j (Algorithm 2
+  // sends before updating), then updates v_j — the measurement is consumed
+  // at the target even if the reply later gets lost.
+  const double x = MeasurementFor(request.prober, target, std::nullopt);
+  AbwProbeReply reply{target, x, nodes_[target].VCopy()};
+  nodes_[target].AbwTargetUpdate(x, request.u, config_.params);
+  ++measurement_count_;
+
+  // Leg 2: the reply back to the prober.
+  if (LegLost()) {
+    ResolveExchange();
+    return;
+  }
+  channel_->Send(target, request.prober, std::move(reply));
+}
+
+void DeploymentEngine::HandleAbwReply(NodeId prober, const AbwProbeReply& reply) {
+  RecordNeighborLoss(prober, reply.target, reply.measurement, reply.v);
+  nodes_[prober].AbwProberUpdate(reply.measurement, reply.v, config_.params);
+  ResolveExchange();
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,198 @@
+// The shared DMFSGD deployment core.
+//
+// Both deployment drivers — the round-based DmfsgdSimulation (paper §5.3)
+// and the event-driven AsyncDmfsgdSimulation (§6.1's asynchronous regime) —
+// are thin timing loops over this engine.  The engine owns everything the
+// paper's protocol defines, independent of timing:
+//
+//  * membership: per-node random neighbor sets over measurable pairs,
+//    churn (a node leaving and a fresh one joining in its place);
+//  * probe scheduling policy: which neighbor a node probes next
+//    (uniform random / round robin / loss driven);
+//  * the measurement pipeline: ground-truth lookup or trace override,
+//    error injection, classification vs τ-normalized regression targets;
+//  * message-loss semantics: each protocol leg is dropped independently and
+//    a lost leg loses exactly the updates a real deployment would lose;
+//  * the Algorithm 1/2 exchange state machines (eqs. 9-13), reacting to
+//    protocol messages delivered by a pluggable DeliveryChannel.
+//
+// Because the engine only ever *reacts to delivered messages*, the same
+// code runs atomically (immediate channel), with one-way delays and stale
+// snapshots (event-queue channel), through the binary codec (wire-codec
+// decorator), or over real UDP sockets (transport/udp_channel.hpp).  That
+// is the paper's central claim — DMFSGD does not care how its exchanges are
+// scheduled — made structural.
+//
+// Coordinates live in a structure-of-arrays CoordinateStore; DmfsgdNode
+// objects are row views, so the SGD inner loop walks contiguous memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/coordinate_store.hpp"
+#include "core/delivery.hpp"
+#include "core/error_injection.hpp"
+#include "core/node.hpp"
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::core {
+
+enum class PredictionMode {
+  kClassification,  ///< train on ±1 labels (hinge/logistic)
+  kRegression,      ///< train on τ-normalized quantities (L2)
+};
+
+/// How a node picks which neighbor to probe next (the paper uses uniform
+/// random; the alternatives are extensions inspired by the active sampling
+/// of Rish & Tesauro [20] that the related-work section contrasts against).
+enum class ProbeStrategy {
+  kUniformRandom,  ///< paper default: uniform over the neighbor set
+  kRoundRobin,     ///< deterministic cycling through the neighbor set
+  kLossDriven,     ///< mostly probe the neighbor with the highest local loss
+};
+
+/// Human-readable strategy name.
+[[nodiscard]] const char* ProbeStrategyName(ProbeStrategy strategy) noexcept;
+
+struct SimulationConfig {
+  std::size_t rank = 10;           ///< r
+  UpdateParams params;             ///< η, λ, loss
+  PredictionMode mode = PredictionMode::kClassification;
+  std::size_t neighbor_count = 10; ///< k
+  double tau = 0.0;                ///< classification threshold (quantity units)
+  std::uint64_t seed = 1;
+  double message_loss = 0.0;       ///< per-leg drop probability in [0, 1)
+  bool use_wire_format = false;    ///< serialize every exchange through wire.hpp
+  ProbeStrategy strategy = ProbeStrategy::kUniformRandom;
+  /// Per-round probability that a node churns (leaves and is replaced by a
+  /// fresh node with new random coordinates and a new neighbor set) — the
+  /// P2P membership dynamics a deployed system faces.  The async driver
+  /// applies it per probe firing, its per-node scheduling unit.
+  double churn_rate = 0.0;
+  /// Exploration probability of the loss-driven strategy.
+  double exploration = 0.3;
+};
+
+class DeploymentEngine {
+ public:
+  /// Builds the deployment state (nodes with random coordinates, random
+  /// neighbor sets over pairs with known ground truth) and binds the
+  /// engine's protocol dispatcher as the channel's sink.  `dataset`,
+  /// `injector` (if given) and `channel` must outlive the engine.  Throws
+  /// std::invalid_argument on a bad config or injector mismatch.
+  DeploymentEngine(const datasets::Dataset& dataset, const SimulationConfig& config,
+                   const ErrorInjector* injector, DeliveryChannel& channel);
+
+  // Self-referential by design: the channel sink captures `this` and every
+  // node views the engine's store.  Moving or copying would dangle both.
+  DeploymentEngine(const DeploymentEngine&) = delete;
+  DeploymentEngine& operator=(const DeploymentEngine&) = delete;
+  DeploymentEngine(DeploymentEngine&&) = delete;
+  DeploymentEngine& operator=(DeploymentEngine&&) = delete;
+
+  // -- membership ----------------------------------------------------------
+
+  /// Simulates node i leaving and a fresh node joining in its place: new
+  /// random coordinates, a new random neighbor set, reset probing state.
+  void ResetNode(NodeId i);
+
+  /// Rolls churn for every node (one round's worth of membership dynamics).
+  void ChurnSweep();
+
+  /// Rolls churn for a single node (the async driver's per-probe unit).
+  /// Returns whether the node churned.
+  bool MaybeChurnNode(NodeId i);
+
+  /// Picks the neighbor node i probes next, per the configured strategy.
+  [[nodiscard]] NodeId PickNeighbor(NodeId i);
+
+  // -- protocol ------------------------------------------------------------
+
+  /// Launches one Algorithm-1 (RTT datasets) or Algorithm-2 (ABW) exchange
+  /// i -> j through the delivery channel.  `observed_quantity` overrides the
+  /// static matrix during trace replay; it is only meaningful on channels
+  /// that complete the exchange within this call (immediate delivery).
+  void StartExchange(NodeId i, NodeId j, std::optional<double> observed_quantity);
+
+  // -- queries -------------------------------------------------------------
+
+  /// x̂_ij = u_i · v_j.  Throws std::out_of_range on bad indices.
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+  [[nodiscard]] const DmfsgdNode& node(std::size_t i) const;
+  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& Neighbors() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const datasets::Dataset& dataset() const noexcept {
+    return *dataset_;
+  }
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CoordinateStore& store() const noexcept { return store_; }
+
+  [[nodiscard]] std::size_t MeasurementCount() const noexcept {
+    return measurement_count_;
+  }
+  [[nodiscard]] double AverageMeasurementsPerNode() const noexcept;
+  [[nodiscard]] std::size_t DroppedLegs() const noexcept { return dropped_legs_; }
+  [[nodiscard]] std::size_t ChurnCount() const noexcept { return churn_count_; }
+  /// Exchanges currently in flight (started, not yet resolved or dropped).
+  [[nodiscard]] std::size_t InFlight() const noexcept { return in_flight_; }
+
+  /// The deployment's RNG stream; drivers draw think times etc. from it so a
+  /// single seed determines an entire run.
+  [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
+
+ private:
+  void RebuildNeighborSet(NodeId i);
+
+  /// The training value for pair (i, j): class label (possibly corrupted) or
+  /// τ-normalized quantity (the DESIGN.md §3 substitution).
+  [[nodiscard]] double MeasurementFor(std::size_t i, std::size_t j,
+                                      std::optional<double> observed_quantity) const;
+  [[nodiscard]] bool LegLost();
+
+  /// Marks one in-flight exchange finished (saturating at zero — datagram
+  /// transports can duplicate replies).
+  void ResolveExchange();
+
+  /// Channel sink: dispatches a delivered message to its handler.
+  void OnMessage(NodeId from, NodeId to, const ProtocolMessage& message);
+  void HandleRttRequest(NodeId prober, NodeId target);
+  void HandleRttReply(NodeId prober, const RttProbeReply& reply);
+  void HandleAbwRequest(NodeId target, const AbwProbeRequest& request);
+  void HandleAbwReply(NodeId prober, const AbwProbeReply& reply);
+
+  /// Feeds the loss-driven strategy after a completed exchange.
+  void RecordNeighborLoss(NodeId i, NodeId j, double x,
+                          std::span<const double> v_remote);
+
+  const datasets::Dataset* dataset_;
+  SimulationConfig config_;
+  const ErrorInjector* injector_;
+  DeliveryChannel* channel_;
+  common::Rng rng_;
+  bool abw_;  ///< Algorithm 2 (target-measured) vs Algorithm 1
+
+  CoordinateStore store_;
+  std::vector<DmfsgdNode> nodes_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::size_t> round_robin_cursor_;     // per node
+  std::vector<std::vector<double>> neighbor_loss_;  // per node, per neighbor
+
+  /// Trace-replay override for the RTT reply handler; only valid while an
+  /// immediate-delivery exchange is executing (set/cleared by StartExchange,
+  /// which throws if a supplied override was neither consumed nor lost).
+  std::optional<double> trace_observed_;
+  bool trace_observed_consumed_ = false;
+
+  std::size_t measurement_count_ = 0;
+  std::size_t dropped_legs_ = 0;
+  std::size_t churn_count_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace dmfsgd::core

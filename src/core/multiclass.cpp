@@ -79,14 +79,16 @@ OrdinalDmfsgdSimulation::OrdinalDmfsgdSimulation(const Dataset& dataset,
   config_.params.loss = LossKind::kLogistic;  // the ordinal scheme is logistic
 
   const std::size_t n = dataset.NodeCount();
+  store_.Reset(n, config_.rank);
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    nodes_.emplace_back(static_cast<NodeId>(i), config_.rank, rng_);
+    nodes_.emplace_back(static_cast<NodeId>(i), store_, i, rng_);
   }
   // Biases start spread in [0, 1) ascending so thresholds are distinct.
-  biases_.resize(n);
-  for (auto& b : biases_) {
-    b.resize(config_.num_classes - 1);
+  const std::size_t stride = config_.num_classes - 1;
+  biases_.resize(n * stride);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = MutableBiases(i);
     for (std::size_t t = 0; t < b.size(); ++t) {
       b[t] = static_cast<double>(t + 1) /
              static_cast<double>(config_.num_classes);
@@ -118,10 +120,11 @@ bool OrdinalDmfsgdSimulation::IsNeighborPair(std::size_t i, std::size_t j) const
 }
 
 std::span<const double> OrdinalDmfsgdSimulation::Biases(std::size_t i) const {
-  if (i >= biases_.size()) {
+  if (i >= nodes_.size()) {
     throw std::out_of_range("OrdinalDmfsgd::Biases: index out of range");
   }
-  return biases_[i];
+  const std::size_t stride = config_.num_classes - 1;
+  return {biases_.data() + i * stride, stride};
 }
 
 void OrdinalDmfsgdSimulation::Probe(NodeId i, NodeId j) {
@@ -133,7 +136,7 @@ void OrdinalDmfsgdSimulation::Probe(NodeId i, NodeId j) {
   // Accumulate threshold gradients on the shared score s = u_i · v_j ...
   const double s_ij = nodes_[i].Predict(v_j);
   double g_u_total = 0.0;
-  auto& b = biases_[i];
+  const auto b = MutableBiases(i);
   for (std::size_t t = 0; t < b.size(); ++t) {
     const double y = level > t ? 1.0 : -1.0;
     const double g = LogisticScale(y, y * (s_ij - b[t]));
@@ -171,7 +174,7 @@ std::size_t OrdinalDmfsgdSimulation::PredictLevel(std::size_t i,
   }
   const double s = nodes_[i].Predict(nodes_[j].v());
   std::size_t level = 0;
-  for (const double b : biases_[i]) {
+  for (const double b : Biases(i)) {
     if (s > b) {
       ++level;
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/coordinate_store.hpp"
 #include "core/node.hpp"
 #include "datasets/dataset.hpp"
 
@@ -84,11 +85,17 @@ class OrdinalDmfsgdSimulation {
   void Probe(NodeId i, NodeId j);
   [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
 
+  [[nodiscard]] std::span<double> MutableBiases(std::size_t i) noexcept {
+    const std::size_t stride = config_.num_classes - 1;
+    return {biases_.data() + i * stride, stride};
+  }
+
   const datasets::Dataset* dataset_;
   MulticlassConfig config_;
   common::Rng rng_;
-  std::vector<DmfsgdNode> nodes_;
-  std::vector<std::vector<double>> biases_;  // node -> C-1 thresholds on score
+  CoordinateStore store_;               // SoA coordinate rows, one per node
+  std::vector<DmfsgdNode> nodes_;       // row views into store_
+  std::vector<double> biases_;          // node-major, stride C-1
   std::vector<std::vector<NodeId>> neighbors_;
 };
 

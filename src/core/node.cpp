@@ -8,31 +8,31 @@
 
 namespace dmfsgd::core {
 
-DmfsgdNode::DmfsgdNode(NodeId id, std::size_t rank, common::Rng& rng) : id_(id) {
-  if (rank == 0) {
-    throw std::invalid_argument("DmfsgdNode: rank must be > 0");
+DmfsgdNode::DmfsgdNode(NodeId id, std::size_t rank, common::Rng& rng)
+    : id_(id), owned_(std::make_unique<CoordinateStore>(1, rank)), store_(owned_.get()) {
+  store_->RandomizeRow(0, rng);
+}
+
+DmfsgdNode::DmfsgdNode(NodeId id, CoordinateStore& store, std::size_t row,
+                       common::Rng& rng)
+    : id_(id), store_(&store), row_(row) {
+  if (row >= store.NodeCount()) {
+    throw std::out_of_range("DmfsgdNode: row outside the coordinate store");
   }
-  u_.resize(rank);
-  v_.resize(rank);
-  for (double& value : u_) {
-    value = rng.Uniform();
-  }
-  for (double& value : v_) {
-    value = rng.Uniform();
-  }
+  store_->RandomizeRow(row_, rng);
 }
 
 void DmfsgdNode::RequireRank(std::size_t remote_rank) const {
-  if (remote_rank != u_.size()) {
+  if (remote_rank != rank()) {
     throw std::invalid_argument("DmfsgdNode: rank mismatch (local " +
-                                std::to_string(u_.size()) + ", remote " +
+                                std::to_string(rank()) + ", remote " +
                                 std::to_string(remote_rank) + ")");
   }
 }
 
 double DmfsgdNode::Predict(std::span<const double> v_remote) const {
   RequireRank(v_remote.size());
-  return linalg::Dot(u_, v_remote);
+  return linalg::Dot(u(), v_remote);
 }
 
 void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
@@ -44,9 +44,9 @@ void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
   // Compute both gradient scales before touching any state: eq. 9 reads
   // u_i·v_j and eq. 10 reads u_j·v_i, neither of which depends on the other
   // update, but evaluating first keeps the rules exactly simultaneous.
-  const double x_hat_ij = linalg::Dot(u_, v_remote);
+  const double x_hat_ij = linalg::Dot(u(), v_remote);
   const double g_u = LossGradientScale(params.loss, x, x_hat_ij);
-  const double x_hat_ji = linalg::Dot(u_remote, v_);
+  const double x_hat_ji = linalg::Dot(u_remote, v());
   const double g_v = LossGradientScale(params.loss, x, x_hat_ji);
 
   GradientStepU(g_u, v_remote, params);  // eq. 9
@@ -56,7 +56,7 @@ void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
 void DmfsgdNode::AbwProberUpdate(double x, std::span<const double> v_remote,
                                  const UpdateParams& params) {
   RequireRank(v_remote.size());
-  const double x_hat = linalg::Dot(u_, v_remote);
+  const double x_hat = linalg::Dot(u(), v_remote);
   const double g = LossGradientScale(params.loss, x, x_hat);
   GradientStepU(g, v_remote, params);  // eq. 12
 }
@@ -64,7 +64,7 @@ void DmfsgdNode::AbwProberUpdate(double x, std::span<const double> v_remote,
 void DmfsgdNode::AbwTargetUpdate(double x, std::span<const double> u_remote,
                                  const UpdateParams& params) {
   RequireRank(u_remote.size());
-  const double x_hat = linalg::Dot(u_remote, v_);
+  const double x_hat = linalg::Dot(u_remote, v());
   const double g = LossGradientScale(params.loss, x, x_hat);
   GradientStepV(g, u_remote, params);  // eq. 13
 }
@@ -73,24 +73,24 @@ void DmfsgdNode::GradientStepU(double g, std::span<const double> v_remote,
                                const UpdateParams& params) {
   RequireRank(v_remote.size());
   // u_i = (1 - ηλ) u_i - η g v_remote
-  linalg::Scale(1.0 - params.eta * params.lambda, std::span<double>(u_));
-  linalg::Axpy(-params.eta * g, v_remote, std::span<double>(u_));
+  linalg::Scale(1.0 - params.eta * params.lambda, MutableU());
+  linalg::Axpy(-params.eta * g, v_remote, MutableU());
 }
 
 void DmfsgdNode::GradientStepV(double g, std::span<const double> u_remote,
                                const UpdateParams& params) {
   RequireRank(u_remote.size());
   // v_i = (1 - ηλ) v_i - η g u_remote
-  linalg::Scale(1.0 - params.eta * params.lambda, std::span<double>(v_));
-  linalg::Axpy(-params.eta * g, u_remote, std::span<double>(v_));
+  linalg::Scale(1.0 - params.eta * params.lambda, MutableV());
+  linalg::Axpy(-params.eta * g, u_remote, MutableV());
 }
 
 double DmfsgdNode::LocalLoss(double x, std::span<const double> v_remote,
                              const UpdateParams& params) const {
   RequireRank(v_remote.size());
-  const double x_hat = linalg::Dot(u_, v_remote);
+  const double x_hat = linalg::Dot(u(), v_remote);
   return LossValue(params.loss, x, x_hat) +
-         params.lambda * linalg::SquaredNorm(u_);
+         params.lambda * linalg::SquaredNorm(u());
 }
 
 }  // namespace dmfsgd::core

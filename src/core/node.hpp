@@ -11,12 +11,19 @@
 //
 // A node never sees the matrix, other nodes' measurements, or more than one
 // neighbor's coordinates at a time.
+//
+// Storage: a node is a *view* over one row of a CoordinateStore — deployments
+// keep every node's rows in two contiguous factor buffers so the SGD inner
+// loop stays cache-friendly.  A standalone node (tests, single UDP agents)
+// owns a private one-row store through the (id, rank, rng) constructor.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/coordinate_store.hpp"
 #include "core/loss.hpp"
 #include "core/messages.hpp"
 
@@ -35,19 +42,41 @@ struct UpdateParams {
 
 class DmfsgdNode {
  public:
-  /// Initializes u_i and v_i with uniform random values in [0, 1) — the
-  /// paper's initialization (§5.3).  Requires rank > 0.
+  /// Standalone node owning a private one-row store; u_i and v_i start
+  /// uniform random in [0, 1) — the paper's initialization (§5.3).
+  /// Requires rank > 0.
   DmfsgdNode(NodeId id, std::size_t rank, common::Rng& rng);
 
-  [[nodiscard]] NodeId id() const noexcept { return id_; }
-  [[nodiscard]] std::size_t rank() const noexcept { return u_.size(); }
+  /// View over row `row` of a shared store (the deployment layout); the
+  /// row is randomized the same way.  `store` must outlive the node and
+  /// never reallocate while the node exists.
+  DmfsgdNode(NodeId id, CoordinateStore& store, std::size_t row,
+             common::Rng& rng);
 
-  [[nodiscard]] std::span<const double> u() const noexcept { return u_; }
-  [[nodiscard]] std::span<const double> v() const noexcept { return v_; }
+  DmfsgdNode(DmfsgdNode&&) noexcept = default;
+  DmfsgdNode& operator=(DmfsgdNode&&) noexcept = default;
+  DmfsgdNode(const DmfsgdNode&) = delete;
+  DmfsgdNode& operator=(const DmfsgdNode&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return store_->rank(); }
+
+  [[nodiscard]] std::span<const double> u() const noexcept {
+    return store_->U(row_);
+  }
+  [[nodiscard]] std::span<const double> v() const noexcept {
+    return store_->V(row_);
+  }
 
   /// Copies of the coordinates, as shipped in protocol replies.
-  [[nodiscard]] std::vector<double> UCopy() const { return u_; }
-  [[nodiscard]] std::vector<double> VCopy() const { return v_; }
+  [[nodiscard]] std::vector<double> UCopy() const {
+    const auto s = u();
+    return {s.begin(), s.end()};
+  }
+  [[nodiscard]] std::vector<double> VCopy() const {
+    const auto s = v();
+    return {s.begin(), s.end()};
+  }
 
   /// x̂_ij = u_i · v_j, the node's prediction toward a remote node whose v
   /// row is known.  Requires matching rank.
@@ -84,11 +113,14 @@ class DmfsgdNode {
                      const UpdateParams& params);
 
  private:
+  [[nodiscard]] std::span<double> MutableU() noexcept { return store_->U(row_); }
+  [[nodiscard]] std::span<double> MutableV() noexcept { return store_->V(row_); }
   void RequireRank(std::size_t remote_rank) const;
 
-  NodeId id_;
-  std::vector<double> u_;
-  std::vector<double> v_;
+  NodeId id_ = 0;
+  std::unique_ptr<CoordinateStore> owned_;  ///< set only for standalone nodes
+  CoordinateStore* store_ = nullptr;
+  std::size_t row_ = 0;
 };
 
 }  // namespace dmfsgd::core

@@ -1,314 +1,47 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
-
-#include "core/wire.hpp"
-#include "linalg/vector_ops.hpp"
 
 namespace dmfsgd::core {
 
-namespace {
-
-using datasets::Dataset;
-using datasets::Metric;
-
-void RequireConfig(const Dataset& dataset, const SimulationConfig& config) {
-  if (config.rank == 0) {
-    throw std::invalid_argument("DmfsgdSimulation: rank must be > 0");
-  }
-  if (config.neighbor_count == 0) {
-    throw std::invalid_argument("DmfsgdSimulation: neighbor_count must be > 0");
-  }
-  if (config.neighbor_count >= dataset.NodeCount()) {
-    throw std::invalid_argument(
-        "DmfsgdSimulation: neighbor_count must be < node count");
-  }
-  if (config.tau <= 0.0) {
-    throw std::invalid_argument("DmfsgdSimulation: tau must be set (> 0)");
-  }
-  if (config.message_loss < 0.0 || config.message_loss >= 1.0) {
-    throw std::invalid_argument("DmfsgdSimulation: message_loss must be in [0, 1)");
-  }
-  if (config.params.eta <= 0.0) {
-    throw std::invalid_argument("DmfsgdSimulation: eta must be > 0");
-  }
-  if (config.params.lambda < 0.0) {
-    throw std::invalid_argument("DmfsgdSimulation: lambda must be >= 0");
-  }
-  if (config.churn_rate < 0.0 || config.churn_rate >= 1.0) {
-    throw std::invalid_argument("DmfsgdSimulation: churn_rate must be in [0, 1)");
-  }
-  if (config.exploration < 0.0 || config.exploration > 1.0) {
-    throw std::invalid_argument("DmfsgdSimulation: exploration must be in [0, 1]");
-  }
-}
-
-}  // namespace
-
-const char* ProbeStrategyName(ProbeStrategy strategy) noexcept {
-  switch (strategy) {
-    case ProbeStrategy::kUniformRandom:
-      return "uniform-random";
-    case ProbeStrategy::kRoundRobin:
-      return "round-robin";
-    case ProbeStrategy::kLossDriven:
-      return "loss-driven";
-  }
-  return "?";
-}
-
-DmfsgdSimulation::DmfsgdSimulation(const Dataset& dataset,
+DmfsgdSimulation::DmfsgdSimulation(const datasets::Dataset& dataset,
                                    const SimulationConfig& config,
                                    const ErrorInjector* injector)
-    : dataset_(&dataset), config_(config), injector_(injector), rng_(config.seed) {
-  RequireConfig(dataset, config);
-  if (injector_ != nullptr && injector_->NodeCount() != dataset.NodeCount()) {
-    throw std::invalid_argument(
-        "DmfsgdSimulation: injector node count does not match the dataset");
-  }
-
-  const std::size_t n = dataset.NodeCount();
-  nodes_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    nodes_.emplace_back(static_cast<NodeId>(i), config_.rank, rng_);
-  }
-
-  // Random neighbor sets, restricted to pairs with known ground truth
-  // (HP-S3 has ~4% unmeasured pairs that can't be probed).
-  neighbors_.resize(n);
-  round_robin_cursor_.assign(n, 0);
-  neighbor_loss_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    RebuildNeighborSet(static_cast<NodeId>(i));
-  }
-}
-
-void DmfsgdSimulation::RebuildNeighborSet(NodeId i) {
-  const std::size_t n = nodes_.size();
-  std::vector<NodeId> candidates;
-  candidates.reserve(n - 1);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j != i && dataset_->IsKnown(i, j)) {
-      candidates.push_back(static_cast<NodeId>(j));
-    }
-  }
-  if (candidates.size() < config_.neighbor_count) {
-    throw std::invalid_argument(
-        "DmfsgdSimulation: node has fewer measurable pairs than k");
-  }
-  rng_.Shuffle(std::span(candidates));
-  candidates.resize(config_.neighbor_count);
-  std::sort(candidates.begin(), candidates.end());
-  neighbors_[i] = std::move(candidates);
-  round_robin_cursor_[i] = 0;
-  // Unprobed neighbors carry +inf loss so the loss-driven strategy visits
-  // everyone at least once before exploiting.
-  neighbor_loss_[i].assign(config_.neighbor_count,
-                           std::numeric_limits<double>::infinity());
-}
-
-void DmfsgdSimulation::ResetNode(NodeId i) {
-  if (i >= nodes_.size()) {
-    throw std::out_of_range("DmfsgdSimulation::ResetNode: index out of range");
-  }
-  nodes_[i] = DmfsgdNode(i, config_.rank, rng_);
-  RebuildNeighborSet(i);
-  ++churn_count_;
-}
-
-NodeId DmfsgdSimulation::PickNeighbor(NodeId i) {
-  const auto& nb = neighbors_[i];
-  switch (config_.strategy) {
-    case ProbeStrategy::kUniformRandom:
-      return nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
-    case ProbeStrategy::kRoundRobin: {
-      const NodeId j = nb[round_robin_cursor_[i] % nb.size()];
-      ++round_robin_cursor_[i];
-      return j;
-    }
-    case ProbeStrategy::kLossDriven: {
-      if (rng_.Bernoulli(config_.exploration)) {
-        return nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
-      }
-      const auto& losses = neighbor_loss_[i];
-      std::size_t best = 0;
-      for (std::size_t p = 1; p < losses.size(); ++p) {
-        if (losses[p] > losses[best]) {
-          best = p;
-        }
-      }
-      return nb[best];
-    }
-  }
-  return nb[0];
-}
-
-const DmfsgdNode& DmfsgdSimulation::node(std::size_t i) const {
-  if (i >= nodes_.size()) {
-    throw std::out_of_range("DmfsgdSimulation::node: index out of range");
-  }
-  return nodes_[i];
-}
-
-bool DmfsgdSimulation::IsNeighborPair(std::size_t i, std::size_t j) const {
-  if (i >= nodes_.size() || j >= nodes_.size()) {
-    throw std::out_of_range("DmfsgdSimulation::IsNeighborPair: index out of range");
-  }
-  const auto& nb = neighbors_[i];
-  return std::binary_search(nb.begin(), nb.end(), static_cast<NodeId>(j));
-}
-
-double DmfsgdSimulation::AverageMeasurementsPerNode() const noexcept {
-  return static_cast<double>(measurement_count_) /
-         static_cast<double>(nodes_.size());
-}
-
-double DmfsgdSimulation::Predict(std::size_t i, std::size_t j) const {
-  if (i >= nodes_.size() || j >= nodes_.size()) {
-    throw std::out_of_range("DmfsgdSimulation::Predict: index out of range");
-  }
-  return nodes_[i].Predict(nodes_[j].v());
-}
-
-bool DmfsgdSimulation::LegLost() {
-  if (config_.message_loss <= 0.0) {
-    return false;
-  }
-  const bool lost = rng_.Bernoulli(config_.message_loss);
-  if (lost) {
-    ++dropped_legs_;
-  }
-  return lost;
-}
-
-double DmfsgdSimulation::MeasurementFor(
-    std::size_t i, std::size_t j, std::optional<double> observed_quantity) const {
-  const double quantity =
-      observed_quantity.has_value() ? *observed_quantity : dataset_->Quantity(i, j);
-  if (config_.mode == PredictionMode::kRegression) {
-    // τ-normalization keeps SGD stable across metrics (DESIGN.md §3); the
-    // prediction target is then a dimensionless "multiples of τ".
-    return quantity / config_.tau;
-  }
-  // Classification: corrupted paths report their corrupted label on *every*
-  // probe (inaccurate tools and malicious nodes are persistent, §6.3), so
-  // the injector overrides even dynamically observed quantities.
-  if (injector_ != nullptr) {
-    return static_cast<double>(injector_->Label(i, j));
-  }
-  return static_cast<double>(ClassOf(dataset_->metric, quantity, config_.tau));
-}
-
-void DmfsgdSimulation::RttProbe(NodeId i, NodeId j,
-                                std::optional<double> observed_quantity) {
-  // Algorithm 1.  Leg 1: the probe itself (ping request).
-  if (LegLost()) {
-    return;
-  }
-  // Leg 2: the reply carrying (u_j, v_j); its timing gives x_ij at node i.
-  if (LegLost()) {
-    return;
-  }
-  RttProbeReply reply{j, nodes_[j].UCopy(), nodes_[j].VCopy()};
-  if (config_.use_wire_format) {
-    const auto encoded = Encode(reply);
-    reply = DecodeRttProbeReply(encoded);
-  }
-  const double x = MeasurementFor(i, j, observed_quantity);
-  if (config_.strategy == ProbeStrategy::kLossDriven) {
-    const auto& nb = neighbors_[i];
-    const auto it = std::lower_bound(nb.begin(), nb.end(), j);
-    if (it != nb.end() && *it == j) {
-      const double x_hat = linalg::Dot(nodes_[i].u(), reply.v);
-      neighbor_loss_[i][static_cast<std::size_t>(it - nb.begin())] =
-          LossValue(config_.params.loss, x, x_hat);
-    }
-  }
-  nodes_[i].RttUpdate(x, reply.u, reply.v, config_.params);
-  ++measurement_count_;
-}
-
-void DmfsgdSimulation::AbwProbe(NodeId i, NodeId j) {
-  // Algorithm 2.  Leg 1: the UDP train carrying u_i at rate τ.
-  if (LegLost()) {
-    return;
-  }
-  AbwProbeRequest request{i, nodes_[i].UCopy(), config_.tau};
-  if (config_.use_wire_format) {
-    const auto encoded = Encode(request);
-    request = DecodeAbwProbeRequest(encoded);
-  }
-
-  // The target infers x_ij, replies with its pre-update v_j (Algorithm 2
-  // sends before updating), then updates v_j — the measurement is consumed
-  // at the target even if the reply later gets lost.
-  const double x = MeasurementFor(i, j, std::nullopt);
-  AbwProbeReply reply{j, x, nodes_[j].VCopy()};
-  nodes_[j].AbwTargetUpdate(x, request.u, config_.params);
-  ++measurement_count_;
-
-  // Leg 2: the reply back to the prober.
-  if (LegLost()) {
-    return;
-  }
-  if (config_.use_wire_format) {
-    const auto encoded = Encode(reply);
-    reply = DecodeAbwProbeReply(encoded);
-  }
-  if (config_.strategy == ProbeStrategy::kLossDriven) {
-    const auto& nb = neighbors_[i];
-    const auto it = std::lower_bound(nb.begin(), nb.end(), j);
-    if (it != nb.end() && *it == j) {
-      const double x_hat = linalg::Dot(nodes_[i].u(), reply.v);
-      neighbor_loss_[i][static_cast<std::size_t>(it - nb.begin())] =
-          LossValue(config_.params.loss, reply.measurement, x_hat);
-    }
-  }
-  nodes_[i].AbwProberUpdate(reply.measurement, reply.v, config_.params);
-}
+    : engine_(dataset, config, injector,
+              StackChannel(immediate_, wire_, config.use_wire_format)) {}
 
 void DmfsgdSimulation::RunRounds(std::size_t rounds) {
-  const bool abw = dataset_->metric == Metric::kAbw;
+  const std::size_t n = engine_.NodeCount();
   for (std::size_t round = 0; round < rounds; ++round) {
-    if (config_.churn_rate > 0.0) {
-      for (NodeId i = 0; i < nodes_.size(); ++i) {
-        if (rng_.Bernoulli(config_.churn_rate)) {
-          ResetNode(i);
-        }
-      }
-    }
-    for (NodeId i = 0; i < nodes_.size(); ++i) {
-      const NodeId j = PickNeighbor(i);
-      if (abw) {
-        AbwProbe(i, j);
-      } else {
-        RttProbe(i, j, std::nullopt);
-      }
+    engine_.ChurnSweep();
+    for (NodeId i = 0; i < n; ++i) {
+      const NodeId j = engine_.PickNeighbor(i);
+      engine_.StartExchange(i, j, std::nullopt);
     }
   }
 }
 
 std::size_t DmfsgdSimulation::ReplayTrace(std::size_t begin, std::size_t end) {
-  if (dataset_->trace.empty()) {
+  const auto& trace = engine_.dataset().trace;
+  if (trace.empty()) {
     throw std::logic_error("DmfsgdSimulation::ReplayTrace: dataset has no trace");
   }
-  end = std::min(end, dataset_->trace.size());
+  end = std::min(end, trace.size());
   if (begin > end) {
     throw std::invalid_argument("DmfsgdSimulation::ReplayTrace: begin > end");
   }
   std::size_t applied = 0;
   for (std::size_t r = begin; r < end; ++r) {
-    const datasets::TraceRecord& record = dataset_->trace[r];
+    const datasets::TraceRecord& record = trace[r];
     // A passively observed measurement is usable only when the observing
     // node actually keeps the other endpoint in its neighbor set.
-    if (!IsNeighborPair(record.src, record.dst)) {
+    if (!engine_.IsNeighborPair(record.src, record.dst)) {
       continue;
     }
-    const std::size_t before = measurement_count_;
-    RttProbe(record.src, record.dst, record.value);
-    if (measurement_count_ > before) {
+    const std::size_t before = engine_.MeasurementCount();
+    engine_.StartExchange(record.src, record.dst, record.value);
+    if (engine_.MeasurementCount() > before) {
       ++applied;
     }
   }
@@ -316,7 +49,7 @@ std::size_t DmfsgdSimulation::ReplayTrace(std::size_t begin, std::size_t end) {
 }
 
 std::size_t DmfsgdSimulation::ReplayTrace() {
-  return ReplayTrace(0, dataset_->trace.size());
+  return ReplayTrace(0, engine_.dataset().trace.size());
 }
 
 }  // namespace dmfsgd::core

@@ -1,78 +1,30 @@
-// Decentralized DMFSGD deployment simulator (paper §5.3 and §6.1).
+// Round-based DMFSGD deployment driver (paper §5.3 and §6.1).
 //
-// Simulates a network of DmfsgdNodes running Algorithm 1 (RTT) or
-// Algorithm 2 (ABW) against a dataset:
+// A thin timing loop over the shared deployment core (core/engine.hpp):
 //
-//  * every node independently picks a random neighbor set of k nodes
-//    (Vivaldi-style architecture);
 //  * static datasets (Meridian, HP-S3) are driven in rounds — per round each
-//    node probes one uniformly chosen neighbor, so after R rounds the
-//    average measurement count per node is R (the x-axis of Figure 5(c) in
-//    units of k is R/k);
+//    node probes one neighbor chosen by the configured strategy, so after R
+//    rounds the average measurement count per node is R (the x-axis of
+//    Figure 5(c) in units of k is R/k);
 //  * the dynamic Harvard trace is replayed in timestamp order; a record
 //    (src, dst) is usable only if dst is in src's neighbor set, which yields
 //    the uneven per-node measurement counts of the paper's footnote 4.
 //
-// The simulator moves actual protocol messages (core/messages.hpp) between
-// nodes; with `use_wire_format` every exchange is serialized through the
-// binary wire codec and decoded on the receiving side, proving the protocol
-// is implementable over a datagram transport.  Message loss models lossy
-// networks: each protocol leg is dropped independently, and a lost leg
-// loses exactly the updates a real deployment would lose (e.g. an ABW
-// target still updates v_j even when its reply to the prober is lost).
-//
-// In classification mode the measurement fed to the update rules is the
-// binary class of the probed pair (optionally corrupted by an
-// ErrorInjector); in regression mode it is the quantity divided by τ — a
-// scale normalization that keeps SGD stable across metrics whose raw values
-// span orders of magnitude (documented substitution, DESIGN.md §3).
+// Exchanges are delivered atomically through an ImmediateDeliveryChannel;
+// with `use_wire_format` every message additionally round-trips through the
+// binary wire codec (a WireCodecDeliveryChannel decorator), proving the
+// protocol is implementable over a datagram transport.  All protocol,
+// membership, measurement and loss semantics live in the engine and are
+// shared verbatim with the asynchronous driver (async_simulation.hpp).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "common/rng.hpp"
-#include "core/error_injection.hpp"
-#include "core/node.hpp"
-#include "datasets/dataset.hpp"
+#include "core/engine.hpp"
 
 namespace dmfsgd::core {
-
-enum class PredictionMode {
-  kClassification,  ///< train on ±1 labels (hinge/logistic)
-  kRegression,      ///< train on τ-normalized quantities (L2)
-};
-
-/// How a node picks which neighbor to probe next (the paper uses uniform
-/// random; the alternatives are extensions inspired by the active sampling
-/// of Rish & Tesauro [20] that the related-work section contrasts against).
-enum class ProbeStrategy {
-  kUniformRandom,  ///< paper default: uniform over the neighbor set
-  kRoundRobin,     ///< deterministic cycling through the neighbor set
-  kLossDriven,     ///< mostly probe the neighbor with the highest local loss
-};
-
-/// Human-readable strategy name.
-[[nodiscard]] const char* ProbeStrategyName(ProbeStrategy strategy) noexcept;
-
-struct SimulationConfig {
-  std::size_t rank = 10;           ///< r
-  UpdateParams params;             ///< η, λ, loss
-  PredictionMode mode = PredictionMode::kClassification;
-  std::size_t neighbor_count = 10; ///< k
-  double tau = 0.0;                ///< classification threshold (quantity units)
-  std::uint64_t seed = 1;
-  double message_loss = 0.0;       ///< per-leg drop probability in [0, 1)
-  bool use_wire_format = false;    ///< serialize every exchange through wire.hpp
-  ProbeStrategy strategy = ProbeStrategy::kUniformRandom;
-  /// Per-round probability that a node churns (leaves and is replaced by a
-  /// fresh node with new random coordinates and a new neighbor set) — the
-  /// P2P membership dynamics a deployed system faces.
-  double churn_rate = 0.0;
-  /// Exploration probability of the loss-driven strategy.
-  double exploration = 0.3;
-};
 
 class DmfsgdSimulation {
  public:
@@ -84,8 +36,8 @@ class DmfsgdSimulation {
                    const ErrorInjector* injector = nullptr);
 
   /// Runs `rounds` probing rounds (static datasets); in each round every
-  /// node probes one random neighbor.  Usable with trace datasets too (the
-  /// static median matrix is then the measurement source).
+  /// node probes one neighbor.  Usable with trace datasets too (the static
+  /// median matrix is then the measurement source).
   void RunRounds(std::size_t rounds);
 
   /// Replays trace records [begin, end) in time order; returns the number of
@@ -97,69 +49,66 @@ class DmfsgdSimulation {
   std::size_t ReplayTrace();
 
   /// x̂_ij = u_i · v_j.
-  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const {
+    return engine_.Predict(i, j);
+  }
 
   /// Total measurements applied (lost exchanges don't count).
   [[nodiscard]] std::size_t MeasurementCount() const noexcept {
-    return measurement_count_;
+    return engine_.MeasurementCount();
   }
 
   /// MeasurementCount() / node count — the x-axis of Figure 5(c).
-  [[nodiscard]] double AverageMeasurementsPerNode() const noexcept;
+  [[nodiscard]] double AverageMeasurementsPerNode() const noexcept {
+    return engine_.AverageMeasurementsPerNode();
+  }
 
   /// Protocol legs dropped by the loss model.
-  [[nodiscard]] std::size_t DroppedLegs() const noexcept { return dropped_legs_; }
+  [[nodiscard]] std::size_t DroppedLegs() const noexcept {
+    return engine_.DroppedLegs();
+  }
 
-  [[nodiscard]] const datasets::Dataset& dataset() const noexcept { return *dataset_; }
-  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::size_t NodeCount() const noexcept { return nodes_.size(); }
-  [[nodiscard]] const DmfsgdNode& node(std::size_t i) const;
+  [[nodiscard]] const datasets::Dataset& dataset() const noexcept {
+    return engine_.dataset();
+  }
+  [[nodiscard]] const SimulationConfig& config() const noexcept {
+    return engine_.config();
+  }
+  [[nodiscard]] std::size_t NodeCount() const noexcept {
+    return engine_.NodeCount();
+  }
+  [[nodiscard]] const DmfsgdNode& node(std::size_t i) const {
+    return engine_.node(i);
+  }
 
   /// Neighbor sets (sorted); index = node id.
   [[nodiscard]] const std::vector<std::vector<NodeId>>& Neighbors() const noexcept {
-    return neighbors_;
+    return engine_.Neighbors();
   }
 
   /// True if j is in i's neighbor set (i.e. (i, j) is a training pair).
-  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const;
+  [[nodiscard]] bool IsNeighborPair(std::size_t i, std::size_t j) const {
+    return engine_.IsNeighborPair(i, j);
+  }
 
   /// Simulates node i leaving and a fresh node joining in its place: new
   /// random coordinates, a new random neighbor set, reset probing state.
-  void ResetNode(NodeId i);
+  void ResetNode(NodeId i) { engine_.ResetNode(i); }
 
   /// Total nodes churned so far (by churn_rate or explicit ResetNode).
-  [[nodiscard]] std::size_t ChurnCount() const noexcept { return churn_count_; }
+  [[nodiscard]] std::size_t ChurnCount() const noexcept {
+    return engine_.ChurnCount();
+  }
+
+  /// The shared deployment core (read access for snapshots and evaluation).
+  [[nodiscard]] const DeploymentEngine& engine() const noexcept { return engine_; }
 
  private:
-  /// Picks the neighbor node i probes this round, per the configured
-  /// strategy.
-  [[nodiscard]] NodeId PickNeighbor(NodeId i);
-
-  void RebuildNeighborSet(NodeId i);
-  /// One full Algorithm-1 exchange i -> j.  `observed_quantity` overrides
-  /// the static matrix during trace replay.
-  void RttProbe(NodeId i, NodeId j, std::optional<double> observed_quantity);
-  /// One full Algorithm-2 exchange i -> j.
-  void AbwProbe(NodeId i, NodeId j);
-
-  /// The training value for pair (i, j): class label (possibly corrupted) or
-  /// τ-normalized quantity.
-  [[nodiscard]] double MeasurementFor(std::size_t i, std::size_t j,
-                                      std::optional<double> observed_quantity) const;
-
-  [[nodiscard]] bool LegLost();
-
-  const datasets::Dataset* dataset_;
-  SimulationConfig config_;
-  const ErrorInjector* injector_;
-  common::Rng rng_;
-  std::vector<DmfsgdNode> nodes_;
-  std::vector<std::vector<NodeId>> neighbors_;
-  std::vector<std::size_t> round_robin_cursor_;       // per node
-  std::vector<std::vector<double>> neighbor_loss_;    // per node, per neighbor
-  std::size_t measurement_count_ = 0;
-  std::size_t dropped_legs_ = 0;
-  std::size_t churn_count_ = 0;
+  /// Channel stack: immediate delivery, optionally decorated by the wire
+  /// codec.  Declared before the engine, which binds its sink onto them.
+  ImmediateDeliveryChannel immediate_;
+  std::optional<WireCodecDeliveryChannel> wire_;
+  DeploymentEngine engine_;
 };
 
 }  // namespace dmfsgd::core

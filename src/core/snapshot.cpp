@@ -4,52 +4,36 @@
 #include <string>
 
 #include "common/csv.hpp"
-#include "linalg/vector_ops.hpp"
 
 namespace dmfsgd::core {
 
-double CoordinateSnapshot::Predict(std::size_t i, std::size_t j) const {
-  if (i >= u.size() || j >= v.size()) {
-    throw std::out_of_range("CoordinateSnapshot::Predict: index out of range");
-  }
-  return linalg::Dot(u[i], v[j]);
+CoordinateSnapshot TakeSnapshot(const DeploymentEngine& engine) {
+  // The live factors already sit in one contiguous store; archiving is a
+  // plain copy.
+  return CoordinateSnapshot{engine.store()};
 }
 
 CoordinateSnapshot TakeSnapshot(const DmfsgdSimulation& simulation) {
-  CoordinateSnapshot snapshot;
-  snapshot.rank = simulation.config().rank;
-  const std::size_t n = simulation.NodeCount();
-  snapshot.u.reserve(n);
-  snapshot.v.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    snapshot.u.push_back(simulation.node(i).UCopy());
-    snapshot.v.push_back(simulation.node(i).VCopy());
-  }
-  return snapshot;
+  return TakeSnapshot(simulation.engine());
 }
 
 void SaveSnapshot(const CoordinateSnapshot& snapshot,
                   const std::filesystem::path& path) {
-  if (snapshot.rank == 0 || snapshot.u.size() != snapshot.v.size()) {
+  if (snapshot.rank() == 0) {
     throw std::invalid_argument("SaveSnapshot: malformed snapshot");
   }
   const std::vector<std::string> header = {"dmfsgd-snapshot",
-                                           std::to_string(snapshot.rank),
+                                           std::to_string(snapshot.rank()),
                                            std::to_string(snapshot.NodeCount())};
   std::vector<std::vector<std::string>> rows;
   rows.reserve(snapshot.NodeCount());
   for (std::size_t i = 0; i < snapshot.NodeCount(); ++i) {
-    if (snapshot.u[i].size() != snapshot.rank ||
-        snapshot.v[i].size() != snapshot.rank) {
-      throw std::invalid_argument("SaveSnapshot: rank mismatch at node " +
-                                  std::to_string(i));
-    }
     std::vector<std::string> row;
-    row.reserve(2 * snapshot.rank);
-    for (const double value : snapshot.u[i]) {
+    row.reserve(2 * snapshot.rank());
+    for (const double value : snapshot.store.U(i)) {
       row.push_back(common::FormatDouble(value));
     }
-    for (const double value : snapshot.v[i]) {
+    for (const double value : snapshot.store.V(i)) {
       row.push_back(common::FormatDouble(value));
     }
     rows.push_back(std::move(row));
@@ -62,28 +46,27 @@ CoordinateSnapshot LoadSnapshot(const std::filesystem::path& path) {
   if (doc.header.size() != 3 || doc.header[0] != "dmfsgd-snapshot") {
     throw std::invalid_argument("LoadSnapshot: not a snapshot file");
   }
-  CoordinateSnapshot snapshot;
-  snapshot.rank = static_cast<std::size_t>(std::stoull(doc.header[1]));
+  const auto rank = static_cast<std::size_t>(std::stoull(doc.header[1]));
   const auto n = static_cast<std::size_t>(std::stoull(doc.header[2]));
-  if (snapshot.rank == 0) {
+  if (rank == 0) {
     throw std::invalid_argument("LoadSnapshot: rank must be positive");
   }
   if (doc.rows.size() != n) {
     throw std::invalid_argument("LoadSnapshot: node count mismatch");
   }
-  snapshot.u.resize(n);
-  snapshot.v.resize(n);
+  CoordinateSnapshot snapshot;
+  snapshot.store.Reset(n, rank);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& row = doc.rows[i];
-    if (row.size() != 2 * snapshot.rank) {
+    if (row.size() != 2 * rank) {
       throw std::invalid_argument("LoadSnapshot: malformed row " +
                                   std::to_string(i));
     }
-    snapshot.u[i].resize(snapshot.rank);
-    snapshot.v[i].resize(snapshot.rank);
-    for (std::size_t d = 0; d < snapshot.rank; ++d) {
-      snapshot.u[i][d] = common::ParseDouble(row[d]);
-      snapshot.v[i][d] = common::ParseDouble(row[snapshot.rank + d]);
+    const auto u = snapshot.store.U(i);
+    const auto v = snapshot.store.V(i);
+    for (std::size_t d = 0; d < rank; ++d) {
+      u[d] = common::ParseDouble(row[d]);
+      v[d] = common::ParseDouble(row[rank + d]);
     }
   }
   return snapshot;

@@ -2,31 +2,40 @@
 //
 // A real DMFSGD deployment wants warm restarts — a node that reboots should
 // resume from its last coordinates instead of re-randomizing, and operators
-// want to archive the system state for offline analysis.  A snapshot holds
-// every node's (u_i, v_i) rows; predictions can be served directly from it.
+// want to archive the system state for offline analysis.  A snapshot is a
+// copy of the deployment's structure-of-arrays CoordinateStore (every
+// node's u_i / v_i rows); predictions can be served directly from it.
 #pragma once
 
 #include <cstddef>
 #include <filesystem>
-#include <vector>
 
+#include "core/coordinate_store.hpp"
+#include "core/engine.hpp"
 #include "core/simulation.hpp"
 
 namespace dmfsgd::core {
 
 struct CoordinateSnapshot {
-  std::size_t rank = 0;
-  /// u[i] / v[i] are node i's coordinate rows, each of length `rank`.
-  std::vector<std::vector<double>> u;
-  std::vector<std::vector<double>> v;
+  /// The archived factors, in the same SoA layout deployments use live.
+  CoordinateStore store;
 
-  [[nodiscard]] std::size_t NodeCount() const noexcept { return u.size(); }
+  [[nodiscard]] std::size_t NodeCount() const noexcept {
+    return store.NodeCount();
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return store.rank(); }
 
   /// x̂_ij from the archived coordinates.  Throws on bad indices.
-  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double Predict(std::size_t i, std::size_t j) const {
+    return store.Predict(i, j);
+  }
 };
 
-/// Captures the current coordinates of every node in a deployment.
+/// Captures the current coordinates of every node in a deployment core
+/// (works for any driver over the shared engine).
+[[nodiscard]] CoordinateSnapshot TakeSnapshot(const DeploymentEngine& engine);
+
+/// Convenience overload for the round-based driver.
 [[nodiscard]] CoordinateSnapshot TakeSnapshot(const DmfsgdSimulation& simulation);
 
 /// Writes a snapshot as CSV (one row per node: u..., v...).

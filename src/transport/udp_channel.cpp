@@ -1,0 +1,84 @@
+#include "transport/udp_channel.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/wire.hpp"
+
+namespace dmfsgd::transport {
+
+std::uint16_t UdpDeliveryChannel::Register(core::NodeId id) {
+  if (sockets_.contains(id)) {
+    throw std::invalid_argument("UdpDeliveryChannel::Register: duplicate node " +
+                                std::to_string(id));
+  }
+  const auto [it, inserted] = sockets_.emplace(id, UdpSocket(0));
+  contact_[id] = it->second.Port();
+  return it->second.Port();
+}
+
+std::uint16_t UdpDeliveryChannel::Port(core::NodeId id) const {
+  const auto it = sockets_.find(id);
+  if (it == sockets_.end()) {
+    throw std::out_of_range("UdpDeliveryChannel::Port: unregistered node " +
+                            std::to_string(id));
+  }
+  return it->second.Port();
+}
+
+void UdpDeliveryChannel::AddContact(core::NodeId id, std::uint16_t port) {
+  contact_[id] = port;
+}
+
+void UdpDeliveryChannel::Send(core::NodeId from, core::NodeId to,
+                              core::ProtocolMessage message) {
+  const auto socket = sockets_.find(from);
+  if (socket == sockets_.end()) {
+    throw std::invalid_argument("UdpDeliveryChannel::Send: node " +
+                                std::to_string(from) + " is not local");
+  }
+  const auto port = contact_.find(to);
+  if (port == contact_.end()) {
+    throw std::runtime_error("UdpDeliveryChannel::Send: no contact for node " +
+                             std::to_string(to));
+  }
+  socket->second.SendTo(core::EncodeMessage(message), port->second);
+}
+
+std::size_t UdpDeliveryChannel::Pump(std::size_t max_datagrams) {
+  std::size_t handled = 0;
+  for (auto& [id, socket] : sockets_) {
+    while (handled < max_datagrams) {
+      const auto datagram = socket.Receive(/*timeout_ms=*/0);
+      if (!datagram.has_value()) {
+        break;
+      }
+      ++handled;
+      try {
+        core::ProtocolMessage message = core::DecodeMessage(datagram->payload);
+        // Learn the return route before dispatching (the sink may answer a
+        // prober it was never introduced to) — but never let a datagram's
+        // claimed sender id re-route a *locally registered* node: its
+        // contact stays pinned to its own socket, so a forged id cannot
+        // hijack local traffic.
+        const core::NodeId sender = core::SenderOf(message);
+        if (!sockets_.contains(sender)) {
+          contact_[sender] = datagram->sender_port;
+        }
+        DeliverNow(sender, id, message);
+      } catch (const core::WireError&) {
+        ++malformed_datagrams_;
+      } catch (const std::invalid_argument&) {
+        // Well-formed but semantically foreign (e.g. a rank from another
+        // deployment): the sink rejected it; count and drop, never crash.
+        ++malformed_datagrams_;
+      } catch (const std::out_of_range&) {
+        ++malformed_datagrams_;  // e.g. a node id outside this deployment
+      }
+    }
+  }
+  return handled;
+}
+
+}  // namespace dmfsgd::transport

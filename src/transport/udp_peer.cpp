@@ -1,8 +1,7 @@
 #include "transport/udp_peer.hpp"
 
 #include <stdexcept>
-
-#include "core/wire.hpp"
+#include <utility>
 
 namespace dmfsgd::transport {
 
@@ -10,95 +9,76 @@ UdpDmfsgdPeer::UdpDmfsgdPeer(const UdpPeerConfig& config, MeasurementFn measure)
     : config_(config),
       measure_(std::move(measure)),
       rng_(config.seed),
-      node_(config.id, config.rank, rng_),
-      socket_(0) {
+      node_(config.id, config.rank, rng_) {
   if (!measure_) {
     throw std::invalid_argument("UdpDmfsgdPeer: measurement callback required");
   }
+  (void)channel_.Register(config_.id);
+  channel_.BindSink(
+      [this](core::NodeId from, core::NodeId /*to*/,
+             const core::ProtocolMessage& message) { Handle(from, message); });
 }
 
 void UdpDmfsgdPeer::AddNeighbor(core::NodeId id, std::uint16_t port) {
   if (id == config_.id) {
     throw std::invalid_argument("UdpDmfsgdPeer::AddNeighbor: cannot neighbor self");
   }
-  neighbors_.emplace_back(id, port);
-  contact_[id] = port;
+  neighbors_.push_back(id);
+  channel_.AddContact(id, port);
 }
 
 void UdpDmfsgdPeer::Probe() {
   if (neighbors_.empty()) {
     return;
   }
-  const auto& [id, port] =
+  const core::NodeId target =
       neighbors_[rng_.UniformInt(static_cast<std::uint64_t>(neighbors_.size()))];
-  (void)id;
   if (config_.symmetric_metric) {
-    socket_.SendTo(core::Encode(core::RttProbeRequest{config_.id}), port);
+    channel_.Send(config_.id, target, core::RttProbeRequest{config_.id});
   } else {
-    socket_.SendTo(
-        core::Encode(core::AbwProbeRequest{config_.id, node_.UCopy(), config_.tau}),
-        port);
+    channel_.Send(config_.id, target,
+                  core::AbwProbeRequest{config_.id, node_.UCopy(), config_.tau});
   }
 }
 
 std::size_t UdpDmfsgdPeer::Pump(std::size_t max_datagrams) {
-  std::size_t handled = 0;
-  while (handled < max_datagrams) {
-    const auto datagram = socket_.Receive(/*timeout_ms=*/0);
-    if (!datagram.has_value()) {
-      break;
-    }
-    Handle(*datagram);
-    ++handled;
-  }
-  return handled;
+  return channel_.Pump(max_datagrams);
 }
 
-void UdpDmfsgdPeer::Handle(const Datagram& datagram) {
-  // A hostile or corrupted datagram must never take the node down: decode
-  // errors and rank mismatches are counted and the packet dropped.
+void UdpDmfsgdPeer::Handle(core::NodeId from, const core::ProtocolMessage& message) {
+  // A hostile datagram that decodes but doesn't fit this deployment (e.g. a
+  // foreign rank) must never take the node down: semantic rejects are
+  // counted and the message dropped.
   try {
-    switch (core::PeekType(datagram.payload)) {
-      case core::MessageType::kRttProbeRequest: {
-        const auto request = core::DecodeRttProbeRequest(datagram.payload);
-        (void)request;
-        socket_.SendTo(core::Encode(core::RttProbeReply{config_.id, node_.UCopy(),
-                                                        node_.VCopy()}),
-                       datagram.sender_port);
-        break;
-      }
-      case core::MessageType::kRttProbeReply: {
-        const auto reply = core::DecodeRttProbeReply(datagram.payload);
-        // Algorithm 1: the prober measures x_ij itself (in a real agent the
-        // request/reply timing *is* the measurement; here the callback
-        // supplies it).
-        const double x = measure_(config_.id, reply.target);
-        node_.RttUpdate(x, reply.u, reply.v, config_.params);
-        ++measurements_applied_;
-        break;
-      }
-      case core::MessageType::kAbwProbeRequest: {
-        const auto request = core::DecodeAbwProbeRequest(datagram.payload);
-        // Algorithm 2, target side: infer x_ij, reply with the pre-update
-        // v_j (step 3 sends before step 4 updates).
-        const double x = measure_(request.prober, config_.id);
-        socket_.SendTo(
-            core::Encode(core::AbwProbeReply{config_.id, x, node_.VCopy()}),
-            datagram.sender_port);
-        node_.AbwTargetUpdate(x, request.u, config_.params);
-        ++measurements_applied_;
-        break;
-      }
-      case core::MessageType::kAbwProbeReply: {
-        const auto reply = core::DecodeAbwProbeReply(datagram.payload);
-        node_.AbwProberUpdate(reply.measurement, reply.v, config_.params);
-        break;
-      }
-    }
-  } catch (const core::WireError&) {
-    ++malformed_datagrams_;
+    std::visit(
+        [&](const auto& typed) {
+          using T = std::decay_t<decltype(typed)>;
+          if constexpr (std::is_same_v<T, core::RttProbeRequest>) {
+            channel_.Send(config_.id, from,
+                          core::RttProbeReply{config_.id, node_.UCopy(),
+                                              node_.VCopy()});
+          } else if constexpr (std::is_same_v<T, core::RttProbeReply>) {
+            // Algorithm 1: the prober measures x_ij itself (in a real agent
+            // the request/reply timing *is* the measurement; here the
+            // callback supplies it).
+            const double x = measure_(config_.id, typed.target);
+            node_.RttUpdate(x, typed.u, typed.v, config_.params);
+            ++measurements_applied_;
+          } else if constexpr (std::is_same_v<T, core::AbwProbeRequest>) {
+            // Algorithm 2, target side: infer x_ij, reply with the
+            // pre-update v_j (step 3 sends before step 4 updates).
+            const double x = measure_(typed.prober, config_.id);
+            channel_.Send(config_.id, from,
+                          core::AbwProbeReply{config_.id, x, node_.VCopy()});
+            node_.AbwTargetUpdate(x, typed.u, config_.params);
+            ++measurements_applied_;
+          } else {
+            node_.AbwProberUpdate(typed.measurement, typed.v, config_.params);
+          }
+        },
+        message);
   } catch (const std::invalid_argument&) {
-    ++malformed_datagrams_;  // e.g. rank mismatch from a foreign deployment
+    ++rejected_messages_;  // e.g. rank mismatch from a foreign deployment
   }
 }
 

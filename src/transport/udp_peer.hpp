@@ -1,26 +1,29 @@
 // A DMFSGD node speaking the wire protocol over a real UDP socket.
 //
 // This is what a deployed agent looks like: a DmfsgdNode (two length-r
-// vectors), a UDP socket, a table mapping neighbor node-ids to ports, and a
-// measurement callback (in production: run ping / send a UDP train; here:
-// supplied by the caller, typically backed by a netsim substrate).
+// rows), a UdpDeliveryChannel for framing (encode/decode, socket, learned
+// return routes), a table of neighbor node-ids, and a measurement callback
+// (in production: run ping / send a UDP train; here: supplied by the
+// caller, typically backed by a netsim substrate).  The peer is the
+// node-local half of the protocol — the same exchange reactions the
+// deployment engine executes globally, driven through the same
+// DeliveryChannel interface the simulators use.
 //
 // The peer is single-threaded and non-blocking: call Probe() to launch an
 // exchange toward a random neighbor, and Pump() regularly to service
 // incoming datagrams (answering probe requests from others and consuming
 // replies to our own probes).  Malformed datagrams are counted and dropped
 // — a corrupt packet can never crash the node or poison its coordinates
-// (core/wire.hpp length/version checks).
+// (core/wire.hpp length/version checks; rank checks in DmfsgdNode).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/node.hpp"
-#include "transport/udp.hpp"
+#include "transport/udp_channel.hpp"
 
 namespace dmfsgd::transport {
 
@@ -45,7 +48,7 @@ class UdpDmfsgdPeer {
   /// Binds an ephemeral loopback port.  `measure` must outlive the peer.
   UdpDmfsgdPeer(const UdpPeerConfig& config, MeasurementFn measure);
 
-  [[nodiscard]] std::uint16_t Port() const noexcept { return socket_.Port(); }
+  [[nodiscard]] std::uint16_t Port() const { return channel_.Port(config_.id); }
   [[nodiscard]] core::NodeId Id() const noexcept { return config_.id; }
 
   /// Registers a neighbor's contact address.
@@ -71,22 +74,23 @@ class UdpDmfsgdPeer {
   [[nodiscard]] std::size_t MeasurementsApplied() const noexcept {
     return measurements_applied_;
   }
+  /// Wire-level rejects (channel) plus semantic rejects (rank mismatches
+  /// from foreign deployments).
   [[nodiscard]] std::size_t MalformedDatagrams() const noexcept {
-    return malformed_datagrams_;
+    return channel_.MalformedDatagrams() + rejected_messages_;
   }
 
  private:
-  void Handle(const Datagram& datagram);
+  void Handle(core::NodeId from, const core::ProtocolMessage& message);
 
   UdpPeerConfig config_;
   MeasurementFn measure_;
   common::Rng rng_;
   core::DmfsgdNode node_;
-  UdpSocket socket_;
-  std::vector<std::pair<core::NodeId, std::uint16_t>> neighbors_;
-  std::map<core::NodeId, std::uint16_t> contact_;  // id -> port (all known peers)
+  UdpDeliveryChannel channel_;
+  std::vector<core::NodeId> neighbors_;
   std::size_t measurements_applied_ = 0;
-  std::size_t malformed_datagrams_ = 0;
+  std::size_t rejected_messages_ = 0;
 };
 
 }  // namespace dmfsgd::transport

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/simulation.hpp"
 #include "datasets/hps3.hpp"
 #include "datasets/meridian.hpp"
 #include "eval/roc.hpp"

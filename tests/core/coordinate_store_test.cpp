@@ -1,0 +1,91 @@
+#include "core/coordinate_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "core/node.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+TEST(CoordinateStore, StartsEmptyAndRejectsZeroRank) {
+  const CoordinateStore empty;
+  EXPECT_EQ(empty.NodeCount(), 0u);
+  EXPECT_EQ(empty.rank(), 0u);
+  EXPECT_THROW(CoordinateStore(4, 0), std::invalid_argument);
+}
+
+TEST(CoordinateStore, RowsAreContiguousSlicesOfOneBuffer) {
+  CoordinateStore store(5, 3);
+  EXPECT_EQ(store.NodeCount(), 5u);
+  EXPECT_EQ(store.rank(), 3u);
+  EXPECT_EQ(store.UData().size(), 15u);
+  EXPECT_EQ(store.VData().size(), 15u);
+  // Row i of each factor is the i-th stride of the flat buffer — the SoA
+  // property the hot loop relies on.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(store.U(i).data(), store.UData().data() + i * 3);
+    EXPECT_EQ(store.V(i).data(), store.VData().data() + i * 3);
+  }
+}
+
+TEST(CoordinateStore, RandomizeRowFillsUnitInterval) {
+  CoordinateStore store(3, 8);
+  common::Rng rng(11);
+  store.RandomizeRow(1, rng);
+  for (const double value : store.U(1)) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+  for (const double value : store.V(1)) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+  // Untouched rows stay zero.
+  for (const double value : store.U(0)) {
+    EXPECT_EQ(value, 0.0);
+  }
+  EXPECT_THROW(store.RandomizeRow(3, rng), std::out_of_range);
+}
+
+TEST(CoordinateStore, PredictIsDotOfRows) {
+  CoordinateStore store(2, 4);
+  common::Rng rng(7);
+  store.RandomizeRow(0, rng);
+  store.RandomizeRow(1, rng);
+  EXPECT_DOUBLE_EQ(store.Predict(0, 1), linalg::Dot(store.U(0), store.V(1)));
+  EXPECT_THROW((void)store.Predict(0, 2), std::out_of_range);
+}
+
+TEST(CoordinateStore, StoreBackedNodeViewsSharedRows) {
+  CoordinateStore store(4, 6);
+  common::Rng rng(3);
+  DmfsgdNode node(2, store, 2, rng);
+  EXPECT_EQ(node.rank(), 6u);
+  EXPECT_EQ(node.u().data(), store.U(2).data());
+  EXPECT_EQ(node.v().data(), store.V(2).data());
+
+  // An update through the node is visible through the store (same memory).
+  const UpdateParams params;
+  node.AbwProberUpdate(1.0, std::vector<double>(6, 0.5), params);
+  EXPECT_DOUBLE_EQ(store.Predict(2, 2), node.Predict(node.v()));
+
+  EXPECT_THROW(DmfsgdNode(9, store, 4, rng), std::out_of_range);
+}
+
+TEST(CoordinateStore, StandaloneNodeOwnsItsRow) {
+  common::Rng rng(5);
+  DmfsgdNode node(0, 10, rng);
+  EXPECT_EQ(node.rank(), 10u);
+  // Moving the node keeps its coordinates addressable (owned store moves by
+  // pointer, so spans stay valid).
+  const std::vector<double> before = node.UCopy();
+  DmfsgdNode moved = std::move(node);
+  EXPECT_EQ(moved.UCopy(), before);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

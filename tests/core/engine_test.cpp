@@ -1,0 +1,186 @@
+// Tests for the unified deployment core: the properties the engine extraction
+// bought — probe strategies and churn working in the *asynchronous* driver,
+// sync/async parity through the shared code, and channel plumbing.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/async_simulation.hpp"
+#include "core/simulation.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/roc.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 100;
+  config.seed = 31;
+  return datasets::MakeMeridian(config);
+}
+
+AsyncSimulationConfig DefaultAsyncConfig(const Dataset& dataset) {
+  AsyncSimulationConfig config;
+  config.base.rank = 10;
+  config.base.neighbor_count = 16;
+  config.base.tau = dataset.MedianValue();
+  config.base.seed = 5;
+  config.mean_probe_interval_s = 1.0;
+  return config;
+}
+
+/// AUC over non-neighbor known pairs for any driver over the shared engine.
+double EngineAuc(const DeploymentEngine& engine) {
+  const auto& dataset = engine.dataset();
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i == j || !dataset.IsKnown(i, j) || engine.IsNeighborPair(i, j)) {
+        continue;
+      }
+      scores.push_back(engine.Predict(i, j));
+      labels.push_back(datasets::ClassOf(dataset.metric, dataset.Quantity(i, j),
+                                         engine.config().tau));
+    }
+  }
+  return eval::Auc(scores, labels);
+}
+
+TEST(UnifiedEngine, AsyncLearnsUnderEveryProbeStrategy) {
+  // Before the engine extraction, strategies existed only in the round-based
+  // simulator; now one implementation serves both drivers.
+  const Dataset dataset = SmallRtt();
+  for (const ProbeStrategy strategy :
+       {ProbeStrategy::kUniformRandom, ProbeStrategy::kRoundRobin,
+        ProbeStrategy::kLossDriven}) {
+    AsyncSimulationConfig config = DefaultAsyncConfig(dataset);
+    config.base.strategy = strategy;
+    AsyncDmfsgdSimulation simulation(dataset, config);
+    simulation.RunUntil(600.0);
+    EXPECT_GT(EngineAuc(simulation.engine()), 0.85)
+        << "strategy: " << ProbeStrategyName(strategy);
+  }
+}
+
+TEST(UnifiedEngine, AsyncChurnReplacesNodesAndStillLearns) {
+  const Dataset dataset = SmallRtt();
+  AsyncSimulationConfig config = DefaultAsyncConfig(dataset);
+  config.base.churn_rate = 0.002;  // ~0.2% per probe firing
+  AsyncDmfsgdSimulation churny(dataset, config);
+  churny.RunUntil(600.0);
+  EXPECT_GT(churny.ChurnCount(), 0u);
+  EXPECT_GT(EngineAuc(churny.engine()), 0.8);
+}
+
+TEST(UnifiedEngine, AsyncHeavyChurnDegradesMoreThanModerate) {
+  const Dataset dataset = SmallRtt();
+  AsyncSimulationConfig moderate_config = DefaultAsyncConfig(dataset);
+  moderate_config.base.churn_rate = 0.002;
+  AsyncSimulationConfig heavy_config = DefaultAsyncConfig(dataset);
+  heavy_config.base.churn_rate = 0.05;
+  AsyncDmfsgdSimulation moderate(dataset, moderate_config);
+  AsyncDmfsgdSimulation heavy(dataset, heavy_config);
+  moderate.RunUntil(400.0);
+  heavy.RunUntil(400.0);
+  EXPECT_LT(EngineAuc(heavy.engine()), EngineAuc(moderate.engine()));
+}
+
+TEST(UnifiedEngine, SyncAndAsyncConvergeTogetherThroughSharedCore) {
+  // The paper's §5.3-vs-§6.1 equivalence, asserted structurally: both
+  // drivers run the *same* engine on the same Meridian dataset, so at equal
+  // measurement budget their accuracy must match closely.
+  const Dataset dataset = SmallRtt();
+  AsyncDmfsgdSimulation async_sim(dataset, DefaultAsyncConfig(dataset));
+  async_sim.RunUntil(600.0);
+
+  SimulationConfig sync_config = DefaultAsyncConfig(dataset).base;
+  DmfsgdSimulation sync_sim(dataset, sync_config);
+  sync_sim.RunRounds(
+      static_cast<std::size_t>(async_sim.AverageMeasurementsPerNode()));
+
+  const double auc_sync = EngineAuc(sync_sim.engine());
+  const double auc_async = EngineAuc(async_sim.engine());
+  EXPECT_GT(auc_sync, 0.88);
+  EXPECT_GT(auc_async, 0.88);
+  EXPECT_NEAR(auc_async, auc_sync, 0.04);
+}
+
+TEST(UnifiedEngine, AsyncWireFormatDoesNotChangeResults) {
+  // use_wire_format used to exist only in the round-based simulator; through
+  // the channel decorator it now applies to the async driver too, and the
+  // codec round-trip must be bit-exact.
+  const Dataset dataset = SmallRtt();
+  AsyncSimulationConfig config = DefaultAsyncConfig(dataset);
+  AsyncDmfsgdSimulation plain(dataset, config);
+  config.base.use_wire_format = true;
+  AsyncDmfsgdSimulation wired(dataset, config);
+  plain.RunUntil(50.0);
+  wired.RunUntil(50.0);
+  EXPECT_EQ(plain.MeasurementCount(), wired.MeasurementCount());
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(plain.Predict(i, j), wired.Predict(i, j));
+      }
+    }
+  }
+}
+
+TEST(UnifiedEngine, AsyncRoundRobinIsDeterministicPerSeed) {
+  const Dataset dataset = SmallRtt();
+  AsyncSimulationConfig config = DefaultAsyncConfig(dataset);
+  config.base.strategy = ProbeStrategy::kRoundRobin;
+  AsyncDmfsgdSimulation a(dataset, config);
+  AsyncDmfsgdSimulation b(dataset, config);
+  a.RunUntil(50.0);
+  b.RunUntil(50.0);
+  EXPECT_EQ(a.MeasurementCount(), b.MeasurementCount());
+  EXPECT_DOUBLE_EQ(a.Predict(1, 2), b.Predict(1, 2));
+}
+
+TEST(UnifiedEngine, ImmediateChannelDeliversInline) {
+  ImmediateDeliveryChannel channel;
+  int delivered = 0;
+  channel.BindSink([&](NodeId from, NodeId to, const ProtocolMessage& message) {
+    ++delivered;
+    EXPECT_EQ(from, 3u);
+    EXPECT_EQ(to, 9u);
+    EXPECT_TRUE(std::holds_alternative<RttProbeRequest>(message));
+  });
+  channel.Send(3, 9, RttProbeRequest{3});
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(UnifiedEngine, WireCodecChannelRoundTripsPayloads) {
+  ImmediateDeliveryChannel inner;
+  WireCodecDeliveryChannel codec(inner);
+  AbwProbeRequest seen;
+  codec.BindSink([&](NodeId, NodeId, const ProtocolMessage& message) {
+    seen = std::get<AbwProbeRequest>(message);
+  });
+  const AbwProbeRequest sent{5, {0.25, -1.5, 3.0}, 42.0};
+  codec.Send(5, 6, sent);
+  EXPECT_TRUE(seen == sent);
+}
+
+TEST(UnifiedEngine, MessageCodecHelpersCoverEveryType) {
+  const ProtocolMessage messages[] = {
+      RttProbeRequest{1}, RttProbeReply{2, {1.0}, {2.0}},
+      AbwProbeRequest{3, {0.5}, 9.0}, AbwProbeReply{4, -1.0, {0.75}}};
+  const NodeId senders[] = {1, 2, 3, 4};
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(SenderOf(messages[m]), senders[m]);
+    const auto round_tripped = DecodeMessage(EncodeMessage(messages[m]));
+    EXPECT_EQ(round_tripped.index(), messages[m].index());
+    EXPECT_EQ(SenderOf(round_tripped), senders[m]);
+  }
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

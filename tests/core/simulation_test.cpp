@@ -242,6 +242,25 @@ TEST(Simulation, TraceReplayLearns) {
   EXPECT_GT(TestAuc(simulation), 0.8);
 }
 
+TEST(Simulation, TraceReplaySurvivesMessageLoss) {
+  // Lost legs during replay are dropped exchanges, not errors: the record
+  // simply doesn't apply (the engine's loud unconsumed-override check must
+  // not fire for legitimately lost legs).
+  datasets::HarvardConfig harvard_config;
+  harvard_config.node_count = 40;
+  harvard_config.trace_records = 30000;
+  harvard_config.seed = 41;
+  const Dataset dataset = datasets::MakeHarvard(harvard_config);
+
+  SimulationConfig config = DefaultConfig(dataset);
+  config.message_loss = 0.4;
+  DmfsgdSimulation lossy(dataset, config);
+  const std::size_t applied = lossy.ReplayTrace();
+  EXPECT_GT(lossy.DroppedLegs(), 0u);
+  EXPECT_GT(applied, 0u);
+  EXPECT_EQ(applied, lossy.MeasurementCount());
+}
+
 TEST(Simulation, ReplayTraceThrowsWithoutTrace) {
   const Dataset dataset = SmallRtt();
   DmfsgdSimulation simulation(dataset, DefaultConfig(dataset));

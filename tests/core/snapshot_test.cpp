@@ -29,13 +29,19 @@ class SnapshotTest : public ::testing::Test {
     return datasets::MakeMeridian(config);
   }
 
-  static DmfsgdSimulation TrainedSim(const Dataset& dataset) {
+  static SimulationConfig SmallConfig(const Dataset& dataset) {
     SimulationConfig config;
     config.neighbor_count = 8;
     config.tau = dataset.MedianValue();
-    DmfsgdSimulation simulation(dataset, config);
+    return config;
+  }
+
+  /// Trains in place and returns the archived coordinates (the simulation
+  /// itself is pinned to its channel and cannot be moved out).
+  static CoordinateSnapshot TrainedSnapshot(const Dataset& dataset) {
+    DmfsgdSimulation simulation(dataset, SmallConfig(dataset));
     simulation.RunRounds(100);
-    return simulation;
+    return TakeSnapshot(simulation);
   }
 
   std::filesystem::path dir_;
@@ -43,10 +49,11 @@ class SnapshotTest : public ::testing::Test {
 
 TEST_F(SnapshotTest, CapturesLivePredictions) {
   const Dataset dataset = SmallRtt();
-  const DmfsgdSimulation simulation = TrainedSim(dataset);
+  DmfsgdSimulation simulation(dataset, SmallConfig(dataset));
+  simulation.RunRounds(100);
   const CoordinateSnapshot snapshot = TakeSnapshot(simulation);
   EXPECT_EQ(snapshot.NodeCount(), dataset.NodeCount());
-  EXPECT_EQ(snapshot.rank, simulation.config().rank);
+  EXPECT_EQ(snapshot.rank(), simulation.config().rank);
   for (std::size_t i = 0; i < 15; ++i) {
     for (std::size_t j = 0; j < 15; ++j) {
       if (i != j) {
@@ -58,12 +65,12 @@ TEST_F(SnapshotTest, CapturesLivePredictions) {
 
 TEST_F(SnapshotTest, RoundTripsThroughDisk) {
   const Dataset dataset = SmallRtt();
-  const CoordinateSnapshot original = TakeSnapshot(TrainedSim(dataset));
+  const CoordinateSnapshot original = TrainedSnapshot(dataset);
   const auto path = dir_ / "model.csv";
   SaveSnapshot(original, path);
   const CoordinateSnapshot loaded = LoadSnapshot(path);
   ASSERT_EQ(loaded.NodeCount(), original.NodeCount());
-  ASSERT_EQ(loaded.rank, original.rank);
+  ASSERT_EQ(loaded.rank(), original.rank());
   for (std::size_t i = 0; i < loaded.NodeCount(); ++i) {
     for (std::size_t j = 0; j < loaded.NodeCount(); ++j) {
       if (i != j) {
@@ -74,19 +81,15 @@ TEST_F(SnapshotTest, RoundTripsThroughDisk) {
 }
 
 TEST_F(SnapshotTest, PredictBoundsChecked) {
-  const CoordinateSnapshot snapshot = TakeSnapshot(TrainedSim(SmallRtt()));
+  const CoordinateSnapshot snapshot = TrainedSnapshot(SmallRtt());
   EXPECT_THROW((void)snapshot.Predict(0, snapshot.NodeCount()),
                std::out_of_range);
 }
 
 TEST_F(SnapshotTest, SaveRejectsMalformedSnapshot) {
-  CoordinateSnapshot snapshot;
-  snapshot.rank = 0;
-  EXPECT_THROW(SaveSnapshot(snapshot, dir_ / "bad.csv"), std::invalid_argument);
-
-  snapshot.rank = 2;
-  snapshot.u = {{1.0, 2.0}};
-  snapshot.v = {{1.0}};  // wrong rank
+  // A default snapshot holds an empty store (rank 0) — not archivable.  The
+  // SoA store makes per-row rank mismatches unrepresentable by construction.
+  const CoordinateSnapshot snapshot;
   EXPECT_THROW(SaveSnapshot(snapshot, dir_ / "bad.csv"), std::invalid_argument);
 }
 
@@ -103,7 +106,7 @@ TEST_F(SnapshotTest, LoadRejectsForeignFiles) {
 TEST_F(SnapshotTest, LoadRejectsTruncatedRows) {
   const Dataset dataset = SmallRtt();
   const auto path = dir_ / "model.csv";
-  SaveSnapshot(TakeSnapshot(TrainedSim(dataset)), path);
+  SaveSnapshot(TrainedSnapshot(dataset), path);
   // Corrupt: drop the last line.
   std::ifstream in(path);
   std::string contents((std::istreambuf_iterator<char>(in)),

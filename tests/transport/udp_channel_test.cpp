@@ -1,0 +1,199 @@
+#include "transport/udp_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/wire.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/roc.hpp"
+#include "transport/udp.hpp"
+
+namespace dmfsgd::transport {
+namespace {
+
+using core::NodeId;
+using core::ProtocolMessage;
+
+TEST(UdpChannel, RegistersLocalNodesOnDistinctPorts) {
+  UdpDeliveryChannel channel;
+  const auto port_a = channel.Register(1);
+  const auto port_b = channel.Register(2);
+  EXPECT_NE(port_a, port_b);
+  EXPECT_EQ(channel.Port(1), port_a);
+  EXPECT_EQ(channel.LocalNodeCount(), 2u);
+  EXPECT_TRUE(channel.HasContact(1));
+  EXPECT_THROW((void)channel.Register(1), std::invalid_argument);
+  EXPECT_THROW((void)channel.Port(9), std::out_of_range);
+}
+
+TEST(UdpChannel, SendValidatesEndpoints) {
+  UdpDeliveryChannel channel;
+  (void)channel.Register(1);
+  EXPECT_THROW(channel.Send(7, 1, core::RttProbeRequest{7}),
+               std::invalid_argument);  // 7 is not local
+  EXPECT_THROW(channel.Send(1, 42, core::RttProbeRequest{1}),
+               std::runtime_error);  // no contact for 42
+}
+
+TEST(UdpChannel, DeliversEveryMessageTypeThroughRealSockets) {
+  UdpDeliveryChannel channel;
+  (void)channel.Register(1);
+  (void)channel.Register(2);
+  std::vector<ProtocolMessage> received;
+  std::vector<NodeId> receivers;
+  channel.BindSink([&](NodeId /*from*/, NodeId to, const ProtocolMessage& message) {
+    received.push_back(message);
+    receivers.push_back(to);
+  });
+
+  channel.Send(1, 2, core::RttProbeRequest{1});
+  channel.Send(2, 1, core::RttProbeReply{2, {1.0, 2.0}, {3.0, 4.0}});
+  channel.Send(1, 2, core::AbwProbeRequest{1, {0.5}, 10.0});
+  channel.Send(2, 1, core::AbwProbeReply{2, -1.0, {0.25}});
+  while (channel.Pump() > 0) {
+  }
+
+  ASSERT_EQ(received.size(), 4u);
+  EXPECT_EQ(channel.MalformedDatagrams(), 0u);
+  std::size_t rtt_requests = 0;
+  for (std::size_t m = 0; m < received.size(); ++m) {
+    if (std::holds_alternative<core::RttProbeRequest>(received[m])) {
+      ++rtt_requests;
+      EXPECT_EQ(receivers[m], 2u);
+    }
+  }
+  EXPECT_EQ(rtt_requests, 1u);
+}
+
+TEST(UdpChannel, MalformedDatagramsAreCountedNotDelivered) {
+  UdpDeliveryChannel channel;
+  (void)channel.Register(1);
+  std::size_t delivered = 0;
+  channel.BindSink(
+      [&](NodeId, NodeId, const ProtocolMessage&) { ++delivered; });
+
+  UdpSocket attacker;
+  attacker.SendTo(std::vector<std::byte>{std::byte{0xff}, std::byte{0xee}},
+                  channel.Port(1));
+  auto bad_version = core::Encode(core::RttProbeRequest{1});
+  bad_version[0] = std::byte{99};
+  attacker.SendTo(bad_version, channel.Port(1));
+
+  EXPECT_EQ(channel.Pump(), 2u);  // both handled...
+  EXPECT_EQ(delivered, 0u);       // ...neither delivered
+  EXPECT_EQ(channel.MalformedDatagrams(), 2u);
+}
+
+TEST(UdpChannel, LearnsReturnRoutesFromIncomingDatagrams) {
+  UdpDeliveryChannel receiver_channel;
+  (void)receiver_channel.Register(1);
+  receiver_channel.BindSink([](NodeId, NodeId, const ProtocolMessage&) {});
+
+  // A stranger (not introduced via AddContact) probes node 1.
+  UdpDeliveryChannel stranger_channel;
+  (void)stranger_channel.Register(77);
+  stranger_channel.AddContact(1, receiver_channel.Port(1));
+  stranger_channel.Send(77, 1, core::RttProbeRequest{77});
+  while (receiver_channel.Pump() > 0) {
+  }
+
+  // Node 1 can now answer the stranger without any manual introduction.
+  EXPECT_TRUE(receiver_channel.HasContact(77));
+  EXPECT_NO_THROW(
+      receiver_channel.Send(1, 77, core::RttProbeReply{1, {1.0}, {1.0}}));
+}
+
+TEST(UdpChannel, ForeignButWellFormedDatagramsCannotCrashTheEngine) {
+  // Decodes cleanly, but the ids/rank belong to some other deployment: the
+  // engine sink rejects it, and Pump must count-and-drop, never crash.
+  datasets::MeridianConfig dataset_config;
+  dataset_config.node_count = 20;
+  dataset_config.seed = 23;
+  const auto dataset = datasets::MakeMeridian(dataset_config);
+
+  core::SimulationConfig config;
+  config.neighbor_count = 5;
+  config.tau = dataset.MedianValue();
+
+  UdpDeliveryChannel channel;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    (void)channel.Register(static_cast<NodeId>(i));
+  }
+  core::DeploymentEngine engine(dataset, config, nullptr, channel);
+
+  UdpSocket foreign;
+  // Node id far outside this deployment; rank from another deployment.
+  foreign.SendTo(core::Encode(core::RttProbeReply{
+                     1000, std::vector<double>(10, 0.5),
+                     std::vector<double>(10, 0.5)}),
+                 channel.Port(0));
+  foreign.SendTo(core::Encode(core::RttProbeReply{
+                     3, std::vector<double>(4, 0.5),
+                     std::vector<double>(4, 0.5)}),
+                 channel.Port(0));
+
+  EXPECT_NO_THROW((void)channel.Pump());
+  EXPECT_EQ(channel.MalformedDatagrams(), 2u);
+  EXPECT_EQ(engine.MeasurementCount(), 0u);
+
+  // The deployment still works afterwards.
+  engine.StartExchange(0, engine.PickNeighbor(0), std::nullopt);
+  while (channel.Pump() > 0) {
+  }
+  EXPECT_EQ(engine.MeasurementCount(), 1u);
+  EXPECT_EQ(engine.InFlight(), 0u);
+}
+
+TEST(UdpChannel, FullDeploymentEngineRunsOverRealSockets) {
+  // The headline of the channel abstraction: the exact engine the simulators
+  // use — membership, strategies, measurement pipeline, Algorithm 1 state
+  // machine — drives a swarm of real UDP sockets without modification.
+  datasets::MeridianConfig dataset_config;
+  dataset_config.node_count = 30;
+  dataset_config.seed = 17;
+  const auto dataset = datasets::MakeMeridian(dataset_config);
+
+  core::SimulationConfig config;
+  config.neighbor_count = 8;
+  config.tau = dataset.MedianValue();
+  config.seed = 3;
+
+  UdpDeliveryChannel channel;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    (void)channel.Register(static_cast<NodeId>(i));
+  }
+  core::DeploymentEngine engine(dataset, config, nullptr, channel);
+
+  const std::size_t rounds = 150;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (NodeId i = 0; i < engine.NodeCount(); ++i) {
+      engine.StartExchange(i, engine.PickNeighbor(i), std::nullopt);
+    }
+    // Drain the swarm: requests spawn replies, replies apply measurements.
+    while (channel.Pump() > 0) {
+    }
+  }
+
+  EXPECT_EQ(channel.MalformedDatagrams(), 0u);
+  EXPECT_EQ(engine.MeasurementCount(), rounds * engine.NodeCount());
+  EXPECT_EQ(engine.InFlight(), 0u);
+
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i == j || engine.IsNeighborPair(i, j)) {
+        continue;
+      }
+      scores.push_back(engine.Predict(i, j));
+      labels.push_back(datasets::ClassOf(dataset.metric, dataset.Quantity(i, j),
+                                         config.tau));
+    }
+  }
+  EXPECT_GT(eval::Auc(scores, labels), 0.8);
+}
+
+}  // namespace
+}  // namespace dmfsgd::transport
