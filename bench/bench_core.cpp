@@ -1,30 +1,49 @@
 // BENCH_core.json: the hot-path perf record of the repo.
 //
-// Times the DMFSGD SGD update inner loop — the operation every deployment
-// executes once per measurement — under the two coordinate layouts:
+// Multi-scenario suite over the three layers of the numerical hot path, all
+// measured with warmup + min-of-k (see bench::MeasureMinOfK — single-shot
+// numbers are not allowed into the trajectory record):
 //
-//   per-node-vector   each node owns two heap std::vector<double> (the
-//                     pre-refactor layout; pointer-chasing across the heap)
-//   soa               all rows in one contiguous CoordinateStore buffer per
-//                     factor (the current layout)
+//   sgd_update/*       one eq. 9-10 update per measurement — the operation
+//                      every deployment runs millions of times.  Compares
+//                      the frozen seed baseline (per-node heap vectors +
+//                      the seed's checked span kernels) against the current
+//                      fused-kernel SoA path (DotPair + DecayAxpy through
+//                      DmfsgdNode).
+//   predict_matrix/*   the O(n²r) full-matrix sweep behind offline
+//                      evaluation (PredictAll + EvaluateFullMatrix), at 1
+//                      thread and at hardware concurrency.
+//   round_throughput/* end-to-end probing rounds of DmfsgdSimulation —
+//                      sequential channel-driven rounds vs the parallel
+//                      deterministic sweep.
 //
-// Both variants run the identical update arithmetic (DmfsgdNode's rules for
-// SoA, the same Scale/Axpy sequence for the legacy layout), sweeping a
-// deployment-sized population in node order against pseudo-random remote
-// rows — the access pattern of a probing round.  Results are written as
-// machine-readable JSON so successive PRs can track the trajectory.
+// Scenarios run at n = 1024 and n = 8192 (--quick keeps only the
+// deployment-scale 8192 tier and shrinks repetition counts).  Summary
+// scalars record the headline ratios:
+//   sgd_update_speedup       fused-SoA vs seed baseline, largest n
+//   matrix_parallel_scaling  hw-thread vs 1-thread full-matrix sweep
+//   round_parallel_scaling   parallel vs sequential round throughput
+//   hw_threads               hardware concurrency the scaling used
 //
 // Usage: bench_core [output.json] [--quick]
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/coordinate_store.hpp"
 #include "core/node.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "datasets/dataset.hpp"
+#include "eval/regression_metrics.hpp"
 #include "harness.hpp"
-#include "linalg/vector_ops.hpp"
 
 namespace {
 
@@ -32,37 +51,74 @@ using namespace dmfsgd;
 
 constexpr std::size_t kRank = 10;
 
+// ------------------------------------------------------------------------
+// Seed baseline, frozen.  These are the seed's checked span kernels and its
+// per-node-vector layout, kept verbatim so sgd_update/per-node-vector keeps
+// measuring the same baseline every PR regardless of what src/linalg grows.
+
+double SeedDot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("Dot: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void SeedAxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void SeedScale(double alpha, std::span<double> x) noexcept {
+  for (double& v : x) {
+    v *= alpha;
+  }
+}
+
 /// The pre-refactor node layout: two independently heap-allocated vectors.
 struct LegacyNode {
   std::vector<double> u;
   std::vector<double> v;
 };
 
-/// One eq. 9-10 style update on raw spans — identical arithmetic to
-/// DmfsgdNode::RttUpdate with the logistic loss, kept local so the legacy
-/// layout doesn't need a DmfsgdNode wrapper.
+/// One eq. 9-10 style update — identical arithmetic to DmfsgdNode::RttUpdate
+/// with the logistic loss, expressed in the seed's two-pass Scale+Axpy form.
 void LegacyRttUpdate(std::span<double> u, std::span<double> v, double x,
                      std::span<const double> u_remote,
                      std::span<const double> v_remote,
                      const core::UpdateParams& params) {
-  const double x_hat_ij = linalg::Dot(u, v_remote);
+  const double x_hat_ij = SeedDot(u, v_remote);
   const double g_u = core::LossGradientScale(params.loss, x, x_hat_ij);
-  const double x_hat_ji = linalg::Dot(u_remote, v);
+  const double x_hat_ji = SeedDot(u_remote, v);
   const double g_v = core::LossGradientScale(params.loss, x, x_hat_ji);
-  linalg::Scale(1.0 - params.eta * params.lambda, u);
-  linalg::Axpy(-params.eta * g_u, v_remote, u);
-  linalg::Scale(1.0 - params.eta * params.lambda, v);
-  linalg::Axpy(-params.eta * g_v, u_remote, v);
+  SeedScale(1.0 - params.eta * params.lambda, u);
+  SeedAxpy(-params.eta * g_u, v_remote, u);
+  SeedScale(1.0 - params.eta * params.lambda, v);
+  SeedAxpy(-params.eta * g_v, u_remote, v);
 }
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
+/// The sweep's remote pick: pseudo-random, never self (the update kernels'
+/// non-aliasing contract), identical across layouts.
+std::size_t RemoteOf(std::size_t i, std::size_t round, std::size_t n) {
+  std::size_t j = (i * 7 + round) % n;
+  if (j == i) {
+    j = (j + 1) % n;
+  }
+  return j;
 }
 
-/// Sweeps `sweeps` probing rounds over n legacy-layout nodes; returns wall
-/// seconds.
-double TimeLegacy(std::size_t n, std::size_t sweeps) {
+// ------------------------------------------------------------------------
+// Scenario: SGD update sweep.
+
+bench::BenchJsonEntry SgdLegacy(std::size_t n, std::size_t sweeps,
+                                std::size_t repeats) {
   common::Rng rng(1);
   const core::UpdateParams params;
   // Interleave a decoy allocation per node, reproducing the heap scatter a
@@ -79,21 +135,23 @@ double TimeLegacy(std::size_t n, std::size_t sweeps) {
       node.v[d] = rng.Uniform();
     }
   }
-  const auto start = std::chrono::steady_clock::now();
   double label = 1.0;
-  for (std::size_t round = 0; round < sweeps; ++round) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t j = (i * 7 + round) % n;
-      LegacyRttUpdate(nodes[i].u, nodes[i].v, label, nodes[j].u, nodes[j].v,
-                      params);
-      label = -label;
-    }
-  }
-  return SecondsSince(start);
+  return bench::MeasureMinOfK(
+      "sgd_update/per-node-vector/n" + std::to_string(n), n * sweeps,
+      /*warmup=*/1, repeats, [&] {
+        for (std::size_t round = 0; round < sweeps; ++round) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = RemoteOf(i, round, n);
+            LegacyRttUpdate(nodes[i].u, nodes[i].v, label, nodes[j].u,
+                            nodes[j].v, params);
+            label = -label;
+          }
+        }
+      });
 }
 
-/// Same sweep over the SoA CoordinateStore through DmfsgdNode views.
-double TimeSoa(std::size_t n, std::size_t sweeps) {
+bench::BenchJsonEntry SgdFusedSoa(std::size_t n, std::size_t sweeps,
+                                  std::size_t repeats) {
   common::Rng rng(1);
   const core::UpdateParams params;
   core::CoordinateStore store(n, kRank);
@@ -102,35 +160,101 @@ double TimeSoa(std::size_t n, std::size_t sweeps) {
   for (std::size_t i = 0; i < n; ++i) {
     nodes.emplace_back(static_cast<core::NodeId>(i), store, i, rng);
   }
-  const auto start = std::chrono::steady_clock::now();
   double label = 1.0;
-  for (std::size_t round = 0; round < sweeps; ++round) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t j = (i * 7 + round) % n;
-      nodes[i].RttUpdate(label, store.U(j), store.V(j), params);
-      label = -label;
-    }
-  }
-  return SecondsSince(start);
+  return bench::MeasureMinOfK(
+      "sgd_update/fused-soa/n" + std::to_string(n), n * sweeps,
+      /*warmup=*/1, repeats, [&] {
+        for (std::size_t round = 0; round < sweeps; ++round) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = RemoteOf(i, round, n);
+            nodes[i].RttUpdate(label, store.U(j), store.V(j), params);
+            label = -label;
+          }
+        }
+      });
 }
 
-/// Best-of-three to shrug off scheduler noise.
-template <typename TimeFn>
-bench::BenchJsonEntry Measure(const std::string& name, std::size_t n,
-                              std::size_t sweeps, TimeFn time_fn) {
-  double best = time_fn(n, sweeps);
-  for (int repeat = 0; repeat < 2; ++repeat) {
-    const double seconds = time_fn(n, sweeps);
-    if (seconds < best) {
-      best = seconds;
+// ------------------------------------------------------------------------
+// Scenario: full-matrix predict + evaluate sweep.
+
+bench::BenchJsonEntry MatrixSweep(std::size_t n, std::size_t threads,
+                                  std::size_t repeats) {
+  common::Rng rng(2);
+  core::CoordinateStore store(n, kRank);
+  for (std::size_t i = 0; i < n; ++i) {
+    store.RandomizeRow(i, rng);
+  }
+  // Synthetic RTT-like ground truth (NaN diagonal) for the accuracy pass.
+  std::vector<double> actual(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      actual[i * n + j] = i == j ? linalg::Matrix::kMissing
+                                 : rng.Uniform(10.0, 400.0);
     }
   }
-  bench::BenchJsonEntry entry;
-  entry.name = name;
-  entry.items = n * sweeps;
-  entry.seconds = best;
-  entry.ops_per_sec = static_cast<double>(entry.items) / best;
-  return entry;
+  common::ThreadPool pool(threads);
+  // The predictions buffer is allocated once outside the timed body so the
+  // scenario times the O(n²r) compute sweep, not 500 MB of allocator work.
+  std::vector<double> predictions(n * n);
+  // Volatile sink defeats dead-code elimination across repetitions.
+  volatile double sink = 0.0;
+  return bench::MeasureMinOfK(
+      "predict_matrix/threads-" + std::to_string(threads) + "/n" +
+          std::to_string(n),
+      n * n, /*warmup=*/1, repeats, [&] {
+        core::PredictAllInto(store, predictions, &pool);
+        const auto summary =
+            eval::EvaluateFullMatrix(predictions, actual, n, &pool);
+        sink = sink + summary.stress;
+      });
+}
+
+// ------------------------------------------------------------------------
+// Scenario: end-to-end round throughput.
+
+datasets::Dataset MakeSyntheticRtt(std::size_t n, std::uint64_t seed) {
+  datasets::Dataset dataset;
+  dataset.name = "bench-synthetic-rtt";
+  dataset.metric = datasets::Metric::kRtt;
+  dataset.ground_truth = linalg::Matrix(n, n, linalg::Matrix::kMissing);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double rtt = rng.Uniform(10.0, 400.0);
+      dataset.ground_truth(i, j) = rtt;
+      dataset.ground_truth(j, i) = rtt;
+    }
+  }
+  return dataset;
+}
+
+core::SimulationConfig RoundConfig() {
+  core::SimulationConfig config;
+  config.rank = kRank;
+  config.neighbor_count = 10;
+  config.tau = 150.0;
+  config.seed = 7;
+  return config;
+}
+
+bench::BenchJsonEntry RoundSequential(const datasets::Dataset& dataset,
+                                      std::size_t rounds, std::size_t repeats) {
+  core::DmfsgdSimulation simulation(dataset, RoundConfig());
+  return bench::MeasureMinOfK(
+      "round_throughput/sequential/n" + std::to_string(dataset.NodeCount()),
+      rounds * dataset.NodeCount(), /*warmup=*/1, repeats,
+      [&] { simulation.RunRounds(rounds); });
+}
+
+bench::BenchJsonEntry RoundParallel(const datasets::Dataset& dataset,
+                                    std::size_t rounds, std::size_t threads,
+                                    std::size_t repeats) {
+  core::DmfsgdSimulation simulation(dataset, RoundConfig());
+  common::ThreadPool pool(threads);
+  return bench::MeasureMinOfK(
+      "round_throughput/parallel-hw/n" + std::to_string(dataset.NodeCount()),
+      rounds * dataset.NodeCount(), /*warmup=*/1, repeats,
+      [&] { simulation.RunRoundsParallel(rounds, pool); });
 }
 
 }  // namespace
@@ -147,28 +271,73 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The layout difference is a cache effect: it only shows once the factor
-  // working set outgrows L2, so even --quick keeps a deployment-scale n.
-  const std::size_t n = quick ? 4096 : 8192;       // deployment size
-  const std::size_t sweeps = quick ? 250 : 500;    // probing rounds
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t repeats = quick ? 3 : 5;
+  // The layout/fusion difference is partly a cache effect: it only fully
+  // shows once the factor working set outgrows L2, so the headline ratios
+  // come from the largest tier and even --quick keeps the deployment-scale
+  // n = 8192 (it drops the small tier and shrinks repetition counts).
+  const std::vector<std::size_t> tiers =
+      quick ? std::vector<std::size_t>{8192} : std::vector<std::size_t>{1024, 8192};
+  const std::size_t n_large = tiers.back();
 
-  const auto legacy =
-      Measure("sgd_update/per-node-vector", n, sweeps, TimeLegacy);
-  const auto soa = Measure("sgd_update/soa", n, sweeps, TimeSoa);
-  const double speedup = soa.ops_per_sec / legacy.ops_per_sec;
+  std::vector<bench::BenchJsonEntry> entries;
+  double sgd_speedup = 0.0;
+  double matrix_scaling = 0.0;
+
+  for (const std::size_t n : tiers) {
+    // ~1M updates per timed pass regardless of tier.
+    const std::size_t sweeps = std::max<std::size_t>(1, 1000000 / n);
+    const auto legacy = SgdLegacy(n, sweeps, repeats);
+    const auto fused = SgdFusedSoa(n, sweeps, repeats);
+    entries.push_back(legacy);
+    entries.push_back(fused);
+    if (n == n_large) {
+      sgd_speedup = fused.ops_per_sec / legacy.ops_per_sec;
+    }
+
+    const std::size_t matrix_repeats = n >= 8192 ? 3 : repeats;
+    const auto matrix_single = MatrixSweep(n, 1, matrix_repeats);
+    entries.push_back(matrix_single);
+    bench::BenchJsonEntry matrix_hw = matrix_single;
+    if (hw > 1) {
+      matrix_hw = MatrixSweep(n, hw, matrix_repeats);
+      entries.push_back(matrix_hw);
+    }
+    if (n == n_large) {
+      matrix_scaling = matrix_hw.ops_per_sec / matrix_single.ops_per_sec;
+    }
+  }
+
+  const auto dataset = MakeSyntheticRtt(1024, 3);
+  const std::size_t rounds = quick ? 10 : 30;
+  const auto round_seq = RoundSequential(dataset, rounds, repeats);
+  const auto round_par = RoundParallel(dataset, rounds, hw, repeats);
+  entries.push_back(round_seq);
+  entries.push_back(round_par);
+  const double round_scaling = round_par.ops_per_sec / round_seq.ops_per_sec;
 
   try {
-    bench::WriteBenchJson(output, {legacy, soa},
-                          {{"nodes", static_cast<double>(n)},
-                           {"rank", static_cast<double>(kRank)},
-                           {"soa_speedup", speedup}});
+    bench::WriteBenchJson(
+        output, entries,
+        {{"nodes", static_cast<double>(n_large)},
+         {"rank", static_cast<double>(kRank)},
+         {"hw_threads", static_cast<double>(hw)},
+         {"sgd_update_speedup", sgd_speedup},
+         {"matrix_parallel_scaling", matrix_scaling},
+         {"round_parallel_scaling", round_scaling}});
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
 
-  std::printf("%-28s %12.0f ops/s\n", legacy.name.c_str(), legacy.ops_per_sec);
-  std::printf("%-28s %12.0f ops/s\n", soa.name.c_str(), soa.ops_per_sec);
-  std::printf("soa speedup: %.3fx  -> %s\n", speedup, output.c_str());
+  for (const auto& entry : entries) {
+    std::printf("%-36s %14.0f ops/s\n", entry.name.c_str(), entry.ops_per_sec);
+  }
+  std::printf(
+      "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
+      "round_parallel_scaling: %.3fx  -> %s\n",
+      sgd_speedup, matrix_scaling, hw, round_scaling, output.c_str());
   return 0;
 }

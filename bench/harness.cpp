@@ -1,5 +1,6 @@
 #include "harness.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -100,6 +101,34 @@ double TrainedAuc(const PaperDataset& paper, const core::SimulationConfig& confi
   core::DmfsgdSimulation simulation(paper.dataset, config, injector);
   Train(simulation, paper, budget_times_k);
   return EvalAuc(simulation);
+}
+
+BenchJsonEntry MeasureMinOfK(const std::string& name, std::size_t items,
+                             std::size_t warmup, std::size_t repeats,
+                             const std::function<void()>& body) {
+  if (repeats == 0) {
+    throw std::invalid_argument("MeasureMinOfK: repeats must be > 0");
+  }
+  for (std::size_t w = 0; w < warmup; ++w) {
+    body();
+  }
+  double best = 0.0;
+  for (std::size_t k = 0; k < repeats; ++k) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (k == 0 || seconds < best) {
+      best = seconds;
+    }
+  }
+  BenchJsonEntry entry;
+  entry.name = name;
+  entry.items = items;
+  entry.seconds = best;
+  entry.ops_per_sec = static_cast<double>(items) / best;
+  return entry;
 }
 
 void WriteBenchJson(const std::filesystem::path& path,

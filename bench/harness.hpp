@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,17 @@ struct BenchJsonEntry {
 void WriteBenchJson(const std::filesystem::path& path,
                     const std::vector<BenchJsonEntry>& entries,
                     const std::vector<std::pair<std::string, double>>& summary);
+
+/// Times `body` (which performs `items` operations) with `warmup` untimed
+/// runs followed by `repeats` timed runs, and records the *minimum* wall
+/// time.  Warmup absorbs first-touch page faults and cold caches; min-of-k
+/// shrugs off scheduler noise.  Single-shot timings once misrecorded the
+/// repo's perf trajectory (a 1.7x claim filed next to a 0.94x record), so
+/// every BENCH_*.json entry must go through this.  Requires repeats > 0.
+[[nodiscard]] BenchJsonEntry MeasureMinOfK(const std::string& name,
+                                           std::size_t items, std::size_t warmup,
+                                           std::size_t repeats,
+                                           const std::function<void()>& body);
 
 struct PaperDataset {
   datasets::Dataset dataset;

@@ -5,10 +5,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+# Force Release even over a stale cache: an unoptimized build would both
+# hide perf-path breakage and misrecord the BENCH_core.json trajectory.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-# Perf record: SGD update loop, SoA store vs the legacy per-node layout.
-./build/bench_bench_core BENCH_core.json --quick
-cat BENCH_core.json
+# Perf smoke (quick tier): fused SGD kernels vs the frozen seed baseline,
+# parallel full-matrix sweep, end-to-end round throughput.  Catches perf-path
+# build breaks in CI.  Writes into build/ — the tracked BENCH_core.json is
+# the curated full-run trajectory record and must only be replaced by a
+# deliberate full `bench_bench_core BENCH_core.json` run, never by CI.
+./build/bench_bench_core build/BENCH_core_quick.json --quick
+cat build/BENCH_core_quick.json

@@ -1,0 +1,111 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dmfsgd::common {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count - 1);
+  // Worker w owns block w + 1; the calling thread owns block 0.
+  for (std::size_t w = 0; w + 1 < thread_count; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::Block(
+    std::size_t block, std::size_t begin, std::size_t end) const noexcept {
+  const std::size_t parts = thread_count();
+  const std::size_t total = end - begin;
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t lo =
+      begin + block * base + std::min(block, extra);
+  const std::size_t hi = lo + base + (block < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+void ThreadPool::RunBlock(std::size_t block) {
+  const auto [lo, hi] = Block(block, job_begin_, job_end_);
+  if (lo >= hi) {
+    return;
+  }
+  try {
+    (*fn_)(lo, hi);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t block_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = epoch_;
+    }
+    // job_begin_/job_end_/fn_ are stable until every block reports done, so
+    // reading them outside the lock is safe.
+    RunBlock(block_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const RangeFn& fn) {
+  if (begin >= end) {
+    return;
+  }
+  if (workers_.empty()) {
+    fn(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    remaining_ = workers_.size();
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunBlock(0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace dmfsgd::common

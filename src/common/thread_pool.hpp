@@ -1,0 +1,80 @@
+// Deterministic fork-join worker pool for the deployment sweeps.
+//
+// The repo's parallel hot paths (the per-round node sweep, the O(n²r)
+// full-matrix evaluation) all have the same shape: a range of indices whose
+// per-index work touches only index-owned state.  ParallelFor splits the
+// range into `thread_count()` fixed contiguous blocks — block boundaries
+// depend only on the range and the pool size, never on scheduling — and runs
+// one block per thread, the calling thread included.  There is no work
+// stealing and no dynamic chunking: a given (range, pool size) always yields
+// the same block layout, so any computation whose per-index work is a pure
+// function of index-owned state produces bit-identical results for every
+// pool size, including 1 (which runs inline on the caller with no threads at
+// all).  That property is what the parallel-sweep determinism test pins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dmfsgd::common {
+
+class ThreadPool {
+ public:
+  /// fn(block_begin, block_end): processes one contiguous index block.
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// `thread_count` workers in total, the calling thread included; 0 means
+  /// std::thread::hardware_concurrency().  A pool of 1 spawns no threads.
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Joins all workers.  Must not be called while a ParallelFor is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(ThreadPool&&) = delete;
+  ThreadPool& operator=(ThreadPool&&) = delete;
+
+  /// Total workers, the calling thread included.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Invokes fn once per non-empty block of [begin, end) and returns when
+  /// every block has finished.  The first exception thrown by any block is
+  /// rethrown on the caller after the join.  Not reentrant: fn must not call
+  /// ParallelFor on the same pool.
+  void ParallelFor(std::size_t begin, std::size_t end, const RangeFn& fn);
+
+ private:
+  void WorkerLoop(std::size_t block_index);
+
+  /// Bounds of `block` when [begin, end) is split into thread_count() parts:
+  /// the first (size % parts) blocks get one extra element.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> Block(
+      std::size_t block, std::size_t begin, std::size_t end) const noexcept;
+
+  void RunBlock(std::size_t block);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< signals a new job epoch (or stop)
+  std::condition_variable done_cv_;   ///< signals remaining_ reached zero
+  const RangeFn* fn_ = nullptr;       ///< current job; valid while remaining_ > 0
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::uint64_t epoch_ = 0;           ///< bumped per job so workers never re-run one
+  std::size_t remaining_ = 0;         ///< worker blocks not yet finished
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace dmfsgd::common

@@ -36,7 +36,7 @@ double CoordinateStore::Predict(std::size_t i, std::size_t j) const {
   if (i >= NodeCount() || j >= NodeCount()) {
     throw std::out_of_range("CoordinateStore::Predict: index out of range");
   }
-  return linalg::Dot(U(i), V(j));
+  return PredictUnchecked(i, j);
 }
 
 }  // namespace dmfsgd::core

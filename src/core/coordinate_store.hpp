@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "linalg/kernels.hpp"
+
 namespace dmfsgd::common {
 class Rng;
 }
@@ -67,6 +69,14 @@ class CoordinateStore {
   /// x̂_ij = u_i · v_j straight from the flat buffers.  Throws
   /// std::out_of_range on bad indices.
   [[nodiscard]] double Predict(std::size_t i, std::size_t j) const;
+
+  /// Predict without the bounds check — the O(n²r) evaluation sweeps
+  /// (snapshots, full-matrix metrics) validate i and j once at the sweep
+  /// boundary instead of per pair.  Requires i, j < NodeCount().
+  [[nodiscard]] double PredictUnchecked(std::size_t i, std::size_t j) const noexcept {
+    return linalg::DotRaw(u_data_.data() + i * rank_, v_data_.data() + j * rank_,
+                          rank_);
+  }
 
  private:
   std::size_t rank_ = 0;

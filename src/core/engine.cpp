@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dmfsgd::core {
@@ -151,18 +152,22 @@ bool DeploymentEngine::MaybeChurnNode(NodeId i) {
 }
 
 NodeId DeploymentEngine::PickNeighbor(NodeId i) {
+  return PickNeighborWith(i, rng_);
+}
+
+NodeId DeploymentEngine::PickNeighborWith(NodeId i, common::Rng& rng) {
   const auto& nb = neighbors_[i];
   switch (config_.strategy) {
     case ProbeStrategy::kUniformRandom:
-      return nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
+      return nb[rng.UniformInt(static_cast<std::uint64_t>(nb.size()))];
     case ProbeStrategy::kRoundRobin: {
       const NodeId j = nb[round_robin_cursor_[i] % nb.size()];
       ++round_robin_cursor_[i];
       return j;
     }
     case ProbeStrategy::kLossDriven: {
-      if (rng_.Bernoulli(config_.exploration)) {
-        return nb[rng_.UniformInt(static_cast<std::uint64_t>(nb.size()))];
+      if (rng.Bernoulli(config_.exploration)) {
+        return nb[rng.UniformInt(static_cast<std::uint64_t>(nb.size()))];
       }
       const auto& losses = neighbor_loss_[i];
       std::size_t best = 0;
@@ -175,6 +180,74 @@ NodeId DeploymentEngine::PickNeighbor(NodeId i) {
     }
   }
   return nb[0];
+}
+
+void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
+  if (abw_) {
+    throw std::logic_error(
+        "DeploymentEngine::ParallelRoundSweep: Algorithm 2 (target-measured "
+        "metrics) updates both endpoints of an exchange, so the per-node "
+        "ownership the parallel sweep relies on does not hold");
+  }
+  const std::size_t n = nodes_.size();
+  const std::size_t r = config_.rank;
+  if (sweep_rng_.empty()) {
+    // Decorrelated per-node streams derived from the run seed.  Each stream
+    // advances only through its own node's draws, so the sequence a node
+    // sees is a pure function of (seed, node id, its own probe history) —
+    // never of which thread ran it.
+    common::Rng root(config_.seed ^ 0x5deece66dULL);
+    sweep_rng_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sweep_rng_.push_back(root.Split());
+    }
+    sweep_dropped_.resize(n);
+  }
+
+  // Membership dynamics stay on the engine stream, sequential and identical
+  // regardless of pool size (they also rebuild neighbor sets, which other
+  // nodes' probes must not observe mid-round).
+  ChurnSweep();
+
+  // Start-of-round snapshot: every probe reads remote coordinates as they
+  // stood here — each reply is a snapshot captured at round start.
+  const auto u_data = store_.UData();
+  const auto v_data = store_.VData();
+  sweep_u_.assign(u_data.begin(), u_data.end());
+  sweep_v_.assign(v_data.begin(), v_data.end());
+
+  pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      common::Rng& rng = sweep_rng_[i];
+      const NodeId j = PickNeighborWith(static_cast<NodeId>(i), rng);
+      // Two protocol legs, each dropped independently — the same roll
+      // sequence LegLost() produces on the sequential path (the second leg
+      // is only rolled if the first survived).
+      bool lost = false;
+      if (config_.message_loss > 0.0) {
+        lost = rng.Bernoulli(config_.message_loss) ||
+               rng.Bernoulli(config_.message_loss);
+      }
+      sweep_dropped_[i] = lost ? 1 : 0;
+      if (lost) {
+        continue;
+      }
+      const double x = MeasurementFor(i, j, std::nullopt);
+      const std::span<const double> u_remote(sweep_u_.data() + j * r, r);
+      const std::span<const double> v_remote(sweep_v_.data() + j * r, r);
+      RecordNeighborLoss(static_cast<NodeId>(i), j, x, v_remote);
+      nodes_[i].RttUpdate(x, u_remote, v_remote, config_.params);
+    }
+  });
+
+  // An exchange either dropped a leg or applied its measurement, so one
+  // per-node flag determines both counters.
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dropped += sweep_dropped_[i];
+  }
+  dropped_legs_ += dropped;
+  measurement_count_ += n - dropped;
 }
 
 const DmfsgdNode& DeploymentEngine::node(std::size_t i) const {

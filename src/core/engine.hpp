@@ -38,6 +38,10 @@
 #include "core/node.hpp"
 #include "datasets/dataset.hpp"
 
+namespace dmfsgd::common {
+class ThreadPool;
+}
+
 namespace dmfsgd::core {
 
 enum class PredictionMode {
@@ -117,6 +121,21 @@ class DeploymentEngine {
   /// that complete the exchange within this call (immediate delivery).
   void StartExchange(NodeId i, NodeId j, std::optional<double> observed_quantity);
 
+  /// Runs one full probing round — churn sweep, then every node probes one
+  /// neighbor — with the per-node work spread over `pool`.  Semantically an
+  /// Algorithm-1 round in which every reply snapshot was captured at the
+  /// start of the round (the §6.1 staleness regime) and every node draws its
+  /// randomness (neighbor choice, per-leg loss) from a private RNG stream.
+  /// Both choices make the round independent of node visit order, so the
+  /// result is bit-identical for every pool size; they also mean the
+  /// trajectory differs from the sequential, channel-driven RunRounds (which
+  /// serves mid-round coordinates and shares one RNG stream).  Counters
+  /// (measurements, dropped legs) are updated exactly as the sequential
+  /// round would.  Only prober-measured (RTT) metrics are supported —
+  /// Algorithm 2 writes at both endpoints — and the channel stack is
+  /// bypassed; throws std::logic_error for ABW datasets.
+  void ParallelRoundSweep(common::ThreadPool& pool);
+
   // -- queries -------------------------------------------------------------
 
   /// x̂_ij = u_i · v_j.  Throws std::out_of_range on bad indices.
@@ -148,6 +167,10 @@ class DeploymentEngine {
 
  private:
   void RebuildNeighborSet(NodeId i);
+
+  /// PickNeighbor against an explicit RNG stream (the parallel sweep hands
+  /// each node its own; the sequential path passes rng_).
+  [[nodiscard]] NodeId PickNeighborWith(NodeId i, common::Rng& rng);
 
   /// The training value for pair (i, j): class label (possibly corrupted) or
   /// τ-normalized quantity (the DESIGN.md §3 substitution).
@@ -193,6 +216,15 @@ class DeploymentEngine {
   std::size_t dropped_legs_ = 0;
   std::size_t churn_count_ = 0;
   std::size_t in_flight_ = 0;
+
+  // Parallel-sweep state, built lazily on the first ParallelRoundSweep: one
+  // decorrelated RNG stream per node (advanced only by that node's draws),
+  // the start-of-round coordinate snapshot, and per-node drop flags that
+  // are reduced sequentially after the join (applied = 1 - dropped).
+  std::vector<common::Rng> sweep_rng_;
+  std::vector<double> sweep_u_;
+  std::vector<double> sweep_v_;
+  std::vector<unsigned char> sweep_dropped_;
 };
 
 }  // namespace dmfsgd::core

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dmfsgd::core {
@@ -32,7 +33,7 @@ void DmfsgdNode::RequireRank(std::size_t remote_rank) const {
 
 double DmfsgdNode::Predict(std::span<const double> v_remote) const {
   RequireRank(v_remote.size());
-  return linalg::Dot(u(), v_remote);
+  return linalg::DotRaw(u().data(), v_remote.data(), rank());
 }
 
 void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
@@ -43,10 +44,11 @@ void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
 
   // Compute both gradient scales before touching any state: eq. 9 reads
   // u_i·v_j and eq. 10 reads u_j·v_i, neither of which depends on the other
-  // update, but evaluating first keeps the rules exactly simultaneous.
-  const double x_hat_ij = linalg::Dot(u(), v_remote);
+  // update, but evaluating first keeps the rules exactly simultaneous.  One
+  // fused sweep produces both dots.
+  const auto [x_hat_ij, x_hat_ji] = linalg::DotPairRaw(
+      u().data(), v_remote.data(), u_remote.data(), v().data(), rank());
   const double g_u = LossGradientScale(params.loss, x, x_hat_ij);
-  const double x_hat_ji = linalg::Dot(u_remote, v());
   const double g_v = LossGradientScale(params.loss, x, x_hat_ji);
 
   GradientStepU(g_u, v_remote, params);  // eq. 9
@@ -56,7 +58,7 @@ void DmfsgdNode::RttUpdate(double x, std::span<const double> u_remote,
 void DmfsgdNode::AbwProberUpdate(double x, std::span<const double> v_remote,
                                  const UpdateParams& params) {
   RequireRank(v_remote.size());
-  const double x_hat = linalg::Dot(u(), v_remote);
+  const double x_hat = linalg::DotRaw(u().data(), v_remote.data(), rank());
   const double g = LossGradientScale(params.loss, x, x_hat);
   GradientStepU(g, v_remote, params);  // eq. 12
 }
@@ -64,25 +66,23 @@ void DmfsgdNode::AbwProberUpdate(double x, std::span<const double> v_remote,
 void DmfsgdNode::AbwTargetUpdate(double x, std::span<const double> u_remote,
                                  const UpdateParams& params) {
   RequireRank(u_remote.size());
-  const double x_hat = linalg::Dot(u_remote, v());
+  const double x_hat = linalg::DotRaw(u_remote.data(), v().data(), rank());
   const double g = LossGradientScale(params.loss, x, x_hat);
   GradientStepV(g, u_remote, params);  // eq. 13
 }
 
 void DmfsgdNode::GradientStepU(double g, std::span<const double> v_remote,
                                const UpdateParams& params) {
-  RequireRank(v_remote.size());
-  // u_i = (1 - ηλ) u_i - η g v_remote
-  linalg::Scale(1.0 - params.eta * params.lambda, MutableU());
-  linalg::Axpy(-params.eta * g, v_remote, MutableU());
+  // u_i = (1 - ηλ) u_i - η g v_remote, fused into one pass over u_i.
+  linalg::DecayAxpyRaw(1.0 - params.eta * params.lambda, -params.eta * g,
+                       v_remote.data(), MutableU().data(), rank());
 }
 
 void DmfsgdNode::GradientStepV(double g, std::span<const double> u_remote,
                                const UpdateParams& params) {
-  RequireRank(u_remote.size());
-  // v_i = (1 - ηλ) v_i - η g u_remote
-  linalg::Scale(1.0 - params.eta * params.lambda, MutableV());
-  linalg::Axpy(-params.eta * g, u_remote, MutableV());
+  // v_i = (1 - ηλ) v_i - η g u_remote, fused into one pass over v_i.
+  linalg::DecayAxpyRaw(1.0 - params.eta * params.lambda, -params.eta * g,
+                       u_remote.data(), MutableV().data(), rank());
 }
 
 double DmfsgdNode::LocalLoss(double x, std::span<const double> v_remote,

@@ -105,10 +105,16 @@ class DmfsgdNode {
   /// scale g:  u_i = (1 - ηλ) u_i - η g v_remote.  The three named updates
   /// above are thin wrappers over these; the multiclass extension supplies
   /// its own accumulated g.
+  ///
+  /// Inner-loop precondition (NOT re-checked here): v_remote.size() ==
+  /// rank(), and v_remote does not alias this node's u row.  The named
+  /// updates and the message-decode boundary validate sizes before calling;
+  /// remote spans are always copies or round snapshots, never this row.
   void GradientStepU(double g, std::span<const double> v_remote,
                      const UpdateParams& params);
 
-  /// v_i = (1 - ηλ) v_i - η g u_remote.
+  /// v_i = (1 - ηλ) v_i - η g u_remote.  Same precondition as GradientStepU
+  /// (u_remote must match rank() and not alias this node's v row).
   void GradientStepV(double g, std::span<const double> u_remote,
                      const UpdateParams& params);
 

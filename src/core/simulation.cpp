@@ -22,6 +22,13 @@ void DmfsgdSimulation::RunRounds(std::size_t rounds) {
   }
 }
 
+void DmfsgdSimulation::RunRoundsParallel(std::size_t rounds,
+                                         common::ThreadPool& pool) {
+  for (std::size_t round = 0; round < rounds; ++round) {
+    engine_.ParallelRoundSweep(pool);  // includes the churn sweep
+  }
+}
+
 std::size_t DmfsgdSimulation::ReplayTrace(std::size_t begin, std::size_t end) {
   const auto& trace = engine_.dataset().trace;
   if (trace.empty()) {

@@ -40,6 +40,12 @@ class DmfsgdSimulation {
   /// median matrix is then the measurement source).
   void RunRounds(std::size_t rounds);
 
+  /// Runs `rounds` probing rounds with each round's per-node sweep spread
+  /// over `pool` (RTT datasets only).  Bit-identical for every pool size —
+  /// see DeploymentEngine::ParallelRoundSweep for the exact semantics
+  /// (start-of-round reply snapshots, per-node RNG streams).
+  void RunRoundsParallel(std::size_t rounds, common::ThreadPool& pool);
+
   /// Replays trace records [begin, end) in time order; returns the number of
   /// records that were usable (dst in src's neighbor set) and applied.
   /// Throws std::logic_error if the dataset has no trace.

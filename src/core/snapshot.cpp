@@ -4,8 +4,43 @@
 #include <string>
 
 #include "common/csv.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dmfsgd::core {
+
+void PredictAllInto(const CoordinateStore& store, std::span<double> out,
+                    common::ThreadPool* pool) {
+  const std::size_t n = store.NodeCount();
+  if (out.size() != n * n) {
+    throw std::invalid_argument("PredictAllInto: output buffer size mismatch");
+  }
+  const auto sweep_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double* row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = store.PredictUnchecked(i, j);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, sweep_rows);
+  } else {
+    sweep_rows(0, n);
+  }
+}
+
+std::vector<double> PredictAll(const CoordinateStore& store,
+                               common::ThreadPool* pool) {
+  const std::size_t n = store.NodeCount();
+  std::vector<double> predictions(n * n);
+  PredictAllInto(store, predictions, pool);
+  return predictions;
+}
+
+std::vector<double> CoordinateSnapshot::PredictAll(
+    common::ThreadPool* pool) const {
+  return core::PredictAll(store, pool);
+}
 
 CoordinateSnapshot TakeSnapshot(const DeploymentEngine& engine) {
   // The live factors already sit in one contiguous store; archiving is a

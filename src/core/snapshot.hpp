@@ -9,10 +9,16 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <span>
+#include <vector>
 
 #include "core/coordinate_store.hpp"
 #include "core/engine.hpp"
 #include "core/simulation.hpp"
+
+namespace dmfsgd::common {
+class ThreadPool;
+}
 
 namespace dmfsgd::core {
 
@@ -29,7 +35,25 @@ struct CoordinateSnapshot {
   [[nodiscard]] double Predict(std::size_t i, std::size_t j) const {
     return store.Predict(i, j);
   }
+
+  /// All-pairs prediction matrix (see the free function below).
+  [[nodiscard]] std::vector<double> PredictAll(
+      common::ThreadPool* pool = nullptr) const;
 };
+
+/// The full prediction matrix x̂ = U Vᵀ as a row-major n×n buffer — the
+/// O(n²r) sweep behind offline full-matrix evaluation.  Materializes n²
+/// doubles; rows are computed independently (one unchecked dot per pair), so
+/// a pool parallelizes the sweep with bit-identical output for any pool
+/// size.
+[[nodiscard]] std::vector<double> PredictAll(const CoordinateStore& store,
+                                             common::ThreadPool* pool = nullptr);
+
+/// Same sweep into a caller-owned buffer (callers that repeat the sweep —
+/// periodic evaluation, the bench — allocate once instead of per call).
+/// Requires out.size() == NodeCount()².
+void PredictAllInto(const CoordinateStore& store, std::span<double> out,
+                    common::ThreadPool* pool = nullptr);
 
 /// Captures the current coordinates of every node in a deployment core
 /// (works for any driver over the shared engine).

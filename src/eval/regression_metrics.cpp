@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dmfsgd::eval {
 
@@ -49,6 +50,77 @@ RelativeErrorSummary SummarizeRelativeError(std::span<const double> predicted,
     }
   }
   summary.within_half = static_cast<double>(close) / static_cast<double>(errors.size());
+  return summary;
+}
+
+FullMatrixRegressionSummary EvaluateFullMatrix(std::span<const double> predicted,
+                                               std::span<const double> actual,
+                                               std::size_t n,
+                                               common::ThreadPool* pool) {
+  if (n == 0) {
+    throw std::invalid_argument("EvaluateFullMatrix: empty matrix");
+  }
+  if (predicted.size() != n * n || actual.size() != n * n) {
+    throw std::invalid_argument("EvaluateFullMatrix: size mismatch");
+  }
+
+  // Fixed per-row partial slots: each row's partials are computed by exactly
+  // one thread and the reduction below runs in row order on the caller, so
+  // the summary never depends on the pool size.
+  struct RowPartial {
+    double err2 = 0.0;      // Σ (p − a)²
+    double act2 = 0.0;      // Σ a²
+    double rel = 0.0;       // Σ |p − a| / a
+    std::size_t count = 0;
+    std::size_t within = 0;
+  };
+  std::vector<RowPartial> partials(n);
+
+  const auto sweep_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      RowPartial partial;
+      const double* p_row = predicted.data() + i * n;
+      const double* a_row = actual.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double a = a_row[j];
+        if (i == j || !(a > 0.0)) {  // NaN fails the comparison too
+          continue;
+        }
+        const double diff = p_row[j] - a;
+        const double rel = std::abs(diff) / a;
+        partial.err2 += diff * diff;
+        partial.act2 += a * a;
+        partial.rel += rel;
+        partial.within += rel <= 0.5 ? 1 : 0;
+        ++partial.count;
+      }
+      partials[i] = partial;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, sweep_rows);
+  } else {
+    sweep_rows(0, n);
+  }
+
+  double err2 = 0.0;
+  double act2 = 0.0;
+  double rel = 0.0;
+  std::size_t within = 0;
+  FullMatrixRegressionSummary summary;
+  for (const RowPartial& partial : partials) {
+    err2 += partial.err2;
+    act2 += partial.act2;
+    rel += partial.rel;
+    within += partial.within;
+    summary.count += partial.count;
+  }
+  if (summary.count > 0) {
+    summary.stress = act2 > 0.0 ? std::sqrt(err2 / act2) : 0.0;
+    summary.mean_relative = rel / static_cast<double>(summary.count);
+    summary.within_half =
+        static_cast<double>(within) / static_cast<double>(summary.count);
+  }
   return summary;
 }
 

@@ -10,6 +10,10 @@
 #include <span>
 #include <vector>
 
+namespace dmfsgd::common {
+class ThreadPool;
+}
+
 namespace dmfsgd::eval {
 
 /// Relative error of one prediction: |predicted - actual| / actual.
@@ -36,5 +40,25 @@ struct RelativeErrorSummary {
 [[nodiscard]] std::vector<double> RelativeErrorCdf(
     std::span<const double> predicted, std::span<const double> actual,
     std::span<const double> levels);
+
+/// Full-matrix regression accuracy over all n² pairs at once.
+struct FullMatrixRegressionSummary {
+  std::size_t count = 0;        ///< evaluated pairs (off-diagonal, usable truth)
+  double stress = 0.0;          ///< sqrt(Σ(p−a)² / Σa²), the NCS stress statistic
+  double mean_relative = 0.0;   ///< mean |p−a|/a
+  double within_half = 0.0;     ///< REL50: fraction with relative error <= 0.5
+};
+
+/// Streams over row-major n×n `predicted` and `actual` matrices and
+/// evaluates every off-diagonal pair whose actual is usable (> 0 and not
+/// NaN — the datasets' missing-entry convention).  O(n) extra memory: no
+/// per-pair error vector is kept, which is why the quantile statistics of
+/// SummarizeRelativeError are absent here (use that on sampled pairs when
+/// median/p90 are needed).  With a pool, rows are swept in parallel into
+/// per-row partial sums that are reduced in row order, so the result is
+/// bit-identical for any pool size.  Requires matching sizes n*n and n > 0.
+[[nodiscard]] FullMatrixRegressionSummary EvaluateFullMatrix(
+    std::span<const double> predicted, std::span<const double> actual,
+    std::size_t n, common::ThreadPool* pool = nullptr);
 
 }  // namespace dmfsgd::eval

@@ -1,14 +1,20 @@
 // Span-based dense vector kernels.
 //
-// These are the inner loops of every SGD update (eqs. 9-13 of the paper): the
-// coordinate vectors u_i, v_i are length-r arrays owned by each node, and all
-// updates reduce to dot products and axpy operations on them.  Kept
-// header-only so the compiler can inline them into the update rules.
+// These are the validation-boundary view of the inner loops of every SGD
+// update (eqs. 9-13 of the paper): the coordinate vectors u_i, v_i are
+// length-r arrays owned by each node, and all updates reduce to dot products
+// and axpy operations on them.  Each function checks its size precondition
+// and dispatches to the unchecked raw-pointer kernels in kernels.hpp — hot
+// paths that have already validated sizes (the DmfsgdNode update rules, the
+// evaluation sweeps) call those kernels directly.
 #pragma once
 
 #include <cmath>
 #include <span>
 #include <stdexcept>
+#include <utility>
+
+#include "linalg/kernels.hpp"
 
 namespace dmfsgd::linalg {
 
@@ -17,11 +23,18 @@ namespace dmfsgd::linalg {
   if (a.size() != b.size()) {
     throw std::invalid_argument("Dot: size mismatch");
   }
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    sum += a[i] * b[i];
+  return DotRaw(a.data(), b.data(), a.size());
+}
+
+/// {a·b, c·d} computed in one sweep.  Requires all four sizes equal.
+[[nodiscard]] inline std::pair<double, double> DotPair(std::span<const double> a,
+                                                       std::span<const double> b,
+                                                       std::span<const double> c,
+                                                       std::span<const double> d) {
+  if (a.size() != b.size() || a.size() != c.size() || a.size() != d.size()) {
+    throw std::invalid_argument("DotPair: size mismatch");
   }
-  return sum;
+  return DotPairRaw(a.data(), b.data(), c.data(), d.data(), a.size());
 }
 
 /// y += alpha * x.  Requires equal sizes.
@@ -32,6 +45,16 @@ inline void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
   for (std::size_t i = 0; i < x.size(); ++i) {
     y[i] += alpha * x[i];
   }
+}
+
+/// y = decay * y + alpha * x, the fused Scale+Axpy of one SGD step.
+/// Requires equal sizes and non-aliasing x and y.
+inline void DecayAxpy(double decay, double alpha, std::span<const double> x,
+                      std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("DecayAxpy: size mismatch");
+  }
+  DecayAxpyRaw(decay, alpha, x.data(), y.data(), x.size());
 }
 
 /// x *= alpha.

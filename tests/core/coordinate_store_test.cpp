@@ -60,6 +60,19 @@ TEST(CoordinateStore, PredictIsDotOfRows) {
   EXPECT_THROW((void)store.Predict(0, 2), std::out_of_range);
 }
 
+TEST(CoordinateStore, UncheckedPredictMatchesCheckedBitForBit) {
+  CoordinateStore store(6, 10);
+  common::Rng rng(13);
+  for (std::size_t i = 0; i < store.NodeCount(); ++i) {
+    store.RandomizeRow(i, rng);
+  }
+  for (std::size_t i = 0; i < store.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < store.NodeCount(); ++j) {
+      EXPECT_EQ(store.Predict(i, j), store.PredictUnchecked(i, j));
+    }
+  }
+}
+
 TEST(CoordinateStore, StoreBackedNodeViewsSharedRows) {
   CoordinateStore store(4, 6);
   common::Rng rng(3);

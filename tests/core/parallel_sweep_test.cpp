@@ -1,0 +1,130 @@
+// Determinism and semantics of the parallel deployment sweep.
+//
+// The load-bearing property: RunRoundsParallel produces bit-identical
+// coordinates (and counters) for every pool size, because each node's round
+// work is a pure function of the start-of-round snapshot and its private
+// RNG stream.  Pinned across every engine feature that could break it —
+// message loss, churn, and each probe strategy.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "core/simulation.hpp"
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/roc.hpp"
+#include "eval/scored_pairs.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 100;
+  config.seed = 31;
+  return datasets::MakeMeridian(config);
+}
+
+SimulationConfig BaseConfig(const Dataset& dataset) {
+  SimulationConfig config;
+  config.rank = 10;
+  config.neighbor_count = 16;
+  config.tau = dataset.MedianValue();
+  config.seed = 5;
+  return config;
+}
+
+/// Runs `rounds` parallel rounds on a fresh deployment with `threads`
+/// workers and returns the simulation for inspection (by pointer — the
+/// engine pins its address into the channel sink, so it never moves).
+std::unique_ptr<DmfsgdSimulation> RunParallel(const Dataset& dataset,
+                                              const SimulationConfig& config,
+                                              std::size_t rounds,
+                                              std::size_t threads) {
+  auto simulation = std::make_unique<DmfsgdSimulation>(dataset, config);
+  common::ThreadPool pool(threads);
+  simulation->RunRoundsParallel(rounds, pool);
+  return simulation;
+}
+
+void ExpectBitIdentical(const DmfsgdSimulation& a, const DmfsgdSimulation& b) {
+  const auto& store_a = a.engine().store();
+  const auto& store_b = b.engine().store();
+  ASSERT_EQ(store_a.NodeCount(), store_b.NodeCount());
+  ASSERT_EQ(store_a.rank(), store_b.rank());
+  const auto u_a = store_a.UData();
+  const auto u_b = store_b.UData();
+  const auto v_a = store_a.VData();
+  const auto v_b = store_b.VData();
+  // memcmp, not FP compare: the claim is bit-identity, and it must hold for
+  // every byte of both factors.
+  EXPECT_EQ(std::memcmp(u_a.data(), u_b.data(), u_a.size_bytes()), 0);
+  EXPECT_EQ(std::memcmp(v_a.data(), v_b.data(), v_a.size_bytes()), 0);
+  EXPECT_EQ(a.MeasurementCount(), b.MeasurementCount());
+  EXPECT_EQ(a.DroppedLegs(), b.DroppedLegs());
+  EXPECT_EQ(a.ChurnCount(), b.ChurnCount());
+}
+
+TEST(ParallelSweep, BitIdenticalAcrossPoolSizes) {
+  const Dataset dataset = SmallRtt();
+  const SimulationConfig config = BaseConfig(dataset);
+  const auto single = RunParallel(dataset, config, 40, 1);
+  EXPECT_GT(single->MeasurementCount(), 0u);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    const auto multi = RunParallel(dataset, config, 40, threads);
+    ExpectBitIdentical(*single, *multi);
+  }
+}
+
+TEST(ParallelSweep, BitIdenticalWithMessageLossAndChurn) {
+  const Dataset dataset = SmallRtt();
+  SimulationConfig config = BaseConfig(dataset);
+  config.message_loss = 0.2;
+  config.churn_rate = 0.02;
+  const auto single = RunParallel(dataset, config, 40, 1);
+  EXPECT_GT(single->DroppedLegs(), 0u);
+  EXPECT_GT(single->ChurnCount(), 0u);
+  const auto multi = RunParallel(dataset, config, 40, 4);
+  ExpectBitIdentical(*single, *multi);
+}
+
+TEST(ParallelSweep, BitIdenticalUnderEveryProbeStrategy) {
+  const Dataset dataset = SmallRtt();
+  for (const ProbeStrategy strategy :
+       {ProbeStrategy::kUniformRandom, ProbeStrategy::kRoundRobin,
+        ProbeStrategy::kLossDriven}) {
+    SimulationConfig config = BaseConfig(dataset);
+    config.strategy = strategy;
+    const auto single = RunParallel(dataset, config, 30, 1);
+    const auto multi = RunParallel(dataset, config, 30, 4);
+    ExpectBitIdentical(*single, *multi);
+  }
+}
+
+TEST(ParallelSweep, LearnsLikeTheSequentialDriver) {
+  const Dataset dataset = SmallRtt();
+  const SimulationConfig config = BaseConfig(dataset);
+  const auto simulation = RunParallel(dataset, config, 600, 4);
+  EXPECT_EQ(simulation->MeasurementCount(), 600u * dataset.NodeCount());
+  const auto pairs = eval::CollectScoredPairs(*simulation);
+  EXPECT_GT(eval::Auc(eval::Scores(pairs), eval::Labels(pairs)), 0.85);
+}
+
+TEST(ParallelSweep, RejectsTargetMeasuredMetrics) {
+  datasets::HpS3Config abw_config;
+  abw_config.host_count = 100;
+  abw_config.seed = 33;
+  const Dataset dataset = datasets::MakeHpS3(abw_config);
+  SimulationConfig config = BaseConfig(dataset);
+  DmfsgdSimulation simulation(dataset, config);
+  common::ThreadPool pool(2);
+  EXPECT_THROW(simulation.RunRoundsParallel(1, pool), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

@@ -4,7 +4,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "datasets/meridian.hpp"
 
 namespace dmfsgd::core {
@@ -117,6 +120,29 @@ TEST_F(SnapshotTest, LoadRejectsTruncatedRows) {
   out << contents;
   out.close();
   EXPECT_THROW((void)LoadSnapshot(path), std::invalid_argument);
+}
+
+TEST_F(SnapshotTest, PredictAllMatchesPerPairPredictForAnyPoolSize) {
+  const Dataset dataset = SmallRtt();
+  const CoordinateSnapshot snapshot = TrainedSnapshot(dataset);
+  const std::size_t n = snapshot.NodeCount();
+
+  const auto serial = snapshot.PredictAll();
+  ASSERT_EQ(serial.size(), n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(serial[i * n + j], snapshot.Predict(i, j));
+    }
+  }
+
+  common::ThreadPool pool(3);
+  EXPECT_EQ(snapshot.PredictAll(&pool), serial);
+
+  std::vector<double> reused(n * n);
+  PredictAllInto(snapshot.store, reused, &pool);
+  EXPECT_EQ(reused, serial);
+  std::vector<double> wrong(n * n - 1);
+  EXPECT_THROW(PredictAllInto(snapshot.store, wrong), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+// Property tests for the fused raw-pointer kernels (linalg/kernels.hpp).
+//
+// The fused DecayAxpy must be numerically interchangeable with the two-pass
+// Scale+Axpy reference it replaced: element-wise within 1 ulp (equal unless
+// the compiler contracts a multiply-add into an FMA).  DotPair must match
+// two independent dots the same way, and the runtime rank dispatch
+// (compile-time bodies for r = 3 and r = 10, generic loop otherwise) must be
+// invisible to results.
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dmfsgd::linalg {
+namespace {
+
+// Ranks chosen to hit both fixed-trip-count paths (3, 10) and generic sizes
+// around them, including vector-width remainders.
+const std::vector<std::size_t> kRanks = {1, 2, 3, 4, 5, 7, 8, 10, 16, 33};
+
+/// Monotone mapping of doubles onto an integer line so ulp distance is a
+/// subtraction (the usual sign-magnitude to two's-complement trick).
+std::uint64_t OrderedBits(double x) {
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  constexpr std::uint64_t kSign = 0x8000000000000000ULL;
+  return (bits & kSign) != 0 ? ~bits : bits | kSign;
+}
+
+std::uint64_t UlpDistance(double a, double b) {
+  const std::uint64_t oa = OrderedBits(a);
+  const std::uint64_t ob = OrderedBits(b);
+  return oa > ob ? oa - ob : ob - oa;
+}
+
+/// The seed's two-pass update: x *= decay; then x += alpha * y.
+void ReferenceScaleAxpy(double decay, double alpha,
+                        const std::vector<double>& x, std::vector<double>& y) {
+  for (double& value : y) {
+    value *= decay;
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+std::vector<double> RandomVector(common::Rng& rng, std::size_t size) {
+  std::vector<double> values(size);
+  for (double& value : values) {
+    value = rng.Uniform(-2.0, 2.0);
+  }
+  return values;
+}
+
+TEST(Kernels, DecayAxpyMatchesScaleAxpyWithinOneUlp) {
+  common::Rng rng(17);
+  for (const std::size_t r : kRanks) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const double decay = rng.Uniform(0.5, 1.0);
+      const double alpha = rng.Uniform(-0.5, 0.5);
+      const std::vector<double> x = RandomVector(rng, r);
+      std::vector<double> fused = RandomVector(rng, r);
+      std::vector<double> reference = fused;
+
+      DecayAxpyRaw(decay, alpha, x.data(), fused.data(), r);
+      ReferenceScaleAxpy(decay, alpha, x, reference);
+
+      for (std::size_t d = 0; d < r; ++d) {
+        EXPECT_LE(UlpDistance(fused[d], reference[d]), 1u)
+            << "rank " << r << " trial " << trial << " element " << d;
+      }
+    }
+  }
+}
+
+TEST(Kernels, DotPairMatchesTwoIndependentDots) {
+  common::Rng rng(19);
+  for (const std::size_t r : kRanks) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::vector<double> a = RandomVector(rng, r);
+      const std::vector<double> b = RandomVector(rng, r);
+      const std::vector<double> c = RandomVector(rng, r);
+      const std::vector<double> d = RandomVector(rng, r);
+      const auto [ab, cd] = DotPairRaw(a.data(), b.data(), c.data(), d.data(), r);
+      EXPECT_LE(UlpDistance(ab, DotRaw(a.data(), b.data(), r)), 1u);
+      EXPECT_LE(UlpDistance(cd, DotRaw(c.data(), d.data(), r)), 1u);
+    }
+  }
+}
+
+TEST(Kernels, RankDispatchIsInvisibleToResults) {
+  // The r = 3 and r = 10 fast paths must agree with a plain accumulation in
+  // the same order.
+  common::Rng rng(23);
+  for (const std::size_t r : kRanks) {
+    const std::vector<double> a = RandomVector(rng, r);
+    const std::vector<double> b = RandomVector(rng, r);
+    double plain = 0.0;
+    for (std::size_t d = 0; d < r; ++d) {
+      plain += a[d] * b[d];
+    }
+    EXPECT_LE(UlpDistance(DotRaw(a.data(), b.data(), r), plain), 1u);
+  }
+}
+
+TEST(Kernels, CheckedWrappersValidateAtTheBoundary) {
+  const std::vector<double> three(3, 1.0);
+  std::vector<double> four(4, 1.0);
+  EXPECT_THROW((void)Dot(three, four), std::invalid_argument);
+  EXPECT_THROW((void)DotPair(three, three, three, four), std::invalid_argument);
+  EXPECT_THROW(DecayAxpy(0.9, 0.1, three, four), std::invalid_argument);
+
+  // And the happy path funnels into the same kernels.
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  std::vector<double> expected = y;
+  DecayAxpy(0.9, 0.1, three, y);
+  DecayAxpyRaw(0.9, 0.1, three.data(), expected.data(), 3);
+  EXPECT_EQ(y, expected);
+  EXPECT_EQ(DotPair(three, three, three, three),
+            DotPairRaw(three.data(), three.data(), three.data(), three.data(), 3));
+}
+
+}  // namespace
+}  // namespace dmfsgd::linalg
