@@ -15,15 +15,23 @@
 //                      thread and at hardware concurrency.
 //   round_throughput/* end-to-end probing rounds of DmfsgdSimulation —
 //                      sequential channel-driven rounds vs the parallel
-//                      deterministic sweep.
+//                      deterministic sweep; the alg2-* variants run the
+//                      same comparison on a target-measured (ABW) dataset
+//                      through the target-sharded phase schedule.
+//   async_drain/*      end-to-end event throughput of AsyncDmfsgdSimulation —
+//                      the sequential cross-shard merge vs the parallel
+//                      conservative-window drain (DESIGN.md §9).
 //
 // Scenarios run at n = 1024 and n = 8192 (--quick keeps only the
 // deployment-scale 8192 tier and shrinks repetition counts).  Summary
 // scalars record the headline ratios:
-//   sgd_update_speedup       fused-SoA vs seed baseline, largest n
-//   matrix_parallel_scaling  hw-thread vs 1-thread full-matrix sweep
-//   round_parallel_scaling   parallel vs sequential round throughput
-//   hw_threads               hardware concurrency the scaling used
+//   sgd_update_speedup          fused-SoA vs seed baseline, largest n
+//   matrix_parallel_scaling     hw-thread vs 1-thread full-matrix sweep
+//   round_parallel_scaling      parallel vs sequential round throughput
+//   alg2_round_parallel_scaling same, Algorithm-2 phase schedule, largest n
+//   async_drain_parallel_scaling parallel vs sequential event drain, largest n
+//   async_shards                event-queue shard count the drain used
+//   hw_threads                  hardware concurrency the scaling used
 //
 // Usage: bench_core [output.json] [--quick]
 #include <algorithm>
@@ -37,6 +45,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/async_simulation.hpp"
 #include "core/coordinate_store.hpp"
 #include "core/node.hpp"
 #include "core/simulation.hpp"
@@ -228,6 +237,24 @@ datasets::Dataset MakeSyntheticRtt(std::size_t n, std::uint64_t seed) {
   return dataset;
 }
 
+/// Asymmetric ABW-like ground truth so the round driver exercises the
+/// Algorithm-2 (target-measured) exchange path.
+datasets::Dataset MakeSyntheticAbw(std::size_t n, std::uint64_t seed) {
+  datasets::Dataset dataset;
+  dataset.name = "bench-synthetic-abw";
+  dataset.metric = datasets::Metric::kAbw;
+  dataset.ground_truth = linalg::Matrix(n, n, linalg::Matrix::kMissing);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        dataset.ground_truth(i, j) = rng.Uniform(5.0, 100.0);
+      }
+    }
+  }
+  return dataset;
+}
+
 core::SimulationConfig RoundConfig() {
   core::SimulationConfig config;
   config.rank = kRank;
@@ -237,24 +264,75 @@ core::SimulationConfig RoundConfig() {
   return config;
 }
 
+/// RoundConfig with tau landed inside the dataset's value range, so both
+/// drain variants of a scenario train on the same class balance.
+core::SimulationConfig RoundConfigFor(const datasets::Dataset& dataset) {
+  core::SimulationConfig config = RoundConfig();
+  if (dataset.metric == datasets::Metric::kAbw) {
+    config.tau = 50.0;
+  }
+  return config;
+}
+
 bench::BenchJsonEntry RoundSequential(const datasets::Dataset& dataset,
+                                      const std::string& label,
                                       std::size_t rounds, std::size_t repeats) {
-  core::DmfsgdSimulation simulation(dataset, RoundConfig());
+  core::DmfsgdSimulation simulation(dataset, RoundConfigFor(dataset));
   return bench::MeasureMinOfK(
-      "round_throughput/sequential/n" + std::to_string(dataset.NodeCount()),
+      "round_throughput/" + label + "sequential/n" +
+          std::to_string(dataset.NodeCount()),
       rounds * dataset.NodeCount(), /*warmup=*/1, repeats,
       [&] { simulation.RunRounds(rounds); });
 }
 
 bench::BenchJsonEntry RoundParallel(const datasets::Dataset& dataset,
+                                    const std::string& label,
                                     std::size_t rounds, std::size_t threads,
                                     std::size_t repeats) {
-  core::DmfsgdSimulation simulation(dataset, RoundConfig());
+  core::DmfsgdSimulation simulation(dataset, RoundConfigFor(dataset));
   common::ThreadPool pool(threads);
   return bench::MeasureMinOfK(
-      "round_throughput/parallel-hw/n" + std::to_string(dataset.NodeCount()),
+      "round_throughput/" + label + "parallel-hw/n" +
+          std::to_string(dataset.NodeCount()),
       rounds * dataset.NodeCount(), /*warmup=*/1, repeats,
       [&] { simulation.RunRoundsParallel(rounds, pool); });
+}
+
+// ------------------------------------------------------------------------
+// Scenario: asynchronous event-drain throughput.
+
+core::AsyncSimulationConfig AsyncConfig(std::size_t shards) {
+  core::AsyncSimulationConfig config;
+  config.base = RoundConfig();
+  config.mean_probe_interval_s = 1.0;
+  config.shard_count = shards;
+  return config;
+}
+
+/// Advances one simulation by `horizon_s` per timed pass; items = expected
+/// probe exchanges in a pass (n per simulated second at the 1 s mean
+/// interval), identical for both drain modes so the ratio is honest.
+bench::BenchJsonEntry AsyncDrainSequential(const datasets::Dataset& dataset,
+                                           std::size_t shards, double horizon_s,
+                                           std::size_t repeats) {
+  core::AsyncDmfsgdSimulation simulation(dataset, AsyncConfig(shards));
+  return bench::MeasureMinOfK(
+      "async_drain/sequential/n" + std::to_string(dataset.NodeCount()),
+      static_cast<std::size_t>(horizon_s) * dataset.NodeCount(), /*warmup=*/1,
+      repeats, [&] { simulation.RunUntil(simulation.Now() + horizon_s); });
+}
+
+bench::BenchJsonEntry AsyncDrainParallel(const datasets::Dataset& dataset,
+                                         std::size_t shards,
+                                         std::size_t threads, double horizon_s,
+                                         std::size_t repeats) {
+  core::AsyncDmfsgdSimulation simulation(dataset, AsyncConfig(shards));
+  common::ThreadPool pool(threads);
+  return bench::MeasureMinOfK(
+      "async_drain/parallel-hw/n" + std::to_string(dataset.NodeCount()),
+      static_cast<std::size_t>(horizon_s) * dataset.NodeCount(), /*warmup=*/1,
+      repeats,
+      [&] { simulation.RunUntilParallel(simulation.Now() + horizon_s, pool); });
 }
 
 }  // namespace
@@ -310,13 +388,45 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto dataset = MakeSyntheticRtt(1024, 3);
   const std::size_t rounds = quick ? 10 : 30;
-  const auto round_seq = RoundSequential(dataset, rounds, repeats);
-  const auto round_par = RoundParallel(dataset, rounds, hw, repeats);
-  entries.push_back(round_seq);
-  entries.push_back(round_par);
-  const double round_scaling = round_par.ops_per_sec / round_seq.ops_per_sec;
+  double round_scaling = 0.0;
+  {
+    const auto dataset = MakeSyntheticRtt(1024, 3);
+    const auto round_seq = RoundSequential(dataset, "", rounds, repeats);
+    const auto round_par = RoundParallel(dataset, "", rounds, hw, repeats);
+    entries.push_back(round_seq);
+    entries.push_back(round_par);
+    round_scaling = round_par.ops_per_sec / round_seq.ops_per_sec;
+  }
+
+  // Algorithm-2 rounds (target-sharded phases) and the async event drain run
+  // per tier; datasets are scoped so only one n² ground truth is live.
+  double alg2_scaling = 0.0;
+  double async_scaling = 0.0;
+  for (const std::size_t n : tiers) {
+    {
+      const auto abw = MakeSyntheticAbw(n, 11);
+      const auto alg2_seq = RoundSequential(abw, "alg2-", rounds, repeats);
+      const auto alg2_par = RoundParallel(abw, "alg2-", rounds, hw, repeats);
+      entries.push_back(alg2_seq);
+      entries.push_back(alg2_par);
+      if (n == n_large) {
+        alg2_scaling = alg2_par.ops_per_sec / alg2_seq.ops_per_sec;
+      }
+    }
+    {
+      const auto rtt = MakeSyntheticRtt(n, 3);
+      const double horizon_s = quick ? 5.0 : 15.0;
+      const auto drain_seq = AsyncDrainSequential(rtt, hw, horizon_s, repeats);
+      const auto drain_par =
+          AsyncDrainParallel(rtt, hw, hw, horizon_s, repeats);
+      entries.push_back(drain_seq);
+      entries.push_back(drain_par);
+      if (n == n_large) {
+        async_scaling = drain_par.ops_per_sec / drain_seq.ops_per_sec;
+      }
+    }
+  }
 
   try {
     bench::WriteBenchJson(
@@ -326,18 +436,23 @@ int main(int argc, char** argv) {
          {"hw_threads", static_cast<double>(hw)},
          {"sgd_update_speedup", sgd_speedup},
          {"matrix_parallel_scaling", matrix_scaling},
-         {"round_parallel_scaling", round_scaling}});
+         {"round_parallel_scaling", round_scaling},
+         {"alg2_round_parallel_scaling", alg2_scaling},
+         {"async_drain_parallel_scaling", async_scaling},
+         {"async_shards", static_cast<double>(hw)}});
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
 
   for (const auto& entry : entries) {
-    std::printf("%-36s %14.0f ops/s\n", entry.name.c_str(), entry.ops_per_sec);
+    std::printf("%-42s %14.0f ops/s\n", entry.name.c_str(), entry.ops_per_sec);
   }
   std::printf(
       "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
-      "round_parallel_scaling: %.3fx  -> %s\n",
-      sgd_speedup, matrix_scaling, hw, round_scaling, output.c_str());
+      "round_parallel_scaling: %.3fx  alg2_round_parallel_scaling: %.3fx  "
+      "async_drain_parallel_scaling: %.3fx  -> %s\n",
+      sgd_speedup, matrix_scaling, hw, round_scaling, alg2_scaling,
+      async_scaling, output.c_str());
   return 0;
 }

@@ -1,9 +1,47 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build everything, run the full test suite,
-# and record the hot-path perf trajectory (BENCH_core.json).
+# record the hot-path perf trajectory (BENCH_core.json), and check that the
+# public face (README, DESIGN anchors) stays in sync with the code.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# ---------------------------------------------------------------- docs ----
+# The docs checks run first: they are cheap and a missing README should fail
+# fast, before a long build.
+docs_failed=0
+
+if [[ ! -f README.md ]]; then
+  echo "docs check: README.md is missing" >&2
+  docs_failed=1
+fi
+
+# Every example must be discoverable from the README.
+for example in examples/*.cpp; do
+  name=$(basename "$example")
+  if [[ -f README.md ]] && ! grep -q "$name" README.md; then
+    echo "docs check: $example is not mentioned in README.md" >&2
+    docs_failed=1
+  fi
+done
+
+# Every "DESIGN.md §N" a source comment cites must resolve to a real section
+# header, so renumbering DESIGN.md can't silently strand references.  The
+# first grep captures the whole citation span — including list forms like
+# "DESIGN.md §6, §8, §9" — so every listed section is checked.
+for section in $(grep -rhoE "DESIGN\.md §[0-9]+((, ?| and )§[0-9]+)*" src bench examples tests ci 2>/dev/null \
+                   | grep -oE "[0-9]+" | sort -un); do
+  if ! grep -qE "^## §${section}[^0-9]" DESIGN.md; then
+    echo "docs check: a code comment cites DESIGN.md §${section}, which does not exist" >&2
+    docs_failed=1
+  fi
+done
+
+if [[ $docs_failed -ne 0 ]]; then
+  echo "docs check failed" >&2
+  exit 1
+fi
+echo "docs check passed"
 
 # Force Release even over a stale cache: an unoptimized build would both
 # hide perf-path breakage and misrecord the BENCH_core.json trajectory.

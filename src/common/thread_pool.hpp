@@ -11,6 +11,23 @@
 // function of index-owned state produces bit-identical results for every
 // pool size, including 1 (which runs inline on the caller with no threads at
 // all).  That property is what the parallel-sweep determinism test pins.
+//
+// ## Determinism contract for callers (DESIGN.md §6, §8, §9)
+//
+// The pool guarantees *where* indices run, never *when*; bit-identical
+// results additionally require that the submitted fn:
+//
+//  * writes only index-owned state (rows, counters, RNG streams belonging
+//    to the index being processed) — the engine's sweeps pair each node
+//    with a private Rng::Split stream for exactly this reason;
+//  * reads shared state only if it is frozen for the whole call (a
+//    start-of-round snapshot, config, the dataset) — never state another
+//    index may be mutating;
+//  * performs no cross-index reduction inside the loop; reduce after the
+//    join, in index order (or with order-insensitive integer sums).
+//
+// Violating any of these silently reintroduces schedule dependence — the
+// determinism tests catch it only for the paths they pin.
 #pragma once
 
 #include <condition_variable>

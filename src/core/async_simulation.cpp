@@ -1,7 +1,11 @@
 #include "core/async_simulation.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <thread>
+
+#include "common/thread_pool.hpp"
 
 namespace dmfsgd::core {
 
@@ -21,16 +25,45 @@ const AsyncSimulationConfig& Validate(const AsyncSimulationConfig& config) {
   return config;
 }
 
+std::size_t ResolveShardCount(const AsyncSimulationConfig& config) {
+  if (config.shard_count != 0) {
+    return config.shard_count;
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+/// The minimum one-way delay any message can experience — the conservative
+/// lookahead of the parallel drain.  RTT datasets derive delays from the
+/// ground truth, so scan it; ABW delays are hash-drawn from the configured
+/// range, whose lower bound is the answer.
+double MinOneWayDelay(const datasets::Dataset& dataset,
+                      const AsyncSimulationConfig& config) {
+  if (dataset.metric != Metric::kRtt) {
+    return config.min_oneway_delay_s;
+  }
+  double min_rtt = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    for (std::size_t j = 0; j < dataset.NodeCount(); ++j) {
+      if (i != j && dataset.IsKnown(i, j)) {
+        min_rtt = std::min(min_rtt, dataset.Quantity(i, j));
+      }
+    }
+  }
+  return min_rtt / 2.0 / 1000.0;  // ms -> s, one way
+}
+
 }  // namespace
 
 AsyncDmfsgdSimulation::AsyncDmfsgdSimulation(const datasets::Dataset& dataset,
                                              const AsyncSimulationConfig& config,
                                              const ErrorInjector* injector)
     : config_(Validate(config)),
+      events_(dataset.NodeCount(), ResolveShardCount(config)),
       delayed_(events_,
                [this](NodeId i, NodeId j) { return OneWayDelay(i, j); }),
       engine_(dataset, config.base, injector,
-              StackChannel(delayed_, wire_, config.base.use_wire_format)) {
+              StackChannel(delayed_, wire_, config.base.use_wire_format)),
+      lookahead_s_(MinOneWayDelay(dataset, config)) {
   delay_seed_ = engine_.rng()();
 
   // Kick off every node's probe loop with a random initial phase so the
@@ -54,8 +87,13 @@ double AsyncDmfsgdSimulation::OneWayDelay(NodeId i, NodeId j) const {
 }
 
 void AsyncDmfsgdSimulation::ScheduleNextProbe(NodeId i) {
-  const double wait = engine_.rng().Exponential(1.0 / config_.mean_probe_interval_s);
-  events_.Schedule(wait, [this, i] {
+  // Think times come from the engine stream normally and from the node's
+  // private stream during a sharded drain, so a draining node's timer chain
+  // stays a pure function of its own history.
+  common::Rng& rng =
+      engine_.ShardedDrainActive() ? engine_.NodeRng(i) : engine_.rng();
+  const double wait = rng.Exponential(1.0 / config_.mean_probe_interval_s);
+  events_.Schedule(i, wait, [this, i] {
     StartProbe(i);
     ScheduleNextProbe(i);
   });
@@ -64,8 +102,10 @@ void AsyncDmfsgdSimulation::ScheduleNextProbe(NodeId i) {
 void AsyncDmfsgdSimulation::StartProbe(NodeId i) {
   // Per-probe churn roll: the async analogue of the round-based driver's
   // per-round sweep (each node fires about once per mean interval).
-  (void)engine_.MaybeChurnNode(i);
-  const NodeId j = engine_.PickNeighbor(i);
+  common::Rng& rng =
+      engine_.ShardedDrainActive() ? engine_.NodeRng(i) : engine_.rng();
+  (void)engine_.MaybeChurnNodeWith(i, rng);
+  const NodeId j = engine_.PickNeighborWith(i, rng);
   engine_.StartExchange(i, j, std::nullopt);
 }
 
@@ -74,6 +114,22 @@ void AsyncDmfsgdSimulation::RunUntil(double until_s) {
     throw std::invalid_argument("AsyncDmfsgdSimulation::RunUntil: time in the past");
   }
   events_.RunUntil(until_s);
+}
+
+void AsyncDmfsgdSimulation::RunUntilParallel(double until_s,
+                                             common::ThreadPool& pool) {
+  if (until_s < events_.Now()) {
+    throw std::invalid_argument(
+        "AsyncDmfsgdSimulation::RunUntilParallel: time in the past");
+  }
+  engine_.BeginShardedDrain();
+  try {
+    events_.RunUntilParallel(until_s, pool, lookahead_s_);
+  } catch (...) {
+    engine_.EndShardedDrain();
+    throw;
+  }
+  engine_.EndShardedDrain();
 }
 
 }  // namespace dmfsgd::core

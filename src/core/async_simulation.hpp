@@ -23,6 +23,18 @@
 //    the configured range;
 //  * each protocol leg can be lost independently (message_loss), with
 //    engine semantics shared verbatim with the synchronous driver.
+//
+// The event queue is partitioned by owner node (netsim::ShardedEventQueue):
+// every event — a node's probe timer, a message delivery — runs in the shard
+// of the node whose handler it is.  RunUntil drains the shards through a
+// deterministic cross-shard merge (identical, event for event, to the old
+// single queue), and RunUntilParallel drains them concurrently in
+// conservative windows bounded by the minimum one-way delay, with every
+// node's randomness moved onto its private RNG stream (DESIGN.md §9).  The
+// parallel drain is bit-identical for every pool size at a fixed shard
+// count; its trajectory differs from the sequential drain (per-node vs
+// shared RNG streams), exactly as the round driver's parallel sweep differs
+// from its sequential rounds.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +53,14 @@ struct AsyncSimulationConfig {
   /// One-way delay bounds for metrics that don't define a delay (ABW).
   double min_oneway_delay_s = 0.010;
   double max_oneway_delay_s = 0.100;
+  /// Event-queue shards (owner-node partitions).  The default of 1 keeps
+  /// the sequential RunUntil at the single-heap cost and host-independent
+  /// (the cross-shard merge scans one heap top per shard per event); set it
+  /// to ~hardware concurrency — or 0, which resolves to exactly that — to
+  /// give RunUntilParallel shards to drain concurrently.  The sequential
+  /// RunUntil is shard-count-invariant; the parallel drain is bit-identical
+  /// across pool sizes for a fixed value.
+  std::size_t shard_count = 1;
 };
 
 class AsyncDmfsgdSimulation {
@@ -52,12 +72,34 @@ class AsyncDmfsgdSimulation {
   /// Advances simulated time to `until_s`, executing all probe traffic due.
   void RunUntil(double until_s);
 
+  /// Advances simulated time to `until_s` with the event shards drained
+  /// concurrently over `pool`, in conservative windows bounded by the
+  /// deployment's minimum one-way delay.  While draining, every node draws
+  /// its randomness (think times, churn, neighbor choice, leg loss) from its
+  /// private engine stream and all counters accumulate per node, so the
+  /// result is bit-identical for every pool size (including 1) at a fixed
+  /// shard_count.  May be freely interleaved with RunUntil; the two modes
+  /// advance different RNG streams, so a run's trajectory is a deterministic
+  /// function of the seed and the exact call sequence.
+  void RunUntilParallel(double until_s, common::ThreadPool& pool);
+
   /// x̂_ij = u_i · v_j with the current (live) coordinates.
   [[nodiscard]] double Predict(std::size_t i, std::size_t j) const {
     return engine_.Predict(i, j);
   }
 
   [[nodiscard]] double Now() const noexcept { return events_.Now(); }
+  /// Total events executed (probe timers + message deliveries).
+  [[nodiscard]] std::uint64_t EventsExecuted() const noexcept {
+    return events_.Executed();
+  }
+  /// Owner-node partitions of the event queue.
+  [[nodiscard]] std::size_t ShardCount() const noexcept {
+    return events_.ShardCount();
+  }
+  /// The conservative-window bound of RunUntilParallel: the deployment's
+  /// minimum one-way delay.
+  [[nodiscard]] double LookaheadSeconds() const noexcept { return lookahead_s_; }
   [[nodiscard]] std::size_t MeasurementCount() const noexcept {
     return engine_.MeasurementCount();
   }
@@ -103,13 +145,15 @@ class AsyncDmfsgdSimulation {
   [[nodiscard]] double OneWayDelay(NodeId i, NodeId j) const;
 
   AsyncSimulationConfig config_;
-  netsim::EventQueue events_;
-  /// Channel stack: event-queue delivery, optionally decorated by the wire
-  /// codec.  Declared before the engine, which binds its sink onto them.
-  EventQueueDeliveryChannel delayed_;
+  netsim::ShardedEventQueue events_;
+  /// Channel stack: sharded event-queue delivery (messages run in their
+  /// destination's shard), optionally decorated by the wire codec.  Declared
+  /// before the engine, which binds its sink onto them.
+  ShardedEventQueueDeliveryChannel delayed_;
   std::optional<WireCodecDeliveryChannel> wire_;
   DeploymentEngine engine_;
   std::uint64_t delay_seed_ = 0;
+  double lookahead_s_ = 0.0;
 };
 
 }  // namespace dmfsgd::core

@@ -10,6 +10,23 @@
 // construction/Reset, so row spans stay valid for the store's lifetime —
 // exactly what DmfsgdNode (a view over one row) and the deployment engine
 // rely on.
+//
+// ## Concurrency / determinism contract (DESIGN.md §6, §8, §9)
+//
+// The store itself takes no locks; the engine's parallel paths stay
+// race-free and bit-identical across pool sizes purely through *row
+// ownership*, which callers must respect:
+//
+//  * a row pair (u_i, v_i) is written only by tasks that own node i — one
+//    task per node in the Algorithm-1 sweep, the unique prober of u_i and
+//    the unique per-phase targeter of v_i in the Algorithm-2 schedule, the
+//    owner shard in an async drain;
+//  * concurrent *reads* of remote rows are only safe against snapshots
+//    (the sweep's start-of-round copy, protocol-message copies), never
+//    against rows another live task may be updating;
+//  * RandomizeRow draws from the RNG stream passed in — during parallel
+//    execution that must be the owning node's private stream, or results
+//    depend on thread interleaving.
 #pragma once
 
 #include <cstddef>

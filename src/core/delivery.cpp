@@ -68,4 +68,22 @@ void EventQueueDeliveryChannel::Send(NodeId from, NodeId to,
                     });
 }
 
+ShardedEventQueueDeliveryChannel::ShardedEventQueueDeliveryChannel(
+    netsim::ShardedEventQueue& events, DelayFn delay)
+    : events_(&events), delay_(std::move(delay)) {
+  if (!delay_) {
+    throw std::invalid_argument(
+        "ShardedEventQueueDeliveryChannel: delay fn required");
+  }
+}
+
+void ShardedEventQueueDeliveryChannel::Send(NodeId from, NodeId to,
+                                            ProtocolMessage message) {
+  // Owner = destination: the delivered message's handler runs at `to`.
+  events_->Schedule(to, delay_(from, to),
+                    [this, from, to, message = std::move(message)] {
+                      DeliverNow(from, to, message);
+                    });
+}
+
 }  // namespace dmfsgd::core

@@ -26,6 +26,7 @@
 
 namespace dmfsgd::netsim {
 class EventQueue;
+class ShardedEventQueue;
 }
 
 namespace dmfsgd::core {
@@ -131,6 +132,30 @@ class EventQueueDeliveryChannel final : public DeliveryChannel {
 
  private:
   netsim::EventQueue* events_;
+  DelayFn delay_;
+};
+
+/// EventQueueDeliveryChannel over a ShardedEventQueue: every message is
+/// scheduled into its *destination* node's shard (the handler runs at the
+/// destination), which is what lets AsyncDmfsgdSimulation drain shards in
+/// parallel while handlers only ever touch destination-local state
+/// (DESIGN.md §9).  Send is safe from inside a parallel drain window — the
+/// queue routes the schedule through the executing shard's lane.
+class ShardedEventQueueDeliveryChannel final : public DeliveryChannel {
+ public:
+  /// One-way delay in seconds for a directed pair.
+  using DelayFn = std::function<double(NodeId from, NodeId to)>;
+
+  /// `events` must outlive this channel; `delay` must be valid.
+  ShardedEventQueueDeliveryChannel(netsim::ShardedEventQueue& events, DelayFn delay);
+
+  void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  [[nodiscard]] const char* Name() const noexcept override {
+    return "sharded-event-queue";
+  }
+
+ private:
+  netsim::ShardedEventQueue* events_;
   DelayFn delay_;
 };
 

@@ -51,6 +51,35 @@ const SimulationConfig& RequireConfig(const Dataset& dataset,
 
 }  // namespace
 
+std::vector<std::vector<std::uint32_t>> GreedyTargetPhases(
+    std::span<const NodeId> targets, std::span<const unsigned char> active) {
+  if (targets.size() != active.size()) {
+    throw std::invalid_argument(
+        "GreedyTargetPhases: targets and active must have equal length");
+  }
+  // phase(pair) = number of earlier active pairs with the same target; the
+  // counts live in a dense map over the target id range.
+  NodeId max_target = 0;
+  for (std::size_t p = 0; p < targets.size(); ++p) {
+    if (active[p] != 0) {
+      max_target = std::max(max_target, targets[p]);
+    }
+  }
+  std::vector<std::uint32_t> taken(static_cast<std::size_t>(max_target) + 1, 0);
+  std::vector<std::vector<std::uint32_t>> phases;
+  for (std::size_t p = 0; p < targets.size(); ++p) {
+    if (active[p] == 0) {
+      continue;
+    }
+    const std::uint32_t phase = taken[targets[p]]++;
+    if (phase == phases.size()) {
+      phases.emplace_back();
+    }
+    phases[phase].push_back(static_cast<std::uint32_t>(p));
+  }
+  return phases;
+}
+
 const char* ProbeStrategyName(ProbeStrategy strategy) noexcept {
   switch (strategy) {
     case ProbeStrategy::kUniformRandom:
@@ -100,6 +129,10 @@ DeploymentEngine::DeploymentEngine(const Dataset& dataset,
 }
 
 void DeploymentEngine::RebuildNeighborSet(NodeId i) {
+  RebuildNeighborSetWith(i, rng_);
+}
+
+void DeploymentEngine::RebuildNeighborSetWith(NodeId i, common::Rng& rng) {
   const std::size_t n = nodes_.size();
   std::vector<NodeId> candidates;
   candidates.reserve(n - 1);
@@ -112,7 +145,7 @@ void DeploymentEngine::RebuildNeighborSet(NodeId i) {
     throw std::invalid_argument(
         "DeploymentEngine: node has fewer measurable pairs than k");
   }
-  rng_.Shuffle(std::span(candidates));
+  rng.Shuffle(std::span(candidates));
   candidates.resize(config_.neighbor_count);
   std::sort(candidates.begin(), candidates.end());
   neighbors_[i] = std::move(candidates);
@@ -127,9 +160,17 @@ void DeploymentEngine::ResetNode(NodeId i) {
   if (i >= nodes_.size()) {
     throw std::out_of_range("DeploymentEngine::ResetNode: index out of range");
   }
-  store_.RandomizeRow(i, rng_);
-  RebuildNeighborSet(i);
-  ++churn_count_;
+  ResetNodeWith(i, rng_);
+}
+
+void DeploymentEngine::ResetNodeWith(NodeId i, common::Rng& rng) {
+  store_.RandomizeRow(i, rng);
+  RebuildNeighborSetWith(i, rng);
+  if (sharded_drain_) {
+    ++node_counters_[i].churns;
+  } else {
+    ++churn_count_;
+  }
 }
 
 void DeploymentEngine::ChurnSweep() {
@@ -144,10 +185,17 @@ void DeploymentEngine::ChurnSweep() {
 }
 
 bool DeploymentEngine::MaybeChurnNode(NodeId i) {
-  if (config_.churn_rate <= 0.0 || !rng_.Bernoulli(config_.churn_rate)) {
+  return MaybeChurnNodeWith(i, rng_);
+}
+
+bool DeploymentEngine::MaybeChurnNodeWith(NodeId i, common::Rng& rng) {
+  if (config_.churn_rate <= 0.0 || !rng.Bernoulli(config_.churn_rate)) {
     return false;
   }
-  ResetNode(i);
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("DeploymentEngine: churn index out of range");
+  }
+  ResetNodeWith(i, rng);
   return true;
 }
 
@@ -182,27 +230,39 @@ NodeId DeploymentEngine::PickNeighborWith(NodeId i, common::Rng& rng) {
   return nb[0];
 }
 
+void DeploymentEngine::EnsurePerNodeStreams() {
+  if (!per_node_rng_.empty()) {
+    return;
+  }
+  // Decorrelated per-node streams derived from the run seed.  Each stream
+  // advances only through its own node's draws, so the sequence a node
+  // sees is a pure function of (seed, node id, its own probe history) —
+  // never of which thread ran it.
+  const std::size_t n = nodes_.size();
+  common::Rng root(config_.seed ^ 0x5deece66dULL);
+  per_node_rng_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    per_node_rng_.push_back(root.Split());
+  }
+  sweep_state_.resize(n);
+}
+
+common::Rng& DeploymentEngine::NodeRng(NodeId i) {
+  EnsurePerNodeStreams();
+  if (i >= per_node_rng_.size()) {
+    throw std::out_of_range("DeploymentEngine::NodeRng: index out of range");
+  }
+  return per_node_rng_[i];
+}
+
 void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
   if (abw_) {
-    throw std::logic_error(
-        "DeploymentEngine::ParallelRoundSweep: Algorithm 2 (target-measured "
-        "metrics) updates both endpoints of an exchange, so the per-node "
-        "ownership the parallel sweep relies on does not hold");
+    ParallelAbwRoundSweep(pool);
+    return;
   }
   const std::size_t n = nodes_.size();
   const std::size_t r = config_.rank;
-  if (sweep_rng_.empty()) {
-    // Decorrelated per-node streams derived from the run seed.  Each stream
-    // advances only through its own node's draws, so the sequence a node
-    // sees is a pure function of (seed, node id, its own probe history) —
-    // never of which thread ran it.
-    common::Rng root(config_.seed ^ 0x5deece66dULL);
-    sweep_rng_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      sweep_rng_.push_back(root.Split());
-    }
-    sweep_dropped_.resize(n);
-  }
+  EnsurePerNodeStreams();
 
   // Membership dynamics stay on the engine stream, sequential and identical
   // regardless of pool size (they also rebuild neighbor sets, which other
@@ -218,7 +278,7 @@ void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
 
   pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      common::Rng& rng = sweep_rng_[i];
+      common::Rng& rng = per_node_rng_[i];
       const NodeId j = PickNeighborWith(static_cast<NodeId>(i), rng);
       // Two protocol legs, each dropped independently — the same roll
       // sequence LegLost() produces on the sequential path (the second leg
@@ -228,7 +288,7 @@ void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
         lost = rng.Bernoulli(config_.message_loss) ||
                rng.Bernoulli(config_.message_loss);
       }
-      sweep_dropped_[i] = lost ? 1 : 0;
+      sweep_state_[i] = lost ? 1 : 0;
       if (lost) {
         continue;
       }
@@ -244,10 +304,88 @@ void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
   // per-node flag determines both counters.
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    dropped += sweep_dropped_[i];
+    dropped += sweep_state_[i];
   }
   dropped_legs_ += dropped;
   measurement_count_ += n - dropped;
+}
+
+namespace {
+
+// Outcome of one Algorithm-2 exchange, decided entirely by the prober's
+// private rolls before any phase runs.
+constexpr unsigned char kAbwFull = 0;      // both legs survived
+constexpr unsigned char kAbwLeg2Lost = 1;  // target updated, reply lost
+constexpr unsigned char kAbwLeg1Lost = 2;  // probe lost, nothing happened
+
+}  // namespace
+
+void DeploymentEngine::ParallelAbwRoundSweep(common::ThreadPool& pool) {
+  const std::size_t n = nodes_.size();
+  EnsurePerNodeStreams();
+  ChurnSweep();  // sequential on the engine stream, like the Algorithm-1 path
+
+  // 1. Draws: each prober picks its target and rolls both protocol legs from
+  // its private stream (leg 2 only if leg 1 survived — the sequential roll
+  // order).  Node-owned state only, so the draws themselves parallelize.
+  sweep_target_.resize(n);
+  pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      common::Rng& rng = per_node_rng_[i];
+      sweep_target_[i] = PickNeighborWith(static_cast<NodeId>(i), rng);
+      unsigned char state = kAbwFull;
+      if (config_.message_loss > 0.0) {
+        if (rng.Bernoulli(config_.message_loss)) {
+          state = kAbwLeg1Lost;
+        } else if (rng.Bernoulli(config_.message_loss)) {
+          state = kAbwLeg2Lost;
+        }
+      }
+      sweep_state_[i] = state;
+    }
+  });
+
+  // 2. Greedy target-disjoint phases over the pairs that will update state
+  // (a lost probe updates nobody and needs no slot).
+  std::vector<unsigned char> active(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    active[i] = sweep_state_[i] != kAbwLeg1Lost ? 1 : 0;
+  }
+  const auto phases = GreedyTargetPhases(sweep_target_, active);
+
+  // 3. Run the phases.  Within a phase every prober and every target is
+  // distinct, so pair (i, j)'s task exclusively owns u_i and v_j; across
+  // phases, same-target updates apply in ascending prober order.  Each task
+  // replays the sequential exchange exactly: the target consumes x and the
+  // probe's u_i and updates v_j; the prober consumes the *pre-update* v_j.
+  for (const auto& phase : phases) {
+    pool.ParallelFor(0, phase.size(), [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> v_pre(config_.rank);
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t i = phase[p];
+        const NodeId j = sweep_target_[i];
+        const double x = MeasurementFor(i, j, std::nullopt);
+        const auto v_j = nodes_[j].v();
+        std::copy(v_j.begin(), v_j.end(), v_pre.begin());
+        nodes_[j].AbwTargetUpdate(x, nodes_[i].u(), config_.params);  // eq. 13
+        if (sweep_state_[i] == kAbwFull) {
+          RecordNeighborLoss(static_cast<NodeId>(i), j, x, v_pre);
+          nodes_[i].AbwProberUpdate(x, v_pre, config_.params);  // eq. 12
+        }
+      }
+    });
+  }
+
+  // 4. Counters, reduced exactly as the sequential exchanges would have:
+  // the target consumes the measurement even when the reply is lost.
+  std::size_t measured = 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    measured += sweep_state_[i] != kAbwLeg1Lost ? 1 : 0;
+    dropped += sweep_state_[i] != kAbwFull ? 1 : 0;
+  }
+  measurement_count_ += measured;
+  dropped_legs_ += dropped;
 }
 
 const DmfsgdNode& DeploymentEngine::node(std::size_t i) const {
@@ -286,6 +424,65 @@ bool DeploymentEngine::LegLost() {
     ++dropped_legs_;
   }
   return lost;
+}
+
+bool DeploymentEngine::LegLostFor(NodeId who) {
+  if (!sharded_drain_) {
+    return LegLost();
+  }
+  if (config_.message_loss <= 0.0) {
+    return false;
+  }
+  const bool lost = per_node_rng_[who].Bernoulli(config_.message_loss);
+  if (lost) {
+    ++node_counters_[who].dropped_legs;
+  }
+  return lost;
+}
+
+void DeploymentEngine::CountMeasurementAt(NodeId who) {
+  if (sharded_drain_) {
+    ++node_counters_[who].measurements;
+  } else {
+    ++measurement_count_;
+  }
+}
+
+void DeploymentEngine::ResolveExchangeAt(NodeId who) {
+  if (sharded_drain_) {
+    ++node_counters_[who].resolved;
+  } else {
+    ResolveExchange();
+  }
+}
+
+void DeploymentEngine::BeginShardedDrain() {
+  if (sharded_drain_) {
+    throw std::logic_error("DeploymentEngine: sharded drain already active");
+  }
+  EnsurePerNodeStreams();
+  node_counters_.assign(nodes_.size(), NodeCounters{});
+  sharded_drain_ = true;
+}
+
+void DeploymentEngine::EndShardedDrain() {
+  if (!sharded_drain_) {
+    throw std::logic_error("DeploymentEngine: no sharded drain active");
+  }
+  sharded_drain_ = false;
+  std::uint64_t started = 0;
+  std::uint64_t resolved = 0;
+  for (const NodeCounters& counters : node_counters_) {
+    measurement_count_ += counters.measurements;
+    dropped_legs_ += counters.dropped_legs;
+    churn_count_ += counters.churns;
+    started += counters.started;
+    resolved += counters.resolved;
+  }
+  // Same saturating semantics as ResolveExchange: a duplicated resolution
+  // must not wrap the in-flight gauge.
+  const std::uint64_t in_flight = in_flight_ + started;
+  in_flight_ = in_flight > resolved ? in_flight - resolved : 0;
 }
 
 double DeploymentEngine::MeasurementFor(
@@ -329,6 +526,27 @@ void DeploymentEngine::StartExchange(NodeId i, NodeId j,
     throw std::logic_error(
         "DeploymentEngine: trace replay is not supported for target-measured "
         "(ABW) metrics");
+  }
+  if (sharded_drain_) {
+    // Sharded-drain path: no shared state — the prober's private stream
+    // rolls leg 1 and the per-node slots absorb the counters.  Trace
+    // overrides need an immediate channel, which a sharded drain never is.
+    if (observed_quantity.has_value()) {
+      throw std::logic_error(
+          "DeploymentEngine: trace replay is not supported during a sharded "
+          "drain");
+    }
+    ++node_counters_[i].started;
+    if (LegLostFor(i)) {
+      ++node_counters_[i].resolved;
+      return;
+    }
+    if (abw_) {
+      channel_->Send(i, j, AbwProbeRequest{i, nodes_[i].UCopy(), config_.tau});
+    } else {
+      channel_->Send(i, j, RttProbeRequest{i});
+    }
+    return;
   }
   ++in_flight_;
   // Leg 1: the probe itself (Algorithm 1's ping, Algorithm 2's UDP train).
@@ -386,9 +604,10 @@ void DeploymentEngine::ResolveExchange() {
 
 void DeploymentEngine::HandleRttRequest(NodeId prober, NodeId target) {
   // Leg 2: the reply carrying (u_j, v_j) — a snapshot taken now, stale by
-  // one flight time when the prober consumes it.
-  if (LegLost()) {
-    ResolveExchange();
+  // one flight time when the prober consumes it.  The roll and any counter
+  // bumps belong to the target, whose handler this is.
+  if (LegLostFor(target)) {
+    ResolveExchangeAt(target);
     return;
   }
   channel_->Send(target, prober,
@@ -397,13 +616,17 @@ void DeploymentEngine::HandleRttRequest(NodeId prober, NodeId target) {
 }
 
 void DeploymentEngine::HandleRttReply(NodeId prober, const RttProbeReply& reply) {
-  // Its timing gives the prober x_ij (or the trace record supplies it).
-  const double x = MeasurementFor(prober, reply.target, trace_observed_);
-  trace_observed_consumed_ = trace_observed_.has_value();
+  // Its timing gives the prober x_ij (or the trace record supplies it —
+  // never during a sharded drain, whose StartExchange rejects overrides).
+  const double x = MeasurementFor(
+      prober, reply.target, sharded_drain_ ? std::nullopt : trace_observed_);
+  if (!sharded_drain_) {
+    trace_observed_consumed_ = trace_observed_.has_value();
+  }
   RecordNeighborLoss(prober, reply.target, x, reply.v);
   nodes_[prober].RttUpdate(x, reply.u, reply.v, config_.params);
-  ++measurement_count_;
-  ResolveExchange();
+  CountMeasurementAt(prober);
+  ResolveExchangeAt(prober);
 }
 
 void DeploymentEngine::HandleAbwRequest(NodeId target,
@@ -414,11 +637,11 @@ void DeploymentEngine::HandleAbwRequest(NodeId target,
   const double x = MeasurementFor(request.prober, target, std::nullopt);
   AbwProbeReply reply{target, x, nodes_[target].VCopy()};
   nodes_[target].AbwTargetUpdate(x, request.u, config_.params);
-  ++measurement_count_;
+  CountMeasurementAt(target);
 
   // Leg 2: the reply back to the prober.
-  if (LegLost()) {
-    ResolveExchange();
+  if (LegLostFor(target)) {
+    ResolveExchangeAt(target);
     return;
   }
   channel_->Send(target, request.prober, std::move(reply));
@@ -427,7 +650,7 @@ void DeploymentEngine::HandleAbwRequest(NodeId target,
 void DeploymentEngine::HandleAbwReply(NodeId prober, const AbwProbeReply& reply) {
   RecordNeighborLoss(prober, reply.target, reply.measurement, reply.v);
   nodes_[prober].AbwProberUpdate(reply.measurement, reply.v, config_.params);
-  ResolveExchange();
+  ResolveExchangeAt(prober);
 }
 
 }  // namespace dmfsgd::core

@@ -25,10 +25,31 @@
 //
 // Coordinates live in a structure-of-arrays CoordinateStore; DmfsgdNode
 // objects are row views, so the SGD inner loop walks contiguous memory.
+//
+// ## Determinism contract (DESIGN.md §6, §8, §9) — callers must not break it
+//
+// The engine offers two execution regimes and each one's reproducibility
+// rests on invariants that belong to the *caller* as much as to the engine:
+//
+//  * Sequential (RunRounds / event-driven RunUntil): all randomness flows
+//    through the single engine stream `rng()`; a run is a pure function of
+//    (seed, dataset, channel stack).  Callers must not draw from `rng()`
+//    out of band between protocol steps, or two same-seed runs diverge.
+//  * Parallel (ParallelRoundSweep, sharded event drains): every node draws
+//    from a private decorrelated stream (`NodeRng`), advanced only by that
+//    node's own protocol activity, and every remote coordinate a node
+//    consumes is a snapshot captured at a deterministic point — the start of
+//    the round (Algorithm 1), the phase schedule position (Algorithm 2), or
+//    the message send time (sharded async drain).  Results are therefore
+//    bit-identical for every thread-pool size.  Callers must not read or
+//    mutate engine state (coordinates, membership, counters) from outside
+//    while a parallel call is in flight, and must not mix the per-node
+//    streams into sequential paths.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -60,6 +81,25 @@ enum class ProbeStrategy {
 
 /// Human-readable strategy name.
 [[nodiscard]] const char* ProbeStrategyName(ProbeStrategy strategy) noexcept;
+
+/// Greedy target-disjoint phase assignment for one round of exchanges
+/// (DESIGN.md §8).  Pair p is the exchange prober_p -> targets[p]; pairs with
+/// active[p] == 0 perform no update and are left out of the schedule.  Pairs
+/// are scanned in index order and each active pair joins the earliest phase
+/// in which its target is not yet taken, so
+///
+///   * within a phase every target is distinct (phases are data-race-free:
+///     pair p writes only u of prober p — unique by construction, one probe
+///     per node per round — and v of its target);
+///   * for any one target, its pairs appear in ascending prober order across
+///     phases, which fixes the order of same-target updates;
+///   * the result depends only on (targets, active), never on thread count.
+///
+/// Returns the phases in order; phases[k] holds pair indices ascending.
+/// Empty input yields an empty schedule.  Requires active.size() ==
+/// targets.size().
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> GreedyTargetPhases(
+    std::span<const NodeId> targets, std::span<const unsigned char> active);
 
 struct SimulationConfig {
   std::size_t rank = 10;           ///< r
@@ -110,8 +150,26 @@ class DeploymentEngine {
   /// Returns whether the node churned.
   bool MaybeChurnNode(NodeId i);
 
+  /// MaybeChurnNode against an explicit RNG stream; sharded drains pass the
+  /// node's private stream so churn stays a pure function of the node's own
+  /// history.  The churn counter routes per-node while a sharded drain is
+  /// active.
+  bool MaybeChurnNodeWith(NodeId i, common::Rng& rng);
+
   /// Picks the neighbor node i probes next, per the configured strategy.
   [[nodiscard]] NodeId PickNeighbor(NodeId i);
+
+  /// PickNeighbor against an explicit RNG stream (the parallel paths hand
+  /// each node its own; the sequential path passes rng()).  Mutates only
+  /// node-owned probing state (round-robin cursor), so concurrent calls for
+  /// distinct nodes are safe.
+  [[nodiscard]] NodeId PickNeighborWith(NodeId i, common::Rng& rng);
+
+  /// Node i's private decorrelated RNG stream (derived from the run seed,
+  /// advanced only by node i's own draws).  Built lazily for all nodes on
+  /// first use — the build itself is not thread-safe; parallel drivers
+  /// trigger it up front (BeginShardedDrain / ParallelRoundSweep do).
+  [[nodiscard]] common::Rng& NodeRng(NodeId i);
 
   // -- protocol ------------------------------------------------------------
 
@@ -122,19 +180,49 @@ class DeploymentEngine {
   void StartExchange(NodeId i, NodeId j, std::optional<double> observed_quantity);
 
   /// Runs one full probing round — churn sweep, then every node probes one
-  /// neighbor — with the per-node work spread over `pool`.  Semantically an
-  /// Algorithm-1 round in which every reply snapshot was captured at the
-  /// start of the round (the §6.1 staleness regime) and every node draws its
-  /// randomness (neighbor choice, per-leg loss) from a private RNG stream.
-  /// Both choices make the round independent of node visit order, so the
-  /// result is bit-identical for every pool size; they also mean the
-  /// trajectory differs from the sequential, channel-driven RunRounds (which
-  /// serves mid-round coordinates and shares one RNG stream).  Counters
-  /// (measurements, dropped legs) are updated exactly as the sequential
-  /// round would.  Only prober-measured (RTT) metrics are supported —
-  /// Algorithm 2 writes at both endpoints — and the channel stack is
-  /// bypassed; throws std::logic_error for ABW datasets.
+  /// neighbor — with the per-node work spread over `pool`.  Every node draws
+  /// its randomness (neighbor choice, per-leg loss) from a private RNG
+  /// stream, which makes the round independent of node visit order; the
+  /// result is bit-identical for every pool size.  The trajectory differs
+  /// from the sequential, channel-driven RunRounds (which serves mid-round
+  /// coordinates and shares one RNG stream).  Counters (measurements,
+  /// dropped legs) are updated exactly as the sequential round would.  The
+  /// channel stack is bypassed — this is a perf path for the round driver,
+  /// not a delivery channel.  Two schedules, picked by the dataset's metric:
+  ///
+  ///  * Algorithm 1 (prober-measured, RTT): each node's exchange writes only
+  ///    its own rows, so one flat sweep suffices; every reply is a snapshot
+  ///    captured at the start of the round (the §6.1 staleness regime).
+  ///  * Algorithm 2 (target-measured, ABW): an exchange i -> j writes u_i at
+  ///    the prober *and* v_j at the target, so the round's pairs are
+  ///    partitioned into target-disjoint phases (GreedyTargetPhases over the
+  ///    start-of-round membership snapshot, DESIGN.md §8) and the phases run
+  ///    as successive data-race-free ParallelFors.  Within one pair the
+  ///    sequential exchange order is reproduced exactly: the target consumes
+  ///    the probe's u_i and updates v_j, the prober consumes the pre-update
+  ///    v_j; same-target updates across phases apply in ascending prober
+  ///    order.
   void ParallelRoundSweep(common::ThreadPool& pool);
+
+  // -- sharded event drains ------------------------------------------------
+
+  /// Enters sharded-drain mode for a parallel event-queue drain
+  /// (DESIGN.md §9): builds the per-node RNG streams, zeroes the per-node
+  /// counter slots, and reroutes every handler-side draw (leg loss) and
+  /// counter bump to the node the handler runs at, so concurrent handlers
+  /// for distinct nodes never share mutable state.  While active, trace
+  /// replay is rejected and the scalar counters are stale.  Throws
+  /// std::logic_error if already active.
+  void BeginShardedDrain();
+
+  /// Leaves sharded-drain mode and folds the per-node counter slots back
+  /// into the scalar counters (integer sums — deterministic regardless of
+  /// which thread bumped what).
+  void EndShardedDrain();
+
+  [[nodiscard]] bool ShardedDrainActive() const noexcept {
+    return sharded_drain_;
+  }
 
   // -- queries -------------------------------------------------------------
 
@@ -167,10 +255,14 @@ class DeploymentEngine {
 
  private:
   void RebuildNeighborSet(NodeId i);
+  void RebuildNeighborSetWith(NodeId i, common::Rng& rng);
+  void ResetNodeWith(NodeId i, common::Rng& rng);
 
-  /// PickNeighbor against an explicit RNG stream (the parallel sweep hands
-  /// each node its own; the sequential path passes rng_).
-  [[nodiscard]] NodeId PickNeighborWith(NodeId i, common::Rng& rng);
+  /// Builds per_node_rng_ (and the per-node sweep scratch) if absent.
+  void EnsurePerNodeStreams();
+
+  /// The Algorithm-2 half of ParallelRoundSweep: target-sharded phases.
+  void ParallelAbwRoundSweep(common::ThreadPool& pool);
 
   /// The training value for pair (i, j): class label (possibly corrupted) or
   /// τ-normalized quantity (the DESIGN.md §3 substitution).
@@ -178,9 +270,20 @@ class DeploymentEngine {
                                       std::optional<double> observed_quantity) const;
   [[nodiscard]] bool LegLost();
 
+  /// Leg-loss roll attributed to the node whose handler rolls it: the shared
+  /// stream + scalar counter normally, the node's private stream + per-node
+  /// slot during a sharded drain.
+  [[nodiscard]] bool LegLostFor(NodeId who);
+
+  /// Measurement-counter bump attributed to the consuming node.
+  void CountMeasurementAt(NodeId who);
+
   /// Marks one in-flight exchange finished (saturating at zero — datagram
   /// transports can duplicate replies).
   void ResolveExchange();
+
+  /// ResolveExchange attributed to the resolving handler's node.
+  void ResolveExchangeAt(NodeId who);
 
   /// Channel sink: dispatches a delivered message to its handler.
   void OnMessage(NodeId from, NodeId to, const ProtocolMessage& message);
@@ -217,14 +320,28 @@ class DeploymentEngine {
   std::size_t churn_count_ = 0;
   std::size_t in_flight_ = 0;
 
-  // Parallel-sweep state, built lazily on the first ParallelRoundSweep: one
-  // decorrelated RNG stream per node (advanced only by that node's draws),
-  // the start-of-round coordinate snapshot, and per-node drop flags that
-  // are reduced sequentially after the join (applied = 1 - dropped).
-  std::vector<common::Rng> sweep_rng_;
+  // Parallel-path state, built lazily on first use: one decorrelated RNG
+  // stream per node (advanced only by that node's draws), the Algorithm-1
+  // start-of-round coordinate snapshot, and per-node scratch (drop flags /
+  // exchange outcomes / chosen targets) reduced sequentially after joins.
+  std::vector<common::Rng> per_node_rng_;
   std::vector<double> sweep_u_;
   std::vector<double> sweep_v_;
-  std::vector<unsigned char> sweep_dropped_;
+  std::vector<unsigned char> sweep_state_;
+  std::vector<NodeId> sweep_target_;
+
+  // Sharded-drain state: per-node counter slots, cache-line separated so
+  // handlers on different shards never share a line.  Folded into the scalar
+  // counters by EndShardedDrain.
+  struct alignas(64) NodeCounters {
+    std::uint64_t measurements = 0;
+    std::uint64_t dropped_legs = 0;
+    std::uint64_t started = 0;
+    std::uint64_t resolved = 0;
+    std::uint64_t churns = 0;
+  };
+  bool sharded_drain_ = false;
+  std::vector<NodeCounters> node_counters_;
 };
 
 }  // namespace dmfsgd::core

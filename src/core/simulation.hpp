@@ -41,9 +41,10 @@ class DmfsgdSimulation {
   void RunRounds(std::size_t rounds);
 
   /// Runs `rounds` probing rounds with each round's per-node sweep spread
-  /// over `pool` (RTT datasets only).  Bit-identical for every pool size —
-  /// see DeploymentEngine::ParallelRoundSweep for the exact semantics
-  /// (start-of-round reply snapshots, per-node RNG streams).
+  /// over `pool`.  Bit-identical for every pool size — see
+  /// DeploymentEngine::ParallelRoundSweep for the exact semantics: per-node
+  /// RNG streams and start-of-round reply snapshots (Algorithm 1), or the
+  /// target-disjoint phase schedule of DESIGN.md §8 (Algorithm 2).
   void RunRoundsParallel(std::size_t rounds, common::ThreadPool& pool);
 
   /// Replays trace records [begin, end) in time order; returns the number of

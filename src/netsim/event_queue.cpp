@@ -1,7 +1,11 @@
 #include "netsim/event_queue.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "common/thread_pool.hpp"
 
 namespace dmfsgd::netsim {
 
@@ -42,6 +46,222 @@ bool EventQueue::RunOne() {
   entry.callback();
   ++executed_;
   return true;
+}
+
+// ------------------------------------------------------------------------
+// ShardedEventQueue
+
+namespace {
+
+/// The shard context of the callback currently executing on this thread
+/// during a parallel window.  `queue` doubles as the active flag; it is set
+/// per shard iteration and cleared when the thread's block ends, so a stale
+/// value can never alias a later drain.
+struct ParallelDrainTls {
+  const void* queue = nullptr;
+  std::size_t shard = 0;
+  double local_now = 0.0;
+};
+thread_local ParallelDrainTls tls_drain;
+
+}  // namespace
+
+ShardedEventQueue::ShardedEventQueue(std::size_t owner_count,
+                                     std::size_t shard_count)
+    : owner_count_(owner_count) {
+  if (owner_count == 0) {
+    throw std::invalid_argument("ShardedEventQueue: owner_count must be > 0");
+  }
+  shard_count = std::clamp<std::size_t>(shard_count, 1, owner_count);
+  shards_ = std::vector<Shard>(shard_count);
+}
+
+std::size_t ShardedEventQueue::ShardOf(OwnerId owner) const {
+  if (owner >= owner_count_) {
+    throw std::out_of_range("ShardedEventQueue::ShardOf: owner out of range");
+  }
+  // Contiguous blocks, the first (owner_count % shards) one owner larger —
+  // the same split rule as ThreadPool::Block, so neighboring owners land in
+  // the same shard.
+  const std::size_t parts = shards_.size();
+  const std::size_t base = owner_count_ / parts;
+  const std::size_t extra = owner_count_ % parts;
+  const std::size_t boundary = extra * (base + 1);
+  if (owner < boundary) {
+    return owner / (base + 1);
+  }
+  return extra + (owner - boundary) / base;
+}
+
+std::size_t ShardedEventQueue::Pending() const noexcept {
+  std::size_t pending = 0;
+  for (const Shard& shard : shards_) {
+    pending += shard.heap.size();
+  }
+  return pending;
+}
+
+std::size_t ShardedEventQueue::PendingInShard(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("ShardedEventQueue::PendingInShard: bad shard");
+  }
+  return shards_[shard].heap.size();
+}
+
+void ShardedEventQueue::Schedule(OwnerId owner, double delay_s,
+                                 Callback callback) {
+  if (delay_s < 0.0) {
+    throw std::invalid_argument("ShardedEventQueue::Schedule: negative delay");
+  }
+  if (!callback) {
+    throw std::invalid_argument("ShardedEventQueue::Schedule: empty callback");
+  }
+  const std::size_t dest = ShardOf(owner);
+  if (in_window_ && tls_drain.queue == this) {
+    // Scheduled from a callback inside a parallel window: stamp with the
+    // executing shard's lane and time, touching only that shard's state.
+    Shard& source = shards_[tls_drain.shard];
+    Entry entry{tls_drain.local_now + delay_s,
+                static_cast<std::uint32_t>(tls_drain.shard),
+                source.next_sequence++, std::move(callback)};
+    if (dest == tls_drain.shard) {
+      source.heap.push(std::move(entry));
+      return;
+    }
+    if (entry.time < window_end_) {
+      throw std::logic_error(
+          "ShardedEventQueue: cross-shard schedule lands inside the lookahead "
+          "window — the configured lookahead is not a true minimum cross-owner "
+          "delay");
+    }
+    source.outbox.emplace_back(dest, std::move(entry));
+    return;
+  }
+  // Driver-side (sequential) schedule: one shared lane with one monotonic
+  // counter, so sequential drains tie-break globally FIFO like EventQueue.
+  shards_[dest].heap.push(Entry{now_ + delay_s,
+                                static_cast<std::uint32_t>(shards_.size()),
+                                driver_sequence_++, std::move(callback)});
+}
+
+std::size_t ShardedEventQueue::MinShard() const {
+  const Later later;
+  std::size_t best = shards_.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].heap.empty()) {
+      continue;
+    }
+    // a earlier than b  <=>  Later()(b, a).
+    if (best == shards_.size() ||
+        later(shards_[best].heap.top(), shards_[s].heap.top())) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::uint64_t ShardedEventQueue::RunUntil(double until_s) {
+  std::uint64_t ran = 0;
+  for (;;) {
+    const std::size_t s = MinShard();
+    if (s == shards_.size() || shards_[s].heap.top().time > until_s) {
+      break;
+    }
+    Entry entry = shards_[s].heap.top();
+    shards_[s].heap.pop();
+    now_ = entry.time;
+    entry.callback();
+    ++executed_;
+    ++ran;
+  }
+  if (now_ < until_s) {
+    now_ = until_s;
+  }
+  return ran;
+}
+
+bool ShardedEventQueue::RunOne() {
+  const std::size_t s = MinShard();
+  if (s == shards_.size()) {
+    return false;
+  }
+  Entry entry = shards_[s].heap.top();
+  shards_[s].heap.pop();
+  now_ = entry.time;
+  entry.callback();
+  ++executed_;
+  return true;
+}
+
+std::uint64_t ShardedEventQueue::RunUntilParallel(double until_s,
+                                                  common::ThreadPool& pool,
+                                                  double lookahead_s) {
+  if (until_s < now_) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::RunUntilParallel: time in the past");
+  }
+  if (!(lookahead_s > 0.0)) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::RunUntilParallel: lookahead must be > 0");
+  }
+  std::uint64_t ran_total = 0;
+  for (;;) {
+    double t_min = std::numeric_limits<double>::infinity();
+    for (const Shard& shard : shards_) {
+      if (!shard.heap.empty()) {
+        t_min = std::min(t_min, shard.heap.top().time);
+      }
+    }
+    if (!(t_min <= until_s)) {
+      break;  // drained, or everything pending lies beyond the horizon
+    }
+    window_end_ = t_min + lookahead_s;
+    in_window_ = true;
+    try {
+      pool.ParallelFor(0, shards_.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          Shard& shard = shards_[s];
+          tls_drain.queue = this;
+          tls_drain.shard = s;
+          while (!shard.heap.empty() && shard.heap.top().time < window_end_ &&
+                 shard.heap.top().time <= until_s) {
+            Entry entry = shard.heap.top();
+            shard.heap.pop();
+            tls_drain.local_now = entry.time;
+            entry.callback();
+            ++shard.executed;
+          }
+        }
+        tls_drain.queue = nullptr;
+      });
+    } catch (...) {
+      // A throwing callback (or a lookahead violation) leaves pending events
+      // in an unspecified but self-consistent state; the window flag must not
+      // leak into later sequential scheduling.
+      in_window_ = false;
+      ran_total += MergeWindow();
+      throw;
+    }
+    in_window_ = false;
+    ran_total += MergeWindow();
+    now_ = std::min(window_end_, until_s);
+  }
+  now_ = until_s;
+  return ran_total;
+}
+
+std::uint64_t ShardedEventQueue::MergeWindow() {
+  std::uint64_t ran = 0;
+  for (Shard& shard : shards_) {
+    for (auto& [dest, entry] : shard.outbox) {
+      shards_[dest].heap.push(std::move(entry));
+    }
+    shard.outbox.clear();
+    ran += shard.executed;
+    executed_ += shard.executed;
+    shard.executed = 0;
+  }
+  return ran;
 }
 
 }  // namespace dmfsgd::netsim

@@ -9,12 +9,24 @@
 //
 // Events fire in (time, insertion order) — ties are FIFO, which keeps runs
 // fully deterministic for a given schedule.
+//
+// Two engines live here:
+//
+//   EventQueue        the original single global queue;
+//   ShardedEventQueue the same semantics partitioned by *owner node* into
+//                     sub-queues, with a deterministic cross-shard merge and
+//                     an optional conservative-lookahead parallel drain
+//                     (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
+
+namespace dmfsgd::common {
+class ThreadPool;
+}
 
 namespace dmfsgd::netsim {
 
@@ -62,6 +74,131 @@ class EventQueue {
   double now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
+};
+
+/// EventQueue partitioned by *owner node* into shard sub-queues.
+///
+/// Every event belongs to an owner (the node whose handler it runs — a
+/// message's destination, a timer's node); owners map to shards in contiguous
+/// blocks.  Two drain modes share one ordering rule:
+///
+///  * `RunUntil` — sequential k-way merge across shards.  Global order is
+///    (time, lane, lane sequence); events scheduled outside a parallel drain
+///    all share the "driver" lane with one monotonic counter, so ties are
+///    globally FIFO — with any shard count, a sequential drain is
+///    event-for-event identical to a plain EventQueue.
+///  * `RunUntilParallel` — conservative-lookahead windows (DESIGN.md §9).
+///    Each window [t, t + lookahead) is executed by draining every shard's
+///    due events concurrently (one deterministic fork-join per window);
+///    cross-shard events scheduled inside a window are buffered in
+///    per-source-shard outboxes and merged after the join, in source-shard
+///    order.  The caller guarantees *lookahead*: a handler may schedule onto
+///    another shard only at `delay >= lookahead` (violations throw
+///    std::logic_error), which is exactly what makes same-window events on
+///    different shards causally independent.  Within a shard, events still
+///    fire in (time, lane, sequence) order, so per-owner event order — the
+///    order that determines simulation results when handlers touch only
+///    owner-local state — is preserved.  For a fixed shard count the drain
+///    is bit-identical for every pool size, including 1.
+///
+/// Thread-safety: `Schedule` may be called concurrently only from inside
+/// callbacks executing under `RunUntilParallel` (each executing shard routes
+/// through its own lane); all other members are driver-thread only.
+class ShardedEventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using OwnerId = std::uint32_t;
+
+  /// `owner_count` owners spread over `shard_count` contiguous blocks.
+  /// Requires owner_count >= 1; shard_count is clamped to [1, owner_count].
+  ShardedEventQueue(std::size_t owner_count, std::size_t shard_count);
+
+  /// Current simulation time in seconds.
+  [[nodiscard]] double Now() const noexcept { return now_; }
+
+  /// Pending events across all shards.
+  [[nodiscard]] std::size_t Pending() const noexcept;
+
+  /// Pending events in one shard.  Requires shard < ShardCount().
+  [[nodiscard]] std::size_t PendingInShard(std::size_t shard) const;
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t Executed() const noexcept { return executed_; }
+
+  [[nodiscard]] std::size_t ShardCount() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t OwnerCount() const noexcept { return owner_count_; }
+
+  /// The shard an owner's events run in (contiguous block mapping, so
+  /// neighboring owners share a shard and false sharing stays off the menu).
+  [[nodiscard]] std::size_t ShardOf(OwnerId owner) const;
+
+  /// Schedules `callback` to run `delay_s` seconds from now in `owner`'s
+  /// shard.  Requires delay_s >= 0, a non-empty callback and owner <
+  /// OwnerCount().  Inside a parallel window, a cross-shard schedule whose
+  /// fire time lands inside the window throws std::logic_error (lookahead
+  /// violation).
+  void Schedule(OwnerId owner, double delay_s, Callback callback);
+
+  /// Sequential drain in exact global order; same contract as
+  /// EventQueue::RunUntil.
+  std::uint64_t RunUntil(double until_s);
+
+  /// Runs exactly one event (the globally next one) if available.
+  bool RunOne();
+
+  /// Parallel drain in conservative windows of `lookahead_s` (> 0) seconds,
+  /// spread over `pool`.  Requires until_s >= Now().  See the class comment
+  /// for the ordering contract; callbacks must touch only owner-local state
+  /// plus what the lookahead guarantee makes safe.
+  std::uint64_t RunUntilParallel(double until_s, common::ThreadPool& pool,
+                                 double lookahead_s);
+
+ private:
+  struct Entry {
+    double time;
+    std::uint32_t lane;      // source context: shard id, or shard count = driver
+    std::uint64_t sequence;  // per-lane monotonic; ties are FIFO per lane
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      if (a.lane != b.lane) {
+        return a.lane > b.lane;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, Later>;
+
+  /// Per-shard state, cache-line separated: during a parallel window each
+  /// shard's heap, lane counter and outbox are touched by exactly one thread.
+  struct alignas(64) Shard {
+    Heap heap;
+    std::uint64_t next_sequence = 0;
+    std::uint64_t executed = 0;
+    /// Cross-shard events produced during the current window, merged into
+    /// destination heaps after the join. first = destination shard.
+    std::vector<std::pair<std::size_t, Entry>> outbox;
+  };
+
+  /// Shard with the globally least pending entry, or ShardCount() if empty.
+  [[nodiscard]] std::size_t MinShard() const;
+
+  /// After a window's join: merges every outbox into its destination heap and
+  /// folds per-shard executed counts into the totals.  Returns the number of
+  /// events the window executed.
+  std::uint64_t MergeWindow();
+
+  std::size_t owner_count_;
+  std::vector<Shard> shards_;
+  double now_ = 0.0;
+  std::uint64_t driver_sequence_ = 0;  ///< lane counter for driver-side schedules
+  std::uint64_t executed_ = 0;
+  double window_end_ = 0.0;  ///< exclusive end of the active parallel window
+  bool in_window_ = false;
 };
 
 }  // namespace dmfsgd::netsim

@@ -4,11 +4,13 @@
 // coordinates (and counters) for every pool size, because each node's round
 // work is a pure function of the start-of-round snapshot and its private
 // RNG stream.  Pinned across every engine feature that could break it —
-// message loss, churn, and each probe strategy.
+// message loss, churn, each probe strategy, and both exchange algorithms
+// (Algorithm 1's flat sweep and Algorithm 2's target-sharded phases).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <memory>
+#include <set>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
@@ -28,6 +30,13 @@ Dataset SmallRtt() {
   config.node_count = 100;
   config.seed = 31;
   return datasets::MakeMeridian(config);
+}
+
+Dataset SmallAbw() {
+  datasets::HpS3Config config;
+  config.host_count = 100;
+  config.seed = 33;
+  return datasets::MakeHpS3(config);
 }
 
 SimulationConfig BaseConfig(const Dataset& dataset) {
@@ -115,15 +124,141 @@ TEST(ParallelSweep, LearnsLikeTheSequentialDriver) {
   EXPECT_GT(eval::Auc(eval::Scores(pairs), eval::Labels(pairs)), 0.85);
 }
 
-TEST(ParallelSweep, RejectsTargetMeasuredMetrics) {
-  datasets::HpS3Config abw_config;
-  abw_config.host_count = 100;
-  abw_config.seed = 33;
-  const Dataset dataset = datasets::MakeHpS3(abw_config);
+// ------------------------------------------------------------------------
+// Algorithm 2 (target-measured metrics): the target-sharded phase schedule.
+
+TEST(ParallelSweepAlg2, BitIdenticalAcrossPoolSizes) {
+  const Dataset dataset = SmallAbw();
+  const SimulationConfig config = BaseConfig(dataset);
+  const auto single = RunParallel(dataset, config, 40, 1);
+  EXPECT_GT(single->MeasurementCount(), 0u);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    const auto multi = RunParallel(dataset, config, 40, threads);
+    ExpectBitIdentical(*single, *multi);
+  }
+}
+
+TEST(ParallelSweepAlg2, BitIdenticalWithMessageLossAndChurn) {
+  const Dataset dataset = SmallAbw();
   SimulationConfig config = BaseConfig(dataset);
-  DmfsgdSimulation simulation(dataset, config);
-  common::ThreadPool pool(2);
-  EXPECT_THROW(simulation.RunRoundsParallel(1, pool), std::logic_error);
+  config.message_loss = 0.2;
+  config.churn_rate = 0.02;
+  const auto single = RunParallel(dataset, config, 40, 1);
+  EXPECT_GT(single->DroppedLegs(), 0u);
+  EXPECT_GT(single->ChurnCount(), 0u);
+  const auto multi = RunParallel(dataset, config, 40, 4);
+  ExpectBitIdentical(*single, *multi);
+}
+
+TEST(ParallelSweepAlg2, BitIdenticalUnderEveryProbeStrategy) {
+  const Dataset dataset = SmallAbw();
+  for (const ProbeStrategy strategy :
+       {ProbeStrategy::kUniformRandom, ProbeStrategy::kRoundRobin,
+        ProbeStrategy::kLossDriven}) {
+    SimulationConfig config = BaseConfig(dataset);
+    config.strategy = strategy;
+    const auto single = RunParallel(dataset, config, 30, 1);
+    const auto multi = RunParallel(dataset, config, 30, 4);
+    ExpectBitIdentical(*single, *multi);
+  }
+}
+
+TEST(ParallelSweepAlg2, CountsExactlyWithoutLoss) {
+  // Every exchange lands: the target consumes one measurement per pair.
+  const Dataset dataset = SmallAbw();
+  const auto simulation = RunParallel(dataset, BaseConfig(dataset), 25, 3);
+  EXPECT_EQ(simulation->MeasurementCount(), 25u * dataset.NodeCount());
+  EXPECT_EQ(simulation->DroppedLegs(), 0u);
+}
+
+TEST(ParallelSweepAlg2, LossAccountingMatchesExchangeSemantics) {
+  // Per exchange: leg-1 loss = no measurement + 1 drop; leg-2 loss = a
+  // target-side measurement + 1 drop; so measurements <= exchanges and
+  // measurements + drops >= exchanges.
+  const Dataset dataset = SmallAbw();
+  SimulationConfig config = BaseConfig(dataset);
+  config.message_loss = 0.25;
+  const auto simulation = RunParallel(dataset, config, 40, 4);
+  const std::size_t exchanges = 40u * dataset.NodeCount();
+  EXPECT_GT(simulation->DroppedLegs(), 0u);
+  EXPECT_LT(simulation->MeasurementCount(), exchanges);
+  EXPECT_GE(simulation->MeasurementCount() + simulation->DroppedLegs(), exchanges);
+}
+
+TEST(ParallelSweepAlg2, LearnsLikeTheSequentialDriver) {
+  const Dataset dataset = SmallAbw();
+  const SimulationConfig config = BaseConfig(dataset);
+  const auto simulation = RunParallel(dataset, config, 600, 4);
+  const auto pairs = eval::CollectScoredPairs(*simulation);
+  EXPECT_GT(eval::Auc(eval::Scores(pairs), eval::Labels(pairs)), 0.85);
+}
+
+// ------------------------------------------------------------------------
+// The coloring pass itself.
+
+TEST(GreedyTargetPhases, EmptyInputYieldsEmptySchedule) {
+  EXPECT_TRUE(GreedyTargetPhases({}, {}).empty());
+}
+
+TEST(GreedyTargetPhases, SinglePairGetsPhaseZero) {
+  const std::vector<NodeId> targets{7};
+  const std::vector<unsigned char> active{1};
+  const auto phases = GreedyTargetPhases(targets, active);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(GreedyTargetPhases, AllSameTargetSerializesFully) {
+  // n pairs aimed at one node cannot overlap at all: n singleton phases, in
+  // ascending prober order.
+  const std::vector<NodeId> targets(5, 9);
+  const std::vector<unsigned char> active(5, 1);
+  const auto phases = GreedyTargetPhases(targets, active);
+  ASSERT_EQ(phases.size(), 5u);
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(phases[p], (std::vector<std::uint32_t>{p}));
+  }
+}
+
+TEST(GreedyTargetPhases, InactivePairsAreExcluded) {
+  const std::vector<NodeId> targets{3, 3, 3};
+  const std::vector<unsigned char> active{1, 0, 1};
+  const auto phases = GreedyTargetPhases(targets, active);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(phases[1], (std::vector<std::uint32_t>{2}));
+}
+
+TEST(GreedyTargetPhases, PhasesAreTargetDisjointAndCoverEveryActivePair) {
+  common::Rng rng(17);
+  std::vector<NodeId> targets(500);
+  std::vector<unsigned char> active(500);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    targets[i] = static_cast<NodeId>(rng.UniformInt(std::uint64_t{40}));
+    active[i] = rng.Bernoulli(0.9) ? 1 : 0;
+  }
+  const auto phases = GreedyTargetPhases(targets, active);
+  std::set<std::uint32_t> scheduled;
+  for (const auto& phase : phases) {
+    std::set<NodeId> phase_targets;
+    for (const std::uint32_t pair : phase) {
+      EXPECT_TRUE(active[pair]);
+      EXPECT_TRUE(scheduled.insert(pair).second) << "pair scheduled twice";
+      EXPECT_TRUE(phase_targets.insert(targets[pair]).second)
+          << "target repeated within a phase";
+    }
+  }
+  std::size_t active_count = 0;
+  for (const unsigned char a : active) {
+    active_count += a;
+  }
+  EXPECT_EQ(scheduled.size(), active_count);
+}
+
+TEST(GreedyTargetPhases, RejectsMismatchedLengths) {
+  const std::vector<NodeId> targets{1, 2};
+  const std::vector<unsigned char> active{1};
+  EXPECT_THROW(GreedyTargetPhases(targets, active), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <stdexcept>
 #include <vector>
+
+#include "common/thread_pool.hpp"
 
 namespace dmfsgd::netsim {
 namespace {
@@ -98,6 +102,177 @@ TEST(EventQueue, RelativeDelaysCompose) {
   });
   queue.RunUntil(10.0);
   EXPECT_DOUBLE_EQ(second_fire, 5.0);
+}
+
+// ------------------------------------------------------------------------
+// ShardedEventQueue
+
+TEST(ShardedEventQueue, ValidatesConstructionAndArguments) {
+  EXPECT_THROW(ShardedEventQueue(0, 1), std::invalid_argument);
+  ShardedEventQueue queue(4, 2);
+  EXPECT_EQ(queue.ShardCount(), 2u);
+  EXPECT_THROW(queue.Schedule(0, -1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.Schedule(0, 1.0, ShardedEventQueue::Callback{}),
+               std::invalid_argument);
+  EXPECT_THROW(queue.Schedule(4, 1.0, [] {}), std::out_of_range);
+  // Shard count clamps to the owner count: no empty shards by construction.
+  EXPECT_EQ(ShardedEventQueue(3, 16).ShardCount(), 3u);
+}
+
+TEST(ShardedEventQueue, OwnersMapToContiguousNondecreasingShards) {
+  const ShardedEventQueue queue(10, 3);
+  std::size_t previous = 0;
+  std::vector<std::size_t> counts(queue.ShardCount(), 0);
+  for (ShardedEventQueue::OwnerId owner = 0; owner < 10; ++owner) {
+    const std::size_t shard = queue.ShardOf(owner);
+    ASSERT_LT(shard, queue.ShardCount());
+    EXPECT_GE(shard, previous) << "shards must be contiguous owner blocks";
+    previous = shard;
+    ++counts[shard];
+  }
+  // Balanced split: 10 owners over 3 shards = {4, 3, 3}.
+  EXPECT_EQ(counts, (std::vector<std::size_t>{4, 3, 3}));
+}
+
+TEST(ShardedEventQueue, SequentialDrainMergesShardsInGlobalTimeOrder) {
+  // Owners in different shards, interleaved fire times: the merge must
+  // reproduce the exact single-queue order, FIFO on ties.
+  ShardedEventQueue queue(4, 4);
+  std::vector<int> order;
+  queue.Schedule(3, 3.0, [&] { order.push_back(30); });
+  queue.Schedule(0, 1.0, [&] { order.push_back(10); });
+  queue.Schedule(2, 2.0, [&] { order.push_back(20); });
+  queue.Schedule(1, 1.0, [&] { order.push_back(11); });  // tie with owner 0
+  queue.Schedule(0, 2.0, [&] { order.push_back(21); });  // tie with owner 2
+  EXPECT_EQ(queue.Pending(), 5u);
+  queue.RunUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 30}));
+  EXPECT_EQ(queue.Executed(), 5u);
+  EXPECT_DOUBLE_EQ(queue.Now(), 10.0);
+}
+
+TEST(ShardedEventQueue, SequentialDrainMatchesPlainEventQueue) {
+  // Same schedule into both engines; per-event execution order must agree.
+  EventQueue plain;
+  ShardedEventQueue sharded(8, 3);
+  std::vector<int> plain_order;
+  std::vector<int> sharded_order;
+  const double times[] = {0.5, 0.25, 0.5, 1.0, 0.25, 0.75, 0.5, 0.125};
+  for (int e = 0; e < 8; ++e) {
+    plain.Schedule(times[e], [&plain_order, e] { plain_order.push_back(e); });
+    sharded.Schedule(static_cast<ShardedEventQueue::OwnerId>(e), times[e],
+                     [&sharded_order, e] { sharded_order.push_back(e); });
+  }
+  plain.RunUntil(2.0);
+  sharded.RunUntil(2.0);
+  EXPECT_EQ(sharded_order, plain_order);
+}
+
+TEST(ShardedEventQueue, RunOneExecutesTheGlobalMinimum) {
+  ShardedEventQueue queue(2, 2);
+  int fired = 0;
+  queue.Schedule(1, 2.0, [&] { fired = 2; });
+  queue.Schedule(0, 1.0, [&] { fired = 1; });
+  EXPECT_TRUE(queue.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.Now(), 1.0);
+  EXPECT_EQ(queue.PendingInShard(0), 0u);
+  EXPECT_EQ(queue.PendingInShard(1), 1u);
+}
+
+TEST(ShardedEventQueue, ParallelDrainPreservesPerOwnerOrder) {
+  // Handlers only touch owner-local state (the per-owner log), the contract
+  // of the parallel drain; per-owner sequences must come out in time order
+  // regardless of pool size.
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ShardedEventQueue queue(6, 3);
+    common::ThreadPool pool(threads);
+    std::map<ShardedEventQueue::OwnerId, std::vector<int>> logs;
+    for (ShardedEventQueue::OwnerId owner = 0; owner < 6; ++owner) {
+      logs[owner] = {};  // pre-insert: handlers only touch their mapped value
+      for (int e = 0; e < 5; ++e) {
+        const double t = 0.1 * (owner + 1) + 0.3 * e;
+        queue.Schedule(owner, t,
+                       [&logs, owner, e] { logs.at(owner).push_back(e); });
+      }
+    }
+    EXPECT_EQ(queue.RunUntilParallel(10.0, pool, 0.05), 30u);
+    EXPECT_EQ(queue.Executed(), 30u);
+    EXPECT_EQ(queue.Pending(), 0u);
+    EXPECT_DOUBLE_EQ(queue.Now(), 10.0);
+    for (const auto& [owner, log] : logs) {
+      EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+    }
+  }
+}
+
+TEST(ShardedEventQueue, ParallelDrainAllowsCrossShardSchedulesPastLookahead) {
+  ShardedEventQueue queue(4, 4);
+  common::ThreadPool pool(2);
+  std::vector<int> hops;
+  // A chain that hops shards with delay >= lookahead each time.
+  std::function<void(ShardedEventQueue::OwnerId, int)> hop =
+      [&](ShardedEventQueue::OwnerId owner, int depth) {
+        hops.push_back(depth);
+        if (depth < 6) {
+          queue.Schedule((owner + 1) % 4, 1.0, [&hop, owner, depth] {
+            hop((owner + 1) % 4, depth + 1);
+          });
+        }
+      };
+  queue.Schedule(0, 0.5, [&] { hop(0, 0); });
+  queue.RunUntilParallel(20.0, pool, 1.0);
+  EXPECT_EQ(hops, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ShardedEventQueue, ParallelDrainRejectsLookaheadViolations) {
+  ShardedEventQueue queue(4, 4);
+  common::ThreadPool pool(2);
+  // Owner 0 schedules onto owner 3's shard sooner than the lookahead —
+  // causality across shards can no longer be guaranteed, so it must throw.
+  queue.Schedule(0, 1.0, [&] { queue.Schedule(3, 0.01, [] {}); });
+  EXPECT_THROW(queue.RunUntilParallel(10.0, pool, 0.5), std::logic_error);
+}
+
+TEST(ShardedEventQueue, ParallelDrainStopsAtDeadlineLikeSequential) {
+  ShardedEventQueue queue(2, 2);
+  common::ThreadPool pool(2);
+  int fired = 0;
+  queue.Schedule(0, 1.0, [&] { ++fired; });
+  queue.Schedule(1, 5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.RunUntilParallel(2.0, pool, 0.25), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.Pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.Now(), 2.0);
+  queue.RunUntilParallel(5.0, pool, 0.25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedEventQueue, ParallelAndSequentialDrainsExecuteTheSameEvents) {
+  // With owner-local handlers the two drain modes must produce identical
+  // per-owner event sequences (global interleaving is free to differ).
+  auto build = [](ShardedEventQueue& queue,
+                  std::map<ShardedEventQueue::OwnerId, std::vector<int>>& logs) {
+    for (ShardedEventQueue::OwnerId owner = 0; owner < 8; ++owner) {
+      logs[owner] = {};
+      for (int e = 0; e < 4; ++e) {
+        const double t = 0.05 + 0.2 * e + 0.01 * owner;
+        queue.Schedule(owner, t,
+                       [&logs, owner, e] { logs.at(owner).push_back(e); });
+      }
+    }
+  };
+  ShardedEventQueue sequential(8, 4);
+  ShardedEventQueue parallel(8, 4);
+  std::map<ShardedEventQueue::OwnerId, std::vector<int>> seq_logs;
+  std::map<ShardedEventQueue::OwnerId, std::vector<int>> par_logs;
+  build(sequential, seq_logs);
+  build(parallel, par_logs);
+  sequential.RunUntil(5.0);
+  common::ThreadPool pool(3);
+  parallel.RunUntilParallel(5.0, pool, 0.02);
+  EXPECT_EQ(par_logs, seq_logs);
+  EXPECT_EQ(parallel.Executed(), sequential.Executed());
 }
 
 }  // namespace
