@@ -20,7 +20,9 @@
 //                      through the target-sharded phase schedule.
 //   async_drain/*      end-to-end event throughput of AsyncDmfsgdSimulation —
 //                      the sequential cross-shard merge vs the parallel
-//                      conservative-window drain (DESIGN.md §9).
+//                      conservative-window drain (DESIGN.md §9) vs the
+//                      2-process distributed drain over the loopback
+//                      inter-shard channel (DESIGN.md §12).
 //
 // Scenarios run at n = 1024 and n = 8192 (--quick keeps only the
 // deployment-scale 8192 tier and shrinks repetition counts).  Summary
@@ -30,12 +32,17 @@
 //   round_parallel_scaling      parallel vs sequential round throughput
 //   alg2_round_parallel_scaling same, Algorithm-2 phase schedule, largest n
 //   async_drain_parallel_scaling parallel vs sequential event drain, largest n
+//   async_distributed_scaling   2-process distributed vs sequential drain
+//   async_pair_lookahead_window_gain windows(global-min) / windows(per-pair)
+//                               on a two-cluster delay space (>= 1; wider
+//                               windows mean fewer barriers)
 //   async_shards                event-queue shard count the drain used
 //   hw_threads                  hardware concurrency the scaling used
 //
 // Usage: bench_core [output.json] [--quick]
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -47,12 +54,16 @@
 #include "common/thread_pool.hpp"
 #include "core/async_simulation.hpp"
 #include "core/coordinate_store.hpp"
+#include "core/multiprocess.hpp"
 #include "core/node.hpp"
 #include "core/simulation.hpp"
 #include "core/snapshot.hpp"
+#include "datasets/clusters.hpp"
 #include "datasets/dataset.hpp"
 #include "eval/regression_metrics.hpp"
 #include "harness.hpp"
+#include "netsim/inter_shard_channel.hpp"
+#include "netsim/shard_runtime.hpp"
 
 namespace {
 
@@ -335,6 +346,95 @@ bench::BenchJsonEntry AsyncDrainParallel(const datasets::Dataset& dataset,
       [&] { simulation.RunUntilParallel(simulation.Now() + horizon_s, pool); });
 }
 
+/// The distributed drain (DESIGN.md §12) as two loopback "processes" on two
+/// threads, each windowing the same deployment in lock step over the
+/// inter-shard channel.  Measures end-to-end event throughput including the
+/// full barrier/event-batch protocol, so the ratio against the sequential
+/// drain records what the channel machinery costs (1-core hosts) or buys
+/// (multi-core hosts).
+bench::BenchJsonEntry AsyncDrainDistributed(const datasets::Dataset& dataset,
+                                            std::size_t shards,
+                                            double horizon_s,
+                                            std::size_t repeats) {
+  constexpr std::size_t kProcesses = 2;
+  netsim::LoopbackInterShardHub hub(kProcesses);
+  struct Process {
+    std::unique_ptr<core::AsyncDmfsgdSimulation> simulation;
+    std::unique_ptr<netsim::LoopbackInterShardChannel> channel;
+    std::unique_ptr<netsim::ShardRuntime> runtime;
+    std::unique_ptr<common::ThreadPool> pool;
+  };
+  std::vector<Process> processes(kProcesses);
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    Process& process = processes[p];
+    process.simulation = std::make_unique<core::AsyncDmfsgdSimulation>(
+        dataset, AsyncConfig(shards));
+    process.channel =
+        std::make_unique<netsim::LoopbackInterShardChannel>(hub, p);
+    core::ShardedEventQueueDeliveryChannel& delivery =
+        process.simulation->ShardedChannel();
+    process.runtime = std::make_unique<netsim::ShardRuntime>(
+        process.simulation->MutableEvents(), *process.channel,
+        process.simulation->PairLookaheads(),
+        [&delivery](netsim::ShardedEventQueue::OwnerId owner,
+                    std::vector<std::byte> payload) {
+          return delivery.DecodeEnvelopeCallback(owner, std::move(payload));
+        });
+    process.pool = std::make_unique<common::ThreadPool>(1);
+  }
+  return bench::MeasureMinOfK(
+      "async_drain/distributed-2proc/n" + std::to_string(dataset.NodeCount()),
+      static_cast<std::size_t>(horizon_s) * dataset.NodeCount(), /*warmup=*/1,
+      repeats, [&] {
+        const double until = processes[0].simulation->Now() + horizon_s;
+        // Exceptions (stall timeout, lookahead violation) must reach main's
+        // error reporting, not std::terminate: capture the peer's, and join
+        // before letting process 0's propagate.
+        std::exception_ptr peer_error;
+        std::thread peer([&] {
+          try {
+            processes[1].simulation->RunUntilDistributed(
+                until, *processes[1].pool, *processes[1].runtime);
+          } catch (...) {
+            peer_error = std::current_exception();
+          }
+        });
+        try {
+          processes[0].simulation->RunUntilDistributed(
+              until, *processes[0].pool, *processes[0].runtime);
+        } catch (...) {
+          peer.join();
+          throw;
+        }
+        peer.join();
+        if (peer_error) {
+          std::rethrow_exception(peer_error);
+        }
+      });
+}
+
+/// Window-width gain of the per-shard-pair lookahead matrix on a
+/// heterogeneous delay space: identical seeds drained with the global-min
+/// lookahead and with the matrix; the gain is windows(global) /
+/// windows(per-pair) >= 1 (results are bit-identical either way — the
+/// matrix only widens windows, DESIGN.md §12).
+double PairLookaheadWindowGain(std::size_t n, std::size_t shards,
+                               double horizon_s) {
+  datasets::TwoClusterRttConfig cluster_config;
+  cluster_config.node_count = n;
+  const datasets::Dataset dataset = datasets::MakeTwoClusterRtt(cluster_config);
+  common::ThreadPool pool(1);
+  core::AsyncSimulationConfig uniform = AsyncConfig(shards);
+  uniform.use_pair_lookaheads = false;
+  core::AsyncDmfsgdSimulation uniform_run(dataset, uniform);
+  uniform_run.RunUntilParallel(horizon_s, pool);
+  core::AsyncSimulationConfig pairwise = AsyncConfig(shards);
+  core::AsyncDmfsgdSimulation pairwise_run(dataset, pairwise);
+  pairwise_run.RunUntilParallel(horizon_s, pool);
+  return static_cast<double>(uniform_run.WindowsExecuted()) /
+         static_cast<double>(pairwise_run.WindowsExecuted());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -403,6 +503,7 @@ int main(int argc, char** argv) {
   // per tier; datasets are scoped so only one n² ground truth is live.
   double alg2_scaling = 0.0;
   double async_scaling = 0.0;
+  double async_distributed_scaling = 0.0;
   for (const std::size_t n : tiers) {
     {
       const auto abw = MakeSyntheticAbw(n, 11);
@@ -422,11 +523,24 @@ int main(int argc, char** argv) {
           AsyncDrainParallel(rtt, hw, hw, horizon_s, repeats);
       entries.push_back(drain_seq);
       entries.push_back(drain_par);
+      // The distributed drain needs >= 2 shards (one block per process).
+      const auto drain_dist = AsyncDrainDistributed(
+          rtt, std::max<std::size_t>(2, hw), horizon_s, repeats);
+      entries.push_back(drain_dist);
       if (n == n_large) {
         async_scaling = drain_par.ops_per_sec / drain_seq.ops_per_sec;
+        async_distributed_scaling =
+            drain_dist.ops_per_sec / drain_seq.ops_per_sec;
       }
     }
   }
+
+  // Per-pair-lookahead window widths, measured (not timed) on a two-cluster
+  // delay space at the small tier — the ratio is a property of the window
+  // protocol, not of n.
+  const double pair_window_gain =
+      PairLookaheadWindowGain(1024, std::max<std::size_t>(2, hw),
+                              quick ? 2.0 : 5.0);
 
   try {
     bench::WriteBenchJson(
@@ -439,6 +553,8 @@ int main(int argc, char** argv) {
          {"round_parallel_scaling", round_scaling},
          {"alg2_round_parallel_scaling", alg2_scaling},
          {"async_drain_parallel_scaling", async_scaling},
+         {"async_distributed_scaling", async_distributed_scaling},
+         {"async_pair_lookahead_window_gain", pair_window_gain},
          {"async_shards", static_cast<double>(hw)}});
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -451,8 +567,10 @@ int main(int argc, char** argv) {
   std::printf(
       "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
       "round_parallel_scaling: %.3fx  alg2_round_parallel_scaling: %.3fx  "
-      "async_drain_parallel_scaling: %.3fx  -> %s\n",
+      "async_drain_parallel_scaling: %.3fx  async_distributed_scaling: %.3fx  "
+      "async_pair_lookahead_window_gain: %.3fx  -> %s\n",
       sgd_speedup, matrix_scaling, hw, round_scaling, alg2_scaling,
-      async_scaling, output.c_str());
+      async_scaling, async_distributed_scaling, pair_window_gain,
+      output.c_str());
   return 0;
 }

@@ -1,58 +1,106 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build everything, run the full test suite,
+# Tier-1 verification: configure, build everything, run the test suite,
 # record the hot-path perf trajectory (BENCH_core.json), and check that the
 # public face (README, DESIGN anchors) stays in sync with the code.
+#
+# One entry point for every CI leg (.github/workflows/ci.yml):
+#   --build-type=<Release|Debug>   default Release
+#   --sanitize=<asan|tsan>         sanitizer build (own build dir)
+#   --no-bench                     skip the perf smoke (Debug/sanitizer legs)
+#   --quick-tests                  run `ctest -L quick` only (sanitizer legs
+#                                  skip the socket/fork-heavy `slow` label)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+build_type=Release
+sanitize=""
+run_bench=1
+test_label_args=()
+for arg in "$@"; do
+  case "$arg" in
+    --build-type=*) build_type="${arg#*=}" ;;
+    --sanitize=*)   sanitize="${arg#*=}" ;;
+    --no-bench)     run_bench=0 ;;
+    --quick-tests)  test_label_args=(-L quick) ;;
+    *) echo "usage: ci/verify.sh [--build-type=T] [--sanitize=asan|tsan]" \
+            "[--no-bench] [--quick-tests]" >&2; exit 2 ;;
+  esac
+done
+
 # ---------------------------------------------------------------- docs ----
 # The docs checks run first: they are cheap and a missing README should fail
-# fast, before a long build.
-docs_failed=0
+# fast, before a long build.  Every failure is reported — the check never
+# stops at the first missing item.
+docs_failures=()
 
 if [[ ! -f README.md ]]; then
-  echo "docs check: README.md is missing" >&2
-  docs_failed=1
+  docs_failures+=("README.md is missing")
 fi
 
 # Every example must be discoverable from the README.
-for example in examples/*.cpp; do
-  name=$(basename "$example")
-  if [[ -f README.md ]] && ! grep -q "$name" README.md; then
-    echo "docs check: $example is not mentioned in README.md" >&2
-    docs_failed=1
-  fi
-done
+if [[ -f README.md ]]; then
+  for example in examples/*.cpp; do
+    name=$(basename "$example")
+    if ! grep -q "$name" README.md; then
+      docs_failures+=("$example is not mentioned in README.md")
+    fi
+  done
+fi
 
-# Every "DESIGN.md §N" a source comment cites must resolve to a real section
-# header, so renumbering DESIGN.md can't silently strand references.  The
-# first grep captures the whole citation span — including list forms like
-# "DESIGN.md §6, §8, §9" — so every listed section is checked.
-for section in $(grep -rhoE "DESIGN\.md §[0-9]+((, ?| and )§[0-9]+)*" src bench examples tests ci 2>/dev/null \
+# Every "DESIGN.md §N" a source comment (or workflow file) cites must resolve
+# to a real section header, so renumbering DESIGN.md can't silently strand
+# references.  The first grep captures the whole citation span — including
+# list forms like "DESIGN.md §6, §8, §9" — so every listed section is checked.
+for section in $(grep -rhoE "DESIGN\.md §[0-9]+((, ?| and )§[0-9]+)*" \
+                   src bench examples tests ci .github 2>/dev/null \
                    | grep -oE "[0-9]+" | sort -un); do
   if ! grep -qE "^## §${section}[^0-9]" DESIGN.md; then
-    echo "docs check: a code comment cites DESIGN.md §${section}, which does not exist" >&2
-    docs_failed=1
+    docs_failures+=("a code comment cites DESIGN.md §${section}, which does not exist")
   fi
 done
 
-if [[ $docs_failed -ne 0 ]]; then
-  echo "docs check failed" >&2
+if [[ ${#docs_failures[@]} -ne 0 ]]; then
+  for failure in "${docs_failures[@]}"; do
+    echo "docs check: $failure" >&2
+  done
+  echo "docs check failed (${#docs_failures[@]} problem(s))" >&2
   exit 1
 fi
 echo "docs check passed"
 
-# Force Release even over a stale cache: an unoptimized build would both
-# hide perf-path breakage and misrecord the BENCH_core.json trajectory.
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure -j"$(nproc)")
+# ---------------------------------------------------------------- build ----
+# Sanitizer builds get their own directory so a plain rebuild never links
+# against instrumented objects; the default build dir stays `build`.
+build_dir=build
+if [[ -n "$sanitize" ]]; then
+  build_dir="build-$sanitize"
+fi
+
+cmake_args=(-B "$build_dir" -S . -DCMAKE_BUILD_TYPE="$build_type"
+            -DDMFSGD_SANITIZE="$sanitize")
+# ccache keeps the CI matrix warm; harmless to omit locally.
+if command -v ccache >/dev/null 2>&1; then
+  cmake_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+cmake "${cmake_args[@]}"
+cmake --build "$build_dir" -j"$(nproc)"
+# (The empty-array guard keeps `set -u` happy on bash < 4.4.)
+(cd "$build_dir" && ctest --output-on-failure -j"$(nproc)" \
+   ${test_label_args[@]+"${test_label_args[@]}"})
 
 # Perf smoke (quick tier): fused SGD kernels vs the frozen seed baseline,
 # parallel full-matrix sweep, end-to-end round throughput.  Catches perf-path
-# build breaks in CI.  Writes into build/ — the tracked BENCH_core.json is
-# the curated full-run trajectory record and must only be replaced by a
-# deliberate full `bench_bench_core BENCH_core.json` run, never by CI.
-./build/bench_bench_core build/BENCH_core_quick.json --quick
-cat build/BENCH_core_quick.json
+# build breaks in CI.  Writes into the build dir — the tracked
+# BENCH_core.json is the curated full-run trajectory record and must only be
+# replaced by a deliberate full `bench_bench_core BENCH_core.json` run on a
+# multi-core host, never by CI (the dedicated multi-core CI leg uploads its
+# run as an artifact instead of committing it).
+if [[ $run_bench -eq 1 ]]; then
+  if [[ "$build_type" != Release ]]; then
+    echo "note: skipping bench — build type $build_type would misrecord it" >&2
+  else
+    "./$build_dir/bench_bench_core" "$build_dir/BENCH_core_quick.json" --quick
+    cat "$build_dir/BENCH_core_quick.json"
+  fi
+fi

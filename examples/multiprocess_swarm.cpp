@@ -1,0 +1,141 @@
+// A multi-process asynchronous DMFSGD simulation (DESIGN.md §12).
+//
+// Forks into two real OS processes that each own half of a sharded
+// discrete-event simulation: probe timers and message deliveries for a
+// node run only in the process that owns its shard, and everything that
+// crosses the partition — conservative-window barriers and in-flight
+// protocol messages — travels as UDP datagrams between the processes
+// (netsim::UdpInterShardChannel).  At the end, the child ships its owned
+// coordinate rows back and the parent folds the deployment together, then
+// replays the same seed single-process to verify the distributed run is
+// bit-identical — the determinism contract that makes the distributed
+// simulator trustworthy.
+//
+// Usage: multiprocess_swarm [--nodes=N] [--shards=S] [--until=T] [--seed=K]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/thread_pool.hpp"
+#include "core/multiprocess.hpp"
+#include "datasets/meridian.hpp"
+#include "eval/roc.hpp"
+#include "netsim/inter_shard_channel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmfsgd;
+
+  const common::Flags flags(argc, argv, {"nodes", "shards", "until", "seed"});
+  const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 120));
+  const auto shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
+  const double until_s = static_cast<double>(flags.GetInt("until", 30));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  datasets::MeridianConfig dataset_config;
+  dataset_config.node_count = nodes;
+  dataset_config.seed = seed;
+  const datasets::Dataset dataset = datasets::MakeMeridian(dataset_config);
+
+  core::AsyncSimulationConfig config;
+  config.base.rank = 10;
+  config.base.neighbor_count = 16;
+  config.base.tau = dataset.MedianValue();
+  config.base.seed = seed;
+  config.mean_probe_interval_s = 1.0;
+  config.shard_count = shards;
+
+  // Bind both endpoints before the fork so each side knows the other's port
+  // without negotiation (the child inherits its already-bound socket).
+  transport::UdpSocket socket0;
+  transport::UdpSocket socket1;
+  const std::vector<std::uint16_t> ports = {socket0.Port(), socket1.Port()};
+
+  const pid_t child = fork();
+  if (child < 0) {
+    std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  if (child == 0) {
+    // Child = process 1: drains the upper shard block, ships its rows home.
+    try {
+      netsim::UdpInterShardChannel channel(std::move(socket1), 1, ports);
+      common::ThreadPool pool(1);
+      const auto report = core::RunMultiprocessAsyncSimulation(
+          dataset, config, channel, until_s, pool);
+      std::cout << "[child]  process 1 owns nodes [" << report.owned_begin
+                << ", " << report.owned_end << "), executed "
+                << report.events_executed << " events over "
+                << report.windows << " windows\n";
+      _exit(0);
+    } catch (const std::exception& error) {
+      std::cerr << "[child]  error: " << error.what() << "\n";
+      _exit(1);
+    }
+  }
+
+  // Parent = process 0: drains the lower block, folds the results.
+  int status = 1;
+  try {
+    netsim::UdpInterShardChannel channel(std::move(socket0), 0, ports);
+    common::ThreadPool pool(1);
+    const auto report = core::RunMultiprocessAsyncSimulation(
+        dataset, config, channel, until_s, pool);
+    waitpid(child, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "[parent] child process failed\n";
+      return 1;
+    }
+    std::cout << "[parent] process 0 owns nodes [" << report.owned_begin
+              << ", " << report.owned_end << "); folded deployment: "
+              << report.events_executed << " events, " << report.measurements
+              << " measurements, " << report.windows << " windows across "
+              << shards << " shards in 2 processes\n";
+
+    // Replay the same seed in one process: the distributed drain must be
+    // bit-identical (same per-node RNG streams, same per-owner event order).
+    core::AsyncDmfsgdSimulation reference(dataset, config);
+    common::ThreadPool reference_pool(1);
+    reference.RunUntilParallel(until_s, reference_pool);
+    const auto u = reference.engine().store().UData();
+    const auto v = reference.engine().store().VData();
+    const bool identical =
+        report.u.size() == u.size() && report.v.size() == v.size() &&
+        std::memcmp(report.u.data(), u.data(), u.size_bytes()) == 0 &&
+        std::memcmp(report.v.data(), v.data(), v.size_bytes()) == 0 &&
+        report.events_executed == reference.EventsExecuted() &&
+        report.measurements == reference.MeasurementCount();
+    std::cout << "[parent] single-process replay: "
+              << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+    // Accuracy of the folded coordinates on non-neighbor pairs.
+    std::vector<double> scores;
+    std::vector<int> labels;
+    const std::size_t r = report.rank;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      for (std::size_t j = 0; j < nodes; ++j) {
+        if (i == j || !dataset.IsKnown(i, j) || reference.IsNeighborPair(i, j)) {
+          continue;
+        }
+        double dot = 0.0;
+        for (std::size_t d = 0; d < r; ++d) {
+          dot += report.u[i * r + d] * report.v[j * r + d];
+        }
+        scores.push_back(dot);
+        labels.push_back(datasets::ClassOf(dataset.metric, dataset.Quantity(i, j),
+                                           config.base.tau));
+      }
+    }
+    std::cout << "[parent] AUC over unprobed pairs: " << eval::Auc(scores, labels)
+              << "\n";
+    return identical ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "[parent] error: " << error.what() << "\n";
+    waitpid(child, &status, 0);
+    return 1;
+  }
+}

@@ -26,16 +26,22 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-std::pair<std::size_t, std::size_t> ThreadPool::Block(
-    std::size_t block, std::size_t begin, std::size_t end) const noexcept {
-  const std::size_t parts = thread_count();
-  const std::size_t total = end - begin;
+std::pair<std::size_t, std::size_t> BlockRange(std::size_t total,
+                                               std::size_t parts,
+                                               std::size_t index) {
+  if (parts == 0 || index >= parts) {
+    throw std::invalid_argument("BlockRange: bad partition");
+  }
   const std::size_t base = total / parts;
   const std::size_t extra = total % parts;
-  const std::size_t lo =
-      begin + block * base + std::min(block, extra);
-  const std::size_t hi = lo + base + (block < extra ? 1 : 0);
-  return {lo, hi};
+  const std::size_t begin = index * base + std::min(index, extra);
+  return {begin, begin + base + (index < extra ? 1 : 0)};
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::Block(
+    std::size_t block, std::size_t begin, std::size_t end) const noexcept {
+  const auto [lo, hi] = BlockRange(end - begin, thread_count(), block);
+  return {begin + lo, begin + hi};
 }
 
 void ThreadPool::RunBlock(std::size_t block) {

@@ -42,6 +42,18 @@
 
 namespace dmfsgd::common {
 
+/// The contiguous block split behind every deterministic partition in the
+/// repo — `total` items over `parts` blocks, the first (total % parts)
+/// blocks one item larger.  ThreadPool::Block (indices → threads), the
+/// sharded event queue's OwnersOfShard (owners → shards) and the shard
+/// runtime's shard → process assignment all route through here; the queue's
+/// ShardOf keeps a closed-form inverse, pinned against this by the
+/// OwnersOfShardInvertsShardOf test.  Returns [begin, end) of `index`.
+/// Requires parts >= 1, index < parts.
+[[nodiscard]] std::pair<std::size_t, std::size_t> BlockRange(std::size_t total,
+                                                             std::size_t parts,
+                                                             std::size_t index);
+
 class ThreadPool {
  public:
   /// fn(block_begin, block_end): processes one contiguous index block.

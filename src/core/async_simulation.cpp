@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "netsim/shard_runtime.hpp"
 
 namespace dmfsgd::core {
 
@@ -116,15 +117,69 @@ void AsyncDmfsgdSimulation::RunUntil(double until_s) {
   events_.RunUntil(until_s);
 }
 
+const netsim::LookaheadMatrix& AsyncDmfsgdSimulation::PairLookaheads() {
+  if (pair_lookaheads_.has_value()) {
+    return *pair_lookaheads_;
+  }
+  const std::size_t shards = events_.ShardCount();
+  if (!config_.use_pair_lookaheads || shards == 1) {
+    pair_lookaheads_.emplace(shards, lookahead_s_);
+    return *pair_lookaheads_;
+  }
+  // Cell (a, b) = the minimum delay any message from block a to block b can
+  // experience.  Messages only ever travel between measurable pairs
+  // (neighbor sets are IsKnown-restricted, through churn too), so blocks
+  // with no measurable pair keep +infinity — no event ever crosses them.
+  netsim::LookaheadMatrix matrix(
+      shards, std::numeric_limits<double>::infinity());
+  const datasets::Dataset& dataset = engine_.dataset();
+  const bool rtt = dataset.metric == Metric::kRtt;
+  const std::size_t n = dataset.NodeCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t from = events_.ShardOf(static_cast<NodeId>(i));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || (rtt && !dataset.IsKnown(i, j))) {
+        continue;
+      }
+      const std::size_t to = events_.ShardOf(static_cast<NodeId>(j));
+      const double delay =
+          OneWayDelay(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      if (delay < matrix.At(from, to)) {
+        matrix.Set(from, to, delay);
+      }
+    }
+  }
+  pair_lookaheads_ = std::move(matrix);
+  return *pair_lookaheads_;
+}
+
 void AsyncDmfsgdSimulation::RunUntilParallel(double until_s,
                                              common::ThreadPool& pool) {
   if (until_s < events_.Now()) {
     throw std::invalid_argument(
         "AsyncDmfsgdSimulation::RunUntilParallel: time in the past");
   }
+  const netsim::LookaheadMatrix& lookaheads = PairLookaheads();
   engine_.BeginShardedDrain();
   try {
-    events_.RunUntilParallel(until_s, pool, lookahead_s_);
+    events_.RunUntilParallel(until_s, pool, lookaheads);
+  } catch (...) {
+    engine_.EndShardedDrain();
+    throw;
+  }
+  engine_.EndShardedDrain();
+}
+
+void AsyncDmfsgdSimulation::RunUntilDistributed(double until_s,
+                                                common::ThreadPool& pool,
+                                                netsim::ShardRuntime& runtime) {
+  if (until_s < events_.Now()) {
+    throw std::invalid_argument(
+        "AsyncDmfsgdSimulation::RunUntilDistributed: time in the past");
+  }
+  engine_.BeginShardedDrain();
+  try {
+    runtime.RunUntil(until_s, pool);
   } catch (...) {
     engine_.EndShardedDrain();
     throw;

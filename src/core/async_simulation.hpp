@@ -44,6 +44,10 @@
 #include "core/engine.hpp"
 #include "netsim/event_queue.hpp"
 
+namespace dmfsgd::netsim {
+class ShardRuntime;
+}
+
 namespace dmfsgd::core {
 
 struct AsyncSimulationConfig {
@@ -61,6 +65,12 @@ struct AsyncSimulationConfig {
   /// RunUntil is shard-count-invariant; the parallel drain is bit-identical
   /// across pool sizes for a fixed value.
   std::size_t shard_count = 1;
+  /// Bound parallel-drain windows with the per-shard-pair lookahead matrix
+  /// (the minimum one-way delay between each pair of owner blocks,
+  /// DESIGN.md §12) instead of the single global minimum.  Wider windows on
+  /// heterogeneous delay spaces; the drain trajectory is bit-identical
+  /// either way (windowing only reorders across shards, never within one).
+  bool use_pair_lookaheads = true;
 };
 
 class AsyncDmfsgdSimulation {
@@ -100,6 +110,17 @@ class AsyncDmfsgdSimulation {
   /// The conservative-window bound of RunUntilParallel: the deployment's
   /// minimum one-way delay.
   [[nodiscard]] double LookaheadSeconds() const noexcept { return lookahead_s_; }
+  /// The per-shard-pair lookahead matrix the parallel and distributed drains
+  /// window with (DESIGN.md §12): cell (a, b) is the minimum one-way delay
+  /// from any owner in shard a's block to any owner in shard b's block
+  /// (+infinity when no measurable pair connects the blocks), or uniformly
+  /// LookaheadSeconds() when use_pair_lookaheads is off.  Built lazily on
+  /// first use — an O(n²) scan — and cached.
+  [[nodiscard]] const netsim::LookaheadMatrix& PairLookaheads();
+  /// Conservative windows executed by the parallel/distributed drains.
+  [[nodiscard]] std::uint64_t WindowsExecuted() const noexcept {
+    return events_.WindowsExecuted();
+  }
   [[nodiscard]] std::size_t MeasurementCount() const noexcept {
     return engine_.MeasurementCount();
   }
@@ -139,6 +160,27 @@ class AsyncDmfsgdSimulation {
   /// The shared deployment core (read access for snapshots and evaluation).
   [[nodiscard]] const DeploymentEngine& engine() const noexcept { return engine_; }
 
+  // -- multi-process drains (DESIGN.md §12) --------------------------------
+  // Wiring points for core/multiprocess.hpp: the shard runtime needs the
+  // queue (to own a shard range and exchange window barriers) and the
+  // delivery channel (to decode cross-process envelopes).  Tests and
+  // drivers must not mutate either outside that protocol.
+
+  [[nodiscard]] netsim::ShardedEventQueue& MutableEvents() noexcept {
+    return events_;
+  }
+  [[nodiscard]] ShardedEventQueueDeliveryChannel& ShardedChannel() noexcept {
+    return delayed_;
+  }
+
+  /// Runs the distributed windowed drain under `runtime` (which owns this
+  /// simulation's shard range assignment) in sharded-drain mode — the same
+  /// per-node RNG/counter regime as RunUntilParallel, so a distributed run
+  /// is bit-identical to a single-process parallel drain of the same seed
+  /// and shard count.
+  void RunUntilDistributed(double until_s, common::ThreadPool& pool,
+                           netsim::ShardRuntime& runtime);
+
  private:
   void ScheduleNextProbe(NodeId i);
   void StartProbe(NodeId i);
@@ -154,6 +196,7 @@ class AsyncDmfsgdSimulation {
   DeploymentEngine engine_;
   std::uint64_t delay_seed_ = 0;
   double lookahead_s_ = 0.0;
+  std::optional<netsim::LookaheadMatrix> pair_lookaheads_;  ///< lazy cache
 };
 
 }  // namespace dmfsgd::core

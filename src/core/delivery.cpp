@@ -1,5 +1,6 @@
 #include "core/delivery.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -79,11 +80,45 @@ ShardedEventQueueDeliveryChannel::ShardedEventQueueDeliveryChannel(
 
 void ShardedEventQueueDeliveryChannel::Send(NodeId from, NodeId to,
                                             ProtocolMessage message) {
-  // Owner = destination: the delivered message's handler runs at `to`.
+  // Owner = destination: the delivered message's handler runs at `to`.  A
+  // destination shard owned by a peer process gets the serialized envelope
+  // instead of a callback (DESIGN.md §12).
+  if (!events_->IsOwnedShard(events_->ShardOf(to))) {
+    events_->ScheduleRemote(to, delay_(from, to), EncodeEnvelope(from, message));
+    return;
+  }
   events_->Schedule(to, delay_(from, to),
                     [this, from, to, message = std::move(message)] {
                       DeliverNow(from, to, message);
                     });
+}
+
+std::vector<std::byte> ShardedEventQueueDeliveryChannel::EncodeEnvelope(
+    NodeId from, const ProtocolMessage& message) {
+  std::vector<std::byte> wire = EncodeMessage(message);
+  std::vector<std::byte> envelope(sizeof(NodeId) + wire.size());
+  std::memcpy(envelope.data(), &from, sizeof(from));
+  std::memcpy(envelope.data() + sizeof(NodeId), wire.data(), wire.size());
+  return envelope;
+}
+
+netsim::ShardedEventQueue::Callback
+ShardedEventQueueDeliveryChannel::DecodeEnvelopeCallback(
+    NodeId to, std::vector<std::byte> payload) {
+  if (payload.size() < sizeof(NodeId)) {
+    throw WireError("ShardedEventQueueDeliveryChannel: truncated envelope");
+  }
+  NodeId from = 0;
+  std::memcpy(&from, payload.data(), sizeof(from));
+  if (from >= events_->OwnerCount()) {
+    // Fail at decode time, not mid-window when the handler indexes with it.
+    throw WireError("ShardedEventQueueDeliveryChannel: envelope sender out of range");
+  }
+  ProtocolMessage message = DecodeMessage(
+      std::span<const std::byte>(payload).subspan(sizeof(NodeId)));
+  return [this, from, to, message = std::move(message)] {
+    DeliverNow(from, to, message);
+  };
 }
 
 }  // namespace dmfsgd::core

@@ -23,11 +23,7 @@
 #include <vector>
 
 #include "core/messages.hpp"
-
-namespace dmfsgd::netsim {
-class EventQueue;
-class ShardedEventQueue;
-}
+#include "netsim/event_queue.hpp"
 
 namespace dmfsgd::core {
 
@@ -141,6 +137,14 @@ class EventQueueDeliveryChannel final : public DeliveryChannel {
 /// parallel while handlers only ever touch destination-local state
 /// (DESIGN.md §9).  Send is safe from inside a parallel drain window — the
 /// queue routes the schedule through the executing shard's lane.
+///
+/// In a multi-process drain (DESIGN.md §12) the queue's owned-shard range is
+/// a strict subset: a Send whose destination shard is remote cannot carry a
+/// callback across the process boundary, so the channel serializes the
+/// message into an envelope and hands it to the queue's remote outbox
+/// (ScheduleRemote) with the same deterministic stamp a local cross-shard
+/// schedule would get; the peer process turns the envelope back into a
+/// delivery via DecodeEnvelopeCallback.
 class ShardedEventQueueDeliveryChannel final : public DeliveryChannel {
  public:
   /// One-way delay in seconds for a directed pair.
@@ -153,6 +157,21 @@ class ShardedEventQueueDeliveryChannel final : public DeliveryChannel {
   [[nodiscard]] const char* Name() const noexcept override {
     return "sharded-event-queue";
   }
+
+  /// Cross-process envelope: [from u32][wire-codec message bytes].  The
+  /// destination is *not* embedded — the event stamp's owner is the
+  /// authoritative destination (it picks the shard heap on the receiving
+  /// side), and carrying a second copy would invite unvalidated mismatch.
+  [[nodiscard]] static std::vector<std::byte> EncodeEnvelope(
+      NodeId from, const ProtocolMessage& message);
+
+  /// The receiving side's ShardRuntime decoder: returns a callback that
+  /// decodes `payload` and delivers the message to `to` (the remote event's
+  /// owner stamp) through the bound sink (the engine's dispatcher).  Throws
+  /// WireError on malformed envelopes — at decode time, not delivery time,
+  /// so a corrupt frame fails loudly.
+  [[nodiscard]] netsim::ShardedEventQueue::Callback DecodeEnvelopeCallback(
+      NodeId to, std::vector<std::byte> payload);
 
  private:
   netsim::ShardedEventQueue* events_;

@@ -1,0 +1,204 @@
+#include "core/multiprocess.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "netsim/shard_runtime.hpp"
+
+namespace dmfsgd::core {
+
+namespace {
+
+// Result-fold frame types; disjoint from the ShardRuntime window protocol
+// (types 1-2), which parks them in its leftover buffer when they race ahead.
+constexpr std::uint8_t kFrameNodeRows = 16;
+constexpr std::uint8_t kFrameRunStats = 17;
+
+constexpr int kResultPollMs = 50;
+constexpr double kResultStallTimeoutS = 60.0;
+
+/// Per-peer gather state of the coordinator's result fold.
+struct PeerFold {
+  netsim::ChunkAssembler rows;
+  bool stats_received = false;
+
+  [[nodiscard]] bool Complete() const {
+    return stats_received && rows.Complete();
+  }
+};
+
+void SendOwnedRows(netsim::InterShardChannel& channel,
+                   const MultiprocessRunReport& report) {
+  // Rows chunked so each frame stays under the datagram bound.
+  const std::size_t row_bytes = 8 + 2 * report.rank * sizeof(double);
+  const std::size_t rows_per_chunk =
+      std::max<std::size_t>(1, (netsim::kMaxFrameBytes - 64) / row_bytes);
+  const std::size_t owned =
+      static_cast<std::size_t>(report.owned_end - report.owned_begin);
+  const std::size_t chunk_count = std::max<std::size_t>(
+      1, (owned + rows_per_chunk - 1) / rows_per_chunk);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t first = report.owned_begin + c * rows_per_chunk;
+    const std::size_t last =
+        std::min<std::size_t>(first + rows_per_chunk, report.owned_end);
+    netsim::FrameWriter writer;
+    writer.U8(kFrameNodeRows);
+    writer.U32(static_cast<std::uint32_t>(c));
+    writer.U8(c + 1 == chunk_count ? 1 : 0);
+    writer.U32(static_cast<std::uint32_t>(last - first));
+    for (std::size_t i = first; i < last; ++i) {
+      writer.U32(static_cast<std::uint32_t>(i));
+      for (std::size_t d = 0; d < report.rank; ++d) {
+        writer.F64(report.u[i * report.rank + d]);
+      }
+      for (std::size_t d = 0; d < report.rank; ++d) {
+        writer.F64(report.v[i * report.rank + d]);
+      }
+    }
+    channel.Send(0, writer.Take());
+  }
+  netsim::FrameWriter stats;
+  stats.U8(kFrameRunStats);
+  stats.U64(report.events_executed);
+  stats.U64(report.measurements);
+  stats.U64(report.dropped_legs);
+  stats.U64(report.churns);
+  channel.Send(0, stats.Take());
+}
+
+void GatherPeerResults(netsim::InterShardChannel& channel,
+                       std::vector<netsim::InterShardFrame> leftovers,
+                       MultiprocessRunReport& report) {
+  std::vector<PeerFold> folds(channel.ProcessCount());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(kResultStallTimeoutS);
+  auto all_complete = [&] {
+    for (std::size_t p = 1; p < folds.size(); ++p) {
+      if (!folds[p].Complete()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto handle = [&](const netsim::InterShardFrame& frame) {
+    netsim::FrameReader reader(frame.bytes);
+    const std::uint8_t type = reader.U8();
+    PeerFold& fold = folds.at(frame.from_process);
+    if (type == kFrameRunStats) {
+      if (fold.stats_received) {
+        return;  // duplicated datagram
+      }
+      fold.stats_received = true;
+      report.events_executed += reader.U64();
+      report.measurements += reader.U64();
+      report.dropped_legs += reader.U64();
+      report.churns += reader.U64();
+      return;
+    }
+    if (type != kFrameNodeRows) {
+      // A duplicated datagram of a peer's final-window proposal or event
+      // chunk can straggle in after RunUntil consumed the original — the
+      // same duplicates the window protocol itself tolerates.  Drop them.
+      return;
+    }
+    const std::uint32_t chunk = reader.U32();
+    const bool is_last = reader.U8() != 0;
+    const std::uint32_t rows = reader.U32();
+    if (!fold.rows.Mark(chunk, is_last)) {
+      return;  // duplicated datagram
+    }
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const std::uint32_t node = reader.U32();
+      if (node >= report.node_count) {
+        throw std::logic_error(
+            "RunMultiprocessAsyncSimulation: peer sent an out-of-range node");
+      }
+      for (std::size_t d = 0; d < report.rank; ++d) {
+        report.u[node * report.rank + d] = reader.F64();
+      }
+      for (std::size_t d = 0; d < report.rank; ++d) {
+        report.v[node * report.rank + d] = reader.F64();
+      }
+    }
+  };
+  for (const auto& frame : leftovers) {
+    handle(frame);
+  }
+  while (!all_complete()) {
+    auto frame = channel.Receive(kResultPollMs);
+    if (frame.has_value()) {
+      handle(*frame);
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error(
+          "RunMultiprocessAsyncSimulation: result fold stalled — a peer "
+          "process died before shipping its rows");
+    }
+  }
+}
+
+}  // namespace
+
+MultiprocessRunReport RunMultiprocessAsyncSimulation(
+    const datasets::Dataset& dataset, const AsyncSimulationConfig& config,
+    netsim::InterShardChannel& channel, double until_s,
+    common::ThreadPool& pool) {
+  if (config.shard_count == 0) {
+    throw std::invalid_argument(
+        "RunMultiprocessAsyncSimulation: shard_count must be explicit (a "
+        "hardware-resolved count would differ across hosts)");
+  }
+  if (config.shard_count < channel.ProcessCount()) {
+    throw std::invalid_argument(
+        "RunMultiprocessAsyncSimulation: need at least one shard per process");
+  }
+
+  // Identical deterministic construction in every process; the runtime then
+  // narrows this process to its owned shard range.
+  AsyncDmfsgdSimulation simulation(dataset, config);
+  netsim::ShardedEventQueue& events = simulation.MutableEvents();
+  ShardedEventQueueDeliveryChannel& delivery = simulation.ShardedChannel();
+  netsim::ShardRuntime runtime(
+      events, channel, simulation.PairLookaheads(),
+      [&delivery](netsim::ShardedEventQueue::OwnerId owner,
+                  std::vector<std::byte> payload) {
+        return delivery.DecodeEnvelopeCallback(owner, std::move(payload));
+      });
+  simulation.RunUntilDistributed(until_s, pool, runtime);
+
+  MultiprocessRunReport report;
+  report.process_index = channel.ProcessIndex();
+  report.process_count = channel.ProcessCount();
+  report.coordinator = channel.ProcessIndex() == 0;
+  report.node_count = simulation.NodeCount();
+  report.rank = simulation.config().rank;
+  report.owned_begin = events.OwnersOfShard(events.OwnedShardBegin()).first;
+  report.owned_end = events.OwnersOfShard(events.OwnedShardEnd() - 1).second;
+  const auto u = simulation.engine().store().UData();
+  const auto v = simulation.engine().store().VData();
+  report.u.assign(u.begin(), u.end());
+  report.v.assign(v.begin(), v.end());
+  report.windows = simulation.WindowsExecuted();
+  report.events_executed = simulation.EventsExecuted();
+  report.measurements = simulation.MeasurementCount();
+  report.dropped_legs = simulation.DroppedLegs();
+  report.churns = simulation.ChurnCount();
+
+  if (channel.ProcessCount() == 1) {
+    report.coordinator = true;
+    return report;
+  }
+  if (!report.coordinator) {
+    SendOwnedRows(channel, report);
+    return report;
+  }
+  GatherPeerResults(channel, runtime.TakeLeftoverFrames(), report);
+  return report;
+}
+
+}  // namespace dmfsgd::core

@@ -1,0 +1,37 @@
+#include "datasets/clusters.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::datasets {
+
+Dataset MakeTwoClusterRtt(const TwoClusterRttConfig& config) {
+  if (config.node_count < 2) {
+    throw std::invalid_argument("MakeTwoClusterRtt: need at least 2 nodes");
+  }
+  if (!(config.intra_min_ms > 0.0) || config.intra_max_ms < config.intra_min_ms ||
+      !(config.cross_min_ms > 0.0) || config.cross_max_ms < config.cross_min_ms) {
+    throw std::invalid_argument("MakeTwoClusterRtt: bad RTT ranges");
+  }
+  Dataset dataset;
+  dataset.name = "two-cluster-rtt";
+  dataset.metric = Metric::kRtt;
+  const std::size_t n = config.node_count;
+  dataset.ground_truth = linalg::Matrix(n, n, linalg::Matrix::kMissing);
+  common::Rng rng(config.seed);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const bool same_cluster = (i < half) == (j < half);
+      const double rtt =
+          same_cluster ? rng.Uniform(config.intra_min_ms, config.intra_max_ms)
+                       : rng.Uniform(config.cross_min_ms, config.cross_max_ms);
+      dataset.ground_truth(i, j) = rtt;
+      dataset.ground_truth(j, i) = rtt;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace dmfsgd::datasets

@@ -1,0 +1,35 @@
+// Two-cluster RTT dataset: a deliberately *heterogeneous* delay space.
+//
+// Node ids are cluster-contiguous — the first half "metro" cluster, the
+// second half across a slow long-haul link — so the event queue's
+// contiguous block sharding aligns shard blocks with clusters.  Intra-
+// cluster RTTs are fast, cross-cluster RTTs an order of magnitude slower:
+// exactly the shape where the per-shard-pair lookahead matrix
+// (DESIGN.md §12) widens conservative windows far beyond the global-minimum
+// bound.  Shared by the window-gain bench scalar and the drain determinism
+// tests so both measure the same topology.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::datasets {
+
+struct TwoClusterRttConfig {
+  std::size_t node_count = 128;
+  std::uint64_t seed = 29;
+  /// Intra-cluster RTT range (ms) — metro-scale paths.
+  double intra_min_ms = 10.0;
+  double intra_max_ms = 30.0;
+  /// Cross-cluster RTT range (ms) — long-haul paths.
+  double cross_min_ms = 400.0;
+  double cross_max_ms = 500.0;
+};
+
+/// Builds the two-cluster dataset (static, symmetric RTT, no trace).
+/// Requires node_count >= 2 and 0 < min <= max for both ranges.
+[[nodiscard]] Dataset MakeTwoClusterRtt(const TwoClusterRttConfig& config = {});
+
+}  // namespace dmfsgd::datasets

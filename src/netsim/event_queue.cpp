@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/thread_pool.hpp"
 
 namespace dmfsgd::netsim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
 
 void EventQueue::Schedule(double delay_s, Callback callback) {
   if (delay_s < 0.0) {
@@ -49,6 +56,28 @@ bool EventQueue::RunOne() {
 }
 
 // ------------------------------------------------------------------------
+// LookaheadMatrix
+
+LookaheadMatrix::LookaheadMatrix(std::size_t shard_count, double uniform_s)
+    : shard_count_(shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("LookaheadMatrix: shard_count must be > 0");
+  }
+  if (!(uniform_s > 0.0)) {
+    throw std::invalid_argument("LookaheadMatrix: lookahead must be > 0");
+  }
+  cells_.assign(shard_count * shard_count, uniform_s);
+}
+
+void LookaheadMatrix::Set(std::size_t from, std::size_t to, double lookahead_s) {
+  if (!(lookahead_s > 0.0)) {
+    throw std::invalid_argument("LookaheadMatrix::Set: lookahead must be > 0");
+  }
+  RequireCell(from, to);
+  cells_[from * shard_count_ + to] = lookahead_s;
+}
+
+// ------------------------------------------------------------------------
 // ShardedEventQueue
 
 namespace {
@@ -74,15 +103,15 @@ ShardedEventQueue::ShardedEventQueue(std::size_t owner_count,
   }
   shard_count = std::clamp<std::size_t>(shard_count, 1, owner_count);
   shards_ = std::vector<Shard>(shard_count);
+  owned_end_ = shard_count;
 }
 
 std::size_t ShardedEventQueue::ShardOf(OwnerId owner) const {
   if (owner >= owner_count_) {
     throw std::out_of_range("ShardedEventQueue::ShardOf: owner out of range");
   }
-  // Contiguous blocks, the first (owner_count % shards) one owner larger —
-  // the same split rule as ThreadPool::Block, so neighboring owners land in
-  // the same shard.
+  // Closed-form inverse of BlockRange (neighboring owners share a shard);
+  // the OwnersOfShardInvertsShardOf test pins the agreement.
   const std::size_t parts = shards_.size();
   const std::size_t base = owner_count_ / parts;
   const std::size_t extra = owner_count_ % parts;
@@ -91,6 +120,28 @@ std::size_t ShardedEventQueue::ShardOf(OwnerId owner) const {
     return owner / (base + 1);
   }
   return extra + (owner - boundary) / base;
+}
+
+std::pair<ShardedEventQueue::OwnerId, ShardedEventQueue::OwnerId>
+ShardedEventQueue::OwnersOfShard(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("ShardedEventQueue::OwnersOfShard: bad shard");
+  }
+  const auto [first, last] = BlockRange(owner_count_, shards_.size(), shard);
+  return {static_cast<OwnerId>(first), static_cast<OwnerId>(last)};
+}
+
+void ShardedEventQueue::SetOwnedShardRange(std::size_t begin, std::size_t end) {
+  if (in_window_) {
+    throw std::logic_error(
+        "ShardedEventQueue::SetOwnedShardRange: window in progress");
+  }
+  if (begin >= end || end > shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::SetOwnedShardRange: bad range");
+  }
+  owned_begin_ = begin;
+  owned_end_ = end;
 }
 
 std::size_t ShardedEventQueue::Pending() const noexcept {
@@ -128,11 +179,17 @@ void ShardedEventQueue::Schedule(OwnerId owner, double delay_s,
       source.heap.push(std::move(entry));
       return;
     }
-    if (entry.time < window_end_) {
+    if (!IsOwnedShard(dest)) {
       throw std::logic_error(
-          "ShardedEventQueue: cross-shard schedule lands inside the lookahead "
-          "window — the configured lookahead is not a true minimum cross-owner "
-          "delay");
+          "ShardedEventQueue::Schedule: in-window schedule onto a remote "
+          "shard — a callback cannot cross the process boundary; route the "
+          "event through ScheduleRemote");
+    }
+    if (entry.time < window_ends_[dest]) {
+      throw std::logic_error(
+          "ShardedEventQueue: cross-shard schedule lands inside the "
+          "destination's lookahead window — the configured lookahead is not "
+          "a true minimum cross-owner delay");
     }
     source.outbox.emplace_back(dest, std::move(entry));
     return;
@@ -144,10 +201,53 @@ void ShardedEventQueue::Schedule(OwnerId owner, double delay_s,
                                 driver_sequence_++, std::move(callback)});
 }
 
+void ShardedEventQueue::ScheduleRemote(OwnerId owner, double delay_s,
+                                       std::vector<std::byte> payload) {
+  if (delay_s < 0.0) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::ScheduleRemote: negative delay");
+  }
+  if (payload.empty()) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::ScheduleRemote: empty payload");
+  }
+  if (!in_window_ || tls_drain.queue != this) {
+    throw std::logic_error(
+        "ShardedEventQueue::ScheduleRemote: only valid from a callback "
+        "inside a parallel window");
+  }
+  const std::size_t dest = ShardOf(owner);
+  if (IsOwnedShard(dest)) {
+    throw std::logic_error(
+        "ShardedEventQueue::ScheduleRemote: destination shard is owned "
+        "locally — use Schedule");
+  }
+  Shard& source = shards_[tls_drain.shard];
+  RemoteEvent event{owner, tls_drain.local_now + delay_s,
+                    static_cast<std::uint32_t>(tls_drain.shard),
+                    source.next_sequence++, std::move(payload)};
+  if (event.time < window_ends_[dest]) {
+    throw std::logic_error(
+        "ShardedEventQueue: cross-process schedule lands inside the "
+        "destination's lookahead window — the configured lookahead is not a "
+        "true minimum cross-owner delay");
+  }
+  source.remote_outbox.push_back(std::move(event));
+}
+
+void ShardedEventQueue::RequireFullOwnership(const char* what) const {
+  if (owned_begin_ != 0 || owned_end_ != shards_.size()) {
+    throw std::logic_error(
+        std::string("ShardedEventQueue::") + what +
+        ": partial shard ownership — a multi-process drain must run "
+        "windowed under a ShardRuntime");
+  }
+}
+
 std::size_t ShardedEventQueue::MinShard() const {
   const Later later;
   std::size_t best = shards_.size();
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  for (std::size_t s = owned_begin_; s < owned_end_; ++s) {
     if (shards_[s].heap.empty()) {
       continue;
     }
@@ -161,6 +261,7 @@ std::size_t ShardedEventQueue::MinShard() const {
 }
 
 std::uint64_t ShardedEventQueue::RunUntil(double until_s) {
+  RequireFullOwnership("RunUntil");
   std::uint64_t ran = 0;
   for (;;) {
     const std::size_t s = MinShard();
@@ -181,6 +282,7 @@ std::uint64_t ShardedEventQueue::RunUntil(double until_s) {
 }
 
 bool ShardedEventQueue::RunOne() {
+  RequireFullOwnership("RunOne");
   const std::size_t s = MinShard();
   if (s == shards_.size()) {
     return false;
@@ -193,58 +295,169 @@ bool ShardedEventQueue::RunOne() {
   return true;
 }
 
+std::vector<double> ShardedEventQueue::ShardMinTimes() const {
+  std::vector<double> mins(shards_.size(), kInf);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s].heap.empty()) {
+      mins[s] = shards_[s].heap.top().time;
+    }
+  }
+  return mins;
+}
+
+std::vector<double> ShardedEventQueue::ConservativeWindowEnds(
+    std::span<const double> mins, const LookaheadMatrix& lookaheads) {
+  if (mins.size() != lookaheads.ShardCount()) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::ConservativeWindowEnds: size mismatch");
+  }
+  std::vector<double> ends(mins.size(), kInf);
+  for (std::size_t to = 0; to < mins.size(); ++to) {
+    for (std::size_t from = 0; from < mins.size(); ++from) {
+      if (from == to || mins[from] == kInf) {
+        continue;
+      }
+      ends[to] = std::min(ends[to], mins[from] + lookaheads.At(from, to));
+    }
+  }
+  return ends;
+}
+
+void ShardedEventQueue::BeginWindow(std::vector<double> shard_ends) {
+  if (in_window_) {
+    throw std::logic_error("ShardedEventQueue::BeginWindow: window already open");
+  }
+  if (shard_ends.size() != shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::BeginWindow: one horizon per shard required");
+  }
+  window_ends_ = std::move(shard_ends);
+  in_window_ = true;
+  ++windows_;
+}
+
+void ShardedEventQueue::DrainOwnedShards(common::ThreadPool& pool,
+                                         double until_s) {
+  if (!in_window_) {
+    throw std::logic_error("ShardedEventQueue::DrainOwnedShards: no open window");
+  }
+  try {
+    pool.ParallelFor(owned_begin_, owned_end_,
+                     [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t s = lo; s < hi; ++s) {
+        Shard& shard = shards_[s];
+        tls_drain.queue = this;
+        tls_drain.shard = s;
+        const double end = window_ends_[s];
+        while (!shard.heap.empty() && shard.heap.top().time < end &&
+               shard.heap.top().time <= until_s) {
+          Entry entry = shard.heap.top();
+          shard.heap.pop();
+          tls_drain.local_now = entry.time;
+          entry.callback();
+          ++shard.executed;
+        }
+      }
+      tls_drain.queue = nullptr;
+    });
+  } catch (...) {
+    // A throwing callback (or a lookahead violation) leaves pending events
+    // in an unspecified but self-consistent state; the window flag must not
+    // leak into later sequential scheduling.
+    in_window_ = false;
+    MergeWindow();
+    throw;
+  }
+}
+
+std::uint64_t ShardedEventQueue::FinishWindow() {
+  if (!in_window_) {
+    throw std::logic_error("ShardedEventQueue::FinishWindow: no open window");
+  }
+  in_window_ = false;
+  return MergeWindow();
+}
+
+std::vector<ShardedEventQueue::RemoteEvent>
+ShardedEventQueue::TakeRemoteEvents() {
+  if (in_window_) {
+    throw std::logic_error(
+        "ShardedEventQueue::TakeRemoteEvents: window in progress");
+  }
+  std::vector<RemoteEvent> events;
+  for (Shard& shard : shards_) {
+    for (RemoteEvent& event : shard.remote_outbox) {
+      events.push_back(std::move(event));
+    }
+    shard.remote_outbox.clear();
+  }
+  return events;
+}
+
+void ShardedEventQueue::InjectRemote(OwnerId owner, double time,
+                                     std::uint32_t lane, std::uint64_t seq,
+                                     Callback callback) {
+  if (in_window_) {
+    throw std::logic_error("ShardedEventQueue::InjectRemote: window in progress");
+  }
+  if (!callback) {
+    throw std::invalid_argument("ShardedEventQueue::InjectRemote: empty callback");
+  }
+  if (lane >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::InjectRemote: lane is not a shard");
+  }
+  const std::size_t dest = ShardOf(owner);
+  if (!IsOwnedShard(dest)) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::InjectRemote: destination shard is not owned");
+  }
+  shards_[dest].heap.push(Entry{time, lane, seq, std::move(callback)});
+}
+
 std::uint64_t ShardedEventQueue::RunUntilParallel(double until_s,
                                                   common::ThreadPool& pool,
                                                   double lookahead_s) {
-  if (until_s < now_) {
-    throw std::invalid_argument(
-        "ShardedEventQueue::RunUntilParallel: time in the past");
-  }
   if (!(lookahead_s > 0.0)) {
     throw std::invalid_argument(
         "ShardedEventQueue::RunUntilParallel: lookahead must be > 0");
   }
+  return RunWindowedDrain(until_s, pool,
+                          LookaheadMatrix(shards_.size(), lookahead_s));
+}
+
+std::uint64_t ShardedEventQueue::RunUntilParallel(
+    double until_s, common::ThreadPool& pool, const LookaheadMatrix& lookaheads) {
+  if (lookaheads.ShardCount() != shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::RunUntilParallel: lookahead matrix shard count "
+        "mismatch");
+  }
+  return RunWindowedDrain(until_s, pool, lookaheads);
+}
+
+std::uint64_t ShardedEventQueue::RunWindowedDrain(
+    double until_s, common::ThreadPool& pool, const LookaheadMatrix& lookaheads) {
+  if (until_s < now_) {
+    throw std::invalid_argument(
+        "ShardedEventQueue::RunUntilParallel: time in the past");
+  }
+  RequireFullOwnership("RunUntilParallel");
   std::uint64_t ran_total = 0;
   for (;;) {
-    double t_min = std::numeric_limits<double>::infinity();
-    for (const Shard& shard : shards_) {
-      if (!shard.heap.empty()) {
-        t_min = std::min(t_min, shard.heap.top().time);
-      }
-    }
+    const std::vector<double> mins = ShardMinTimes();
+    const double t_min = *std::min_element(mins.begin(), mins.end());
     if (!(t_min <= until_s)) {
       break;  // drained, or everything pending lies beyond the horizon
     }
-    window_end_ = t_min + lookahead_s;
-    in_window_ = true;
-    try {
-      pool.ParallelFor(0, shards_.size(), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) {
-          Shard& shard = shards_[s];
-          tls_drain.queue = this;
-          tls_drain.shard = s;
-          while (!shard.heap.empty() && shard.heap.top().time < window_end_ &&
-                 shard.heap.top().time <= until_s) {
-            Entry entry = shard.heap.top();
-            shard.heap.pop();
-            tls_drain.local_now = entry.time;
-            entry.callback();
-            ++shard.executed;
-          }
-        }
-        tls_drain.queue = nullptr;
-      });
-    } catch (...) {
-      // A throwing callback (or a lookahead violation) leaves pending events
-      // in an unspecified but self-consistent state; the window flag must not
-      // leak into later sequential scheduling.
-      in_window_ = false;
-      ran_total += MergeWindow();
-      throw;
-    }
-    in_window_ = false;
-    ran_total += MergeWindow();
-    now_ = std::min(window_end_, until_s);
+    BeginWindow(ConservativeWindowEnds(mins, lookaheads));
+    DrainOwnedShards(pool, until_s);
+    ran_total += FinishWindow();
+    // Every event left pending has time >= its shard's horizon (earlier ones
+    // ran; merged arrivals satisfy the lookahead bound), so the global
+    // frontier may advance to the least horizon.
+    AdvanceNow(std::min(
+        until_s, *std::min_element(window_ends_.begin(), window_ends_.end())));
   }
   now_ = until_s;
   return ran_total;

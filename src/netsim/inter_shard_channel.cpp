@@ -1,0 +1,239 @@
+#include "netsim/inter_shard_channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace dmfsgd::netsim {
+
+void InterShardChannel::RequireSendable(std::size_t to_process,
+                                        std::span<const std::byte> frame) const {
+  if (to_process >= ProcessCount()) {
+    throw std::invalid_argument("InterShardChannel::Send: bad process index");
+  }
+  if (to_process == ProcessIndex()) {
+    throw std::invalid_argument("InterShardChannel::Send: self-send");
+  }
+  if (frame.empty()) {
+    throw std::invalid_argument("InterShardChannel::Send: empty frame");
+  }
+  if (frame.size() > kMaxFrameBytes) {
+    throw std::invalid_argument(
+        "InterShardChannel::Send: frame exceeds kMaxFrameBytes — chunk it");
+  }
+}
+
+// ------------------------------------------------------------------------
+// Loopback backend
+
+LoopbackInterShardHub::LoopbackInterShardHub(std::size_t process_count) {
+  if (process_count == 0) {
+    throw std::invalid_argument("LoopbackInterShardHub: process_count must be > 0");
+  }
+  mailboxes_.reserve(process_count);
+  for (std::size_t p = 0; p < process_count; ++p) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void LoopbackInterShardHub::Post(std::size_t from, std::size_t to,
+                                 std::span<const std::byte> frame) {
+  Mailbox& mailbox = *mailboxes_.at(to);
+  {
+    const std::lock_guard<std::mutex> lock(mailbox.mutex);
+    mailbox.frames.push_back(
+        InterShardFrame{from, std::vector<std::byte>(frame.begin(), frame.end())});
+  }
+  mailbox.ready.notify_one();
+}
+
+std::optional<InterShardFrame> LoopbackInterShardHub::Take(std::size_t process,
+                                                           int timeout_ms) {
+  Mailbox& mailbox = *mailboxes_.at(process);
+  std::unique_lock<std::mutex> lock(mailbox.mutex);
+  if (!mailbox.ready.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              [&] { return !mailbox.frames.empty(); })) {
+    return std::nullopt;
+  }
+  InterShardFrame frame = std::move(mailbox.frames.front());
+  mailbox.frames.pop_front();
+  return frame;
+}
+
+LoopbackInterShardChannel::LoopbackInterShardChannel(LoopbackInterShardHub& hub,
+                                                     std::size_t index)
+    : hub_(&hub), index_(index) {
+  if (index >= hub.ProcessCount()) {
+    throw std::invalid_argument("LoopbackInterShardChannel: bad process index");
+  }
+}
+
+void LoopbackInterShardChannel::Send(std::size_t to_process,
+                                     std::span<const std::byte> frame) {
+  RequireSendable(to_process, frame);
+  hub_->Post(index_, to_process, frame);
+}
+
+std::optional<InterShardFrame> LoopbackInterShardChannel::Receive(
+    int timeout_ms) {
+  return hub_->Take(index_, timeout_ms);
+}
+
+// ------------------------------------------------------------------------
+// UDP backend
+
+UdpInterShardChannel::UdpInterShardChannel(transport::UdpSocket socket,
+                                           std::size_t process_index,
+                                           std::vector<std::uint16_t> ports)
+    : socket_(std::move(socket)), index_(process_index), ports_(std::move(ports)) {
+  if (ports_.empty() || index_ >= ports_.size()) {
+    throw std::invalid_argument("UdpInterShardChannel: bad process index");
+  }
+  if (socket_.Port() != ports_[index_]) {
+    throw std::invalid_argument(
+        "UdpInterShardChannel: socket is not bound to this process's port");
+  }
+  // Window barriers arrive in bursts (every peer's chunks at once); a
+  // roomy receive buffer makes loopback drops from overflow unlikely.
+  (void)socket_.SetReceiveBufferBytes(4 * 1024 * 1024);
+}
+
+void UdpInterShardChannel::Send(std::size_t to_process,
+                                std::span<const std::byte> frame) {
+  RequireSendable(to_process, frame);
+  std::vector<std::byte> datagram(sizeof(std::uint32_t) + frame.size());
+  const auto from = static_cast<std::uint32_t>(index_);
+  std::memcpy(datagram.data(), &from, sizeof(from));
+  std::memcpy(datagram.data() + sizeof(from), frame.data(), frame.size());
+  socket_.SendTo(datagram, ports_[to_process]);
+}
+
+std::optional<InterShardFrame> UdpInterShardChannel::Receive(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto datagram = socket_.Receive(timeout_ms);
+    if (!datagram.has_value()) {
+      return std::nullopt;
+    }
+    // Malformed or stray datagrams (too short, unknown claimed sender, a
+    // sender port that doesn't match the claimed process) are dropped, not
+    // fatal: UDP delivers whatever was addressed to the port.
+    if (datagram->payload.size() > sizeof(std::uint32_t)) {
+      std::uint32_t from = 0;
+      std::memcpy(&from, datagram->payload.data(), sizeof(from));
+      if (from < ports_.size() && from != index_ &&
+          ports_[from] == datagram->sender_port) {
+        return InterShardFrame{
+            from, std::vector<std::byte>(
+                      datagram->payload.begin() + sizeof(std::uint32_t),
+                      datagram->payload.end())};
+      }
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return std::nullopt;
+    }
+    timeout_ms = static_cast<int>(remaining.count());
+  }
+}
+
+// ------------------------------------------------------------------------
+// Frame codec helpers
+
+void FrameWriter::U8(std::uint8_t value) {
+  bytes_.push_back(static_cast<std::byte>(value));
+}
+
+void FrameWriter::U32(std::uint32_t value) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + sizeof(value));
+  std::memcpy(bytes_.data() + at, &value, sizeof(value));
+}
+
+void FrameWriter::U64(std::uint64_t value) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + sizeof(value));
+  std::memcpy(bytes_.data() + at, &value, sizeof(value));
+}
+
+void FrameWriter::F64(double value) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + sizeof(value));
+  std::memcpy(bytes_.data() + at, &value, sizeof(value));
+}
+
+void FrameWriter::Bytes(std::span<const std::byte> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+bool ChunkAssembler::Mark(std::uint32_t index, bool is_last) {
+  if (expected_ != kUnknown &&
+      (index >= expected_ || (is_last && index + 1 != expected_))) {
+    throw std::logic_error(
+        "ChunkAssembler: chunk index contradicts the established final chunk");
+  }
+  if (is_last) {
+    expected_ = index + 1;
+    if (received_ > expected_ || seen_.size() > expected_) {
+      throw std::logic_error(
+          "ChunkAssembler: chunks received beyond the final chunk");
+    }
+  }
+  if (index >= seen_.size()) {
+    seen_.resize(index + 1, false);
+  }
+  if (seen_[index]) {
+    return false;
+  }
+  seen_[index] = true;
+  ++received_;
+  return true;
+}
+
+void FrameReader::Require(std::size_t count) const {
+  if (pos_ + count > bytes_.size()) {
+    throw std::runtime_error("FrameReader: truncated frame");
+  }
+}
+
+std::uint8_t FrameReader::U8() {
+  Require(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t FrameReader::U32() {
+  Require(sizeof(std::uint32_t));
+  std::uint32_t value = 0;
+  std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
+  pos_ += sizeof(value);
+  return value;
+}
+
+std::uint64_t FrameReader::U64() {
+  Require(sizeof(std::uint64_t));
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
+  pos_ += sizeof(value);
+  return value;
+}
+
+double FrameReader::F64() {
+  Require(sizeof(double));
+  double value = 0.0;
+  std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
+  pos_ += sizeof(value);
+  return value;
+}
+
+std::vector<std::byte> FrameReader::Bytes(std::size_t count) {
+  Require(count);
+  std::vector<std::byte> out(bytes_.begin() + pos_, bytes_.begin() + pos_ + count);
+  pos_ += count;
+  return out;
+}
+
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,230 @@
+// Inter-shard transport for multi-process async simulation (DESIGN.md §12).
+//
+// The owner partition of netsim::ShardedEventQueue is the natural seam for
+// distributing the async simulation across processes: each process drains a
+// contiguous shard range, and everything that crosses the partition —
+// window proposals, barrier-carrying event batches, result folds — travels
+// as small self-contained byte frames between processes.  InterShardChannel
+// is that frame transport, deliberately dumber than core::DeliveryChannel:
+// it moves opaque frames between *processes*, knows nothing about protocol
+// messages or event stamps (that is netsim::ShardRuntime's job), and never
+// consumes randomness.
+//
+// Two backends:
+//
+//   LoopbackInterShardChannel  in-process queues through a shared hub; lets
+//                              tests and benches run N "processes" as N
+//                              threads with zero sockets.
+//   UdpInterShardChannel       real datagrams over transport::UdpSocket on
+//                              the loopback interface — the backend the
+//                              forked multiprocess example and test use.
+//
+// Frames are limited to kMaxFrameBytes so every frame fits one UDP datagram;
+// ShardRuntime chunks larger payloads (event batches, result folds) itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "transport/udp.hpp"
+
+namespace dmfsgd::netsim {
+
+/// One received frame: opaque bytes plus the sending process's index.
+struct InterShardFrame {
+  std::size_t from_process = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Largest frame any backend must carry: one UDP datagram minus headroom for
+/// the channel's own process-id prefix.
+inline constexpr std::size_t kMaxFrameBytes = 60000;
+
+/// Moves opaque byte frames between the processes of one distributed drain.
+/// Frames from one sender to one receiver arrive in order on the loopback
+/// backend and effectively in order on loopback UDP; ShardRuntime's window
+/// protocol additionally tolerates reordering across window boundaries and
+/// duplication.  Frame *loss* is out of scope for these backends: loopback
+/// queues never drop, and the UDP backend sizes its receive buffer so
+/// overflow drops are unlikely — but a genuinely lost datagram surfaces as
+/// the runtime's stall timeout, not a silent misresult.  A multi-host
+/// backend needs retransmission first (see ROADMAP).
+class InterShardChannel {
+ public:
+  virtual ~InterShardChannel() = default;
+
+  /// Processes participating in the drain (>= 1).
+  [[nodiscard]] virtual std::size_t ProcessCount() const noexcept = 0;
+
+  /// This endpoint's process index in [0, ProcessCount()).
+  [[nodiscard]] virtual std::size_t ProcessIndex() const noexcept = 0;
+
+  /// Ships one frame to `to_process`.  Requires to_process < ProcessCount(),
+  /// to_process != ProcessIndex(), and a non-empty frame of at most
+  /// kMaxFrameBytes.
+  virtual void Send(std::size_t to_process, std::span<const std::byte> frame) = 0;
+
+  /// Receives one frame, waiting up to `timeout_ms` (0 = just poll).
+  /// Returns std::nullopt on timeout.
+  [[nodiscard]] virtual std::optional<InterShardFrame> Receive(int timeout_ms) = 0;
+
+  [[nodiscard]] virtual const char* Name() const noexcept = 0;
+
+ protected:
+  /// Shared argument validation for Send implementations.
+  void RequireSendable(std::size_t to_process,
+                       std::span<const std::byte> frame) const;
+};
+
+// ------------------------------------------------------------------------
+// Loopback backend
+
+/// Shared mailbox hub for N in-process endpoints (one per simulated
+/// process).  Thread-safe; endpoints must not outlive the hub.
+class LoopbackInterShardHub {
+ public:
+  explicit LoopbackInterShardHub(std::size_t process_count);
+
+  [[nodiscard]] std::size_t ProcessCount() const noexcept {
+    return mailboxes_.size();
+  }
+
+  void Post(std::size_t from, std::size_t to, std::span<const std::byte> frame);
+  [[nodiscard]] std::optional<InterShardFrame> Take(std::size_t process,
+                                                    int timeout_ms);
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<InterShardFrame> frames;
+  };
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+class LoopbackInterShardChannel final : public InterShardChannel {
+ public:
+  /// `hub` must outlive this endpoint.  Requires index < hub.ProcessCount().
+  LoopbackInterShardChannel(LoopbackInterShardHub& hub, std::size_t index);
+
+  [[nodiscard]] std::size_t ProcessCount() const noexcept override {
+    return hub_->ProcessCount();
+  }
+  [[nodiscard]] std::size_t ProcessIndex() const noexcept override {
+    return index_;
+  }
+  void Send(std::size_t to_process, std::span<const std::byte> frame) override;
+  [[nodiscard]] std::optional<InterShardFrame> Receive(int timeout_ms) override;
+  [[nodiscard]] const char* Name() const noexcept override { return "loopback"; }
+
+ private:
+  LoopbackInterShardHub* hub_;
+  std::size_t index_;
+};
+
+// ------------------------------------------------------------------------
+// UDP backend
+
+/// Frame transport over a real UDP socket on 127.0.0.1.  The socket is
+/// bound before the process split (fork inherits it), so peers know each
+/// other's ports without negotiation: `ports[p]` is process p's bound port.
+/// Each datagram carries a 4-byte sender-process prefix; datagrams from
+/// unknown ports or with malformed prefixes are dropped.
+class UdpInterShardChannel final : public InterShardChannel {
+ public:
+  /// Requires ports.size() >= 1, process_index < ports.size(), and `socket`
+  /// bound to ports[process_index].
+  UdpInterShardChannel(transport::UdpSocket socket, std::size_t process_index,
+                       std::vector<std::uint16_t> ports);
+
+  [[nodiscard]] std::size_t ProcessCount() const noexcept override {
+    return ports_.size();
+  }
+  [[nodiscard]] std::size_t ProcessIndex() const noexcept override {
+    return index_;
+  }
+  void Send(std::size_t to_process, std::span<const std::byte> frame) override;
+  [[nodiscard]] std::optional<InterShardFrame> Receive(int timeout_ms) override;
+  [[nodiscard]] const char* Name() const noexcept override { return "udp"; }
+
+ private:
+  transport::UdpSocket socket_;
+  std::size_t index_;
+  std::vector<std::uint16_t> ports_;
+};
+
+// ------------------------------------------------------------------------
+// Frame codec helpers
+
+/// Little-endian byte-frame writer shared by the shard runtime's window
+/// protocol and the coordinator's result fold.
+class FrameWriter {
+ public:
+  void U8(std::uint8_t value);
+  void U32(std::uint32_t value);
+  void U64(std::uint64_t value);
+  void F64(double value);
+  void Bytes(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::size_t Size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::vector<std::byte> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Reassembly tracker for one sender's chunked transfer (event batches,
+/// result folds): duplicate- and reorder-tolerant, and loud — an index that
+/// contradicts an established final chunk is a protocol error, not a
+/// silent stall.  Chunks carry (index, is_last); the final chunk reveals
+/// the total.
+class ChunkAssembler {
+ public:
+  /// Marks chunk `index` as received; `is_last` establishes the chunk
+  /// count.  Returns false for a duplicate (the caller must then skip the
+  /// chunk's payload — it was already consumed).  Throws std::logic_error
+  /// on an index at or beyond an established final chunk, or a second,
+  /// contradicting final chunk.
+  bool Mark(std::uint32_t index, bool is_last);
+
+  /// Every chunk up to the final one arrived.
+  [[nodiscard]] bool Complete() const noexcept {
+    return expected_ != kUnknown && received_ == expected_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnknown = 0xffffffffu;
+  std::uint32_t expected_ = kUnknown;
+  std::uint32_t received_ = 0;
+  std::vector<bool> seen_;
+};
+
+/// Companion reader; every accessor throws std::runtime_error on truncation,
+/// so a malformed frame can never be silently misparsed.
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t U8();
+  [[nodiscard]] std::uint32_t U32();
+  [[nodiscard]] std::uint64_t U64();
+  [[nodiscard]] double F64();
+  [[nodiscard]] std::vector<std::byte> Bytes(std::size_t count);
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void Require(std::size_t count) const;
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,291 @@
+#include "netsim/shard_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace dmfsgd::netsim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Window-protocol frame types.  Higher layers using the same channel (the
+// coordinator's result fold) must pick types outside this range; the runtime
+// parks frames it does not recognize in the leftover buffer.
+constexpr std::uint8_t kFramePropose = 1;
+constexpr std::uint8_t kFrameEventChunk = 2;
+
+}  // namespace
+
+/// Gather state for one window: which peers proposed, and each peer's
+/// event-batch reassembly (duplicate-safe via ChunkAssembler — a duplicated
+/// datagram must not inject its events twice).
+struct ShardRuntime::WindowExchange {
+  explicit WindowExchange(std::size_t processes, std::vector<double> mins)
+      : proposed(processes, false),
+        batches(processes),
+        merged_mins(std::move(mins)) {}
+
+  std::vector<bool> proposed;
+  std::vector<ChunkAssembler> batches;
+  std::vector<double> merged_mins;
+
+  [[nodiscard]] bool AllProposed(std::size_t self) const {
+    for (std::size_t p = 0; p < proposed.size(); ++p) {
+      if (p != self && !proposed[p]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  [[nodiscard]] bool AllBatchesComplete(std::size_t self) const {
+    for (std::size_t p = 0; p < proposed.size(); ++p) {
+      if (p != self && !batches[p].Complete()) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+ShardRuntime::ShardRuntime(ShardedEventQueue& queue, InterShardChannel& channel,
+                           LookaheadMatrix lookaheads, RemoteEventDecoder decoder,
+                           Options options)
+    : queue_(&queue),
+      channel_(&channel),
+      lookaheads_(std::move(lookaheads)),
+      decoder_(std::move(decoder)),
+      options_(options) {
+  if (lookaheads_.ShardCount() != queue.ShardCount()) {
+    throw std::invalid_argument(
+        "ShardRuntime: lookahead matrix shard count mismatch");
+  }
+  if (!decoder_) {
+    throw std::invalid_argument("ShardRuntime: remote event decoder required");
+  }
+  if (queue.ShardCount() < channel.ProcessCount()) {
+    throw std::invalid_argument(
+        "ShardRuntime: fewer shards than processes — every process needs at "
+        "least one shard");
+  }
+  process_of_shard_.resize(queue.ShardCount());
+  for (std::size_t p = 0; p < channel.ProcessCount(); ++p) {
+    const auto [block_begin, block_end] =
+        BlockRange(queue.ShardCount(), channel.ProcessCount(), p);
+    for (std::size_t s = block_begin; s < block_end; ++s) {
+      process_of_shard_[s] = p;
+    }
+  }
+  const auto [begin, end] = BlockRange(queue.ShardCount(), channel.ProcessCount(),
+                                       channel.ProcessIndex());
+  queue.SetOwnedShardRange(begin, end);
+}
+
+std::uint64_t ShardRuntime::RunUntil(double until_s, common::ThreadPool& pool) {
+  const std::size_t processes = channel_->ProcessCount();
+  std::uint64_t executed = 0;
+  for (;;) {
+    // Local truth for owned shards only; remote shards hold the stale
+    // replicas of the deterministic construction and must be overridden by
+    // their owners' proposals.
+    const std::vector<double> local = queue_->ShardMinTimes();
+    std::vector<double> mins(queue_->ShardCount(), kInf);
+    for (std::size_t s = queue_->OwnedShardBegin(); s < queue_->OwnedShardEnd();
+         ++s) {
+      mins[s] = local[s];
+    }
+    WindowExchange exchange(processes, std::move(mins));
+    if (processes > 1) {
+      BroadcastProposal(window_id_, local);
+      GatherProposals(window_id_, exchange);
+    }
+    const double t_min =
+        *std::min_element(exchange.merged_mins.begin(), exchange.merged_mins.end());
+    if (!(t_min <= until_s)) {
+      break;  // every process computes the same vector, so all agree to stop
+    }
+    std::vector<double> ends = ShardedEventQueue::ConservativeWindowEnds(
+        exchange.merged_mins, lookaheads_);
+    const double frontier =
+        std::min(until_s, *std::min_element(ends.begin(), ends.end()));
+    queue_->BeginWindow(std::move(ends));
+    queue_->DrainOwnedShards(pool, until_s);
+    executed += queue_->FinishWindow();
+    if (processes > 1) {
+      SendEventBatches(window_id_, queue_->TakeRemoteEvents());
+      GatherEventBatches(window_id_, exchange);
+    }
+    queue_->AdvanceNow(frontier);
+    ++window_id_;
+  }
+  queue_->AdvanceNow(until_s);
+  return executed;
+}
+
+std::vector<InterShardFrame> ShardRuntime::TakeLeftoverFrames() {
+  return std::exchange(leftover_, {});
+}
+
+void ShardRuntime::BroadcastProposal(std::uint64_t window_id,
+                                     const std::vector<double>& local_mins) {
+  FrameWriter writer;
+  writer.U8(kFramePropose);
+  writer.U64(window_id);
+  const std::size_t begin = queue_->OwnedShardBegin();
+  const std::size_t end = queue_->OwnedShardEnd();
+  writer.U32(static_cast<std::uint32_t>(end - begin));
+  for (std::size_t s = begin; s < end; ++s) {
+    writer.U32(static_cast<std::uint32_t>(s));
+    writer.F64(local_mins[s]);
+  }
+  const std::vector<std::byte> frame = writer.Take();
+  for (std::size_t p = 0; p < channel_->ProcessCount(); ++p) {
+    if (p != channel_->ProcessIndex()) {
+      channel_->Send(p, frame);
+    }
+  }
+}
+
+void ShardRuntime::SendEventBatches(
+    std::uint64_t window_id, std::vector<ShardedEventQueue::RemoteEvent> events) {
+  // One bucketing pass maps every event to its owner's process; each peer
+  // then gets >= 1 chunk (an empty one doubles as the barrier), each chunk
+  // capped at kMaxFrameBytes.
+  std::vector<std::vector<const ShardedEventQueue::RemoteEvent*>> buckets(
+      channel_->ProcessCount());
+  for (const auto& event : events) {
+    buckets[process_of_shard_[queue_->ShardOf(event.owner)]].push_back(&event);
+  }
+  for (std::size_t p = 0; p < channel_->ProcessCount(); ++p) {
+    if (p == channel_->ProcessIndex()) {
+      continue;
+    }
+    // Pre-partition into chunks by serialized size so every chunk can carry
+    // its index and a last-chunk flag (UDP may reorder chunks in flight).
+    std::vector<std::vector<const ShardedEventQueue::RemoteEvent*>> chunks(1);
+    std::size_t chunk_bytes = 64;  // header headroom
+    for (const auto* event : buckets[p]) {
+      const std::size_t bytes = 28 + event->payload.size();
+      if (chunk_bytes + bytes > kMaxFrameBytes && !chunks.back().empty()) {
+        chunks.emplace_back();
+        chunk_bytes = 64;
+      }
+      chunks.back().push_back(event);
+      chunk_bytes += bytes;
+    }
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      FrameWriter writer;
+      writer.U8(kFrameEventChunk);
+      writer.U64(window_id);
+      writer.U32(static_cast<std::uint32_t>(c));
+      writer.U8(c + 1 == chunks.size() ? 1 : 0);
+      writer.U32(static_cast<std::uint32_t>(chunks[c].size()));
+      for (const auto* event : chunks[c]) {
+        writer.U32(event->owner);
+        writer.F64(event->time);
+        writer.U32(event->lane);
+        writer.U64(event->seq);
+        writer.U32(static_cast<std::uint32_t>(event->payload.size()));
+        writer.Bytes(event->payload);
+      }
+      channel_->Send(p, writer.Take());
+    }
+  }
+}
+
+InterShardFrame ShardRuntime::ReceiveOrThrow() {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.stall_timeout_s);
+  for (;;) {
+    auto frame = channel_->Receive(options_.receive_poll_ms);
+    if (frame.has_value()) {
+      return std::move(*frame);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error(
+          "ShardRuntime: inter-shard channel stalled — a peer process died "
+          "or fell behind past the stall timeout");
+    }
+  }
+}
+
+void ShardRuntime::HandleFrame(std::uint64_t window_id,
+                               const InterShardFrame& frame,
+                               WindowExchange& exchange) {
+  FrameReader reader(frame.bytes);
+  const std::uint8_t type = reader.U8();
+  if (type != kFramePropose && type != kFrameEventChunk) {
+    leftover_.push_back(frame);
+    return;
+  }
+  const std::uint64_t wid = reader.U64();
+  if (wid < window_id) {
+    return;  // stale duplicate; the window it belongs to already closed
+  }
+  if (wid > window_id + 1 || (wid == window_id + 1 && type != kFramePropose)) {
+    throw std::logic_error(
+        "ShardRuntime: peer is ahead by more than the lock-step protocol "
+        "allows — window desynchronization");
+  }
+  if (wid == window_id + 1) {
+    pending_.push_back(frame);  // next window's proposal arrived early
+    return;
+  }
+  if (type == kFramePropose) {
+    const std::uint32_t count = reader.U32();
+    for (std::uint32_t e = 0; e < count; ++e) {
+      const std::uint32_t shard = reader.U32();
+      const double t_min = reader.F64();
+      if (shard >= queue_->ShardCount() ||
+          process_of_shard_[shard] != frame.from_process) {
+        throw std::logic_error(
+            "ShardRuntime: peer proposed for a shard it does not own");
+      }
+      exchange.merged_mins[shard] = t_min;
+    }
+    exchange.proposed[frame.from_process] = true;
+    return;
+  }
+  // Event chunk for the current window.
+  const std::uint32_t chunk_index = reader.U32();
+  const bool is_last = reader.U8() != 0;
+  const std::uint32_t count = reader.U32();
+  if (!exchange.batches[frame.from_process].Mark(chunk_index, is_last)) {
+    return;  // duplicated datagram; its events are already enqueued
+  }
+  for (std::uint32_t e = 0; e < count; ++e) {
+    const auto owner = static_cast<ShardedEventQueue::OwnerId>(reader.U32());
+    const double time = reader.F64();
+    const std::uint32_t lane = reader.U32();
+    const std::uint64_t seq = reader.U64();
+    const std::uint32_t payload_len = reader.U32();
+    std::vector<std::byte> payload = reader.Bytes(payload_len);
+    queue_->InjectRemote(owner, time, lane, seq,
+                         decoder_(owner, std::move(payload)));
+  }
+}
+
+void ShardRuntime::GatherProposals(std::uint64_t window_id,
+                                   WindowExchange& exchange) {
+  for (const InterShardFrame& frame : std::exchange(pending_, {})) {
+    HandleFrame(window_id, frame, exchange);
+  }
+  while (!exchange.AllProposed(channel_->ProcessIndex())) {
+    HandleFrame(window_id, ReceiveOrThrow(), exchange);
+  }
+}
+
+void ShardRuntime::GatherEventBatches(std::uint64_t window_id,
+                                      WindowExchange& exchange) {
+  while (!exchange.AllBatchesComplete(channel_->ProcessIndex())) {
+    HandleFrame(window_id, ReceiveOrThrow(), exchange);
+  }
+}
+
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,115 @@
+// Multi-process windowed drain of a ShardedEventQueue (DESIGN.md §12).
+//
+// Each participating process owns a contiguous shard range of one replicated
+// ShardedEventQueue (every process performs the same deterministic
+// construction, then drains only its own shards).  ShardRuntime runs the
+// conservative-window loop in lock step across processes:
+//
+//   1. propose  — every process broadcasts the earliest pending event time
+//                 of each shard it owns; everyone assembles the same global
+//                 min vector, so everyone computes the same window horizons
+//                 (ShardedEventQueue::ConservativeWindowEnds, per-shard-pair
+//                 lookaheads) and the same termination decision.
+//   2. drain    — every process drains its owned shards for the window.
+//                 Cross-shard events bound for a peer's shard were stamped
+//                 by ScheduleRemote with the source lane's sequence.
+//   3. barrier  — every process sends every peer exactly one event batch
+//                 (chunked if large, possibly empty): receiving all peers'
+//                 batches both delivers the remote events and *is* the
+//                 window barrier.  Stamps make injection order irrelevant.
+//
+// Because shard-local event sequences, lane sequence numbers and per-owner
+// handler state are all pure functions of the same construction and the
+// same delivered events, a distributed drain is bit-identical to the
+// single-process windowed drain of the same queue — window for window,
+// event for event.  With ProcessCount() == 1 the runtime degenerates to the
+// in-process drain and never touches the channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/inter_shard_channel.hpp"
+
+namespace dmfsgd::common {
+class ThreadPool;
+}
+
+namespace dmfsgd::netsim {
+
+struct ShardRuntimeOptions {
+  int receive_poll_ms = 50;       ///< per-Receive wait while gathering
+  double stall_timeout_s = 60.0;  ///< give up (throw) if a peer goes silent
+};
+
+class ShardRuntime {
+ public:
+  /// Re-materializes the callback of a remote event from its payload; the
+  /// scheduling layer that called ScheduleRemote provides the inverse (the
+  /// async driver decodes a protocol-message envelope and hands it to the
+  /// engine's sink).
+  using RemoteEventDecoder = std::function<ShardedEventQueue::Callback(
+      ShardedEventQueue::OwnerId owner, std::vector<std::byte> payload)>;
+
+  using Options = ShardRuntimeOptions;
+
+  /// Assigns shard ownership: process p of channel.ProcessCount() owns
+  /// BlockRange(queue.ShardCount(), ProcessCount(), p) and the queue's owned
+  /// range is set accordingly.  Requires queue.ShardCount() >=
+  /// channel.ProcessCount(), lookaheads sized to the queue and a non-empty
+  /// decoder.  `queue` and `channel` must outlive the runtime.
+  ShardRuntime(ShardedEventQueue& queue, InterShardChannel& channel,
+               LookaheadMatrix lookaheads, RemoteEventDecoder decoder,
+               Options options = Options());
+
+  /// Runs the lock-step window loop until every shard's pending events lie
+  /// beyond `until_s`, then advances queue time to until_s.  Returns the
+  /// events executed locally.  Throws std::runtime_error if a peer stalls
+  /// past Options::stall_timeout_s and std::logic_error on protocol
+  /// desynchronization (a peer at a different window) or lookahead
+  /// violations.
+  std::uint64_t RunUntil(double until_s, common::ThreadPool& pool);
+
+  /// Windows executed by the last RunUntil calls (mirrors the queue's
+  /// counter; every process counts the same windows).
+  [[nodiscard]] std::uint64_t WindowsExecuted() const noexcept {
+    return queue_->WindowsExecuted();
+  }
+
+  /// Frames received during the window loop that belong to a higher layer
+  /// (e.g. the coordinator's result fold racing ahead of a slow peer's last
+  /// barrier).  The caller that keeps using the channel after RunUntil must
+  /// consume these first.
+  [[nodiscard]] std::vector<InterShardFrame> TakeLeftoverFrames();
+
+ private:
+  struct WindowExchange;  // per-window gather state (defined in the .cpp)
+
+  void BroadcastProposal(std::uint64_t window_id,
+                         const std::vector<double>& local_mins);
+  void SendEventBatches(std::uint64_t window_id,
+                        std::vector<ShardedEventQueue::RemoteEvent> events);
+  /// Blocks until every peer's frames of the given kind for `window_id`
+  /// arrived, dispatching and buffering out-of-order frames.
+  void GatherProposals(std::uint64_t window_id, WindowExchange& exchange);
+  void GatherEventBatches(std::uint64_t window_id, WindowExchange& exchange);
+
+  /// Receives one frame, throwing after options_.stall_timeout_s of silence.
+  [[nodiscard]] InterShardFrame ReceiveOrThrow();
+  void HandleFrame(std::uint64_t window_id, const InterShardFrame& frame,
+                   WindowExchange& exchange);
+
+  ShardedEventQueue* queue_;
+  InterShardChannel* channel_;
+  LookaheadMatrix lookaheads_;
+  RemoteEventDecoder decoder_;
+  Options options_;
+  std::vector<std::size_t> process_of_shard_;  ///< shard → owning process
+  std::uint64_t window_id_ = 0;
+  std::vector<InterShardFrame> pending_;   ///< buffered out-of-order frames
+  std::vector<InterShardFrame> leftover_;  ///< frames for higher layers
+};
+
+}  // namespace dmfsgd::netsim

@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -74,6 +76,22 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     other.port_ = 0;
   }
   return *this;
+}
+
+std::size_t UdpSocket::SetReceiveBufferBytes(std::size_t bytes) {
+  if (fd_ < 0) {
+    throw std::runtime_error("UdpSocket::SetReceiveBufferBytes: socket is closed");
+  }
+  const int requested = static_cast<int>(
+      std::min<std::size_t>(bytes, std::numeric_limits<int>::max()));
+  // Best effort: the kernel clamps to net.core.rmem_max; no error if smaller.
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &requested, sizeof(requested));
+  int granted = 0;
+  socklen_t length = sizeof(granted);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &granted, &length) != 0) {
+    ThrowErrno("UdpSocket::SetReceiveBufferBytes: getsockopt");
+  }
+  return static_cast<std::size_t>(granted);
 }
 
 void UdpSocket::SendTo(std::span<const std::byte> payload, std::uint16_t port) {

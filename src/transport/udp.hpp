@@ -37,6 +37,12 @@ class UdpSocket {
   /// The bound local port.
   [[nodiscard]] std::uint16_t Port() const noexcept { return port_; }
 
+  /// Asks the kernel for a receive buffer of `bytes` (best effort — the
+  /// kernel clamps to its limits).  Returns the size actually granted.
+  /// Burst receivers (the inter-shard channel's window barriers) use this
+  /// to make loopback datagram drops from buffer overflow unlikely.
+  std::size_t SetReceiveBufferBytes(std::size_t bytes);
+
   /// Sends a datagram to 127.0.0.1:`port`.  Throws std::runtime_error on
   /// send failure and std::invalid_argument on an empty payload.
   void SendTo(std::span<const std::byte> payload, std::uint16_t port);

@@ -15,6 +15,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/async_simulation.hpp"
+#include "datasets/clusters.hpp"
 #include "datasets/hps3.hpp"
 #include "datasets/meridian.hpp"
 #include "eval/roc.hpp"
@@ -177,6 +178,45 @@ TEST(AsyncParallelDrain, LookaheadReflectsTheDeploymentMinimumDelay) {
   EXPECT_GT(rtt_sim.LookaheadSeconds(), 0.0);
   EXPECT_DOUBLE_EQ(abw_sim.LookaheadSeconds(),
                    BaseConfig(abw).min_oneway_delay_s);
+}
+
+TEST(AsyncParallelDrain, PairLookaheadsWidenWindowsAndPreserveTheTrajectory) {
+  // Same seed drained with the global-minimum lookahead and with the
+  // per-pair matrix: bit-identical results (windowing only reorders across
+  // shards, never within one), strictly fewer windows on the heterogeneous
+  // two-cluster delay space (fast metro paths, slow long-haul paths).
+  datasets::TwoClusterRttConfig cluster_config;
+  cluster_config.node_count = 80;
+  cluster_config.seed = 77;
+  const Dataset dataset = datasets::MakeTwoClusterRtt(cluster_config);
+  AsyncSimulationConfig uniform = BaseConfig(dataset);
+  uniform.shard_count = 2;  // shards == the two delay clusters
+  uniform.use_pair_lookaheads = false;
+  AsyncSimulationConfig pairwise = uniform;
+  pairwise.use_pair_lookaheads = true;
+  const auto uniform_run = RunParallel(dataset, uniform, 20.0, 2);
+  const auto pairwise_run = RunParallel(dataset, pairwise, 20.0, 2);
+  EXPECT_GT(uniform_run->MeasurementCount(), 0u);
+  ExpectBitIdentical(*uniform_run, *pairwise_run);
+  // Cross-cluster lookahead ~200 ms vs the global ~5 ms minimum: windows
+  // must widen by a wide margin, not within noise.
+  EXPECT_LT(pairwise_run->WindowsExecuted() * 2,
+            uniform_run->WindowsExecuted());
+}
+
+TEST(AsyncParallelDrain, PairLookaheadViolationStillFires) {
+  // Lie to the queue: claim every cross-shard delay is at least ten times
+  // the true minimum.  The very first cross-shard message inside a widened
+  // window must trip the causality check rather than silently misorder.
+  const Dataset dataset = SmallRtt();
+  AsyncSimulationConfig config = BaseConfig(dataset);
+  config.shard_count = 4;
+  AsyncDmfsgdSimulation simulation(dataset, config);
+  netsim::LookaheadMatrix lies(4, simulation.LookaheadSeconds() * 1000.0);
+  common::ThreadPool pool(1);  // inline drain: handlers stay single-threaded
+  EXPECT_THROW(
+      simulation.MutableEvents().RunUntilParallel(10.0, pool, lies),
+      std::logic_error);
 }
 
 }  // namespace

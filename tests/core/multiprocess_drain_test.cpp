@@ -1,0 +1,201 @@
+// Determinism of the multi-process async drain (DESIGN.md §12).
+//
+// The acceptance property of the distributed simulator: a run split across
+// processes — threads over the loopback hub, or real forked processes over
+// UDP datagrams — produces final coordinates and counters bit-identical to
+// a single-process drain of the same seed and shard count.  Pinned under
+// loss, churn, the wire codec and both algorithms.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/multiprocess.hpp"
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+#include "netsim/inter_shard_channel.hpp"
+
+namespace dmfsgd::core {
+namespace {
+
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 80;
+  config.seed = 31;
+  return datasets::MakeMeridian(config);
+}
+
+Dataset SmallAbw() {
+  datasets::HpS3Config config;
+  config.host_count = 80;
+  config.seed = 33;
+  return datasets::MakeHpS3(config);
+}
+
+AsyncSimulationConfig BaseConfig(const Dataset& dataset, std::size_t shards) {
+  AsyncSimulationConfig config;
+  config.base.rank = 10;
+  config.base.neighbor_count = 12;
+  config.base.tau = dataset.MedianValue();
+  config.base.seed = 5;
+  config.mean_probe_interval_s = 1.0;
+  config.shard_count = shards;
+  return config;
+}
+
+/// The single-process reference: the same sharded-drain regime, one process.
+struct Reference {
+  explicit Reference(const Dataset& dataset, const AsyncSimulationConfig& config,
+                     double until_s)
+      : simulation(dataset, config) {
+    common::ThreadPool pool(1);
+    simulation.RunUntilParallel(until_s, pool);
+  }
+  AsyncDmfsgdSimulation simulation;
+};
+
+void ExpectReportMatchesReference(const MultiprocessRunReport& report,
+                                  const Reference& reference) {
+  const auto& store = reference.simulation.engine().store();
+  ASSERT_EQ(report.node_count, store.NodeCount());
+  ASSERT_EQ(report.rank, store.rank());
+  const auto u = store.UData();
+  const auto v = store.VData();
+  ASSERT_EQ(report.u.size(), u.size());
+  ASSERT_EQ(report.v.size(), v.size());
+  EXPECT_EQ(std::memcmp(report.u.data(), u.data(), u.size_bytes()), 0);
+  EXPECT_EQ(std::memcmp(report.v.data(), v.data(), v.size_bytes()), 0);
+  EXPECT_EQ(report.events_executed, reference.simulation.EventsExecuted());
+  EXPECT_EQ(report.windows, reference.simulation.WindowsExecuted());
+  EXPECT_EQ(report.measurements, reference.simulation.MeasurementCount());
+  EXPECT_EQ(report.dropped_legs, reference.simulation.DroppedLegs());
+  EXPECT_EQ(report.churns, reference.simulation.ChurnCount());
+}
+
+/// Runs all `processes` shares on threads over a loopback hub; returns the
+/// coordinator's folded report.
+MultiprocessRunReport RunOverLoopback(const Dataset& dataset,
+                                      const AsyncSimulationConfig& config,
+                                      std::size_t processes, double until_s,
+                                      std::size_t pool_threads) {
+  netsim::LoopbackInterShardHub hub(processes);
+  std::vector<MultiprocessRunReport> reports(processes);
+  std::vector<std::exception_ptr> errors(processes);
+  std::vector<std::thread> threads;
+  threads.reserve(processes);
+  for (std::size_t p = 0; p < processes; ++p) {
+    threads.emplace_back([&, p] {
+      try {
+        netsim::LoopbackInterShardChannel channel(hub, p);
+        common::ThreadPool pool(pool_threads);
+        reports[p] = RunMultiprocessAsyncSimulation(dataset, config, channel,
+                                                    until_s, pool);
+      } catch (...) {
+        errors[p] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (const auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  return reports[0];
+}
+
+TEST(MultiprocessDrain, TwoProcessesOverLoopbackMatchSingleProcess) {
+  const Dataset dataset = SmallRtt();
+  const AsyncSimulationConfig config = BaseConfig(dataset, 4);
+  const Reference reference(dataset, config, 20.0);
+  EXPECT_GT(reference.simulation.MeasurementCount(), 0u);
+  const auto report = RunOverLoopback(dataset, config, 2, 20.0, 1);
+  EXPECT_TRUE(report.coordinator);
+  ExpectReportMatchesReference(report, reference);
+}
+
+TEST(MultiprocessDrain, PoolSizeInsideEachProcessWashesOut) {
+  const Dataset dataset = SmallRtt();
+  const AsyncSimulationConfig config = BaseConfig(dataset, 4);
+  const Reference reference(dataset, config, 15.0);
+  const auto report = RunOverLoopback(dataset, config, 2, 15.0, 3);
+  ExpectReportMatchesReference(report, reference);
+}
+
+TEST(MultiprocessDrain, ThreeProcessesAbwWithLossChurnAndWireCodec) {
+  const Dataset dataset = SmallAbw();
+  AsyncSimulationConfig config = BaseConfig(dataset, 6);
+  config.base.message_loss = 0.2;
+  config.base.churn_rate = 0.005;
+  config.base.use_wire_format = true;
+  const Reference reference(dataset, config, 15.0);
+  EXPECT_GT(reference.simulation.DroppedLegs(), 0u);
+  const auto report = RunOverLoopback(dataset, config, 3, 15.0, 1);
+  ExpectReportMatchesReference(report, reference);
+}
+
+TEST(MultiprocessDrain, RejectsUnderspecifiedConfigurations) {
+  const Dataset dataset = SmallRtt();
+  netsim::LoopbackInterShardHub hub(2);
+  netsim::LoopbackInterShardChannel channel(hub, 0);
+  common::ThreadPool pool(1);
+  AsyncSimulationConfig hardware_resolved = BaseConfig(dataset, 0);
+  EXPECT_THROW((void)RunMultiprocessAsyncSimulation(dataset, hardware_resolved,
+                                                    channel, 5.0, pool),
+               std::invalid_argument);
+  AsyncSimulationConfig too_few_shards = BaseConfig(dataset, 1);
+  EXPECT_THROW((void)RunMultiprocessAsyncSimulation(dataset, too_few_shards,
+                                                    channel, 5.0, pool),
+               std::invalid_argument);
+}
+
+// The acceptance pin: a genuinely forked 2-process, 4-shard run over real
+// UDP datagrams, bit-identical to the single-process drain of the same seed.
+TEST(MultiprocessDrain, ForkedUdpProcessesMatchSingleProcess) {
+  const Dataset dataset = SmallRtt();
+  const AsyncSimulationConfig config = BaseConfig(dataset, 4);
+  const double until_s = 12.0;
+
+  transport::UdpSocket socket0;
+  transport::UdpSocket socket1;
+  const std::vector<std::uint16_t> ports = {socket0.Port(), socket1.Port()};
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child = process 1.  No gtest assertions here — report via exit status.
+    int status = 1;
+    try {
+      netsim::UdpInterShardChannel channel(std::move(socket1), 1, ports);
+      common::ThreadPool pool(1);
+      const auto report = RunMultiprocessAsyncSimulation(dataset, config,
+                                                         channel, until_s, pool);
+      status = report.coordinator ? 1 : 0;
+    } catch (...) {
+      status = 1;
+    }
+    _exit(status);
+  }
+  netsim::UdpInterShardChannel channel(std::move(socket0), 0, ports);
+  common::ThreadPool pool(1);
+  const auto report =
+      RunMultiprocessAsyncSimulation(dataset, config, channel, until_s, pool);
+  int status = -1;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child process failed";
+  const Reference reference(dataset, config, until_s);
+  ExpectReportMatchesReference(report, reference);
+}
+
+}  // namespace
+}  // namespace dmfsgd::core

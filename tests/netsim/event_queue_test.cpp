@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <vector>
@@ -273,6 +275,123 @@ TEST(ShardedEventQueue, ParallelAndSequentialDrainsExecuteTheSameEvents) {
   parallel.RunUntilParallel(5.0, pool, 0.02);
   EXPECT_EQ(par_logs, seq_logs);
   EXPECT_EQ(parallel.Executed(), sequential.Executed());
+}
+
+// ------------------------------------------------------------------------
+// Per-shard-pair lookaheads (DESIGN.md §12)
+
+TEST(LookaheadMatrix, ValidatesItsEntries) {
+  EXPECT_THROW(LookaheadMatrix(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LookaheadMatrix(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(LookaheadMatrix(2, -1.0), std::invalid_argument);
+  LookaheadMatrix matrix(2, 0.5);
+  EXPECT_DOUBLE_EQ(matrix.At(0, 1), 0.5);
+  matrix.Set(0, 1, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isinf(matrix.At(0, 1)));
+  EXPECT_THROW(matrix.Set(1, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)matrix.At(2, 0), std::out_of_range);
+}
+
+TEST(ShardedEventQueue, ConservativeWindowEndsUsePerPairLookaheads) {
+  LookaheadMatrix matrix(3, 1.0);
+  matrix.Set(0, 1, 10.0);
+  matrix.Set(1, 0, 4.0);
+  const std::vector<double> mins = {2.0, 5.0,
+                                    std::numeric_limits<double>::infinity()};
+  const auto ends = ShardedEventQueue::ConservativeWindowEnds(mins, matrix);
+  // end(0) = min(m1 + L(1,0), -) = 5 + 4; shard 2 is empty and contributes
+  // nothing.  end(1) = m0 + L(0,1) = 2 + 10.  end(2) = min(2 + 1, 5 + 1).
+  EXPECT_DOUBLE_EQ(ends[0], 9.0);
+  EXPECT_DOUBLE_EQ(ends[1], 12.0);
+  EXPECT_DOUBLE_EQ(ends[2], 3.0);
+  // A lone non-empty shard has no one to fear: its horizon is unbounded.
+  const std::vector<double> lone = {2.0, std::numeric_limits<double>::infinity(),
+                                    std::numeric_limits<double>::infinity()};
+  EXPECT_TRUE(std::isinf(ShardedEventQueue::ConservativeWindowEnds(lone, matrix)[0]));
+}
+
+namespace {
+
+/// Two shard blocks with fast intra-block chains and slow (delay 8.0)
+/// cross-block pings — the heterogeneous delay shape where per-pair
+/// lookaheads beat the global minimum.  A struct so the recursive ping
+/// handler outlives the drain that fires it.
+struct HeterogeneousSchedule {
+  explicit HeterogeneousSchedule(ShardedEventQueue& queue) : queue(&queue) {
+    for (ShardedEventQueue::OwnerId owner = 0; owner < 4; ++owner) {
+      logs[owner] = {};
+      for (int e = 0; e < 12; ++e) {
+        queue.Schedule(owner, 0.1 + 0.4 * e + 0.02 * owner,
+                       [this, owner, e] { logs.at(owner).push_back(e); });
+      }
+    }
+    // Cross-block ping chain, delay 8.0 each hop (owners 0-1 = shard 0,
+    // owners 2-3 = shard 1).
+    queue.Schedule(0, 0.2, [this] { Ping(0, 0); });
+  }
+
+  void Ping(ShardedEventQueue::OwnerId owner, int depth) {
+    logs.at(owner).push_back(100 + depth);
+    if (depth < 3) {
+      const ShardedEventQueue::OwnerId peer = owner < 2 ? 3 : 0;
+      queue->Schedule(peer, 8.0, [this, peer, depth] { Ping(peer, depth + 1); });
+    }
+  }
+
+  ShardedEventQueue* queue;
+  std::map<ShardedEventQueue::OwnerId, std::vector<int>> logs;
+};
+
+}  // namespace
+
+TEST(ShardedEventQueue, PairLookaheadsWidenWindowsAndPreserveResults) {
+  // Same schedule drained three ways: sequential merge, uniform global-min
+  // lookahead, per-pair matrix.  Per-owner sequences must agree everywhere;
+  // the per-pair drain must need *fewer* windows (wider horizons).
+  common::ThreadPool pool(2);
+
+  ShardedEventQueue sequential(4, 2);
+  HeterogeneousSchedule seq_schedule(sequential);
+  sequential.RunUntil(40.0);
+
+  // The uniform drain may only assume the global minimum cross-shard delay.
+  ShardedEventQueue uniform(4, 2);
+  HeterogeneousSchedule uniform_schedule(uniform);
+  uniform.RunUntilParallel(40.0, pool, 0.5);
+
+  LookaheadMatrix matrix(2, 8.0);  // the true per-pair minimum
+  ShardedEventQueue pairwise(4, 2);
+  HeterogeneousSchedule pair_schedule(pairwise);
+  pairwise.RunUntilParallel(40.0, pool, matrix);
+
+  EXPECT_EQ(uniform_schedule.logs, seq_schedule.logs);
+  EXPECT_EQ(pair_schedule.logs, seq_schedule.logs);
+  EXPECT_EQ(pairwise.Executed(), sequential.Executed());
+  EXPECT_LT(pairwise.WindowsExecuted(), uniform.WindowsExecuted());
+}
+
+TEST(ShardedEventQueue, PairLookaheadViolationStillThrows) {
+  LookaheadMatrix matrix(2, 1.0);
+  matrix.Set(0, 1, 5.0);  // promise: shard 0 never reaches shard 1 sooner
+  ShardedEventQueue queue(4, 2);
+  common::ThreadPool pool(2);
+  queue.Schedule(0, 1.0, [&] { queue.Schedule(3, 2.0, [] {}); });
+  queue.Schedule(2, 1.0, [] {});  // keeps shard 1's horizon finite
+  EXPECT_THROW(queue.RunUntilParallel(10.0, pool, matrix), std::logic_error);
+}
+
+TEST(ShardedEventQueue, OwnersOfShardInvertsShardOf) {
+  const ShardedEventQueue queue(11, 4);
+  for (std::size_t s = 0; s < queue.ShardCount(); ++s) {
+    const auto [begin, end] = queue.OwnersOfShard(s);
+    ASSERT_LT(begin, end);
+    for (ShardedEventQueue::OwnerId owner = begin; owner < end; ++owner) {
+      EXPECT_EQ(queue.ShardOf(owner), s);
+    }
+  }
+  EXPECT_EQ(queue.OwnersOfShard(0).first, 0u);
+  EXPECT_EQ(queue.OwnersOfShard(queue.ShardCount() - 1).second, 11u);
+  EXPECT_THROW((void)queue.OwnersOfShard(4), std::out_of_range);
 }
 
 }  // namespace
