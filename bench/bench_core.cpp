@@ -22,7 +22,10 @@
 //                      the sequential cross-shard merge vs the parallel
 //                      conservative-window drain (DESIGN.md §9) vs the
 //                      2-process distributed drain over the loopback
-//                      inter-shard channel (DESIGN.md §12).
+//                      inter-shard channel (DESIGN.md §12); the burst-seq /
+//                      coalesced-seq pair runs constant-delay burst traffic
+//                      per-message vs through the coalescing channel
+//                      (DESIGN.md §13 — same trajectory, fewer events).
 //
 // Scenarios run at n = 1024 and n = 8192 (--quick keeps only the
 // deployment-scale 8192 tier and shrinks repetition counts).  Summary
@@ -36,11 +39,19 @@
 //   async_pair_lookahead_window_gain windows(global-min) / windows(per-pair)
 //                               on a two-cluster delay space (>= 1; wider
 //                               windows mean fewer barriers)
+//   async_coalesced_event_gain  events(per-message) / events(coalesced) on
+//                               constant-delay burst traffic, largest n
+//                               (> 1; bit-identical results)
+//   async_coalesced_throughput  coalesced vs per-message drain ops/s
+//   async_intershard_frame_gain frames(per-message) / frames(merged reply
+//                               envelopes) on the 2-process loopback drain
+//                               with MTU-sized frames (DESIGN.md §13)
 //   async_shards                event-queue shard count the drain used
 //   hw_threads                  hardware concurrency the scaling used
 //
 // Usage: bench_core [output.json] [--quick]
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -413,6 +424,81 @@ bench::BenchJsonEntry AsyncDrainDistributed(const datasets::Dataset& dataset,
       });
 }
 
+/// Constant-delay burst traffic: every one-way delay is exactly 0.05 s, so
+/// a burst's replies converge on the prober at one instant and the
+/// coalescing channel merges them into one event (DESIGN.md §13).
+core::AsyncSimulationConfig BurstAsyncConfig(std::size_t shards,
+                                             bool coalesce) {
+  core::AsyncSimulationConfig config = AsyncConfig(shards);
+  config.base.tau = 50.0;  // ABW range
+  config.base.probe_burst = 8;
+  config.base.coalesce_delivery = coalesce;
+  config.min_oneway_delay_s = 0.05;
+  config.max_oneway_delay_s = 0.05;
+  return config;
+}
+
+/// Sequential drain of burst traffic, per-message vs coalesced.  Both modes
+/// run the same simulated traffic (bit-identical results, pinned by
+/// core_coalesced_drain_test); the coalesced drain executes fewer events —
+/// `events_out` accumulates EventsExecuted across the warmup + repeats so
+/// the caller can form the event-count gain from identical run counts.
+bench::BenchJsonEntry AsyncDrainBurst(const datasets::Dataset& dataset,
+                                      const std::string& label, bool coalesce,
+                                      double horizon_s, std::size_t repeats,
+                                      std::uint64_t* events_out) {
+  core::AsyncDmfsgdSimulation simulation(dataset,
+                                         BurstAsyncConfig(1, coalesce));
+  auto entry = bench::MeasureMinOfK(
+      "async_drain/" + label + "/n" + std::to_string(dataset.NodeCount()),
+      static_cast<std::size_t>(horizon_s) * dataset.NodeCount() * 8,
+      /*warmup=*/1, repeats,
+      [&] { simulation.RunUntil(simulation.Now() + horizon_s); });
+  *events_out = simulation.EventsExecuted();
+  return entry;
+}
+
+/// Inter-shard frame gain of envelope coalescing (DESIGN.md §13): the same
+/// 2-process loopback distributed drain with MTU-sized frames, per-message
+/// vs merged reply envelopes; the ratio is coordinator frames(per-message) /
+/// frames(coalesced) >= 1.  Results are bit-identical either way (pinned by
+/// core_multiprocess_drain_test).
+double InterShardFrameGain(std::size_t n, double horizon_s) {
+  const auto dataset = MakeSyntheticAbw(n, 11);
+  netsim::ShardRuntimeOptions options;
+  options.max_frame_bytes = 1400;
+  auto run = [&](bool coalesce) {
+    constexpr std::size_t kProcesses = 2;
+    core::AsyncSimulationConfig config = BurstAsyncConfig(2, coalesce);
+    config.mean_probe_interval_s = 0.25;  // dense windows
+    netsim::LoopbackInterShardHub hub(kProcesses);
+    std::vector<core::MultiprocessRunReport> reports(kProcesses);
+    std::exception_ptr peer_error;
+    std::thread peer([&] {
+      try {
+        netsim::LoopbackInterShardChannel channel(hub, 1);
+        common::ThreadPool pool(1);
+        reports[1] = core::RunMultiprocessAsyncSimulation(
+            dataset, config, channel, horizon_s, pool, options);
+      } catch (...) {
+        peer_error = std::current_exception();
+      }
+    });
+    netsim::LoopbackInterShardChannel channel(hub, 0);
+    common::ThreadPool pool(1);
+    reports[0] = core::RunMultiprocessAsyncSimulation(dataset, config, channel,
+                                                      horizon_s, pool, options);
+    peer.join();
+    if (peer_error) {
+      std::rethrow_exception(peer_error);
+    }
+    return reports[0].frames_sent + reports[1].frames_sent;
+  };
+  const std::uint64_t per_message = run(false);
+  const std::uint64_t coalesced = run(true);
+  return static_cast<double>(per_message) / static_cast<double>(coalesced);
+}
+
 /// Window-width gain of the per-shard-pair lookahead matrix on a
 /// heterogeneous delay space: identical seeds drained with the global-min
 /// lookahead and with the matrix; the gain is windows(global) /
@@ -504,6 +590,8 @@ int main(int argc, char** argv) {
   double alg2_scaling = 0.0;
   double async_scaling = 0.0;
   double async_distributed_scaling = 0.0;
+  double async_coalesced_event_gain = 0.0;
+  double async_coalesced_throughput = 0.0;
   for (const std::size_t n : tiers) {
     {
       const auto abw = MakeSyntheticAbw(n, 11);
@@ -533,7 +621,34 @@ int main(int argc, char** argv) {
             drain_dist.ops_per_sec / drain_seq.ops_per_sec;
       }
     }
+    {
+      // Batched message plane (DESIGN.md §13): constant-delay burst traffic
+      // through the coalescing channel vs the per-message path — same
+      // trajectory, fewer events per simulated second.
+      const auto abw = MakeSyntheticAbw(n, 11);
+      const double horizon_s = quick ? 3.0 : 8.0;
+      std::uint64_t events_burst = 0;
+      std::uint64_t events_coalesced = 0;
+      const auto burst_seq = AsyncDrainBurst(abw, "burst-seq", false,
+                                             horizon_s, repeats, &events_burst);
+      const auto coalesced_seq =
+          AsyncDrainBurst(abw, "coalesced-seq", true, horizon_s, repeats,
+                          &events_coalesced);
+      entries.push_back(burst_seq);
+      entries.push_back(coalesced_seq);
+      if (n == n_large) {
+        async_coalesced_event_gain = static_cast<double>(events_burst) /
+                                     static_cast<double>(events_coalesced);
+        async_coalesced_throughput =
+            coalesced_seq.ops_per_sec / burst_seq.ops_per_sec;
+      }
+    }
   }
+
+  // Inter-shard frame reduction of merged reply envelopes, measured (not
+  // timed) on the 2-process loopback distributed drain with MTU frames.
+  const double intershard_frame_gain =
+      InterShardFrameGain(1024, quick ? 2.0 : 4.0);
 
   // Per-pair-lookahead window widths, measured (not timed) on a two-cluster
   // delay space at the small tier — the ratio is a property of the window
@@ -555,6 +670,9 @@ int main(int argc, char** argv) {
          {"async_drain_parallel_scaling", async_scaling},
          {"async_distributed_scaling", async_distributed_scaling},
          {"async_pair_lookahead_window_gain", pair_window_gain},
+         {"async_coalesced_event_gain", async_coalesced_event_gain},
+         {"async_coalesced_throughput", async_coalesced_throughput},
+         {"async_intershard_frame_gain", intershard_frame_gain},
          {"async_shards", static_cast<double>(hw)}});
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -568,9 +686,11 @@ int main(int argc, char** argv) {
       "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
       "round_parallel_scaling: %.3fx  alg2_round_parallel_scaling: %.3fx  "
       "async_drain_parallel_scaling: %.3fx  async_distributed_scaling: %.3fx  "
-      "async_pair_lookahead_window_gain: %.3fx  -> %s\n",
+      "async_pair_lookahead_window_gain: %.3fx  "
+      "async_coalesced_event_gain: %.3fx  async_intershard_frame_gain: %.3fx  "
+      "-> %s\n",
       sgd_speedup, matrix_scaling, hw, round_scaling, alg2_scaling,
       async_scaling, async_distributed_scaling, pair_window_gain,
-      output.c_str());
+      async_coalesced_event_gain, intershard_frame_gain, output.c_str());
   return 0;
 }

@@ -48,6 +48,25 @@ if [[ -f README.md ]]; then
   done
 fi
 
+# The tracked perf record must carry every scenario and summary scalar the
+# docs promise — in particular the batched-message-plane entries (DESIGN.md
+# §13).  A bench refactor that silently drops a scenario would otherwise
+# leave a stale record in place; ci/promote_bench.sh replaces the file only
+# with artifacts that pass the same shape.
+if [[ ! -f BENCH_core.json ]]; then
+  docs_failures+=("BENCH_core.json (the tracked perf record) is missing")
+else
+  for required in \
+      '"async_drain/burst-seq' '"async_drain/coalesced-seq' \
+      '"async_coalesced_event_gain"' '"async_intershard_frame_gain"' \
+      '"async_pair_lookahead_window_gain"' '"sgd_update_speedup"' \
+      '"async_drain_parallel_scaling"' '"async_distributed_scaling"'; do
+    if ! grep -qF "$required" BENCH_core.json; then
+      docs_failures+=("BENCH_core.json lacks $required — regenerate with bench_bench_core (or ci/promote_bench.sh)")
+    fi
+  done
+fi
+
 # Every "DESIGN.md §N" a source comment (or workflow file) cites must resolve
 # to a real section header, so renumbering DESIGN.md can't silently strand
 # references.  The first grep captures the whole citation span — including

@@ -8,6 +8,11 @@
 //   train      train a deployment on a saved dataset, save the model
 //              dmfsgd_tool train --in=/tmp/net --model=/tmp/model.csv
 //                  [--rounds=600] [--k=16] [--rank=10] [--loss=logistic]
+//                  [--coalesce] [--batch-size=B]
+//              --coalesce routes delivery through batch envelopes
+//              (DESIGN.md §13); --batch-size=B launches B probes per node
+//              per round and, with --coalesce, folds each reply envelope
+//              into one mini-batch gradient step.
 //   evaluate   score a saved model against its dataset
 //              dmfsgd_tool evaluate --in=/tmp/net --model=/tmp/model.csv
 //   predict    query one pair from a saved model
@@ -93,6 +98,15 @@ core::SimulationConfig ConfigFromFlags(const common::Flags& flags,
   config.params.loss = core::ParseLossName(flags.GetString("loss", "logistic"));
   config.tau = flags.GetDouble("tau", dataset.MedianValue());
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  // Batched message plane (DESIGN.md §13): probe bursts + coalesced batch
+  // envelopes; in mini-batch mode each coalesced reply envelope applies one
+  // accumulated gradient step.
+  const auto batch = static_cast<std::size_t>(flags.GetInt("batch-size", 1));
+  config.probe_burst = batch;
+  config.coalesce_delivery = flags.GetBool("coalesce", false);
+  if (config.coalesce_delivery) {
+    config.gradient_batch_size = batch;
+  }
   return config;
 }
 
@@ -105,6 +119,11 @@ int Train(const common::Flags& flags) {
   }
   const datasets::Dataset dataset = datasets::LoadDataset(in);
   const core::SimulationConfig config = ConfigFromFlags(flags, dataset);
+  if (!dataset.trace.empty() && config.coalesce_delivery) {
+    std::cerr << "train: --coalesce is not usable with trace datasets (a "
+                 "trace record must resolve inside its exchange)\n";
+    return 1;
+  }
   core::DmfsgdSimulation simulation(dataset, config);
   if (dataset.trace.empty()) {
     const auto rounds = static_cast<std::size_t>(flags.GetInt("rounds", 600));
@@ -115,7 +134,12 @@ int Train(const common::Flags& flags) {
   core::SaveSnapshot(core::TakeSnapshot(simulation), model);
   std::cout << "trained on " << dataset.name << " ("
             << simulation.MeasurementCount() << " measurements, tau = "
-            << config.tau << "); model -> " << model << "\n";
+            << config.tau;
+  if (config.coalesce_delivery) {
+    std::cout << ", coalesced batch envelopes, mini-batch size "
+              << config.gradient_batch_size;
+  }
+  std::cout << "); model -> " << model << "\n";
   return 0;
 }
 
@@ -196,7 +220,7 @@ int main(int argc, char** argv) {
     const common::Flags flags(argc, argv,
                               {"dataset", "nodes", "seed", "out", "in", "model",
                                "rounds", "k", "rank", "eta", "lambda", "loss",
-                               "tau", "src", "dst"});
+                               "tau", "src", "dst", "coalesce", "batch-size"});
     if (flags.Positional().empty()) {
       std::cerr << "usage: dmfsgd_tool <generate|train|evaluate|predict> ...\n"
                    "see the header comment of examples/dmfsgd_tool.cpp\n";

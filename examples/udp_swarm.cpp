@@ -7,7 +7,15 @@
 // labels a real agent would obtain from ping timings), but the protocol
 // path is exactly what a deployment would run.
 //
+// With --coalesce the swarm exercises the batched message plane
+// (DESIGN.md §13): each peer fires --batch-size probes per round, packs
+// same-target requests into one datagram, targets answer a request batch
+// with one packed reply datagram, and receivers fold each reply envelope
+// into a single mini-batch gradient step.  The datagram counter at the end
+// shows what coalescing saves on the wire.
+//
 // Usage: udp_swarm [--nodes=N] [--neighbors=K] [--rounds=R] [--seed=S]
+//                  [--batch-size=B] [--coalesce]
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -21,11 +29,14 @@
 int main(int argc, char** argv) {
   using namespace dmfsgd;
 
-  const common::Flags flags(argc, argv, {"nodes", "neighbors", "rounds", "seed"});
+  const common::Flags flags(argc, argv, {"nodes", "neighbors", "rounds", "seed",
+                                         "batch-size", "coalesce"});
   const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 60));
   const auto k = static_cast<std::size_t>(flags.GetInt("neighbors", 10));
   const auto rounds = static_cast<std::size_t>(flags.GetInt("rounds", 300));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const auto batch = static_cast<std::size_t>(flags.GetInt("batch-size", 1));
+  const bool coalesce = flags.GetBool("coalesce", false);
 
   datasets::MeridianConfig dataset_config;
   dataset_config.node_count = nodes;
@@ -49,6 +60,8 @@ int main(int argc, char** argv) {
     config.id = static_cast<core::NodeId>(i);
     config.tau = tau;
     config.seed = seed + i;
+    config.probe_burst = batch;
+    config.coalesce = coalesce;
     peers.push_back(std::make_unique<transport::UdpDmfsgdPeer>(config, measure));
   }
   common::Rng rng(seed + 999);
@@ -61,7 +74,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "swarm of " << nodes << " UDP peers on 127.0.0.1 (ports "
             << peers.front()->Port() << ".." << peers.back()->Port()
-            << "), k = " << k << ", tau = " << tau << " ms\n";
+            << "), k = " << k << ", tau = " << tau << " ms, batch = " << batch
+            << (coalesce ? ", coalesced" : ", per-message") << "\n";
 
   // Train: everyone probes once per round, then the swarm drains its mail.
   for (std::size_t round = 0; round < rounds; ++round) {
@@ -78,11 +92,18 @@ int main(int argc, char** argv) {
   }
 
   std::size_t datagrams_applied = 0;
+  std::size_t datagrams_sent = 0;
   for (const auto& peer : peers) {
     datagrams_applied += peer->MeasurementsApplied();
+    datagrams_sent += peer->DatagramsSent();
   }
-  std::cout << "applied " << datagrams_applied << " measurements over real"
-            << " datagrams\n";
+  std::cout << "applied " << datagrams_applied << " measurements over "
+            << datagrams_sent << " real datagrams ("
+            << (datagrams_applied > 0
+                    ? static_cast<double>(datagrams_sent) /
+                          static_cast<double>(datagrams_applied)
+                    : 0.0)
+            << " datagrams per measurement)\n";
 
   // Evaluate the learned classes over all pairs.
   std::vector<double> scores;

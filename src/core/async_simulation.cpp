@@ -61,7 +61,8 @@ AsyncDmfsgdSimulation::AsyncDmfsgdSimulation(const datasets::Dataset& dataset,
     : config_(Validate(config)),
       events_(dataset.NodeCount(), ResolveShardCount(config)),
       delayed_(events_,
-               [this](NodeId i, NodeId j) { return OneWayDelay(i, j); }),
+               [this](NodeId i, NodeId j) { return OneWayDelay(i, j); },
+               config.base.coalesce_delivery),
       engine_(dataset, config.base, injector,
               StackChannel(delayed_, wire_, config.base.use_wire_format)),
       lookahead_s_(MinOneWayDelay(dataset, config)) {
@@ -102,12 +103,15 @@ void AsyncDmfsgdSimulation::ScheduleNextProbe(NodeId i) {
 
 void AsyncDmfsgdSimulation::StartProbe(NodeId i) {
   // Per-probe churn roll: the async analogue of the round-based driver's
-  // per-round sweep (each node fires about once per mean interval).
+  // per-round sweep (each node fires about once per mean interval).  The
+  // roll covers the whole burst — one membership decision per firing.
   common::Rng& rng =
       engine_.ShardedDrainActive() ? engine_.NodeRng(i) : engine_.rng();
   (void)engine_.MaybeChurnNodeWith(i, rng);
-  const NodeId j = engine_.PickNeighborWith(i, rng);
-  engine_.StartExchange(i, j, std::nullopt);
+  for (std::size_t b = 0; b < engine_.config().probe_burst; ++b) {
+    const NodeId j = engine_.PickNeighborWith(i, rng);
+    engine_.StartExchange(i, j, std::nullopt);
+  }
 }
 
 void AsyncDmfsgdSimulation::RunUntil(double until_s) {

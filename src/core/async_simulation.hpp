@@ -16,7 +16,10 @@
 //
 //  * each node fires probes according to an independent Poisson process
 //    (exponential think time with the configured mean); churn is rolled per
-//    probe firing, the async analogue of the per-round sweep;
+//    probe firing, the async analogue of the per-round sweep; a firing
+//    launches base.probe_burst exchanges (one membership roll covers the
+//    burst), and with base.coalesce_delivery the channel merges the burst's
+//    same-arrival replies into one batch envelope (DESIGN.md §13);
 //  * one-way message delay for pair (i, j) is the ground-truth RTT / 2 for
 //    RTT datasets; ABW datasets carry no delay information, so a symmetric
 //    per-pair delay is derived deterministically from a pair-keyed hash in

@@ -10,15 +10,26 @@
 // argues are equivalent (§5.3 vs §6.1), and the one future transports
 // (sharded execution, batching, real networks) plug into.
 //
+// The unit of delivery is the batch envelope (core::MessageBatch,
+// DESIGN.md §13): an ordered run of messages sharing one destination.
+// Sinks always receive batches; a plain channel delivers one-item batches,
+// a coalescing layer merges messages into larger envelopes without ever
+// reordering them, so applying a batch front to back is exactly the
+// per-message delivery the envelope replaced.
+//
 // Channels move messages; they do not model loss.  Message loss is protocol
 // semantics (a lost leg loses exactly the updates a real deployment would
 // lose), so the engine rolls it before handing a message to the channel.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -27,28 +38,46 @@
 
 namespace dmfsgd::core {
 
-/// Any of the four protocol payloads of Algorithms 1-2.
-using ProtocolMessage =
-    std::variant<RttProbeRequest, RttProbeReply, AbwProbeRequest, AbwProbeReply>;
-
 /// Serializes any protocol message through the binary wire codec.
 [[nodiscard]] std::vector<std::byte> EncodeMessage(const ProtocolMessage& message);
 
 /// Decodes a wire buffer into whichever message type it carries.  Throws
-/// WireError (core/wire.hpp) on malformed input.
+/// WireError (core/wire.hpp) on malformed input.  Batch frames are not
+/// single messages — decode those with DecodeBatchFrame.
 [[nodiscard]] ProtocolMessage DecodeMessage(std::span<const std::byte> buffer);
 
 /// The node id embedded in a message by its sender (prober for requests,
 /// target for replies) — datagram transports use it to learn return routes.
 [[nodiscard]] NodeId SenderOf(const ProtocolMessage& message) noexcept;
 
+/// Packs a batch's messages into one wire frame:
+///   [version u8][kMessageBatch u8][count u16]{[length u32][message frame]}*
+/// The destination is *not* embedded (a datagram's receiving socket is the
+/// authoritative destination) and neither are sender ids — every protocol
+/// message already carries its sender, recoverable via SenderOf.  Requires
+/// 1 <= items <= kMaxWireBatchItems.
+[[nodiscard]] std::vector<std::byte> EncodeBatchFrame(const MessageBatch& batch);
+
+/// Same frame from already-encoded message buffers — lets a transport that
+/// measured its packing against the encoded sizes assemble the frame
+/// without serializing every message twice.  Same bounds as above.
+[[nodiscard]] std::vector<std::byte> EncodeBatchFrame(
+    std::span<const std::vector<std::byte>> encoded_messages);
+
+/// Decodes a batch frame into its messages, in order.  Throws WireError on
+/// any malformation: truncation, bad version/tag, a zero or oversized count,
+/// a length field pointing past the buffer, a malformed nested message, or
+/// trailing bytes.
+[[nodiscard]] std::vector<ProtocolMessage> DecodeBatchFrame(
+    std::span<const std::byte> buffer);
+
 /// Transports protocol messages between nodes of one deployment.  The engine
 /// binds a sink once; every implementation eventually hands each sent
-/// message (addressed from -> to) back to that sink.
+/// message back to that sink inside a MessageBatch envelope (one-item for
+/// plain channels).
 class DeliveryChannel {
  public:
-  using Sink =
-      std::function<void(NodeId from, NodeId to, const ProtocolMessage& message)>;
+  using Sink = std::function<void(const MessageBatch& batch)>;
 
   virtual ~DeliveryChannel() = default;
 
@@ -60,13 +89,26 @@ class DeliveryChannel {
   /// (immediate channel) or later (event queue, sockets).
   virtual void Send(NodeId from, NodeId to, ProtocolMessage message) = 0;
 
+  /// Ships an already-assembled envelope.  The default unrolls it into
+  /// per-message Sends (semantically lossless — a batch is its messages in
+  /// order); batch-aware channels override to keep the envelope intact
+  /// (one event, one frame, one datagram).
+  virtual void SendBatch(MessageBatch batch);
+
   [[nodiscard]] virtual const char* Name() const noexcept = 0;
 
  protected:
-  /// Invokes the bound sink; no-op if none is bound.
-  void DeliverNow(NodeId from, NodeId to, const ProtocolMessage& message) {
+  /// Invokes the bound sink with a one-item envelope; no-op if none bound.
+  void DeliverNow(NodeId from, NodeId to, ProtocolMessage message) {
     if (sink_) {
-      sink_(from, to, message);
+      sink_(MessageBatch::Single(from, to, std::move(message)));
+    }
+  }
+
+  /// Invokes the bound sink with a whole envelope; no-op if none bound.
+  void DeliverBatch(const MessageBatch& batch) {
+    if (sink_) {
+      sink_(batch);
     }
   }
 
@@ -79,12 +121,16 @@ class DeliveryChannel {
 class ImmediateDeliveryChannel final : public DeliveryChannel {
  public:
   void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  /// Delivers the whole envelope as one sink call (order preserved).
+  void SendBatch(MessageBatch batch) override;
   [[nodiscard]] const char* Name() const noexcept override { return "immediate"; }
 };
 
 /// Decorator that round-trips every message through the binary wire codec
 /// (core/wire.hpp) before handing it to the inner channel — proving each
 /// exchange is implementable over a datagram transport, bit-for-bit.
+/// Multi-message envelopes round-trip through the batch frame, proving the
+/// packed datagram format the UDP transport ships.
 class WireCodecDeliveryChannel final : public DeliveryChannel {
  public:
   /// `inner` must outlive this channel.
@@ -92,10 +138,61 @@ class WireCodecDeliveryChannel final : public DeliveryChannel {
 
   void BindSink(Sink sink) override { inner_->BindSink(std::move(sink)); }
   void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  void SendBatch(MessageBatch batch) override;
   [[nodiscard]] const char* Name() const noexcept override { return "wire-codec"; }
 
  private:
   DeliveryChannel* inner_;
+};
+
+/// Decorator that buffers sends per destination and emits them as batch
+/// envelopes on Flush() — the engine-level coalescing seam of DESIGN.md §13.
+/// Buffered messages keep their per-destination send order; destinations
+/// flush in first-buffered order, so a flush is a deterministic function of
+/// the send sequence.  Flush() loops until quiescent: handlers run by the
+/// inner channel may send again (e.g. an immediate inner channel delivering
+/// a request whose handler emits the reply), and those cascaded sends are
+/// flushed in the next pass.
+class CoalescingDeliveryChannel final : public DeliveryChannel {
+ public:
+  /// `inner` must outlive this channel.  `max_batch` caps the envelope size:
+  /// a destination's buffer auto-flushes (alone, preserving order) when it
+  /// reaches the cap; 0 means unbounded.
+  explicit CoalescingDeliveryChannel(DeliveryChannel& inner,
+                                     std::size_t max_batch = 0)
+      : inner_(&inner), max_batch_(max_batch) {}
+
+  void BindSink(Sink sink) override { inner_->BindSink(std::move(sink)); }
+  void Send(NodeId from, NodeId to, ProtocolMessage message) override;
+  void SendBatch(MessageBatch batch) override;
+  /// Emits all buffered envelopes (and any the emission cascades into).
+  void Flush();
+
+  [[nodiscard]] std::size_t PendingMessages() const noexcept;
+  [[nodiscard]] std::uint64_t BatchesEmitted() const noexcept {
+    return batches_emitted_;
+  }
+  [[nodiscard]] std::uint64_t MessagesEmitted() const noexcept {
+    return messages_emitted_;
+  }
+  [[nodiscard]] std::size_t MaxBatchEmitted() const noexcept {
+    return max_batch_emitted_;
+  }
+  [[nodiscard]] const char* Name() const noexcept override { return "coalescing"; }
+
+ private:
+  void Buffer(NodeId from, NodeId to, ProtocolMessage message);
+  void Emit(MessageBatch batch);
+
+  DeliveryChannel* inner_;
+  std::size_t max_batch_;
+  /// Insertion-ordered per-destination buffers: `order_` remembers first
+  /// touch, `buffers_` holds the pending envelope per destination.
+  std::vector<NodeId> order_;
+  std::map<NodeId, std::vector<BatchItem>> buffers_;
+  std::uint64_t batches_emitted_ = 0;
+  std::uint64_t messages_emitted_ = 0;
+  std::size_t max_batch_emitted_ = 0;
 };
 
 /// Assembles a driver's channel stack: the base channel, optionally wrapped
@@ -115,13 +212,24 @@ class WireCodecDeliveryChannel final : public DeliveryChannel {
 /// Delivery after a per-pair one-way delay on a discrete-event queue — the
 /// asynchronous deployment model: payloads are snapshots taken at send time,
 /// stale by the flight time when consumed.
+///
+/// With `coalesce` on, *back-to-back* sends to the same destination with
+/// the same arrival time merge into one pending envelope and fire as a
+/// single event (items in send order) — the order-preserving coalescing
+/// mode of DESIGN.md §13.  The back-to-back restriction is what makes the
+/// merge exact: the replaced per-message events would carry consecutive
+/// sequence numbers at one timestamp, so no foreign event can sort between
+/// them and every per-node delivery sequence is unchanged, unconditionally.
+/// Probe-burst traffic (a burst's replies converging on the prober, sent by
+/// an uninterrupted chain of handler executions) merges fully.
 class EventQueueDeliveryChannel final : public DeliveryChannel {
  public:
   /// One-way delay in seconds for a directed pair.
   using DelayFn = std::function<double(NodeId from, NodeId to)>;
 
   /// `events` must outlive this channel; `delay` must be valid.
-  EventQueueDeliveryChannel(netsim::EventQueue& events, DelayFn delay);
+  EventQueueDeliveryChannel(netsim::EventQueue& events, DelayFn delay,
+                            bool coalesce = false);
 
   void Send(NodeId from, NodeId to, ProtocolMessage message) override;
   [[nodiscard]] const char* Name() const noexcept override { return "event-queue"; }
@@ -129,6 +237,13 @@ class EventQueueDeliveryChannel final : public DeliveryChannel {
  private:
   netsim::EventQueue* events_;
   DelayFn delay_;
+  bool coalesce_;
+  /// The most recent envelope and its (destination, arrival-time bits) key
+  /// — only back-to-back repeats of the key with a still-future arrival
+  /// merge, so one slot is the whole index and fire callbacks never touch
+  /// channel state (they may run on parallel-window worker threads).
+  std::optional<std::pair<NodeId, std::uint64_t>> last_key_;
+  std::shared_ptr<MessageBatch> last_batch_;
 };
 
 /// EventQueueDeliveryChannel over a ShardedEventQueue: every message is
@@ -137,6 +252,15 @@ class EventQueueDeliveryChannel final : public DeliveryChannel {
 /// parallel while handlers only ever touch destination-local state
 /// (DESIGN.md §9).  Send is safe from inside a parallel drain window — the
 /// queue routes the schedule through the executing shard's lane.
+///
+/// With `coalesce` on, driver-context sends (sequential drains) merge
+/// back-to-back same-destination same-arrival-time messages into one event
+/// exactly like the plain channel above.  Sends from inside a parallel
+/// window fall back
+/// to the per-message path — the pending-envelope index is shared state and
+/// window callbacks run concurrently; cross-process envelopes produced in a
+/// window are instead merged per (owner, time) at the window barrier by
+/// netsim::ShardRuntime through MergeEnvelopes (DESIGN.md §13).
 ///
 /// In a multi-process drain (DESIGN.md §12) the queue's owned-shard range is
 /// a strict subset: a Send whose destination shard is remote cannot carry a
@@ -151,7 +275,8 @@ class ShardedEventQueueDeliveryChannel final : public DeliveryChannel {
   using DelayFn = std::function<double(NodeId from, NodeId to)>;
 
   /// `events` must outlive this channel; `delay` must be valid.
-  ShardedEventQueueDeliveryChannel(netsim::ShardedEventQueue& events, DelayFn delay);
+  ShardedEventQueueDeliveryChannel(netsim::ShardedEventQueue& events,
+                                   DelayFn delay, bool coalesce = false);
 
   void Send(NodeId from, NodeId to, ProtocolMessage message) override;
   [[nodiscard]] const char* Name() const noexcept override {
@@ -165,9 +290,32 @@ class ShardedEventQueueDeliveryChannel final : public DeliveryChannel {
   [[nodiscard]] static std::vector<std::byte> EncodeEnvelope(
       NodeId from, const ProtocolMessage& message);
 
+  /// Concatenates several single-message envelopes (same destination, same
+  /// event time) into one batch envelope:
+  ///   [kBatchEnvelopeMarker u32][count u16]{[length u32][envelope]}*
+  /// The marker can never collide with a single envelope's leading `from`
+  /// field — node ids are always < OwnerCount().  Requires 1 <= count <=
+  /// kMaxWireBatchItems and non-empty parts.
+  [[nodiscard]] static std::vector<std::byte> MergeEnvelopes(
+      std::span<const std::vector<std::byte>> envelopes);
+
+  /// The marker distinguishing merged batch envelopes from single ones.
+  static constexpr std::uint32_t kBatchEnvelopeMarker = 0xffffffffu;
+
+  /// The ShardRuntime merger hook (DESIGN.md §13): merges the group only if
+  /// every envelope carries a *reply* (RttProbeReply / AbwProbeReply).
+  /// Reply handlers mutate destination-local state only — they emit no
+  /// messages and draw no randomness — so executing a whole reply group at
+  /// its first stamp is provably order-equivalent; request handlers emit
+  /// (consuming lane sequence numbers), so request groups are declined and
+  /// ship as individual events.
+  [[nodiscard]] static std::optional<std::vector<std::byte>>
+  MergeEnvelopesIfReplies(std::span<const std::vector<std::byte>> envelopes);
+
   /// The receiving side's ShardRuntime decoder: returns a callback that
-  /// decodes `payload` and delivers the message to `to` (the remote event's
-  /// owner stamp) through the bound sink (the engine's dispatcher).  Throws
+  /// decodes `payload` — a single envelope or a MergeEnvelopes batch — and
+  /// delivers the message(s) to `to` (the remote event's owner stamp)
+  /// through the bound sink, as one envelope in original order.  Throws
   /// WireError on malformed envelopes — at decode time, not delivery time,
   /// so a corrupt frame fails loudly.
   [[nodiscard]] netsim::ShardedEventQueue::Callback DecodeEnvelopeCallback(
@@ -176,6 +324,11 @@ class ShardedEventQueueDeliveryChannel final : public DeliveryChannel {
  private:
   netsim::ShardedEventQueue* events_;
   DelayFn delay_;
+  bool coalesce_;
+  /// The most recent unfired driver-context envelope and its key (see the
+  /// plain channel above); never touched from window threads.
+  std::optional<std::pair<NodeId, std::uint64_t>> last_key_;
+  std::shared_ptr<MessageBatch> last_batch_;
 };
 
 }  // namespace dmfsgd::core

@@ -18,4 +18,12 @@ bool operator==(const AbwProbeReply& a, const AbwProbeReply& b) {
   return a.target == b.target && a.measurement == b.measurement && a.v == b.v;
 }
 
+bool operator==(const BatchItem& a, const BatchItem& b) {
+  return a.from == b.from && a.message == b.message;
+}
+
+bool operator==(const MessageBatch& a, const MessageBatch& b) {
+  return a.to == b.to && a.items == b.items;
+}
+
 }  // namespace dmfsgd::core

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace dmfsgd::core {
@@ -60,5 +62,39 @@ struct AbwProbeReply {
 [[nodiscard]] bool operator==(const RttProbeReply& a, const RttProbeReply& b);
 [[nodiscard]] bool operator==(const AbwProbeRequest& a, const AbwProbeRequest& b);
 [[nodiscard]] bool operator==(const AbwProbeReply& a, const AbwProbeReply& b);
+
+/// Any of the four protocol payloads of Algorithms 1-2.
+using ProtocolMessage =
+    std::variant<RttProbeRequest, RttProbeReply, AbwProbeRequest, AbwProbeReply>;
+
+/// One message inside a batch envelope: the payload plus its sender (the
+/// prober for requests, the target for replies).
+struct BatchItem {
+  NodeId from = 0;
+  ProtocolMessage message;
+};
+
+/// The unit of delivery (DESIGN.md §13): an ordered run of messages sharing
+/// one destination.  Every DeliveryChannel sink receives batches; a
+/// non-coalescing channel simply delivers one-item batches.  The ordering
+/// contract is that applying `items` front to back is exactly the
+/// per-message delivery order the batch replaced — coalescing layers may
+/// merge messages into one envelope but must never reorder them.
+struct MessageBatch {
+  NodeId to = 0;
+  std::vector<BatchItem> items;
+
+  /// Convenience wrapper for the ubiquitous one-message case.
+  [[nodiscard]] static MessageBatch Single(NodeId from, NodeId to,
+                                           ProtocolMessage message) {
+    MessageBatch batch;
+    batch.to = to;
+    batch.items.push_back(BatchItem{from, std::move(message)});
+    return batch;
+  }
+};
+
+[[nodiscard]] bool operator==(const BatchItem& a, const BatchItem& b);
+[[nodiscard]] bool operator==(const MessageBatch& a, const MessageBatch& b);
 
 }  // namespace dmfsgd::core

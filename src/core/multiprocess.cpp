@@ -146,8 +146,8 @@ void GatherPeerResults(netsim::InterShardChannel& channel,
 
 MultiprocessRunReport RunMultiprocessAsyncSimulation(
     const datasets::Dataset& dataset, const AsyncSimulationConfig& config,
-    netsim::InterShardChannel& channel, double until_s,
-    common::ThreadPool& pool) {
+    netsim::InterShardChannel& channel, double until_s, common::ThreadPool& pool,
+    const netsim::ShardRuntimeOptions& runtime_options) {
   if (config.shard_count == 0) {
     throw std::invalid_argument(
         "RunMultiprocessAsyncSimulation: shard_count must be explicit (a "
@@ -168,7 +168,16 @@ MultiprocessRunReport RunMultiprocessAsyncSimulation(
       [&delivery](netsim::ShardedEventQueue::OwnerId owner,
                   std::vector<std::byte> payload) {
         return delivery.DecodeEnvelopeCallback(owner, std::move(payload));
-      });
+      },
+      runtime_options);
+  if (config.base.coalesce_delivery) {
+    // Same-destination same-time cross-process *replies* ship as one batch
+    // envelope (DESIGN.md §13; request groups are declined — their handlers
+    // emit).  Every process derives this from the shared config, so the
+    // fleet agrees on event counts.
+    runtime.SetRemoteEventMerger(
+        &ShardedEventQueueDeliveryChannel::MergeEnvelopesIfReplies);
+  }
   simulation.RunUntilDistributed(until_s, pool, runtime);
 
   MultiprocessRunReport report;
@@ -184,6 +193,7 @@ MultiprocessRunReport RunMultiprocessAsyncSimulation(
   report.u.assign(u.begin(), u.end());
   report.v.assign(v.begin(), v.end());
   report.windows = simulation.WindowsExecuted();
+  report.frames_sent = runtime.FramesSent();
   report.events_executed = simulation.EventsExecuted();
   report.measurements = simulation.MeasurementCount();
   report.dropped_legs = simulation.DroppedLegs();

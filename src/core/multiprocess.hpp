@@ -21,6 +21,7 @@
 
 #include "core/async_simulation.hpp"
 #include "netsim/inter_shard_channel.hpp"
+#include "netsim/shard_runtime.hpp"
 
 namespace dmfsgd::core {
 
@@ -47,6 +48,9 @@ struct MultiprocessRunReport {
   std::uint64_t measurements = 0;
   std::uint64_t dropped_legs = 0;
   std::uint64_t churns = 0;
+  /// Inter-shard frames this process shipped (local, never folded) — what
+  /// envelope coalescing (config.base.coalesce_delivery) reduces.
+  std::uint64_t frames_sent = 0;
 };
 
 /// Runs this process's share of a distributed async simulation to
@@ -56,9 +60,16 @@ struct MultiprocessRunReport {
 /// process owns at least one shard; shard_count == 0 resolves to hardware
 /// concurrency *locally* and is therefore rejected — a distributed run
 /// needs one host-independent value).  `pool` parallelizes the local drain.
+/// `runtime_options` tunes the window protocol (poll/stall timing, the
+/// event-frame byte budget); every process must pass the same values.  With
+/// config.base.coalesce_delivery on, same-destination same-time
+/// cross-process messages ship as merged batch envelopes (DESIGN.md §13):
+/// results stay bit-identical to the per-message run, while events_executed
+/// and frames_sent drop.
 [[nodiscard]] MultiprocessRunReport RunMultiprocessAsyncSimulation(
     const datasets::Dataset& dataset, const AsyncSimulationConfig& config,
-    netsim::InterShardChannel& channel, double until_s,
-    common::ThreadPool& pool);
+    netsim::InterShardChannel& channel, double until_s, common::ThreadPool& pool,
+    const netsim::ShardRuntimeOptions& runtime_options =
+        netsim::ShardRuntimeOptions());
 
 }  // namespace dmfsgd::core

@@ -111,10 +111,16 @@ class DmfsgdSimulation {
   [[nodiscard]] const DeploymentEngine& engine() const noexcept { return engine_; }
 
  private:
+  [[nodiscard]] DeliveryChannel& BuildStack(const SimulationConfig& config);
+
   /// Channel stack: immediate delivery, optionally decorated by the wire
-  /// codec.  Declared before the engine, which binds its sink onto them.
+  /// codec, optionally wrapped outermost by the coalescing decorator
+  /// (config.coalesce_delivery — RunRounds then flushes each node's probe
+  /// burst as batch envelopes, DESIGN.md §13).  Declared before the engine,
+  /// which binds its sink onto them.
   ImmediateDeliveryChannel immediate_;
   std::optional<WireCodecDeliveryChannel> wire_;
+  std::optional<CoalescingDeliveryChannel> coalescing_;
   DeploymentEngine engine_;
 };
 

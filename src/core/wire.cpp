@@ -171,7 +171,7 @@ MessageType PeekType(std::span<const std::byte> buffer) {
   }
   const std::uint8_t tag = reader.U8();
   if (tag < static_cast<std::uint8_t>(MessageType::kRttProbeRequest) ||
-      tag > static_cast<std::uint8_t>(MessageType::kAbwProbeReply)) {
+      tag > static_cast<std::uint8_t>(MessageType::kMessageBatch)) {
     throw WireError("PeekType: unknown message type " + std::to_string(tag));
   }
   return static_cast<MessageType>(tag);

@@ -29,6 +29,10 @@ enum class MessageType : std::uint8_t {
   kRttProbeReply = 2,
   kAbwProbeRequest = 3,
   kAbwProbeReply = 4,
+  /// A batch frame: several codec'd messages sharing one destination packed
+  /// into a single buffer/datagram (DESIGN.md §13).  Decoded through
+  /// DecodeBatchFrame (core/delivery.hpp), never through DecodeMessage.
+  kMessageBatch = 5,
 };
 
 /// Thrown on any malformed buffer (truncation, bad version, bad tag,
@@ -41,6 +45,11 @@ class WireError : public std::runtime_error {
 /// Maximum coordinate vector length accepted on decode — sanity bound that
 /// rejects garbage length fields before allocating.
 inline constexpr std::size_t kMaxWireVectorSize = 4096;
+
+/// Maximum messages one batch frame may carry — same role as
+/// kMaxWireVectorSize: a garbage count field must be rejected before any
+/// allocation or decode loop runs.
+inline constexpr std::size_t kMaxWireBatchItems = 512;
 
 [[nodiscard]] std::vector<std::byte> Encode(const RttProbeRequest& message);
 [[nodiscard]] std::vector<std::byte> Encode(const RttProbeReply& message);

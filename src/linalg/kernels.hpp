@@ -63,6 +63,14 @@ inline void DecayAxpyFixed(double decay, double alpha,
   }
 }
 
+template <int R>
+inline void AxpyFixed(double alpha, const double* DMFSGD_RESTRICT x,
+                      double* DMFSGD_RESTRICT y) noexcept {
+  for (int d = 0; d < R; ++d) {
+    y[d] += alpha * x[d];
+  }
+}
+
 }  // namespace detail
 
 /// a · b over `r` elements, no validation.
@@ -124,6 +132,26 @@ inline void DecayAxpyRaw(double decay, double alpha,
     default:
       for (std::size_t d = 0; d < r; ++d) {
         y[d] = decay * y[d] + alpha * x[d];
+      }
+  }
+}
+
+/// y += alpha * x — the mini-batch accumulation kernel (core::
+/// GradientStepBatch folds each message's g·remote term into one running
+/// direction, then applies a single DecayAxpyRaw step per batch).  Same
+/// aliasing contract as DecayAxpyRaw: x must not alias y.
+inline void AxpyRaw(double alpha, const double* DMFSGD_RESTRICT x,
+                    double* DMFSGD_RESTRICT y, std::size_t r) noexcept {
+  switch (r) {
+    case 3:
+      detail::AxpyFixed<3>(alpha, x, y);
+      return;
+    case 10:
+      detail::AxpyFixed<10>(alpha, x, y);
+      return;
+    default:
+      for (std::size_t d = 0; d < r; ++d) {
+        y[d] += alpha * x[d];
       }
   }
 }

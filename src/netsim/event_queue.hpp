@@ -211,6 +211,12 @@ class ShardedEventQueue {
   [[nodiscard]] std::size_t ShardCount() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t OwnerCount() const noexcept { return owner_count_; }
 
+  /// True while a parallel window is open (between BeginWindow and
+  /// FinishWindow).  Scheduling layers use it to route around driver-only
+  /// state: the flag is written by the driver thread only, before the fork
+  /// and after the join, so reading it from window callbacks is safe.
+  [[nodiscard]] bool InParallelWindow() const noexcept { return in_window_; }
+
   /// The shard an owner's events run in (contiguous block mapping, so
   /// neighboring owners share a shard and false sharing stays off the menu).
   [[nodiscard]] std::size_t ShardOf(OwnerId owner) const;

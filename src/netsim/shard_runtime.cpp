@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <limits>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -61,6 +63,8 @@ ShardRuntime::ShardRuntime(ShardedEventQueue& queue, InterShardChannel& channel,
       lookaheads_(std::move(lookaheads)),
       decoder_(std::move(decoder)),
       options_(options) {
+  options_.max_frame_bytes =
+      std::clamp<std::size_t>(options_.max_frame_bytes, 256, kMaxFrameBytes);
   if (lookaheads_.ShardCount() != queue.ShardCount()) {
     throw std::invalid_argument(
         "ShardRuntime: lookahead matrix shard count mismatch");
@@ -117,7 +121,8 @@ std::uint64_t ShardRuntime::RunUntil(double until_s, common::ThreadPool& pool) {
     queue_->DrainOwnedShards(pool, until_s);
     executed += queue_->FinishWindow();
     if (processes > 1) {
-      SendEventBatches(window_id_, queue_->TakeRemoteEvents());
+      SendEventBatches(window_id_,
+                       CoalesceRemoteEvents(queue_->TakeRemoteEvents()));
       GatherEventBatches(window_id_, exchange);
     }
     queue_->AdvanceNow(frontier);
@@ -146,9 +151,92 @@ void ShardRuntime::BroadcastProposal(std::uint64_t window_id,
   const std::vector<std::byte> frame = writer.Take();
   for (std::size_t p = 0; p < channel_->ProcessCount(); ++p) {
     if (p != channel_->ProcessIndex()) {
-      channel_->Send(p, frame);
+      SendFrame(p, frame);
     }
   }
+}
+
+void ShardRuntime::SendFrame(std::size_t to_process,
+                             std::span<const std::byte> frame) {
+  channel_->Send(to_process, frame);
+  ++frames_sent_;
+}
+
+std::vector<ShardedEventQueue::RemoteEvent> ShardRuntime::CoalesceRemoteEvents(
+    std::vector<ShardedEventQueue::RemoteEvent> events) const {
+  if (!merger_ || events.size() < 2) {
+    return events;
+  }
+  // Group by identical (owner, time) — not just adjacent runs: a burst's
+  // replies converge on one owner from *different* source lanes, so the
+  // group's members are scattered across the per-shard outbox order.
+  // TakeRemoteEvents yields ascending (lane, seq), so a group's first
+  // occurrence carries its least merge key: the batch executes exactly
+  // where its first message would have, with the rest applied in stamp
+  // order behind it (DESIGN.md §13).
+  struct Group {
+    std::vector<ShardedEventQueue::RemoteEvent> members;
+    std::size_t bytes = 0;
+  };
+  // A merged payload must still fit one frame of the *configured* budget
+  // (the MTU knob exists precisely so no frame outgrows it) with
+  // chunk-header headroom; an overfull group splits — the follow-on batch
+  // keeps the next member's (later) stamp, so order survives the split.
+  const std::size_t byte_budget = options_.max_frame_bytes - 128;
+  // 512 mirrors the delivery layer's batch-envelope item cap without
+  // making this payload-agnostic layer include the wire codec.
+  constexpr std::size_t kMaxGroupPayloads = 512;
+  std::vector<Group> groups;
+  groups.reserve(events.size());
+  std::map<std::pair<ShardedEventQueue::OwnerId, std::uint64_t>, std::size_t>
+      index;
+  for (ShardedEventQueue::RemoteEvent& event : events) {
+    std::uint64_t time_bits = 0;
+    std::memcpy(&time_bits, &event.time, sizeof(time_bits));
+    const std::size_t bytes = event.payload.size() + 8;
+    auto [it, inserted] =
+        index.try_emplace({event.owner, time_bits}, groups.size());
+    if (!inserted &&
+        (groups[it->second].bytes + bytes > byte_budget ||
+         groups[it->second].members.size() >= kMaxGroupPayloads)) {
+      it->second = groups.size();  // start a follow-on group for this key
+      inserted = true;
+    }
+    if (inserted) {
+      groups.emplace_back();
+    }
+    Group& group = groups[it->second];
+    group.bytes += bytes;
+    group.members.push_back(std::move(event));
+  }
+  std::vector<ShardedEventQueue::RemoteEvent> merged;
+  merged.reserve(groups.size());
+  std::vector<std::vector<std::byte>> payloads;
+  for (Group& group : groups) {
+    if (group.members.size() == 1) {
+      merged.push_back(std::move(group.members.front()));
+      continue;
+    }
+    payloads.clear();
+    payloads.reserve(group.members.size());
+    for (ShardedEventQueue::RemoteEvent& member : group.members) {
+      payloads.push_back(std::move(member.payload));
+    }
+    std::optional<std::vector<std::byte>> combined = merger_(payloads);
+    if (!combined.has_value()) {
+      // The scheduling layer declined (handlers of these payloads emit, so
+      // merging could reorder emission stamps): ship them individually.
+      for (std::size_t m = 0; m < group.members.size(); ++m) {
+        group.members[m].payload = std::move(payloads[m]);
+        merged.push_back(std::move(group.members[m]));
+      }
+      continue;
+    }
+    ShardedEventQueue::RemoteEvent batch = std::move(group.members.front());
+    batch.payload = std::move(*combined);
+    merged.push_back(std::move(batch));
+  }
+  return merged;
 }
 
 void ShardRuntime::SendEventBatches(
@@ -167,16 +255,33 @@ void ShardRuntime::SendEventBatches(
     }
     // Pre-partition into chunks by serialized size so every chunk can carry
     // its index and a last-chunk flag (UDP may reorder chunks in flight).
+    // First-fit-decreasing: big records (merged reply envelopes) open
+    // chunks, small ones fill the tails — order across and within chunks is
+    // free because every event carries its own deterministic stamp, and the
+    // packing itself is deterministic (stable sort, first-fit scan).
+    std::vector<const ShardedEventQueue::RemoteEvent*> ordered = buckets[p];
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const auto* a, const auto* b) {
+                       return a->payload.size() > b->payload.size();
+                     });
     std::vector<std::vector<const ShardedEventQueue::RemoteEvent*>> chunks(1);
-    std::size_t chunk_bytes = 64;  // header headroom
-    for (const auto* event : buckets[p]) {
+    std::vector<std::size_t> chunk_bytes(1, 64);  // header headroom
+    for (const auto* event : ordered) {
       const std::size_t bytes = 28 + event->payload.size();
-      if (chunk_bytes + bytes > kMaxFrameBytes && !chunks.back().empty()) {
-        chunks.emplace_back();
-        chunk_bytes = 64;
+      std::size_t slot = chunks.size();
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        if (chunk_bytes[c] + bytes <= options_.max_frame_bytes ||
+            chunks[c].empty()) {
+          slot = c;
+          break;
+        }
       }
-      chunks.back().push_back(event);
-      chunk_bytes += bytes;
+      if (slot == chunks.size()) {
+        chunks.emplace_back();
+        chunk_bytes.push_back(64);
+      }
+      chunks[slot].push_back(event);
+      chunk_bytes[slot] += bytes;
     }
     for (std::size_t c = 0; c < chunks.size(); ++c) {
       FrameWriter writer;
@@ -193,7 +298,7 @@ void ShardRuntime::SendEventBatches(
         writer.U32(static_cast<std::uint32_t>(event->payload.size()));
         writer.Bytes(event->payload);
       }
-      channel_->Send(p, writer.Take());
+      SendFrame(p, writer.Take());
     }
   }
 }

@@ -28,6 +28,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "netsim/event_queue.hpp"
@@ -42,6 +44,11 @@ namespace dmfsgd::netsim {
 struct ShardRuntimeOptions {
   int receive_poll_ms = 50;       ///< per-Receive wait while gathering
   double stall_timeout_s = 60.0;  ///< give up (throw) if a peer goes silent
+  /// Byte budget per event-batch frame.  The default fills whole datagrams;
+  /// a multi-host deployment tunes this toward the path MTU (~1400) to
+  /// avoid IP fragmentation, which is when envelope coalescing visibly
+  /// shrinks the frame count.  Clamped to [256, kMaxFrameBytes].
+  std::size_t max_frame_bytes = kMaxFrameBytes;
 };
 
 class ShardRuntime {
@@ -54,6 +61,16 @@ class ShardRuntime {
       ShardedEventQueue::OwnerId owner, std::vector<std::byte> payload)>;
 
   using Options = ShardRuntimeOptions;
+
+  /// Merges several same-destination, same-time remote-event payloads into
+  /// one batch payload, or declines (nullopt) when the group is not safely
+  /// mergeable — the scheduling layer knows which payload kinds have
+  /// emission-free handlers (DESIGN.md §13: reply envelopes; the inverse
+  /// lives in ShardedEventQueueDeliveryChannel::MergeEnvelopes /
+  /// DecodeEnvelopeCallback).  The runtime itself stays payload-agnostic:
+  /// declined groups ship as the original individual events.
+  using RemoteEventMerger = std::function<std::optional<std::vector<std::byte>>(
+      std::span<const std::vector<std::byte>> payloads)>;
 
   /// Assigns shard ownership: process p of channel.ProcessCount() owns
   /// BlockRange(queue.ShardCount(), ProcessCount(), p) and the queue's owned
@@ -78,6 +95,26 @@ class ShardRuntime {
     return queue_->WindowsExecuted();
   }
 
+  /// Installs the per-window coalescing of cross-process events: before the
+  /// barrier ships a window's remote events, runs with identical
+  /// (owner, time) — concurrently produced messages bound for one node,
+  /// e.g. a probe burst's replies — are folded into a single stamped
+  /// envelope carrying the merger's combined payload.  The surviving stamp
+  /// is the group's least (lane, seq) key, so the batch executes exactly
+  /// where its first message would have (DESIGN.md §13); fewer events cross
+  /// the channel, and under an MTU-sized max_frame_bytes, fewer frames.
+  /// Every process must install the same merger (or none) — a mixed fleet
+  /// would disagree on event counts.  Pass nullptr to uninstall.
+  void SetRemoteEventMerger(RemoteEventMerger merger) {
+    merger_ = std::move(merger);
+  }
+
+  /// Frames this runtime shipped through the channel (proposals + event
+  /// chunks) — what envelope coalescing and max_frame_bytes trade against.
+  [[nodiscard]] std::uint64_t FramesSent() const noexcept {
+    return frames_sent_;
+  }
+
   /// Frames received during the window loop that belong to a higher layer
   /// (e.g. the coordinator's result fold racing ahead of a slow peer's last
   /// barrier).  The caller that keeps using the channel after RunUntil must
@@ -89,8 +126,13 @@ class ShardRuntime {
 
   void BroadcastProposal(std::uint64_t window_id,
                          const std::vector<double>& local_mins);
+  /// The coalescing pass of SetRemoteEventMerger (identity without one).
+  [[nodiscard]] std::vector<ShardedEventQueue::RemoteEvent> CoalesceRemoteEvents(
+      std::vector<ShardedEventQueue::RemoteEvent> events) const;
   void SendEventBatches(std::uint64_t window_id,
                         std::vector<ShardedEventQueue::RemoteEvent> events);
+  /// Channel send + frame accounting.
+  void SendFrame(std::size_t to_process, std::span<const std::byte> frame);
   /// Blocks until every peer's frames of the given kind for `window_id`
   /// arrived, dispatching and buffering out-of-order frames.
   void GatherProposals(std::uint64_t window_id, WindowExchange& exchange);
@@ -105,7 +147,9 @@ class ShardRuntime {
   InterShardChannel* channel_;
   LookaheadMatrix lookaheads_;
   RemoteEventDecoder decoder_;
+  RemoteEventMerger merger_;
   Options options_;
+  std::uint64_t frames_sent_ = 0;
   std::vector<std::size_t> process_of_shard_;  ///< shard → owning process
   std::uint64_t window_id_ = 0;
   std::vector<InterShardFrame> pending_;   ///< buffered out-of-order frames

@@ -31,6 +31,14 @@ void UdpDeliveryChannel::AddContact(core::NodeId id, std::uint16_t port) {
   contact_[id] = port;
 }
 
+void UdpDeliveryChannel::SendFrame(UdpSocket& socket,
+                                   std::span<const std::byte> frame,
+                                   std::uint16_t port, std::size_t messages) {
+  socket.SendTo(frame, port);
+  ++datagrams_sent_;
+  messages_sent_ += messages;
+}
+
 void UdpDeliveryChannel::Send(core::NodeId from, core::NodeId to,
                               core::ProtocolMessage message) {
   const auto socket = sockets_.find(from);
@@ -43,7 +51,55 @@ void UdpDeliveryChannel::Send(core::NodeId from, core::NodeId to,
     throw std::runtime_error("UdpDeliveryChannel::Send: no contact for node " +
                              std::to_string(to));
   }
-  socket->second.SendTo(core::EncodeMessage(message), port->second);
+  SendFrame(socket->second, core::EncodeMessage(message), port->second, 1);
+}
+
+void UdpDeliveryChannel::SendBatch(core::MessageBatch batch) {
+  if (batch.items.empty()) {
+    return;
+  }
+  if (batch.items.size() == 1) {
+    Send(batch.items.front().from, batch.to,
+         std::move(batch.items.front().message));
+    return;
+  }
+  const auto socket = sockets_.find(batch.items.front().from);
+  if (socket == sockets_.end()) {
+    throw std::invalid_argument(
+        "UdpDeliveryChannel::SendBatch: node " +
+        std::to_string(batch.items.front().from) + " is not local");
+  }
+  const auto port = contact_.find(batch.to);
+  if (port == contact_.end()) {
+    throw std::runtime_error(
+        "UdpDeliveryChannel::SendBatch: no contact for node " +
+        std::to_string(batch.to));
+  }
+  // Greedy packing over messages encoded exactly once: add encoded buffers
+  // while the frame stays under budget (and under the wire item cap), ship,
+  // repeat.  Order inside and across datagrams is the envelope order.
+  std::vector<std::vector<std::byte>> packed;
+  std::size_t packed_bytes = 4;  // frame header headroom
+  auto flush = [&] {
+    if (packed.empty()) {
+      return;
+    }
+    SendFrame(socket->second, core::EncodeBatchFrame(packed), port->second,
+              packed.size());
+    packed.clear();
+    packed_bytes = 4;
+  };
+  for (const core::BatchItem& item : batch.items) {
+    std::vector<std::byte> wire = core::EncodeMessage(item.message);
+    const std::size_t bytes = wire.size() + 4;
+    if (!packed.empty() && (packed_bytes + bytes > kMaxBatchDatagramBytes ||
+                            packed.size() >= core::kMaxWireBatchItems)) {
+      flush();
+    }
+    packed.push_back(std::move(wire));
+    packed_bytes += bytes;
+  }
+  flush();
 }
 
 std::size_t UdpDeliveryChannel::Pump(std::size_t max_datagrams) {
@@ -56,17 +112,30 @@ std::size_t UdpDeliveryChannel::Pump(std::size_t max_datagrams) {
       }
       ++handled;
       try {
-        core::ProtocolMessage message = core::DecodeMessage(datagram->payload);
-        // Learn the return route before dispatching (the sink may answer a
+        core::MessageBatch batch;
+        batch.to = id;
+        if (core::PeekType(datagram->payload) == core::MessageType::kMessageBatch) {
+          for (core::ProtocolMessage& message :
+               core::DecodeBatchFrame(datagram->payload)) {
+            batch.items.push_back(
+                core::BatchItem{core::SenderOf(message), std::move(message)});
+          }
+        } else {
+          core::ProtocolMessage message = core::DecodeMessage(datagram->payload);
+          batch.items.push_back(
+              core::BatchItem{core::SenderOf(message), std::move(message)});
+        }
+        // Learn the return routes before dispatching (the sink may answer a
         // prober it was never introduced to) — but never let a datagram's
         // claimed sender id re-route a *locally registered* node: its
         // contact stays pinned to its own socket, so a forged id cannot
         // hijack local traffic.
-        const core::NodeId sender = core::SenderOf(message);
-        if (!sockets_.contains(sender)) {
-          contact_[sender] = datagram->sender_port;
+        for (const core::BatchItem& item : batch.items) {
+          if (!sockets_.contains(item.from)) {
+            contact_[item.from] = datagram->sender_port;
+          }
         }
-        DeliverNow(sender, id, message);
+        DeliverBatch(batch);
       } catch (const core::WireError&) {
         ++malformed_datagrams_;
       } catch (const std::invalid_argument&) {

@@ -41,6 +41,15 @@ struct UdpPeerConfig {
   bool symmetric_metric = true;
   double tau = 1.0;  ///< carried in ABW probe requests (the probing rate)
   std::uint64_t seed = 1;
+  /// Probes launched per Probe() call; targets are picked independently
+  /// (with replacement), so a burst measures some neighbors repeatedly —
+  /// legitimate repeated samples of the same path.
+  std::size_t probe_burst = 1;
+  /// Batched message plane (DESIGN.md §13): a burst's same-target probes
+  /// pack into one datagram, a request batch is answered with one packed
+  /// reply batch, and a received reply batch folds into a single mini-batch
+  /// gradient step instead of one step per reply.
+  bool coalesce = false;
 };
 
 class UdpDmfsgdPeer {
@@ -79,8 +88,14 @@ class UdpDmfsgdPeer {
   [[nodiscard]] std::size_t MalformedDatagrams() const noexcept {
     return channel_.MalformedDatagrams() + rejected_messages_;
   }
+  /// Datagrams this peer's socket shipped — the coalescing win shows as
+  /// fewer datagrams per applied measurement.
+  [[nodiscard]] std::size_t DatagramsSent() const noexcept {
+    return channel_.DatagramsSent();
+  }
 
  private:
+  void HandleBatch(const core::MessageBatch& batch);
   void Handle(core::NodeId from, const core::ProtocolMessage& message);
 
   UdpPeerConfig config_;

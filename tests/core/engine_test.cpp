@@ -147,11 +147,13 @@ TEST(UnifiedEngine, AsyncRoundRobinIsDeterministicPerSeed) {
 TEST(UnifiedEngine, ImmediateChannelDeliversInline) {
   ImmediateDeliveryChannel channel;
   int delivered = 0;
-  channel.BindSink([&](NodeId from, NodeId to, const ProtocolMessage& message) {
+  channel.BindSink([&](const MessageBatch& batch) {
     ++delivered;
-    EXPECT_EQ(from, 3u);
-    EXPECT_EQ(to, 9u);
-    EXPECT_TRUE(std::holds_alternative<RttProbeRequest>(message));
+    ASSERT_EQ(batch.items.size(), 1u);
+    EXPECT_EQ(batch.items.front().from, 3u);
+    EXPECT_EQ(batch.to, 9u);
+    EXPECT_TRUE(
+        std::holds_alternative<RttProbeRequest>(batch.items.front().message));
   });
   channel.Send(3, 9, RttProbeRequest{3});
   EXPECT_EQ(delivered, 1);
@@ -161,8 +163,8 @@ TEST(UnifiedEngine, WireCodecChannelRoundTripsPayloads) {
   ImmediateDeliveryChannel inner;
   WireCodecDeliveryChannel codec(inner);
   AbwProbeRequest seen;
-  codec.BindSink([&](NodeId, NodeId, const ProtocolMessage& message) {
-    seen = std::get<AbwProbeRequest>(message);
+  codec.BindSink([&](const MessageBatch& batch) {
+    seen = std::get<AbwProbeRequest>(batch.items.front().message);
   });
   const AbwProbeRequest sent{5, {0.25, -1.5, 3.0}, 42.0};
   codec.Send(5, 6, sent);

@@ -43,9 +43,11 @@ TEST(UdpChannel, DeliversEveryMessageTypeThroughRealSockets) {
   (void)channel.Register(2);
   std::vector<ProtocolMessage> received;
   std::vector<NodeId> receivers;
-  channel.BindSink([&](NodeId /*from*/, NodeId to, const ProtocolMessage& message) {
-    received.push_back(message);
-    receivers.push_back(to);
+  channel.BindSink([&](const core::MessageBatch& batch) {
+    for (const core::BatchItem& item : batch.items) {
+      received.push_back(item.message);
+      receivers.push_back(batch.to);
+    }
   });
 
   channel.Send(1, 2, core::RttProbeRequest{1});
@@ -72,7 +74,7 @@ TEST(UdpChannel, MalformedDatagramsAreCountedNotDelivered) {
   (void)channel.Register(1);
   std::size_t delivered = 0;
   channel.BindSink(
-      [&](NodeId, NodeId, const ProtocolMessage&) { ++delivered; });
+      [&](const core::MessageBatch& batch) { delivered += batch.items.size(); });
 
   UdpSocket attacker;
   attacker.SendTo(std::vector<std::byte>{std::byte{0xff}, std::byte{0xee}},
@@ -89,7 +91,7 @@ TEST(UdpChannel, MalformedDatagramsAreCountedNotDelivered) {
 TEST(UdpChannel, LearnsReturnRoutesFromIncomingDatagrams) {
   UdpDeliveryChannel receiver_channel;
   (void)receiver_channel.Register(1);
-  receiver_channel.BindSink([](NodeId, NodeId, const ProtocolMessage&) {});
+  receiver_channel.BindSink([](const core::MessageBatch&) {});
 
   // A stranger (not introduced via AddContact) probes node 1.
   UdpDeliveryChannel stranger_channel;
@@ -103,6 +105,100 @@ TEST(UdpChannel, LearnsReturnRoutesFromIncomingDatagrams) {
   EXPECT_TRUE(receiver_channel.HasContact(77));
   EXPECT_NO_THROW(
       receiver_channel.Send(1, 77, core::RttProbeReply{1, {1.0}, {1.0}}));
+}
+
+TEST(UdpChannel, SendBatchPacksOneDatagramAndDeliversOneEnvelope) {
+  UdpDeliveryChannel channel;
+  (void)channel.Register(1);
+  (void)channel.Register(2);
+  std::vector<core::MessageBatch> delivered;
+  channel.BindSink(
+      [&](const core::MessageBatch& batch) { delivered.push_back(batch); });
+
+  core::MessageBatch batch;
+  batch.to = 2;
+  batch.items.push_back(
+      core::BatchItem{1, core::RttProbeReply{1, {1.0, 2.0}, {3.0, 4.0}}});
+  batch.items.push_back(core::BatchItem{1, core::AbwProbeReply{1, -1.0, {0.5}}});
+  batch.items.push_back(core::BatchItem{1, core::RttProbeRequest{1}});
+  channel.SendBatch(batch);
+  EXPECT_EQ(channel.DatagramsSent(), 1u);  // three messages, one datagram
+  EXPECT_EQ(channel.MessagesSent(), 3u);
+
+  while (channel.Pump() > 0) {
+  }
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered.front().to, 2u);
+  ASSERT_EQ(delivered.front().items.size(), 3u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_TRUE(delivered.front().items[m].message == batch.items[m].message);
+    EXPECT_EQ(delivered.front().items[m].from, 1u);
+  }
+  EXPECT_EQ(channel.MalformedDatagrams(), 0u);
+}
+
+TEST(UdpChannel, MalformedBatchDatagramsAreCountedNotDelivered) {
+  UdpDeliveryChannel channel;
+  (void)channel.Register(1);
+  std::size_t delivered = 0;
+  channel.BindSink(
+      [&](const core::MessageBatch& batch) { delivered += batch.items.size(); });
+
+  core::MessageBatch batch;
+  batch.to = 1;
+  batch.items.push_back(core::BatchItem{2, core::RttProbeRequest{2}});
+  batch.items.push_back(
+      core::BatchItem{3, core::RttProbeReply{3, {1.0}, {2.0}}});
+  const auto frame = core::EncodeBatchFrame(batch);
+
+  UdpSocket attacker;
+  // Truncated at an arbitrary interior point, zero count, garbage inner tag.
+  attacker.SendTo(std::span<const std::byte>(frame.data(), frame.size() - 3),
+                  channel.Port(1));
+  auto zero_count = frame;
+  zero_count[2] = std::byte{0};
+  zero_count[3] = std::byte{0};
+  attacker.SendTo(zero_count, channel.Port(1));
+  auto bad_inner = frame;
+  bad_inner[9] = std::byte{77};
+  attacker.SendTo(bad_inner, channel.Port(1));
+
+  EXPECT_EQ(channel.Pump(), 3u);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(channel.MalformedDatagrams(), 3u);
+
+  // A good batch afterwards still flows.
+  attacker.SendTo(frame, channel.Port(1));
+  EXPECT_EQ(channel.Pump(), 1u);
+  EXPECT_EQ(delivered, 2u);
+}
+
+TEST(UdpChannel, OversizedBatchesSplitAcrossDatagrams) {
+  UdpDeliveryChannel channel;
+  (void)channel.Register(1);
+  (void)channel.Register(2);
+  std::size_t messages = 0;
+  std::size_t envelopes = 0;
+  channel.BindSink([&](const core::MessageBatch& batch) {
+    ++envelopes;
+    messages += batch.items.size();
+  });
+  // ~200 replies with rank-32 vectors ≈ 2 x the datagram budget.
+  core::MessageBatch batch;
+  batch.to = 2;
+  for (std::size_t m = 0; m < 200; ++m) {
+    batch.items.push_back(core::BatchItem{
+        1, core::RttProbeReply{1, std::vector<double>(32, 0.25),
+                               std::vector<double>(32, 0.5)}});
+  }
+  channel.SendBatch(batch);
+  EXPECT_GT(channel.DatagramsSent(), 1u);
+  EXPECT_LT(channel.DatagramsSent(), 200u);
+  while (channel.Pump(256) > 0) {
+  }
+  EXPECT_EQ(messages, 200u);
+  EXPECT_EQ(envelopes, channel.DatagramsSent());
+  EXPECT_EQ(channel.MalformedDatagrams(), 0u);
 }
 
 TEST(UdpChannel, ForeignButWellFormedDatagramsCannotCrashTheEngine) {

@@ -143,6 +143,107 @@ TEST(UdpPeer, SwarmLearnsOverRealSockets) {
   EXPECT_GT(eval::Auc(scores, labels), 0.85);
 }
 
+/// MakeSwarm with the batched message plane on: bursts of `burst` probes,
+/// packed request/reply datagrams, mini-batch folds at the receivers.
+std::vector<std::unique_ptr<UdpDmfsgdPeer>> MakeBatchedSwarm(
+    const Dataset& dataset, double tau, std::size_t k, std::size_t burst,
+    bool coalesce) {
+  const bool symmetric = dataset.metric == datasets::Metric::kRtt;
+  // The peer copies the callback; `dataset` must outlive the swarm (it does
+  // — both live in the test scope).
+  MeasurementFn measure = [&dataset, tau](core::NodeId prober,
+                                          core::NodeId target) {
+    return static_cast<double>(datasets::ClassOf(
+        dataset.metric, dataset.Quantity(prober, target), tau));
+  };
+  std::vector<std::unique_ptr<UdpDmfsgdPeer>> peers;
+  for (std::size_t i = 0; i < dataset.NodeCount(); ++i) {
+    UdpPeerConfig config;
+    config.id = static_cast<core::NodeId>(i);
+    config.symmetric_metric = symmetric;
+    config.tau = tau;
+    config.seed = 100 + i;
+    config.probe_burst = burst;
+    config.coalesce = coalesce;
+    peers.push_back(std::make_unique<UdpDmfsgdPeer>(config, measure));
+  }
+  common::Rng rng(7);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const auto picks = rng.SampleWithoutReplacement(peers.size() - 1, k);
+    for (const std::size_t p : picks) {
+      const std::size_t j = p < i ? p : p + 1;  // skip self
+      peers[i]->AddNeighbor(static_cast<core::NodeId>(j), peers[j]->Port());
+    }
+  }
+  return peers;
+}
+
+TEST(UdpPeer, BatchedSwarmLearnsWithFewerDatagrams) {
+  // Same probe budget (burst 4 x 80 rounds), coalesced vs per-message: the
+  // packed datagrams and receive-side mini-batch folds must preserve
+  // learning quality while measurably cutting the datagram count.
+  const Dataset dataset = SmallRtt();
+  const double tau = dataset.MedianValue();
+  auto evaluate = [&](std::vector<std::unique_ptr<UdpDmfsgdPeer>>& peers) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      for (std::size_t j = 0; j < peers.size(); ++j) {
+        if (i == j) {
+          continue;
+        }
+        scores.push_back(peers[i]->Predict(peers[j]->node().v()));
+        labels.push_back(
+            datasets::ClassOf(dataset.metric, dataset.Quantity(i, j), tau));
+      }
+    }
+    return eval::Auc(scores, labels);
+  };
+  auto datagrams = [](std::vector<std::unique_ptr<UdpDmfsgdPeer>>& peers) {
+    std::size_t total = 0;
+    std::size_t applied = 0;
+    for (const auto& peer : peers) {
+      total += peer->DatagramsSent();
+      applied += peer->MeasurementsApplied();
+    }
+    return std::pair<std::size_t, std::size_t>(total, applied);
+  };
+
+  auto per_message = MakeBatchedSwarm(dataset, tau, 8, 4, /*coalesce=*/false);
+  RunRounds(per_message, 80);
+  const auto [datagrams_plain, applied_plain] = datagrams(per_message);
+  const double auc_plain = evaluate(per_message);
+
+  auto coalesced = MakeBatchedSwarm(dataset, tau, 8, 4, /*coalesce=*/true);
+  RunRounds(coalesced, 80);
+  const auto [datagrams_packed, applied_packed] = datagrams(coalesced);
+  const double auc_packed = evaluate(coalesced);
+
+  EXPECT_GT(applied_plain, 0u);
+  EXPECT_EQ(applied_plain, applied_packed);  // same measurement budget
+  EXPECT_GT(auc_plain, 0.85);
+  EXPECT_GT(auc_packed, 0.85);
+  // Duplicate picks pack requests; request batches come back as one reply
+  // datagram per prober.  The exact ratio depends on pick collisions, but
+  // the direction must be unmistakable.
+  EXPECT_LT(datagrams_packed, datagrams_plain * 9 / 10);
+}
+
+TEST(UdpPeer, AbwBatchedSwarmFoldsAtBothEnds) {
+  // Algorithm 2: a packed request batch folds eq. 13 at the target and the
+  // packed reply batch folds eq. 12 at the prober.
+  const Dataset dataset = SmallAbw();
+  const double tau = dataset.MedianValue();
+  auto peers = MakeBatchedSwarm(dataset, tau, 8, 4, /*coalesce=*/true);
+  RunRounds(peers, 60);
+  std::size_t applied = 0;
+  for (const auto& peer : peers) {
+    applied += peer->MeasurementsApplied();
+    EXPECT_EQ(peer->MalformedDatagrams(), 0u);
+  }
+  EXPECT_EQ(applied, dataset.NodeCount() * 60 * 4);
+}
+
 TEST(UdpPeer, MalformedDatagramsAreCountedNotFatal) {
   const Dataset dataset = SmallRtt();
   const double tau = dataset.MedianValue();
