@@ -17,7 +17,11 @@
 //                      sequential channel-driven rounds vs the parallel
 //                      deterministic sweep; the alg2-* variants run the
 //                      same comparison on a target-measured (ABW) dataset
-//                      through the target-sharded phase schedule.
+//                      through the target-sharded phase schedule; the
+//                      coo-compiled variants run the sparse round compiler
+//                      (DESIGN.md §14) against the per-message drain at
+//                      n = 8192 (dense matrix) and n = 65536 (procedural
+//                      delay-space ground truth).
 //   async_drain/*      end-to-end event throughput of AsyncDmfsgdSimulation —
 //                      the sequential cross-shard merge vs the parallel
 //                      conservative-window drain (DESIGN.md §9) vs the
@@ -33,6 +37,9 @@
 //   sgd_update_speedup          fused-SoA vs seed baseline, largest n
 //   matrix_parallel_scaling     hw-thread vs 1-thread full-matrix sweep
 //   round_parallel_scaling      parallel vs sequential round throughput
+//   coo_round_speedup           compiled COO round sweep vs per-message
+//                               sequential rounds at n = 65536 (> 1; the
+//                               _n8192/_n65536 scalars record both tiers)
 //   alg2_round_parallel_scaling same, Algorithm-2 phase schedule, largest n
 //   async_drain_parallel_scaling parallel vs sequential event drain, largest n
 //   async_distributed_scaling   2-process distributed vs sequential drain
@@ -71,6 +78,7 @@
 #include "core/snapshot.hpp"
 #include "datasets/clusters.hpp"
 #include "datasets/dataset.hpp"
+#include "datasets/procedural.hpp"
 #include "eval/regression_metrics.hpp"
 #include "harness.hpp"
 #include "netsim/inter_shard_channel.hpp"
@@ -320,6 +328,21 @@ bench::BenchJsonEntry RoundParallel(const datasets::Dataset& dataset,
       [&] { simulation.RunRoundsParallel(rounds, pool); });
 }
 
+/// The sparse round compiler (DESIGN.md §14): same rounds as
+/// RoundSequential, gathered into COO and executed as fused sweeps through
+/// the runtime-dispatched kernel table — no per-message variant dispatch, no
+/// per-reply coordinate copies.
+bench::BenchJsonEntry RoundCompiled(const datasets::Dataset& dataset,
+                                    const std::string& label,
+                                    std::size_t rounds, std::size_t repeats) {
+  core::DmfsgdSimulation simulation(dataset, RoundConfigFor(dataset));
+  return bench::MeasureMinOfK(
+      "round_throughput/" + label + "coo-compiled/n" +
+          std::to_string(dataset.NodeCount()),
+      rounds * dataset.NodeCount(), /*warmup=*/1, repeats,
+      [&] { simulation.RunRoundsCompiled(rounds); });
+}
+
 // ------------------------------------------------------------------------
 // Scenario: asynchronous event-drain throughput.
 
@@ -545,22 +568,31 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> tiers =
       quick ? std::vector<std::size_t>{8192} : std::vector<std::size_t>{1024, 8192};
   const std::size_t n_large = tiers.back();
+  // The SGD sweep also runs a 65536 tier (factor working set ~10 MB — far
+  // past every cache level); the matrix sweep can't follow it there, its n²
+  // buffers would need ~68 GB, so the tier list splits here.
+  std::vector<std::size_t> sgd_tiers = tiers;
+  sgd_tiers.push_back(65536);
 
   std::vector<bench::BenchJsonEntry> entries;
   double sgd_speedup = 0.0;
   double matrix_scaling = 0.0;
 
-  for (const std::size_t n : tiers) {
+  for (const std::size_t n : sgd_tiers) {
     // ~1M updates per timed pass regardless of tier.
     const std::size_t sweeps = std::max<std::size_t>(1, 1000000 / n);
     const auto legacy = SgdLegacy(n, sweeps, repeats);
     const auto fused = SgdFusedSoa(n, sweeps, repeats);
     entries.push_back(legacy);
     entries.push_back(fused);
+    // The headline ratio stays pinned to the deployment-scale 8192 tier the
+    // trajectory has always recorded; the 65536 tier is extra coverage.
     if (n == n_large) {
       sgd_speedup = fused.ops_per_sec / legacy.ops_per_sec;
     }
+  }
 
+  for (const std::size_t n : tiers) {
     const std::size_t matrix_repeats = n >= 8192 ? 3 : repeats;
     const auto matrix_single = MatrixSweep(n, 1, matrix_repeats);
     entries.push_back(matrix_single);
@@ -584,6 +616,31 @@ int main(int argc, char** argv) {
     entries.push_back(round_par);
     round_scaling = round_par.ops_per_sec / round_seq.ops_per_sec;
   }
+
+  // Sparse round compiler vs the per-message channel drain (DESIGN.md §14),
+  // at the deployment tier (dense synthetic matrix) and at 65536 nodes
+  // (procedural delay-space ground truth — a dense matrix would be ~34 GB).
+  double coo_speedup_8192 = 0.0;
+  double coo_speedup_65536 = 0.0;
+  for (const std::size_t n : {std::size_t{8192}, std::size_t{65536}}) {
+    datasets::Dataset dataset;
+    if (n > 8192) {
+      datasets::EuclideanRttConfig euclid;
+      euclid.node_count = n;
+      euclid.seed = 3;
+      dataset = datasets::MakeEuclideanRtt(euclid);
+    } else {
+      dataset = MakeSyntheticRtt(n, 3);
+    }
+    const std::size_t coo_rounds = quick ? 5 : 10;
+    const auto per_message = RoundSequential(dataset, "", coo_rounds, repeats);
+    const auto compiled = RoundCompiled(dataset, "", coo_rounds, repeats);
+    entries.push_back(per_message);
+    entries.push_back(compiled);
+    (n > 8192 ? coo_speedup_65536 : coo_speedup_8192) =
+        compiled.ops_per_sec / per_message.ops_per_sec;
+  }
+  const double coo_speedup = coo_speedup_65536;
 
   // Algorithm-2 rounds (target-sharded phases) and the async event drain run
   // per tier; datasets are scoped so only one n² ground truth is live.
@@ -666,6 +723,9 @@ int main(int argc, char** argv) {
          {"sgd_update_speedup", sgd_speedup},
          {"matrix_parallel_scaling", matrix_scaling},
          {"round_parallel_scaling", round_scaling},
+         {"coo_round_speedup", coo_speedup},
+         {"coo_round_speedup_n8192", coo_speedup_8192},
+         {"coo_round_speedup_n65536", coo_speedup_65536},
          {"alg2_round_parallel_scaling", alg2_scaling},
          {"async_drain_parallel_scaling", async_scaling},
          {"async_distributed_scaling", async_distributed_scaling},
@@ -684,12 +744,15 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
-      "round_parallel_scaling: %.3fx  alg2_round_parallel_scaling: %.3fx  "
+      "round_parallel_scaling: %.3fx  "
+      "coo_round_speedup: %.3fx (n8192 %.3fx, n65536 %.3fx)  "
+      "alg2_round_parallel_scaling: %.3fx  "
       "async_drain_parallel_scaling: %.3fx  async_distributed_scaling: %.3fx  "
       "async_pair_lookahead_window_gain: %.3fx  "
       "async_coalesced_event_gain: %.3fx  async_intershard_frame_gain: %.3fx  "
       "-> %s\n",
-      sgd_speedup, matrix_scaling, hw, round_scaling, alg2_scaling,
+      sgd_speedup, matrix_scaling, hw, round_scaling, coo_speedup,
+      coo_speedup_8192, coo_speedup_65536, alg2_scaling,
       async_scaling, async_distributed_scaling, pair_window_gain,
       async_coalesced_event_gain, intershard_frame_gain, output.c_str());
   return 0;

@@ -131,9 +131,31 @@ BenchJsonEntry MeasureMinOfK(const std::string& name, std::size_t items,
   return entry;
 }
 
+// Sanitizer instrumentation slows the measured kernels by 2-20x; numbers
+// from such a build would silently poison the tracked BENCH_core.json
+// trajectory.  Detect instrumentation at compile time — gcc defines
+// __SANITIZE_*, clang exposes __has_feature — plus the CMake marker the
+// sanitizer presets set, and refuse to write.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(DMFSGD_BENCH_TAINTED_BUILD)
+#define DMFSGD_BENCH_TAINTED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DMFSGD_BENCH_TAINTED 1
+#endif
+#endif
+
 void WriteBenchJson(const std::filesystem::path& path,
                     const std::vector<BenchJsonEntry>& entries,
                     const std::vector<std::pair<std::string, double>>& summary) {
+#ifdef DMFSGD_BENCH_TAINTED
+  throw std::runtime_error(
+      "WriteBenchJson: refusing to write " + path.string() +
+      " from a sanitizer-instrumented build — its timings are not "
+      "comparable to the tracked trajectory; rebuild without "
+      "DMFSGD_SANITIZE to record bench results");
+#else
   std::ostringstream out;
   out.precision(15);
   out << "{\n  \"benchmarks\": [\n";
@@ -156,6 +178,7 @@ void WriteBenchJson(const std::filesystem::path& path,
     throw std::runtime_error("WriteBenchJson: cannot open " + path.string());
   }
   file << out.str();
+#endif
 }
 
 }  // namespace dmfsgd::bench

@@ -9,6 +9,9 @@
 #   --no-bench                     skip the perf smoke (Debug/sanitizer legs)
 #   --quick-tests                  run `ctest -L quick` only (sanitizer legs
 #                                  skip the socket/fork-heavy `slow` label)
+#   --avx=<AUTO|ON|OFF>            forwarded as -DDMFSGD_ENABLE_AVX: the avx2
+#                                  CI leg passes ON (configure fails rather
+#                                  than silently building scalar-only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +19,7 @@ cd "$(dirname "$0")/.."
 build_type=Release
 sanitize=""
 run_bench=1
+avx=AUTO
 test_label_args=()
 for arg in "$@"; do
   case "$arg" in
@@ -23,8 +27,9 @@ for arg in "$@"; do
     --sanitize=*)   sanitize="${arg#*=}" ;;
     --no-bench)     run_bench=0 ;;
     --quick-tests)  test_label_args=(-L quick) ;;
+    --avx=*)        avx="${arg#*=}" ;;
     *) echo "usage: ci/verify.sh [--build-type=T] [--sanitize=asan|tsan]" \
-            "[--no-bench] [--quick-tests]" >&2; exit 2 ;;
+            "[--no-bench] [--quick-tests] [--avx=AUTO|ON|OFF]" >&2; exit 2 ;;
   esac
 done
 
@@ -60,11 +65,18 @@ else
       '"async_drain/burst-seq' '"async_drain/coalesced-seq' \
       '"async_coalesced_event_gain"' '"async_intershard_frame_gain"' \
       '"async_pair_lookahead_window_gain"' '"sgd_update_speedup"' \
-      '"async_drain_parallel_scaling"' '"async_distributed_scaling"'; do
+      '"async_drain_parallel_scaling"' '"async_distributed_scaling"' \
+      '"coo_round_speedup"' '"round_throughput/coo-compiled'; do
     if ! grep -qF "$required" BENCH_core.json; then
       docs_failures+=("BENCH_core.json lacks $required — regenerate with bench_bench_core (or ci/promote_bench.sh)")
     fi
   done
+fi
+
+# The sparse round compiler (DESIGN.md §14) is opt-in through --compile-rounds
+# on both drivers; the README must keep the flag discoverable.
+if [[ -f README.md ]] && ! grep -q -- '--compile-rounds' README.md; then
+  docs_failures+=("README.md does not document the --compile-rounds flag")
 fi
 
 # Every "DESIGN.md §N" a source comment (or workflow file) cites must resolve
@@ -97,7 +109,7 @@ if [[ -n "$sanitize" ]]; then
 fi
 
 cmake_args=(-B "$build_dir" -S . -DCMAKE_BUILD_TYPE="$build_type"
-            -DDMFSGD_SANITIZE="$sanitize")
+            -DDMFSGD_SANITIZE="$sanitize" -DDMFSGD_ENABLE_AVX="$avx")
 # ccache keeps the CI matrix warm; harmless to omit locally.
 if command -v ccache >/dev/null 2>&1; then
   cmake_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)

@@ -14,8 +14,14 @@
 // into a single mini-batch gradient step.  The datagram counter at the end
 // shows what coalescing saves on the wire.
 //
+// With --coalesce --compile-rounds the packed envelopes keep the coalesced
+// framing on the wire but run through the sparse round compiler's
+// per-message fused handler (DESIGN.md §14): one kernel-table resolution
+// per envelope, one gradient step per item — per-message arithmetic, so
+// the learned state matches the per-message fold of the same envelopes.
+//
 // Usage: udp_swarm [--nodes=N] [--neighbors=K] [--rounds=R] [--seed=S]
-//                  [--batch-size=B] [--coalesce]
+//                  [--batch-size=B] [--coalesce] [--compile-rounds]
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -30,13 +36,21 @@ int main(int argc, char** argv) {
   using namespace dmfsgd;
 
   const common::Flags flags(argc, argv, {"nodes", "neighbors", "rounds", "seed",
-                                         "batch-size", "coalesce"});
+                                         "batch-size", "coalesce",
+                                         "compile-rounds"});
   const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 60));
   const auto k = static_cast<std::size_t>(flags.GetInt("neighbors", 10));
   const auto rounds = static_cast<std::size_t>(flags.GetInt("rounds", 300));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const auto batch = static_cast<std::size_t>(flags.GetInt("batch-size", 1));
   const bool coalesce = flags.GetBool("coalesce", false);
+  const bool compile_rounds = flags.GetBool("compile-rounds", false);
+  if (compile_rounds && !coalesce) {
+    std::cerr << "udp_swarm: --compile-rounds needs --coalesce (without "
+                 "packed envelopes every datagram is a singleton and there "
+                 "is nothing to compile)\n";
+    return 1;
+  }
 
   datasets::MeridianConfig dataset_config;
   dataset_config.node_count = nodes;
@@ -62,6 +76,7 @@ int main(int argc, char** argv) {
     config.seed = seed + i;
     config.probe_burst = batch;
     config.coalesce = coalesce;
+    config.compile_rounds = compile_rounds;
     peers.push_back(std::make_unique<transport::UdpDmfsgdPeer>(config, measure));
   }
   common::Rng rng(seed + 999);
@@ -75,7 +90,8 @@ int main(int argc, char** argv) {
   std::cout << "swarm of " << nodes << " UDP peers on 127.0.0.1 (ports "
             << peers.front()->Port() << ".." << peers.back()->Port()
             << "), k = " << k << ", tau = " << tau << " ms, batch = " << batch
-            << (coalesce ? ", coalesced" : ", per-message") << "\n";
+            << (coalesce ? ", coalesced" : ", per-message")
+            << (compile_rounds ? ", compiled envelopes" : "") << "\n";
 
   // Train: everyone probes once per round, then the swarm drains its mail.
   for (std::size_t round = 0; round < rounds; ++round) {

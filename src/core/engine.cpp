@@ -140,18 +140,38 @@ void DeploymentEngine::RebuildNeighborSet(NodeId i) {
 void DeploymentEngine::RebuildNeighborSetWith(NodeId i, common::Rng& rng) {
   const std::size_t n = nodes_.size();
   std::vector<NodeId> candidates;
-  candidates.reserve(n - 1);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j != i && dataset_->IsKnown(i, j)) {
-      candidates.push_back(static_cast<NodeId>(j));
+  if (dataset_->Procedural()) {
+    // Every off-diagonal pair is known by the procedural contract, so k
+    // distinct neighbors come from rejection sampling: O(k) expected draws
+    // instead of the O(n) candidate scan, which makes the construction
+    // O(n·k) overall — the difference between feasible and not at the
+    // bench-scale node counts the procedural datasets exist for.
+    if (n - 1 < config_.neighbor_count) {
+      throw std::invalid_argument(
+          "DeploymentEngine: node has fewer measurable pairs than k");
     }
+    candidates.reserve(config_.neighbor_count);
+    while (candidates.size() < config_.neighbor_count) {
+      const auto j = static_cast<NodeId>(rng.UniformInt(n));
+      if (j != i &&
+          std::find(candidates.begin(), candidates.end(), j) == candidates.end()) {
+        candidates.push_back(j);
+      }
+    }
+  } else {
+    candidates.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && dataset_->IsKnown(i, j)) {
+        candidates.push_back(static_cast<NodeId>(j));
+      }
+    }
+    if (candidates.size() < config_.neighbor_count) {
+      throw std::invalid_argument(
+          "DeploymentEngine: node has fewer measurable pairs than k");
+    }
+    rng.Shuffle(std::span(candidates));
+    candidates.resize(config_.neighbor_count);
   }
-  if (candidates.size() < config_.neighbor_count) {
-    throw std::invalid_argument(
-        "DeploymentEngine: node has fewer measurable pairs than k");
-  }
-  rng.Shuffle(std::span(candidates));
-  candidates.resize(config_.neighbor_count);
   std::sort(candidates.begin(), candidates.end());
   neighbors_[i] = std::move(candidates);
   round_robin_cursor_[i] = 0;
@@ -268,6 +288,14 @@ void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
         "DeploymentEngine::ParallelRoundSweep: probe_burst > 1 is not "
         "supported on the parallel sweep path");
   }
+  if (config_.compile_rounds) {
+    if (abw_) {
+      CompiledParallelAbwSweep(pool);
+    } else {
+      CompiledParallelRttSweep(pool);
+    }
+    return;
+  }
   if (abw_) {
     ParallelAbwRoundSweep(pool);
     return;
@@ -314,6 +342,152 @@ void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
 
   // An exchange either dropped a leg or applied its measurement, so one
   // per-node flag determines both counters.
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dropped += sweep_state_[i];
+  }
+  dropped_legs_ += dropped;
+  measurement_count_ += n - dropped;
+}
+
+void DeploymentEngine::CompiledRoundSweep() {
+  if (config_.probe_burst > 1) {
+    // The compiled gather models one exchange per node per round, like the
+    // parallel sweep; batched rounds run through the sequential driver.
+    throw std::logic_error(
+        "DeploymentEngine::CompiledRoundSweep: probe_burst > 1 is not "
+        "supported on the compiled round path");
+  }
+  ChurnSweep();
+
+  // Gather: consume the shared RNG stream in exactly the per-message order
+  // — pick, leg-1 roll, leg-2 roll per exchange.  (Algorithm 2 rolls leg 2
+  // after the target consumed the measurement, but no draw happens in
+  // between, so rolling it at gather time replays the stream verbatim.)
+  // Only node-owned probing state (round-robin cursors, loss feedback read
+  // by the pick) is touched here, none of which the deferred execution
+  // changes out of order: neighbor_loss_[i] is written solely by node i's
+  // own exchange, which the per-message round also applies after i's pick.
+  round_coo_.Clear();
+  const std::size_t n = nodes_.size();
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId j = PickNeighbor(i);
+    if (LegLost()) {  // leg 1: the probe — nothing happened anywhere
+      continue;
+    }
+    const bool full = !LegLost();  // leg 2: the reply
+    if (abw_) {
+      round_coo_.Add(i, j, full);  // the target measured and updates either way
+    } else if (full) {
+      round_coo_.Add(i, j, true);  // a lost RTT reply loses the whole exchange
+    }
+  }
+
+  if (abw_) {
+    ExecuteCompiledAbwRound();
+  } else {
+    ExecuteCompiledRttRound();
+  }
+}
+
+void DeploymentEngine::ExecuteCompiledRttRound() {
+  // Original gather order *is* ascending-prober row-major order (one edge
+  // per prober), and an Algorithm-1 exchange writes only the prober's own
+  // rows, so executing the edges in order against the live store replays
+  // every mid-round coordinate read the sequential channel drain performs —
+  // the remote rows here are live for the same reason the per-message
+  // reply's copies were fresh at reply time.
+  const linalg::KernelOps& kernels = linalg::ActiveKernels();
+  const std::size_t r = config_.rank;
+  for (const RoundEdge& edge : round_coo_.Edges()) {
+    const double x = MeasurementFor(edge.prober, edge.target, std::nullopt);
+    RecordNeighborLoss(edge.prober, edge.target, x, store_.V(edge.target));
+    CompiledRttStep(kernels, config_.params, x, store_.U(edge.target).data(),
+                    store_.V(edge.target).data(), store_.U(edge.prober).data(),
+                    store_.V(edge.prober).data(), r);
+    ++measurement_count_;
+  }
+}
+
+void DeploymentEngine::ExecuteCompiledAbwRound() {
+  // Group by updated v row, stable by message order: per target the updates
+  // apply in ascending-prober order — the exact per-message sequence — and
+  // exchanges aimed at different targets commute because u_i is read and
+  // written only by prober i's own exchange (one probe per node per round).
+  const std::size_t n = nodes_.size();
+  round_coo_.GroupByTarget(n);
+  const linalg::KernelOps& kernels = linalg::ActiveKernels();
+  const std::size_t r = config_.rank;
+  const auto& edges = round_coo_.Edges();
+  std::vector<double> v_pre(r);
+  for (NodeId t = 0; t < n; ++t) {
+    for (const std::uint32_t e : round_coo_.Group(t)) {
+      const RoundEdge& edge = edges[e];
+      const double x = MeasurementFor(edge.prober, t, std::nullopt);
+      double* v_row = store_.V(t).data();
+      if (edge.full != 0) {
+        // The reply ships v_j as it stood before the target's update
+        // (Algorithm 2 sends before updating).
+        std::copy(v_row, v_row + r, v_pre.begin());
+      }
+      CompiledAbwTargetStep(kernels, config_.params, x,
+                            store_.U(edge.prober).data(), v_row, r);  // eq. 13
+      ++measurement_count_;
+      if (edge.full != 0) {
+        RecordNeighborLoss(edge.prober, t, x, v_pre);
+        CompiledAbwProberStep(kernels, config_.params, x, v_pre.data(),
+                              store_.U(edge.prober).data(), r);  // eq. 12
+      }
+    }
+  }
+}
+
+void DeploymentEngine::CompiledParallelRttSweep(common::ThreadPool& pool) {
+  const std::size_t n = nodes_.size();
+  const std::size_t r = config_.rank;
+  EnsurePerNodeStreams();
+  ChurnSweep();
+
+  const auto u_data = store_.UData();
+  const auto v_data = store_.VData();
+  sweep_u_.assign(u_data.begin(), u_data.end());
+  sweep_v_.assign(v_data.begin(), v_data.end());
+  sweep_target_.resize(n);
+
+  // Gather: draws only — the same streams rolled in the same order as the
+  // uncompiled sweep, so both sweeps follow one trajectory.
+  pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      common::Rng& rng = per_node_rng_[i];
+      sweep_target_[i] = PickNeighborWith(static_cast<NodeId>(i), rng);
+      bool lost = false;
+      if (config_.message_loss > 0.0) {
+        lost = rng.Bernoulli(config_.message_loss) ||
+               rng.Bernoulli(config_.message_loss);
+      }
+      sweep_state_[i] = lost ? 1 : 0;
+    }
+  });
+
+  // Execute: the gathered edges partitioned into contiguous row ranges
+  // (edge i updates exactly rows i of both factors), swept through a kernel
+  // table fetched once — no variant dispatch, no per-message copies.
+  const linalg::KernelOps& kernels = linalg::ActiveKernels();
+  pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (sweep_state_[i] != 0) {
+        continue;
+      }
+      const NodeId j = sweep_target_[i];
+      const double x = MeasurementFor(i, j, std::nullopt);
+      const std::span<const double> v_remote(sweep_v_.data() + j * r, r);
+      RecordNeighborLoss(static_cast<NodeId>(i), j, x, v_remote);
+      CompiledRttStep(kernels, config_.params, x, sweep_u_.data() + j * r,
+                      sweep_v_.data() + j * r, store_.U(i).data(),
+                      store_.V(i).data(), r);
+    }
+  });
+
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
     dropped += sweep_state_[i];
@@ -390,6 +564,83 @@ void DeploymentEngine::ParallelAbwRoundSweep(common::ThreadPool& pool) {
 
   // 4. Counters, reduced exactly as the sequential exchanges would have:
   // the target consumes the measurement even when the reply is lost.
+  std::size_t measured = 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    measured += sweep_state_[i] != kAbwLeg1Lost ? 1 : 0;
+    dropped += sweep_state_[i] != kAbwFull ? 1 : 0;
+  }
+  measurement_count_ += measured;
+  dropped_legs_ += dropped;
+}
+
+void DeploymentEngine::CompiledParallelAbwSweep(common::ThreadPool& pool) {
+  const std::size_t n = nodes_.size();
+  const std::size_t r = config_.rank;
+  EnsurePerNodeStreams();
+  ChurnSweep();
+
+  // 1. Draws — identical streams and roll order to ParallelAbwRoundSweep.
+  sweep_target_.resize(n);
+  pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      common::Rng& rng = per_node_rng_[i];
+      sweep_target_[i] = PickNeighborWith(static_cast<NodeId>(i), rng);
+      unsigned char state = kAbwFull;
+      if (config_.message_loss > 0.0) {
+        if (rng.Bernoulli(config_.message_loss)) {
+          state = kAbwLeg1Lost;
+        } else if (rng.Bernoulli(config_.message_loss)) {
+          state = kAbwLeg2Lost;
+        }
+      }
+      sweep_state_[i] = state;
+    }
+  });
+
+  // 2. Compile: row-major COO, grouped by updated v row, stable by prober
+  // order (probers are gathered ascending, and the grouping sort is
+  // stable).  Sequential and deterministic — pool size never enters.
+  round_coo_.Clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sweep_state_[i] != kAbwLeg1Lost) {
+      round_coo_.Add(static_cast<NodeId>(i), sweep_target_[i],
+                     sweep_state_[i] == kAbwFull);
+    }
+  }
+  round_coo_.GroupByTarget(n);
+
+  // 3. One ParallelFor over contiguous target-row ranges replaces the
+  // phase-barrier schedule: a range exclusively owns v of its target rows
+  // and u of their probers (each prober appears in exactly one group), so
+  // the partition is data-race-free, and within a group the updates apply
+  // in the same ascending-prober order the phases enforced — bit-identical
+  // results for every pool size, and to the uncompiled schedule under the
+  // scalar kernel table.
+  const linalg::KernelOps& kernels = linalg::ActiveKernels();
+  const auto& edges = round_coo_.Edges();
+  pool.ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> v_pre(r);
+    for (std::size_t t = lo; t < hi; ++t) {
+      for (const std::uint32_t e : round_coo_.Group(static_cast<NodeId>(t))) {
+        const RoundEdge& edge = edges[e];
+        const double x = MeasurementFor(edge.prober, t, std::nullopt);
+        double* v_row = store_.V(t).data();
+        if (edge.full != 0) {
+          std::copy(v_row, v_row + r, v_pre.begin());
+        }
+        CompiledAbwTargetStep(kernels, config_.params, x,
+                              store_.U(edge.prober).data(), v_row, r);  // eq. 13
+        if (edge.full != 0) {
+          RecordNeighborLoss(edge.prober, static_cast<NodeId>(t), x, v_pre);
+          CompiledAbwProberStep(kernels, config_.params, x, v_pre.data(),
+                                store_.U(edge.prober).data(), r);  // eq. 12
+        }
+      }
+    }
+  });
+
+  // 4. Same counter reduction as the phase schedule.
   std::size_t measured = 0;
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -593,6 +844,28 @@ void DeploymentEngine::OnBatch(const MessageBatch& batch) {
   // handler in order — bit-identical to the pre-batch engine (an envelope
   // is its messages in order, DESIGN.md §13).
   if (config_.gradient_batch_size <= 1 || batch.items.size() <= 1) {
+    // Window-compile (opt-in, DESIGN.md §14): a multi-item envelope is a
+    // conservative delivery window, so its reply runs can execute as fused
+    // compiled sweeps — same per-message arithmetic and bookkeeping, but
+    // through a kernel table fetched once per run and raw store rows, no
+    // coordinate copies.  Mini-batch mode (the branch below) takes
+    // precedence; singletons stay on the per-message handlers.
+    if (config_.compile_rounds && batch.items.size() > 1) {
+      std::size_t i = 0;
+      while (i < batch.items.size()) {
+        const ProtocolMessage& message = batch.items[i].message;
+        if (std::holds_alternative<RttProbeReply>(message)) {
+          i = CompileRttReplies(batch, i);
+        } else if (std::holds_alternative<AbwProbeReply>(message)) {
+          i = CompileAbwReplies(batch, i);
+        } else {
+          // Requests send replies — they stay per-message.
+          OnMessage(batch.items[i].from, batch.to, message);
+          ++i;
+        }
+      }
+      return;
+    }
     for (const BatchItem& item : batch.items) {
       OnMessage(item.from, batch.to, item.message);
     }
@@ -711,6 +984,60 @@ std::size_t DeploymentEngine::FoldAbwRequests(const MessageBatch& batch,
     channel_->Send(target, request.prober, AbwProbeReply{target, x, v_pre});
   }
   nodes_[target].ApplyBatchV(dv, config_.params);
+  return end;
+}
+
+std::size_t DeploymentEngine::CompileRttReplies(const MessageBatch& batch,
+                                                std::size_t start) {
+  const std::size_t end =
+      RunEnd<RttProbeReply>(batch, start, batch.items.size());
+  const NodeId prober = batch.to;
+  const std::size_t r = config_.rank;
+  // The whole run updates only the prober's own rows: hoist the kernel
+  // table and row pointers, then replay the run in envelope order — the
+  // arithmetic and bookkeeping of HandleRttReply, item for item.  (Trace
+  // overrides never reach here: ReplayTrace rejects coalescing channels,
+  // and only coalescing produces multi-item envelopes.)
+  const linalg::KernelOps& kernels = linalg::ActiveKernels();
+  double* u_row = store_.U(prober).data();
+  double* v_row = store_.V(prober).data();
+  for (std::size_t k = start; k < end; ++k) {
+    const auto& reply = std::get<RttProbeReply>(batch.items[k].message);
+    if (reply.u.size() != r || reply.v.size() != r) {
+      throw std::invalid_argument(
+          "DeploymentEngine: RttProbeReply coordinate rank mismatch");
+    }
+    const double x = MeasurementFor(prober, reply.target, std::nullopt);
+    RecordNeighborLoss(prober, reply.target, x, reply.v);
+    CompiledRttStep(kernels, config_.params, x, reply.u.data(), reply.v.data(),
+                    u_row, v_row, r);
+    CountMeasurementAt(prober);
+    ResolveExchangeAt(prober);
+  }
+  return end;
+}
+
+std::size_t DeploymentEngine::CompileAbwReplies(const MessageBatch& batch,
+                                                std::size_t start) {
+  const std::size_t end =
+      RunEnd<AbwProbeReply>(batch, start, batch.items.size());
+  const NodeId prober = batch.to;
+  const std::size_t r = config_.rank;
+  // HandleAbwReply's arithmetic and bookkeeping (the target already
+  // consumed the measurement when it replied — no CountMeasurementAt).
+  const linalg::KernelOps& kernels = linalg::ActiveKernels();
+  double* u_row = store_.U(prober).data();
+  for (std::size_t k = start; k < end; ++k) {
+    const auto& reply = std::get<AbwProbeReply>(batch.items[k].message);
+    if (reply.v.size() != r) {
+      throw std::invalid_argument(
+          "DeploymentEngine: AbwProbeReply coordinate rank mismatch");
+    }
+    RecordNeighborLoss(prober, reply.target, reply.measurement, reply.v);
+    CompiledAbwProberStep(kernels, config_.params, reply.measurement,
+                          reply.v.data(), u_row, r);  // eq. 12
+    ResolveExchangeAt(prober);
+  }
   return end;
 }
 

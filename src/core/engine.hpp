@@ -57,6 +57,7 @@
 #include "core/delivery.hpp"
 #include "core/error_injection.hpp"
 #include "core/node.hpp"
+#include "core/round_compiler.hpp"
 #include "datasets/dataset.hpp"
 
 namespace dmfsgd::common {
@@ -144,6 +145,18 @@ struct SimulationConfig {
   /// Order-preserving — with gradient_batch_size == 1 the drains are
   /// bit-identical to per-message delivery (DESIGN.md §13).
   bool coalesce_delivery = false;
+
+  /// Opt-in sparse round compiler (DESIGN.md §14): the parallel round sweep
+  /// gathers the round into row-major COO and executes it as fused sweeps
+  /// over contiguous row ranges (Algorithm 2 loses its phase barriers), and
+  /// the engine folds multi-message reply envelopes — the async drain's
+  /// conservative windows — through the same fused executor.  Per-message
+  /// update semantics are preserved exactly: with the scalar kernel table
+  /// (linalg::KernelsFor(KernelIsa::kScalar)) every compiled path is
+  /// bit-identical to its per-message twin; vector tables change only the
+  /// dots' accumulation order.  Mini-batch folding (gradient_batch_size > 1)
+  /// takes precedence on the receive path.
+  bool compile_rounds = false;
 };
 
 class DeploymentEngine {
@@ -230,6 +243,21 @@ class DeploymentEngine {
   ///    order.
   void ParallelRoundSweep(common::ThreadPool& pool);
 
+  /// Runs one full probing round through the sparse round compiler
+  /// (DESIGN.md §14), sequentially: churn sweep, then a *gather* pass that
+  /// consumes the shared RNG stream in exactly the per-message order (pick,
+  /// leg-1 roll, leg-2 roll per exchange) while collecting the surviving
+  /// exchanges as COO edges, then an *execute* pass that replays the
+  /// gathered edges — in original order (Algorithm 1) or grouped by target
+  /// row, stable by message order (Algorithm 2) — as one fused kernel sweep
+  /// with no channel, no variant dispatch and no per-message coordinate
+  /// copies.  With the scalar kernel table the result is bit-identical to
+  /// RunRounds' round over an immediate channel (counters included); vector
+  /// tables differ only in dot accumulation order.  Rejects probe_burst > 1
+  /// (the compiled gather models one exchange per node per round) and trace
+  /// overrides (which need an immediate channel).
+  void CompiledRoundSweep();
+
   // -- sharded event drains ------------------------------------------------
 
   /// Enters sharded-drain mode for a parallel event-queue drain
@@ -290,6 +318,22 @@ class DeploymentEngine {
   /// The Algorithm-2 half of ParallelRoundSweep: target-sharded phases.
   void ParallelAbwRoundSweep(common::ThreadPool& pool);
 
+  /// The compiled twins of the parallel sweeps (config.compile_rounds):
+  /// same per-node draws, but the gradient pass runs as fused sweeps over
+  /// contiguous row ranges — Algorithm 1 splits the fused pick+update loop
+  /// into a draw pass and a branch-light execute pass; Algorithm 2 replaces
+  /// the phase-barrier schedule with one ParallelFor over stable row-major
+  /// target groups (each range exclusively owns its targets' v rows and the
+  /// u rows of their probers, who appear in exactly one group).  Bit-
+  /// identical to the uncompiled sweeps under the scalar kernel table, and
+  /// to themselves for every pool size.
+  void CompiledParallelRttSweep(common::ThreadPool& pool);
+  void CompiledParallelAbwSweep(common::ThreadPool& pool);
+
+  /// The sequential execute passes shared by CompiledRoundSweep.
+  void ExecuteCompiledRttRound();
+  void ExecuteCompiledAbwRound();
+
   /// The training value for pair (i, j): class label (possibly corrupted) or
   /// τ-normalized quantity (the DESIGN.md §3 substitution).
   [[nodiscard]] double MeasurementFor(std::size_t i, std::size_t j,
@@ -330,6 +374,16 @@ class DeploymentEngine {
   std::size_t FoldAbwReplies(const MessageBatch& batch, std::size_t start);
   std::size_t FoldAbwRequests(const MessageBatch& batch, std::size_t start);
 
+  /// Window-compile folds (config.compile_rounds, per-message gradients):
+  /// a consecutive same-kind reply run inside one delivered envelope — the
+  /// unit an async conservative window or a coalesced burst produces — runs
+  /// through the fused compiled executor with the kernel table hoisted out
+  /// of the loop.  Per-message arithmetic and bookkeeping are preserved
+  /// item for item, so the fold is bit-identical to the per-message
+  /// handlers under the scalar table.  Each returns one past the run.
+  std::size_t CompileRttReplies(const MessageBatch& batch, std::size_t start);
+  std::size_t CompileAbwReplies(const MessageBatch& batch, std::size_t start);
+
   /// Feeds the loss-driven strategy after a completed exchange.
   void RecordNeighborLoss(NodeId i, NodeId j, double x,
                           std::span<const double> v_remote);
@@ -367,6 +421,9 @@ class DeploymentEngine {
   std::vector<double> sweep_v_;
   std::vector<unsigned char> sweep_state_;
   std::vector<NodeId> sweep_target_;
+
+  /// Round-compiler COO buffer (DESIGN.md §14), reused across rounds.
+  RoundCoo round_coo_;
 
   // Sharded-drain state: per-node counter slots, cache-line separated so
   // handlers on different shards never share a line.  Folded into the scalar

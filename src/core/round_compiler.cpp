@@ -1,0 +1,28 @@
+#include "core/round_compiler.hpp"
+
+#include <stdexcept>
+
+namespace dmfsgd::core {
+
+void RoundCoo::GroupByTarget(std::size_t node_count) {
+  // Stable counting sort by target row: count, prefix-sum into group
+  // boundaries, scatter in gather order (which preserves the ascending
+  // message order within every group — the §14 ordering invariant).
+  offsets_.assign(node_count + 1, 0);
+  for (const RoundEdge& edge : edges_) {
+    if (edge.target >= node_count) {
+      throw std::out_of_range("RoundCoo::GroupByTarget: target out of range");
+    }
+    ++offsets_[edge.target + 1];
+  }
+  for (std::size_t t = 0; t < node_count; ++t) {
+    offsets_[t + 1] += offsets_[t];
+  }
+  grouped_.resize(edges_.size());
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+    grouped_[cursor_[edges_[e].target]++] = e;
+  }
+}
+
+}  // namespace dmfsgd::core

@@ -56,6 +56,12 @@ void DmfsgdSimulation::RunRoundsParallel(std::size_t rounds,
   }
 }
 
+void DmfsgdSimulation::RunRoundsCompiled(std::size_t rounds) {
+  for (std::size_t round = 0; round < rounds; ++round) {
+    engine_.CompiledRoundSweep();  // includes the churn sweep
+  }
+}
+
 std::size_t DmfsgdSimulation::ReplayTrace(std::size_t begin, std::size_t end) {
   const auto& trace = engine_.dataset().trace;
   if (trace.empty()) {

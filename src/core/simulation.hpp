@@ -47,6 +47,13 @@ class DmfsgdSimulation {
   /// target-disjoint phase schedule of DESIGN.md §8 (Algorithm 2).
   void RunRoundsParallel(std::size_t rounds, common::ThreadPool& pool);
 
+  /// Runs `rounds` probing rounds through the sparse round compiler
+  /// (DESIGN.md §14): each round is gathered into row-major COO and
+  /// executed as one fused sweep.  Bit-identical to RunRounds under the
+  /// scalar kernel table — see DeploymentEngine::CompiledRoundSweep.
+  /// Requires probe_burst == 1.
+  void RunRoundsCompiled(std::size_t rounds);
+
   /// Replays trace records [begin, end) in time order; returns the number of
   /// records that were usable (dst in src's neighbor set) and applied.
   /// Throws std::logic_error if the dataset has no trace.

@@ -28,7 +28,23 @@ int ClassOf(Metric metric, double quantity, double tau) noexcept {
   return quantity >= tau ? 1 : -1;
 }
 
+namespace {
+
+// The percentile/class-matrix helpers scan the dense ground-truth matrix —
+// meaningless (and, at bench scale, impossibly large) for a procedural
+// dataset.  Callers on procedural data pick tau analytically or by sampling
+// quantity_fn instead.
+void RequireMaterialized(const Dataset& dataset, const char* what) {
+  if (dataset.Procedural()) {
+    throw std::logic_error(std::string(what) +
+                           ": not available on a procedural dataset");
+  }
+}
+
+}  // namespace
+
 double Dataset::PercentileValue(double p) const {
+  RequireMaterialized(*this, "Dataset::PercentileValue");
   const auto values = linalg::KnownOffDiagonal(ground_truth);
   return common::Percentile(values, p);
 }
@@ -45,10 +61,12 @@ double Dataset::TauForGoodPortion(double portion_good) const {
 }
 
 linalg::Matrix Dataset::ClassMatrix(double tau) const {
+  RequireMaterialized(*this, "Dataset::ClassMatrix");
   return linalg::ClassMatrix(ground_truth, tau, LowerIsBetter(metric));
 }
 
 double Dataset::GoodFraction(double tau) const {
+  RequireMaterialized(*this, "Dataset::GoodFraction");
   const auto values = linalg::KnownOffDiagonal(ground_truth);
   if (values.empty()) {
     throw std::logic_error("GoodFraction: dataset has no known pairs");
@@ -63,6 +81,42 @@ double Dataset::GoodFraction(double tau) const {
 }
 
 void ValidateDataset(const Dataset& dataset) {
+  if (dataset.Procedural()) {
+    // The full pairwise check would be O(n²) against a function — spot-check
+    // the declared invariants on a deterministic sample of pairs instead.
+    if (dataset.procedural_nodes < 2) {
+      throw std::invalid_argument("ValidateDataset: need at least 2 nodes");
+    }
+    if (dataset.ground_truth.Rows() != 0) {
+      throw std::invalid_argument(
+          "ValidateDataset: procedural dataset must not also carry a matrix");
+    }
+    if (!dataset.trace.empty()) {
+      throw std::invalid_argument(
+          "ValidateDataset: procedural datasets cannot carry a trace");
+    }
+    const std::size_t n = dataset.procedural_nodes;
+    const std::size_t step = std::max<std::size_t>(1, n / 64);
+    for (std::size_t i = 0; i < n; i += step) {
+      const std::size_t j = (i + step) % n;
+      if (i == j) {
+        continue;
+      }
+      const double v = dataset.quantity_fn(i, j);
+      if (!(v > 0.0) || !std::isfinite(v)) {
+        throw std::invalid_argument(
+            "ValidateDataset: procedural quantities must be positive finite");
+      }
+      if (dataset.metric == Metric::kRtt) {
+        const double back = dataset.quantity_fn(j, i);
+        if (std::abs(v - back) > 1e-9 * std::max(v, back)) {
+          throw std::invalid_argument(
+              "ValidateDataset: procedural RTT must be symmetric");
+        }
+      }
+    }
+    return;
+  }
   const auto& m = dataset.ground_truth;
   if (m.Rows() != m.Cols()) {
     throw std::invalid_argument("ValidateDataset: matrix must be square");

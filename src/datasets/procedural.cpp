@@ -1,0 +1,75 @@
+#include "datasets/procedural.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/delay_space.hpp"
+
+namespace dmfsgd::datasets {
+
+Dataset MakeEuclideanRtt(const EuclideanRttConfig& config) {
+  netsim::DelaySpaceConfig space;
+  space.node_count = config.node_count;
+  // Meridian-like globally distributed population (see MakeMeridian), with
+  // the cluster count scaled up so metro areas don't grow unboundedly dense
+  // at bench-scale n.
+  space.continent_count = 5;
+  space.cluster_count = std::max<std::size_t>(20, config.node_count / 512);
+  space.dimensions = 3;
+  space.cluster_radius_ms = 8.0;
+  space.continent_radius_ms = 22.0;
+  space.world_radius_ms = 130.0;
+  space.min_access_ms = 0.3;
+  space.access_lognormal_mu = 0.6;
+  space.access_lognormal_sigma = 0.8;
+  space.detour_cluster_sigma = 0.15;
+  space.detour_pair_sigma = 0.03;
+  space.seed = config.seed;
+
+  auto delay_space = std::make_shared<const netsim::DelaySpace>(space);
+  Dataset dataset;
+  dataset.name = "EuclideanRtt";
+  dataset.metric = Metric::kRtt;
+  dataset.procedural_nodes = config.node_count;
+  dataset.quantity_fn = [delay_space](std::size_t i, std::size_t j) {
+    return delay_space->Rtt(i, j);
+  };
+  return dataset;
+}
+
+double SampledMedianValue(const Dataset& dataset, std::size_t samples,
+                          std::uint64_t seed) {
+  if (samples == 0) {
+    throw std::invalid_argument("SampledMedianValue: samples must be > 0");
+  }
+  const std::size_t n = dataset.NodeCount();
+  if (n < 2) {
+    throw std::invalid_argument("SampledMedianValue: need at least 2 nodes");
+  }
+  common::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(samples);
+  // A rejection cap keeps a pathologically sparse matrix from spinning the
+  // sampler forever; real datasets are > 90% known, so it never binds there.
+  std::size_t attempts_left = samples * 64;
+  while (values.size() < samples) {
+    if (attempts_left-- == 0) {
+      throw std::invalid_argument(
+          "SampledMedianValue: dataset too sparse to sample");
+    }
+    const auto i = static_cast<std::size_t>(rng.UniformInt(n));
+    const auto j = static_cast<std::size_t>(rng.UniformInt(n));
+    if (i == j || !dataset.IsKnown(i, j)) {
+      continue;
+    }
+    values.push_back(dataset.Quantity(i, j));
+  }
+  const auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+  std::nth_element(values.begin(), mid, values.end());
+  return *mid;
+}
+
+}  // namespace dmfsgd::datasets

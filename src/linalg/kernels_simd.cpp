@@ -1,0 +1,390 @@
+// Explicit AVX2 / AVX-512 kernel variants with runtime CPUID dispatch
+// (DESIGN.md §14).
+//
+// The vector bodies are compiled via function `target` attributes, so the
+// translation unit builds with the project's baseline flags — no global
+// -mavx2 required — and the binary stays runnable on pre-AVX2 hosts (the
+// vector entry points are only reached after __builtin_cpu_supports says
+// the instructions exist).
+//
+// Numerical design, pinned by kernels_test:
+//
+//  * decay_axpy / axpy: purely element-wise.  The vector bodies evaluate
+//    exactly the scalar expression fl(fl(decay*y[d]) + fl(alpha*x[d])) per
+//    lane — deliberately *without* FMA: the bodies use separate mul/add
+//    intrinsics, short tails run under lane masks, and CMake compiles this
+//    TU with -ffp-contract=off (gcc/clang default to fp-contract=fast and
+//    happily fuse a mul+add *intrinsic* pair into one FMA wherever the
+//    target ISA has it — avx512f does).  Every variant is then
+//    bit-identical to the scalar oracle.
+//  * dot / dot_pair: lane-parallel accumulators reduced in a fixed order
+//    (masked tail folded into the lanes, low half + high half, then
+//    left-to-right).  That reassociates the scalar left-to-right sum, so
+//    results agree with the oracle to a few ulps, not bitwise; callers
+//    needing sequential bit-identity use the scalar table.
+//
+// Sanitizer builds define DMFSGD_DISABLE_SIMD_KERNELS (CMake forces it):
+// the instrumented legs then exercise exactly the scalar arithmetic the
+// parity tests pin, and no sanitizer ever has to reason about intrinsics.
+#include "linalg/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(DMFSGD_DISABLE_SIMD_KERNELS)
+#define DMFSGD_SIMD_COMPILED 1
+#include <immintrin.h>
+#else
+#define DMFSGD_SIMD_COMPILED 0
+#endif
+
+namespace dmfsgd::linalg {
+
+namespace {
+
+// Addressable wrappers over the inline scalar kernels (function pointers
+// cannot bind to inline functions' bodies directly without a definition
+// per TU; these give the table one stable address).
+double ScalarDot(const double* a, const double* b, std::size_t r) {
+  return DotRaw(a, b, r);
+}
+std::pair<double, double> ScalarDotPair(const double* a, const double* b,
+                                        const double* c, const double* d,
+                                        std::size_t r) {
+  return DotPairRaw(a, b, c, d, r);
+}
+void ScalarDecayAxpy(double decay, double alpha, const double* x, double* y,
+                     std::size_t r) {
+  DecayAxpyRaw(decay, alpha, x, y, r);
+}
+void ScalarAxpy(double alpha, const double* x, double* y, std::size_t r) {
+  AxpyRaw(alpha, x, y, r);
+}
+
+constexpr KernelOps kScalarOps{ScalarDot, ScalarDotPair, ScalarDecayAxpy,
+                               ScalarAxpy, KernelIsa::kScalar};
+
+#if DMFSGD_SIMD_COMPILED
+
+// ---------------------------------------------------------------- AVX2 ----
+
+__attribute__((target("avx2"))) double Avx2Dot(const double* a,
+                                               const double* b,
+                                               std::size_t r) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t d = 0;
+  for (; d + 4 <= r; d += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + d), _mm256_loadu_pd(b + d)));
+  }
+  // Fixed reduction order: (lane0 + lane2) + (lane1 + lane3) via the
+  // low/high-half add, then a horizontal pair add.
+  const __m128d half =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  double sum = _mm_cvtsd_f64(_mm_add_sd(half, _mm_unpackhi_pd(half, half)));
+  for (; d < r; ++d) {
+    sum += a[d] * b[d];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) std::pair<double, double> Avx2DotPair(
+    const double* a, const double* b, const double* c, const double* d,
+    std::size_t r) {
+  __m256d acc_ab = _mm256_setzero_pd();
+  __m256d acc_cd = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= r; k += 4) {
+    acc_ab = _mm256_add_pd(
+        acc_ab, _mm256_mul_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k)));
+    acc_cd = _mm256_add_pd(
+        acc_cd, _mm256_mul_pd(_mm256_loadu_pd(c + k), _mm256_loadu_pd(d + k)));
+  }
+  const __m128d half_ab = _mm_add_pd(_mm256_castpd256_pd128(acc_ab),
+                                     _mm256_extractf128_pd(acc_ab, 1));
+  const __m128d half_cd = _mm_add_pd(_mm256_castpd256_pd128(acc_cd),
+                                     _mm256_extractf128_pd(acc_cd, 1));
+  double ab =
+      _mm_cvtsd_f64(_mm_add_sd(half_ab, _mm_unpackhi_pd(half_ab, half_ab)));
+  double cd =
+      _mm_cvtsd_f64(_mm_add_sd(half_cd, _mm_unpackhi_pd(half_cd, half_cd)));
+  for (; k < r; ++k) {
+    ab += a[k] * b[k];
+    cd += c[k] * d[k];
+  }
+  return {ab, cd};
+}
+
+__attribute__((target("avx2"))) void Avx2DecayAxpy(double decay, double alpha,
+                                                   const double* x, double* y,
+                                                   std::size_t r) {
+  const __m256d vdecay = _mm256_set1_pd(decay);
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  std::size_t d = 0;
+  for (; d + 4 <= r; d += 4) {
+    const __m256d t = _mm256_add_pd(
+        _mm256_mul_pd(vdecay, _mm256_loadu_pd(y + d)),
+        _mm256_mul_pd(valpha, _mm256_loadu_pd(x + d)));
+    _mm256_storeu_pd(y + d, t);
+  }
+  for (; d < r; ++d) {
+    y[d] = decay * y[d] + alpha * x[d];
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2Axpy(double alpha, const double* x,
+                                              double* y, std::size_t r) {
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  std::size_t d = 0;
+  for (; d + 4 <= r; d += 4) {
+    const __m256d t = _mm256_add_pd(
+        _mm256_loadu_pd(y + d), _mm256_mul_pd(valpha, _mm256_loadu_pd(x + d)));
+    _mm256_storeu_pd(y + d, t);
+  }
+  for (; d < r; ++d) {
+    y[d] += alpha * x[d];
+  }
+}
+
+constexpr KernelOps kAvx2Ops{Avx2Dot, Avx2DotPair, Avx2DecayAxpy, Avx2Axpy,
+                             KernelIsa::kAvx2};
+
+// -------------------------------------------------------------- AVX-512 ----
+
+/// Pairwise lane reduction in a fixed, documented order (the library
+/// _mm512_reduce_add_pd leaves the order unspecified — and its GCC 12
+/// expansion trips -Wuninitialized through _mm256_undefined_pd).
+__attribute__((target("avx512f"))) double ReduceLanes512(__m512d acc) {
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+/// Lane mask selecting the first `r - d` (< 8) elements of a tail.
+__attribute__((target("avx512f"))) inline __mmask8 TailMask512(
+    std::size_t remaining) {
+  return static_cast<__mmask8>((1u << remaining) - 1u);
+}
+
+// The tails below use masked intrinsics rather than scalar cleanup loops:
+// inside a target("avx512f") function the compiler may contract a scalar
+// `a * b + c` into one FMA (avx512f implies the FMA ISA and fp-contract
+// defaults to fast), which would break the bit-for-bit scalar-table parity
+// of the element-wise kernels.  Masked lanes load 0.0, and adding zero
+// products leaves the dot accumulators unchanged.
+
+__attribute__((target("avx512f"))) double Avx512Dot(const double* a,
+                                                    const double* b,
+                                                    std::size_t r) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t d = 0;
+  for (; d + 8 <= r; d += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_loadu_pd(a + d), _mm512_loadu_pd(b + d)));
+  }
+  if (d < r) {
+    const __mmask8 tail = TailMask512(r - d);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_maskz_loadu_pd(tail, a + d),
+                                           _mm512_maskz_loadu_pd(tail, b + d)));
+  }
+  return ReduceLanes512(acc);
+}
+
+__attribute__((target("avx512f"))) std::pair<double, double> Avx512DotPair(
+    const double* a, const double* b, const double* c, const double* d,
+    std::size_t r) {
+  __m512d acc_ab = _mm512_setzero_pd();
+  __m512d acc_cd = _mm512_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 8 <= r; k += 8) {
+    acc_ab = _mm512_add_pd(
+        acc_ab, _mm512_mul_pd(_mm512_loadu_pd(a + k), _mm512_loadu_pd(b + k)));
+    acc_cd = _mm512_add_pd(
+        acc_cd, _mm512_mul_pd(_mm512_loadu_pd(c + k), _mm512_loadu_pd(d + k)));
+  }
+  if (k < r) {
+    const __mmask8 tail = TailMask512(r - k);
+    acc_ab =
+        _mm512_add_pd(acc_ab, _mm512_mul_pd(_mm512_maskz_loadu_pd(tail, a + k),
+                                            _mm512_maskz_loadu_pd(tail, b + k)));
+    acc_cd =
+        _mm512_add_pd(acc_cd, _mm512_mul_pd(_mm512_maskz_loadu_pd(tail, c + k),
+                                            _mm512_maskz_loadu_pd(tail, d + k)));
+  }
+  return {ReduceLanes512(acc_ab), ReduceLanes512(acc_cd)};
+}
+
+__attribute__((target("avx512f"))) void Avx512DecayAxpy(double decay,
+                                                        double alpha,
+                                                        const double* x,
+                                                        double* y,
+                                                        std::size_t r) {
+  const __m512d vdecay = _mm512_set1_pd(decay);
+  const __m512d valpha = _mm512_set1_pd(alpha);
+  std::size_t d = 0;
+  for (; d + 8 <= r; d += 8) {
+    const __m512d t = _mm512_add_pd(
+        _mm512_mul_pd(vdecay, _mm512_loadu_pd(y + d)),
+        _mm512_mul_pd(valpha, _mm512_loadu_pd(x + d)));
+    _mm512_storeu_pd(y + d, t);
+  }
+  if (d < r) {
+    const __mmask8 tail = TailMask512(r - d);
+    const __m512d t =
+        _mm512_add_pd(_mm512_mul_pd(vdecay, _mm512_maskz_loadu_pd(tail, y + d)),
+                      _mm512_mul_pd(valpha, _mm512_maskz_loadu_pd(tail, x + d)));
+    _mm512_mask_storeu_pd(y + d, tail, t);
+  }
+}
+
+__attribute__((target("avx512f"))) void Avx512Axpy(double alpha,
+                                                   const double* x, double* y,
+                                                   std::size_t r) {
+  const __m512d valpha = _mm512_set1_pd(alpha);
+  std::size_t d = 0;
+  for (; d + 8 <= r; d += 8) {
+    const __m512d t = _mm512_add_pd(
+        _mm512_loadu_pd(y + d), _mm512_mul_pd(valpha, _mm512_loadu_pd(x + d)));
+    _mm512_storeu_pd(y + d, t);
+  }
+  if (d < r) {
+    const __mmask8 tail = TailMask512(r - d);
+    const __m512d t =
+        _mm512_add_pd(_mm512_maskz_loadu_pd(tail, y + d),
+                      _mm512_mul_pd(valpha, _mm512_maskz_loadu_pd(tail, x + d)));
+    _mm512_mask_storeu_pd(y + d, tail, t);
+  }
+}
+
+constexpr KernelOps kAvx512Ops{Avx512Dot, Avx512DotPair, Avx512DecayAxpy,
+                               Avx512Axpy, KernelIsa::kAvx512};
+
+#endif  // DMFSGD_SIMD_COMPILED
+
+bool CpuSupports(KernelIsa isa) noexcept {
+#if DMFSGD_SIMD_COMPILED
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case KernelIsa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+#endif
+  return isa == KernelIsa::kScalar;
+}
+
+const KernelOps* TableFor(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &kScalarOps;
+#if DMFSGD_SIMD_COMPILED
+    case KernelIsa::kAvx2:
+      return &kAvx2Ops;
+    case KernelIsa::kAvx512:
+      return &kAvx512Ops;
+#else
+    case KernelIsa::kAvx2:
+    case KernelIsa::kAvx512:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// The process-wide selection; nullptr means "not yet detected".
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const KernelOps& DetectedTable() noexcept {
+  const KernelOps* table = TableFor(DetectKernelIsa());
+  return table != nullptr ? *table : kScalarOps;
+}
+
+}  // namespace
+
+const char* KernelIsaName(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+KernelIsa ParseKernelIsaName(const std::string& name) {
+  if (name == "scalar") {
+    return KernelIsa::kScalar;
+  }
+  if (name == "avx2") {
+    return KernelIsa::kAvx2;
+  }
+  if (name == "avx512") {
+    return KernelIsa::kAvx512;
+  }
+  throw std::invalid_argument("ParseKernelIsaName: unknown ISA '" + name +
+                              "' (expected scalar/avx2/avx512)");
+}
+
+bool KernelIsaCompiled(KernelIsa isa) noexcept {
+  return TableFor(isa) != nullptr;
+}
+
+bool KernelIsaSupported(KernelIsa isa) noexcept {
+  return KernelIsaCompiled(isa) && CpuSupports(isa);
+}
+
+KernelIsa DetectKernelIsa() noexcept {
+  // An explicit environment override wins when it names a supported tier;
+  // anything else (unknown name, unsupported tier) falls through to
+  // autodetection rather than failing a whole run over an env typo.
+  if (const char* env = std::getenv("DMFSGD_KERNEL_ISA")) {
+    try {
+      const KernelIsa forced = ParseKernelIsaName(env);
+      if (KernelIsaSupported(forced)) {
+        return forced;
+      }
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  if (KernelIsaSupported(KernelIsa::kAvx512)) {
+    return KernelIsa::kAvx512;
+  }
+  if (KernelIsaSupported(KernelIsa::kAvx2)) {
+    return KernelIsa::kAvx2;
+  }
+  return KernelIsa::kScalar;
+}
+
+const KernelOps& KernelsFor(KernelIsa isa) {
+  if (!KernelIsaSupported(isa)) {
+    throw std::invalid_argument(
+        std::string("KernelsFor: ISA '") + KernelIsaName(isa) +
+        "' is not available (not compiled in or not supported by this CPU)");
+  }
+  return *TableFor(isa);
+}
+
+const KernelOps& ActiveKernels() noexcept {
+  const KernelOps* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = &DetectedTable();
+    // First caller wins; concurrent detection reaches the same answer.
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+KernelIsa ActiveKernelIsa() noexcept { return ActiveKernels().isa; }
+
+void SetKernelIsa(KernelIsa isa) {
+  g_active.store(&KernelsFor(isa), std::memory_order_release);
+}
+
+}  // namespace dmfsgd::linalg

@@ -50,6 +50,13 @@ struct UdpPeerConfig {
   /// reply batch, and a received reply batch folds into a single mini-batch
   /// gradient step instead of one step per reply.
   bool coalesce = false;
+  /// Sparse round compiler on the receive path (DESIGN.md §14): a packed
+  /// envelope (requires `coalesce` framing to exist on the wire at all)
+  /// keeps per-message update semantics but runs every item through one
+  /// kernel table hoisted out of the loop — the UDP twin of the engine's
+  /// window compile.  Selects per-message fused handling *instead of* the
+  /// mini-batch fold.
+  bool compile_rounds = false;
 };
 
 class UdpDmfsgdPeer {
@@ -96,6 +103,7 @@ class UdpDmfsgdPeer {
 
  private:
   void HandleBatch(const core::MessageBatch& batch);
+  void HandleBatchCompiled(const core::MessageBatch& batch);
   void Handle(core::NodeId from, const core::ProtocolMessage& message);
 
   UdpPeerConfig config_;
