@@ -53,6 +53,14 @@
 //   async_intershard_frame_gain frames(per-message) / frames(merged reply
 //                               envelopes) on the 2-process loopback drain
 //                               with MTU-sized frames (DESIGN.md §13)
+//   intershard_retransmit_overhead  raw-link / reliable-link distributed
+//                               throughput minus 1 at 0 % loss — what the
+//                               seq/ack/retransmit bookkeeping costs when
+//                               nothing needs repair (CI pins < 5 %;
+//                               DESIGN.md §15)
+//   intershard_lossy_window_throughput  fraction of raw distributed
+//                               throughput retained while the reliability
+//                               layer repairs a seeded 5 %-drop link
 //   async_shards                event-queue shard count the drain used
 //   hw_threads                  hardware concurrency the scaling used
 //
@@ -81,7 +89,9 @@
 #include "datasets/procedural.hpp"
 #include "eval/regression_metrics.hpp"
 #include "harness.hpp"
+#include "netsim/fault_channel.hpp"
 #include "netsim/inter_shard_channel.hpp"
+#include "netsim/reliable_channel.hpp"
 #include "netsim/shard_runtime.hpp"
 
 namespace {
@@ -380,6 +390,12 @@ bench::BenchJsonEntry AsyncDrainParallel(const datasets::Dataset& dataset,
       [&] { simulation.RunUntilParallel(simulation.Now() + horizon_s, pool); });
 }
 
+/// Link stacking for the distributed-drain scenarios (DESIGN.md §15):
+/// the raw loopback hub, the reliability decorator at zero loss (its pure
+/// bookkeeping overhead), or the reliability decorator repairing a seeded
+/// 5 %-drop fault injector.
+enum class LinkMode { kRaw, kReliable, kLossyReliable };
+
 /// The distributed drain (DESIGN.md §12) as two loopback "processes" on two
 /// threads, each windowing the same deployment in lock step over the
 /// inter-shard channel.  Measures end-to-end event throughput including the
@@ -389,12 +405,18 @@ bench::BenchJsonEntry AsyncDrainParallel(const datasets::Dataset& dataset,
 bench::BenchJsonEntry AsyncDrainDistributed(const datasets::Dataset& dataset,
                                             std::size_t shards,
                                             double horizon_s,
-                                            std::size_t repeats) {
+                                            std::size_t repeats,
+                                            LinkMode link = LinkMode::kRaw,
+                                            const char* label =
+                                                "distributed-2proc") {
   constexpr std::size_t kProcesses = 2;
   netsim::LoopbackInterShardHub hub(kProcesses);
   struct Process {
     std::unique_ptr<core::AsyncDmfsgdSimulation> simulation;
     std::unique_ptr<netsim::LoopbackInterShardChannel> channel;
+    std::unique_ptr<netsim::FaultInjectingInterShardChannel> fault;
+    std::unique_ptr<netsim::ReliableInterShardChannel> reliable;
+    netsim::InterShardChannel* top = nullptr;
     std::unique_ptr<netsim::ShardRuntime> runtime;
     std::unique_ptr<common::ThreadPool> pool;
   };
@@ -405,10 +427,32 @@ bench::BenchJsonEntry AsyncDrainDistributed(const datasets::Dataset& dataset,
         dataset, AsyncConfig(shards));
     process.channel =
         std::make_unique<netsim::LoopbackInterShardChannel>(hub, p);
+    process.top = process.channel.get();
+    if (link == LinkMode::kLossyReliable) {
+      netsim::FaultChannelOptions faults;
+      faults.outbound.drop_rate = 0.05;
+      faults.seed = 0xbe9c + p;
+      process.fault = std::make_unique<netsim::FaultInjectingInterShardChannel>(
+          *process.top, faults);
+      process.top = process.fault.get();
+    }
+    if (link != LinkMode::kRaw) {
+      netsim::ReliableChannelOptions reliable;
+      if (link == LinkMode::kLossyReliable) {
+        // Loopback RTT is microseconds; a LAN-tuned RTO would serialize the
+        // bench behind 40 ms retransmit waits instead of measuring the
+        // protocol, so the lossy leg recovers at loopback speed.
+        reliable.initial_rto_ms = 5;
+        reliable.ack_delay_ms = 2;
+      }
+      process.reliable = std::make_unique<netsim::ReliableInterShardChannel>(
+          *process.top, reliable);
+      process.top = process.reliable.get();
+    }
     core::ShardedEventQueueDeliveryChannel& delivery =
         process.simulation->ShardedChannel();
     process.runtime = std::make_unique<netsim::ShardRuntime>(
-        process.simulation->MutableEvents(), *process.channel,
+        process.simulation->MutableEvents(), *process.top,
         process.simulation->PairLookaheads(),
         [&delivery](netsim::ShardedEventQueue::OwnerId owner,
                     std::vector<std::byte> payload) {
@@ -417,7 +461,8 @@ bench::BenchJsonEntry AsyncDrainDistributed(const datasets::Dataset& dataset,
     process.pool = std::make_unique<common::ThreadPool>(1);
   }
   return bench::MeasureMinOfK(
-      "async_drain/distributed-2proc/n" + std::to_string(dataset.NodeCount()),
+      "async_drain/" + std::string(label) + "/n" +
+          std::to_string(dataset.NodeCount()),
       static_cast<std::size_t>(horizon_s) * dataset.NodeCount(), /*warmup=*/1,
       repeats, [&] {
         const double until = processes[0].simulation->Now() + horizon_s;
@@ -438,6 +483,11 @@ bench::BenchJsonEntry AsyncDrainDistributed(const datasets::Dataset& dataset,
               until, *processes[0].pool, *processes[0].runtime);
         } catch (...) {
           peer.join();
+          if (peer_error) {
+            // The peer died first; process 0's failure (usually a stall
+            // waiting for the corpse) is the symptom, not the cause.
+            std::rethrow_exception(peer_error);
+          }
           throw;
         }
         peer.join();
@@ -702,6 +752,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Reliability-layer cost and loss tolerance (DESIGN.md §15), at the small
+  // tier — properties of the channel machinery, not of n.  The raw/reliable/
+  // lossy trio shares one config (2 shards, 2 loopback processes) so the
+  // ratios isolate the link:
+  //   intershard_retransmit_overhead   raw/reliable ops ratio minus 1 at 0 %
+  //                                    loss (CI pins this below 5 %)
+  //   intershard_lossy_window_throughput  fraction of the raw distributed
+  //                                    throughput retained while the
+  //                                    reliability layer repairs a seeded
+  //                                    5 %-drop link
+  double intershard_retransmit_overhead = 0.0;
+  double intershard_lossy_window_throughput = 0.0;
+  {
+    const auto rtt = MakeSyntheticRtt(1024, 3);
+    const double horizon_s = quick ? 3.0 : 8.0;
+    const auto raw = AsyncDrainDistributed(rtt, 2, horizon_s, repeats,
+                                           LinkMode::kRaw,
+                                           "distributed-2proc-rawlink");
+    const auto reliable = AsyncDrainDistributed(rtt, 2, horizon_s, repeats,
+                                                LinkMode::kReliable,
+                                                "distributed-2proc-reliable");
+    const auto lossy = AsyncDrainDistributed(rtt, 2, horizon_s, repeats,
+                                             LinkMode::kLossyReliable,
+                                             "distributed-2proc-lossy5");
+    entries.push_back(raw);
+    entries.push_back(reliable);
+    entries.push_back(lossy);
+    intershard_retransmit_overhead =
+        raw.ops_per_sec / reliable.ops_per_sec - 1.0;
+    intershard_lossy_window_throughput = lossy.ops_per_sec / raw.ops_per_sec;
+  }
+
   // Inter-shard frame reduction of merged reply envelopes, measured (not
   // timed) on the 2-process loopback distributed drain with MTU frames.
   const double intershard_frame_gain =
@@ -733,6 +815,9 @@ int main(int argc, char** argv) {
          {"async_coalesced_event_gain", async_coalesced_event_gain},
          {"async_coalesced_throughput", async_coalesced_throughput},
          {"async_intershard_frame_gain", intershard_frame_gain},
+         {"intershard_retransmit_overhead", intershard_retransmit_overhead},
+         {"intershard_lossy_window_throughput",
+          intershard_lossy_window_throughput},
          {"async_shards", static_cast<double>(hw)}});
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -750,10 +835,14 @@ int main(int argc, char** argv) {
       "async_drain_parallel_scaling: %.3fx  async_distributed_scaling: %.3fx  "
       "async_pair_lookahead_window_gain: %.3fx  "
       "async_coalesced_event_gain: %.3fx  async_intershard_frame_gain: %.3fx  "
+      "intershard_retransmit_overhead: %.3f  "
+      "intershard_lossy_window_throughput: %.3f  "
       "-> %s\n",
       sgd_speedup, matrix_scaling, hw, round_scaling, coo_speedup,
       coo_speedup_8192, coo_speedup_65536, alg2_scaling,
       async_scaling, async_distributed_scaling, pair_window_gain,
-      async_coalesced_event_gain, intershard_frame_gain, output.c_str());
+      async_coalesced_event_gain, intershard_frame_gain,
+      intershard_retransmit_overhead, intershard_lossy_window_throughput,
+      output.c_str());
   return 0;
 }

@@ -9,6 +9,10 @@
 #   --no-bench                     skip the perf smoke (Debug/sanitizer legs)
 #   --quick-tests                  run `ctest -L quick` only (sanitizer legs
 #                                  skip the socket/fork-heavy `slow` label)
+#   --test-label=<label>           run only tests carrying a ctest label
+#                                  (the lossy-link leg passes `lossy`:
+#                                  fault-injection, reliability and registry
+#                                  tests, including the 20%-loss parity pins)
 #   --avx=<AUTO|ON|OFF>            forwarded as -DDMFSGD_ENABLE_AVX: the avx2
 #                                  CI leg passes ON (configure fails rather
 #                                  than silently building scalar-only)
@@ -27,9 +31,11 @@ for arg in "$@"; do
     --sanitize=*)   sanitize="${arg#*=}" ;;
     --no-bench)     run_bench=0 ;;
     --quick-tests)  test_label_args=(-L quick) ;;
+    --test-label=*) test_label_args=(-L "${arg#*=}") ;;
     --avx=*)        avx="${arg#*=}" ;;
     *) echo "usage: ci/verify.sh [--build-type=T] [--sanitize=asan|tsan]" \
-            "[--no-bench] [--quick-tests] [--avx=AUTO|ON|OFF]" >&2; exit 2 ;;
+            "[--no-bench] [--quick-tests] [--test-label=L]" \
+            "[--avx=AUTO|ON|OFF]" >&2; exit 2 ;;
   esac
 done
 
@@ -66,7 +72,12 @@ else
       '"async_coalesced_event_gain"' '"async_intershard_frame_gain"' \
       '"async_pair_lookahead_window_gain"' '"sgd_update_speedup"' \
       '"async_drain_parallel_scaling"' '"async_distributed_scaling"' \
-      '"coo_round_speedup"' '"round_throughput/coo-compiled'; do
+      '"coo_round_speedup"' '"round_throughput/coo-compiled' \
+      '"async_drain/distributed-2proc-rawlink' \
+      '"async_drain/distributed-2proc-reliable' \
+      '"async_drain/distributed-2proc-lossy5' \
+      '"intershard_retransmit_overhead"' \
+      '"intershard_lossy_window_throughput"'; do
     if ! grep -qF "$required" BENCH_core.json; then
       docs_failures+=("BENCH_core.json lacks $required — regenerate with bench_bench_core (or ci/promote_bench.sh)")
     fi
@@ -77,6 +88,16 @@ fi
 # on both drivers; the README must keep the flag discoverable.
 if [[ -f README.md ]] && ! grep -q -- '--compile-rounds' README.md; then
   docs_failures+=("README.md does not document the --compile-rounds flag")
+fi
+
+# The fault/reliability demo flags (DESIGN.md §15) gate the multi-host story;
+# the README must keep the lossy-link and rendezvous modes discoverable.
+if [[ -f README.md ]]; then
+  for flag in '--drop' '--reliable' '--registry' '--kill-after'; do
+    if ! grep -q -- "$flag" README.md; then
+      docs_failures+=("README.md does not document the $flag flag")
+    fi
+  done
 fi
 
 # Every "DESIGN.md §N" a source comment (or workflow file) cites must resolve

@@ -33,10 +33,11 @@ struct PeerFold {
 
 void SendOwnedRows(netsim::InterShardChannel& channel,
                    const MultiprocessRunReport& report) {
-  // Rows chunked so each frame stays under the datagram bound.
+  // Rows chunked so each frame stays under the channel's budget (which a
+  // reliability decorator shrinks by its header).
   const std::size_t row_bytes = 8 + 2 * report.rank * sizeof(double);
   const std::size_t rows_per_chunk =
-      std::max<std::size_t>(1, (netsim::kMaxFrameBytes - 64) / row_bytes);
+      std::max<std::size_t>(1, (channel.MaxFrameBytes() - 64) / row_bytes);
   const std::size_t owned =
       static_cast<std::size_t>(report.owned_end - report.owned_begin);
   const std::size_t chunk_count = std::max<std::size_t>(
@@ -74,8 +75,12 @@ void GatherPeerResults(netsim::InterShardChannel& channel,
                        std::vector<netsim::InterShardFrame> leftovers,
                        MultiprocessRunReport& report) {
   std::vector<PeerFold> folds(channel.ProcessCount());
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(kResultStallTimeoutS);
+  const auto stall_timeout =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(kResultStallTimeoutS));
+  auto deadline = std::chrono::steady_clock::now() + stall_timeout;
+  std::uint64_t liveness = channel.LivenessEpoch();
+  std::vector<std::uint64_t> frames_received_from(channel.ProcessCount(), 0);
   auto all_complete = [&] {
     for (std::size_t p = 1; p < folds.size(); ++p) {
       if (!folds[p].Complete()) {
@@ -131,13 +136,23 @@ void GatherPeerResults(netsim::InterShardChannel& channel,
   while (!all_complete()) {
     auto frame = channel.Receive(kResultPollMs);
     if (frame.has_value()) {
+      ++frames_received_from[frame->from_process];
       handle(*frame);
       continue;
     }
+    // Mirror ShardRuntime's liveness handling: ack progress under
+    // retransmission re-arms the deadline, so a slow-but-alive peer's fold
+    // is awaited rather than declared dead.
+    const std::uint64_t epoch = channel.LivenessEpoch();
+    if (epoch != liveness) {
+      liveness = epoch;
+      deadline = std::chrono::steady_clock::now() + stall_timeout;
+      continue;
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
-      throw std::runtime_error(
-          "RunMultiprocessAsyncSimulation: result fold stalled — a peer "
-          "process died before shipping its rows");
+      throw netsim::StallError(report.windows, "result-fold",
+                               std::move(frames_received_from),
+                               channel.Diagnostics());
     }
   }
 }
@@ -199,15 +214,38 @@ MultiprocessRunReport RunMultiprocessAsyncSimulation(
   report.dropped_legs = simulation.DroppedLegs();
   report.churns = simulation.ChurnCount();
 
+  auto snapshot_transport = [&] {
+    const netsim::ChannelDiagnostics diagnostics = channel.Diagnostics();
+    report.dropped_datagrams = diagnostics.dropped_datagrams;
+    report.stray_datagrams = diagnostics.stray_datagrams;
+    for (const netsim::PeerChannelStats& peer : diagnostics.peers) {
+      report.retransmits += peer.retransmits;
+      report.duplicates_suppressed += peer.duplicates_suppressed;
+    }
+  };
   if (channel.ProcessCount() == 1) {
     report.coordinator = true;
+    snapshot_transport();
     return report;
   }
   if (!report.coordinator) {
     SendOwnedRows(channel, report);
+    // A reliable channel services its retransmit timers inside Send/Receive,
+    // so exiting right after the last Send would strand any dropped row
+    // frame; drain until the coordinator acked everything (no-op on plain
+    // backends).  Bounded well under the stall timeout: if the final ack
+    // never comes the data still arrived, and waiting longer buys nothing.
+    (void)channel.Flush(10'000);
+    snapshot_transport();
     return report;
   }
   GatherPeerResults(channel, runtime.TakeLeftoverFrames(), report);
+  // Push out the delayed acks for the peers' final frames, then linger
+  // briefly to re-ack any retransmission whose ack the network dropped —
+  // otherwise a peer's Flush retransmits into the void until its timeout.
+  (void)channel.Flush(1000);
+  (void)channel.Receive(300);
+  snapshot_transport();
   return report;
 }
 

@@ -51,6 +51,15 @@ struct MultiprocessRunReport {
   /// Inter-shard frames this process shipped (local, never folded) — what
   /// envelope coalescing (config.base.coalesce_delivery) reduces.
   std::uint64_t frames_sent = 0;
+
+  // Transport-health counters snapshotted from the channel after the fold
+  // (local to this process, never summed — each process has its own link).
+  // Nonzero retransmits/duplicates mean the reliability layer actually
+  // repaired faults during the run; dropped/stray come from the UDP backend.
+  std::uint64_t dropped_datagrams = 0;
+  std::uint64_t stray_datagrams = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates_suppressed = 0;
 };
 
 /// Runs this process's share of a distributed async simulation to

@@ -19,9 +19,9 @@ void InterShardChannel::RequireSendable(std::size_t to_process,
   if (frame.empty()) {
     throw std::invalid_argument("InterShardChannel::Send: empty frame");
   }
-  if (frame.size() > kMaxFrameBytes) {
+  if (frame.size() > MaxFrameBytes()) {
     throw std::invalid_argument(
-        "InterShardChannel::Send: frame exceeds kMaxFrameBytes — chunk it");
+        "InterShardChannel::Send: frame exceeds MaxFrameBytes() — chunk it");
   }
 }
 
@@ -119,13 +119,19 @@ std::optional<InterShardFrame> UdpInterShardChannel::Receive(int timeout_ms) {
       return std::nullopt;
     }
     // Malformed or stray datagrams (too short, unknown claimed sender, a
-    // sender port that doesn't match the claimed process) are dropped, not
-    // fatal: UDP delivers whatever was addressed to the port.
-    if (datagram->payload.size() > sizeof(std::uint32_t)) {
+    // sender port that doesn't match the claimed process) are counted and
+    // dropped, not fatal: UDP delivers whatever was addressed to the port,
+    // and the counters surface in ShardRuntime's stall diagnostics.
+    if (datagram->payload.size() <= sizeof(std::uint32_t)) {
+      ++dropped_datagrams_;
+    } else {
       std::uint32_t from = 0;
       std::memcpy(&from, datagram->payload.data(), sizeof(from));
-      if (from < ports_.size() && from != index_ &&
-          ports_[from] == datagram->sender_port) {
+      if (from >= ports_.size() || ports_[from] != datagram->sender_port) {
+        ++stray_datagrams_;
+      } else if (from == index_) {
+        ++dropped_datagrams_;
+      } else {
         return InterShardFrame{
             from, std::vector<std::byte>(
                       datagram->payload.begin() + sizeof(std::uint32_t),
@@ -139,6 +145,14 @@ std::optional<InterShardFrame> UdpInterShardChannel::Receive(int timeout_ms) {
     }
     timeout_ms = static_cast<int>(remaining.count());
   }
+}
+
+ChannelDiagnostics UdpInterShardChannel::Diagnostics() const {
+  ChannelDiagnostics diagnostics;
+  diagnostics.dropped_datagrams = dropped_datagrams_;
+  diagnostics.stray_datagrams = stray_datagrams_;
+  diagnostics.peers.resize(ports_.size());
+  return diagnostics;
 }
 
 // ------------------------------------------------------------------------

@@ -48,15 +48,41 @@ struct InterShardFrame {
 /// the channel's own process-id prefix.
 inline constexpr std::size_t kMaxFrameBytes = 60000;
 
+/// Per-peer transport counters a channel can report for stall diagnostics
+/// (netsim::StallError) and the multiprocess example's summary line.  All
+/// fields are zero for channels that do not track the quantity.
+struct PeerChannelStats {
+  std::uint64_t frames_sent = 0;        ///< data frames shipped to this peer
+  std::uint64_t frames_received = 0;    ///< data frames accepted from this peer
+  std::uint64_t retransmits = 0;        ///< resends of unacked frames
+  std::uint64_t duplicates_suppressed = 0;  ///< received frames already seen
+  std::uint64_t unacked_frames = 0;     ///< still awaiting this peer's ack
+  /// Seconds since this peer was last heard from (any frame or ack), or a
+  /// negative value when it has not been heard from at all.
+  double seconds_since_heard = -1.0;
+};
+
+/// Snapshot of a channel's transport-level health.  The base implementation
+/// returns empty stats; decorators and the UDP backend fill in what they
+/// track.
+struct ChannelDiagnostics {
+  std::uint64_t dropped_datagrams = 0;  ///< malformed datagrams discarded
+  std::uint64_t stray_datagrams = 0;    ///< datagrams from unknown senders
+  std::vector<PeerChannelStats> peers;  ///< indexed by process, self row zero
+};
+
 /// Moves opaque byte frames between the processes of one distributed drain.
 /// Frames from one sender to one receiver arrive in order on the loopback
 /// backend and effectively in order on loopback UDP; ShardRuntime's window
 /// protocol additionally tolerates reordering across window boundaries and
-/// duplication.  Frame *loss* is out of scope for these backends: loopback
-/// queues never drop, and the UDP backend sizes its receive buffer so
-/// overflow drops are unlikely — but a genuinely lost datagram surfaces as
-/// the runtime's stall timeout, not a silent misresult.  A multi-host
-/// backend needs retransmission first (see ROADMAP).
+/// duplication.  Frame *loss* is handled one layer up: loopback queues
+/// never drop and the UDP backend sizes its receive buffer so overflow
+/// drops are unlikely, but a genuinely lossy link (multi-host, injected
+/// faults) needs the ReliableInterShardChannel decorator
+/// (netsim/reliable_channel.hpp, DESIGN.md §15), which adds per-peer-pair
+/// sequence numbers, cumulative acks and timeout-driven retransmission so
+/// a lost frame is retransmitted instead of surfacing as the runtime's
+/// stall timeout.
 class InterShardChannel {
  public:
   virtual ~InterShardChannel() = default;
@@ -69,7 +95,7 @@ class InterShardChannel {
 
   /// Ships one frame to `to_process`.  Requires to_process < ProcessCount(),
   /// to_process != ProcessIndex(), and a non-empty frame of at most
-  /// kMaxFrameBytes.
+  /// MaxFrameBytes().
   virtual void Send(std::size_t to_process, std::span<const std::byte> frame) = 0;
 
   /// Receives one frame, waiting up to `timeout_ms` (0 = just poll).
@@ -77,6 +103,47 @@ class InterShardChannel {
   [[nodiscard]] virtual std::optional<InterShardFrame> Receive(int timeout_ms) = 0;
 
   [[nodiscard]] virtual const char* Name() const noexcept = 0;
+
+  /// Largest frame Send accepts.  Backends carry kMaxFrameBytes; decorators
+  /// that add their own header (the reliability layer) advertise less, and
+  /// layers that size frames (ShardRuntime's chunking, the result fold)
+  /// must budget against this, not the constant.
+  [[nodiscard]] virtual std::size_t MaxFrameBytes() const noexcept {
+    return kMaxFrameBytes;
+  }
+
+  /// Transport-health snapshot for stall diagnostics.  The base returns an
+  /// empty snapshot (peers sized to ProcessCount(), all zero).
+  [[nodiscard]] virtual ChannelDiagnostics Diagnostics() const {
+    ChannelDiagnostics diagnostics;
+    diagnostics.peers.resize(ProcessCount());
+    return diagnostics;
+  }
+
+  /// Drives the channel until every frame this endpoint sent is delivered
+  /// as far as the channel can tell, or `timeout_ms` elapses.  Plain
+  /// backends have nothing to wait for and return true immediately; the
+  /// reliability decorator keeps retransmitting and acking until its unacked
+  /// buffers drain (returns false on timeout).  Call before abandoning a
+  /// channel whose timers are serviced inside Send/Receive — a process that
+  /// exits right after its last Send would otherwise strand frames that the
+  /// network dropped.  Frames that arrive while flushing are buffered for
+  /// the next Receive, never lost.
+  virtual bool Flush(int timeout_ms) {
+    (void)timeout_ms;
+    return true;
+  }
+
+  /// Monotonic counter that advances whenever the channel observes forward
+  /// progress that a caller's Receive cannot see directly — for the
+  /// reliability layer, a peer's cumulative ack advancing (the peer is alive
+  /// and draining retransmissions even if no data frame surfaced yet).
+  /// Stall detection treats an advance as "peer alive" and re-arms its
+  /// timeout, so retransmission and stall detection compose instead of
+  /// racing.  Plain backends never advance it.
+  [[nodiscard]] virtual std::uint64_t LivenessEpoch() const noexcept {
+    return 0;
+  }
 
  protected:
   /// Shared argument validation for Send implementations.
@@ -133,11 +200,14 @@ class LoopbackInterShardChannel final : public InterShardChannel {
 // ------------------------------------------------------------------------
 // UDP backend
 
-/// Frame transport over a real UDP socket on 127.0.0.1.  The socket is
-/// bound before the process split (fork inherits it), so peers know each
-/// other's ports without negotiation: `ports[p]` is process p's bound port.
-/// Each datagram carries a 4-byte sender-process prefix; datagrams from
-/// unknown ports or with malformed prefixes are dropped.
+/// Frame transport over a real UDP socket on 127.0.0.1.  Two discovery
+/// modes: bind all sockets before a fork (children inherit them, so
+/// `ports[p]` is known everywhere), or — for processes with no common
+/// ancestor — exchange ports through a netsim::PortRegistry rendezvous
+/// file (port_registry.hpp) and construct the channel from the exchanged
+/// vector.  Each datagram carries a 4-byte sender-process prefix; datagrams
+/// from unknown ports or with malformed prefixes are counted
+/// (StrayDatagrams/DroppedDatagrams) and dropped, never fatal.
 class UdpInterShardChannel final : public InterShardChannel {
  public:
   /// Requires ports.size() >= 1, process_index < ports.size(), and `socket`
@@ -154,11 +224,25 @@ class UdpInterShardChannel final : public InterShardChannel {
   void Send(std::size_t to_process, std::span<const std::byte> frame) override;
   [[nodiscard]] std::optional<InterShardFrame> Receive(int timeout_ms) override;
   [[nodiscard]] const char* Name() const noexcept override { return "udp"; }
+  [[nodiscard]] ChannelDiagnostics Diagnostics() const override;
+
+  /// Datagrams discarded because they were malformed (too short to carry
+  /// the sender prefix, or a self-addressed prefix).
+  [[nodiscard]] std::uint64_t DroppedDatagrams() const noexcept {
+    return dropped_datagrams_;
+  }
+  /// Datagrams discarded because the claimed sender did not match the port
+  /// table (an unknown process index, or a spoofed/unknown source port).
+  [[nodiscard]] std::uint64_t StrayDatagrams() const noexcept {
+    return stray_datagrams_;
+  }
 
  private:
   transport::UdpSocket socket_;
   std::size_t index_;
   std::vector<std::uint16_t> ports_;
+  std::uint64_t dropped_datagrams_ = 0;
+  std::uint64_t stray_datagrams_ = 0;
 };
 
 // ------------------------------------------------------------------------

@@ -1,0 +1,118 @@
+#include "netsim/port_registry.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace dmfsgd::netsim {
+
+namespace {
+
+/// Parses every "index port" line currently in the registry into `ports`
+/// (0 = not yet published).  Returns how many distinct indices have
+/// published.  Throws on a contradictory re-publication of an index.
+std::size_t ParseRegistry(const std::string& path,
+                          std::vector<std::uint16_t>& ports) {
+  std::fill(ports.begin(), ports.end(), 0);
+  std::size_t published = 0;
+  std::ifstream in(path);
+  if (!in) {
+    return 0;  // not created yet — the first writer will create it
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::size_t index = 0;
+    std::uint32_t port = 0;
+    if (!(fields >> index >> port) || index >= ports.size() || port == 0 ||
+        port > 0xffff) {
+      throw std::runtime_error("PortRegistry: malformed entry in " + path +
+                               ": '" + line + "'");
+    }
+    const auto value = static_cast<std::uint16_t>(port);
+    if (ports[index] != 0 && ports[index] != value) {
+      throw std::runtime_error(
+          "PortRegistry: conflicting entries for process " +
+          std::to_string(index) + " in " + path);
+    }
+    if (ports[index] == 0) {
+      ports[index] = value;
+      ++published;
+    }
+  }
+  return published;
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> ExchangePorts(const std::string& path,
+                                         std::size_t process_count,
+                                         std::size_t index, std::uint16_t port,
+                                         double timeout_s) {
+  if (process_count == 0 || index >= process_count) {
+    throw std::invalid_argument("ExchangePorts: bad process index/count");
+  }
+  if (port == 0) {
+    throw std::invalid_argument("ExchangePorts: port must be bound (nonzero)");
+  }
+  // One short O_APPEND write is atomic on POSIX, so concurrent publishers
+  // never interleave bytes within a line.
+  const std::string line =
+      std::to_string(index) + " " + std::to_string(port) + "\n";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("ExchangePorts: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  const ssize_t wrote = ::write(fd, line.data(), line.size());
+  ::close(fd);
+  if (wrote != static_cast<ssize_t>(line.size())) {
+    throw std::runtime_error("ExchangePorts: short write to " + path);
+  }
+
+  std::vector<std::uint16_t> ports(process_count, 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    if (ParseRegistry(path, ports) == process_count) {
+      if (ports[index] != port) {
+        throw std::runtime_error(
+            "ExchangePorts: registry disagrees about our own port — stale "
+            "file at " + path + "?");
+      }
+      return ports;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::size_t missing = 0;
+      for (const std::uint16_t p : ports) {
+        missing += (p == 0);
+      }
+      throw std::runtime_error(
+          "ExchangePorts: timed out waiting on " + std::to_string(missing) +
+          " of " + std::to_string(process_count) + " processes at " + path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+std::unique_ptr<UdpInterShardChannel> MakeUdpChannelViaRegistry(
+    const std::string& path, std::size_t process_count, std::size_t index,
+    double timeout_s) {
+  transport::UdpSocket socket(0);  // ephemeral bind: the kernel picks the port
+  std::vector<std::uint16_t> ports =
+      ExchangePorts(path, process_count, index, socket.Port(), timeout_s);
+  return std::make_unique<UdpInterShardChannel>(std::move(socket), index,
+                                                std::move(ports));
+}
+
+}  // namespace dmfsgd::netsim

@@ -1,0 +1,45 @@
+// Rendezvous-file port discovery for multi-host style launches (DESIGN.md §15).
+//
+// The forked multiprocess path binds every UDP socket before fork(), so each
+// child inherits the full port table.  Processes with no common ancestor —
+// the eventual multi-host deployment, or N independently launched local
+// processes — cannot do that.  PortRegistry gives them the same table with
+// no coordinator: every process appends one "index port" line to a shared
+// registry file with a single O_APPEND write (atomic for short lines on
+// POSIX), then polls the file until all process_count entries are present.
+//
+// The file is the only shared state; any process may create it, and a crashed
+// participant just leaves the others polling until the timeout.  Re-running a
+// swarm needs a fresh path (entries are append-only by design, so a stale
+// file from a previous run would satisfy the poll with dead ports).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/inter_shard_channel.hpp"
+#include "transport/udp.hpp"
+
+namespace dmfsgd::netsim {
+
+/// Publishes `port` as process `index`'s endpoint in the registry file at
+/// `path`, then polls until all `process_count` processes have published.
+/// Returns the full port table indexed by process.  Throws
+/// std::invalid_argument on a bad index/count, std::runtime_error when the
+/// file cannot be opened, when a peer publishes a contradictory entry for
+/// the same index, or when the table is still incomplete after `timeout_s`.
+[[nodiscard]] std::vector<std::uint16_t> ExchangePorts(
+    const std::string& path, std::size_t process_count, std::size_t index,
+    std::uint16_t port, double timeout_s = 10.0);
+
+/// Convenience: binds an ephemeral UDP socket, exchanges its port through
+/// the registry at `path`, and wires up the channel — the whole handshake a
+/// non-forked process needs to join a drain.
+[[nodiscard]] std::unique_ptr<UdpInterShardChannel> MakeUdpChannelViaRegistry(
+    const std::string& path, std::size_t process_count, std::size_t index,
+    double timeout_s = 10.0);
+
+}  // namespace dmfsgd::netsim

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -22,7 +23,49 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::uint8_t kFramePropose = 1;
 constexpr std::uint8_t kFrameEventChunk = 2;
 
+std::string FormatStall(std::uint64_t window_id, const std::string& phase,
+                        const std::vector<std::uint64_t>& frames_received_from,
+                        const ChannelDiagnostics& diagnostics) {
+  std::ostringstream out;
+  out << "inter-shard channel stalled in the " << phase
+      << " gather of window " << window_id
+      << ": a peer died or fell behind past the stall timeout";
+  if (diagnostics.dropped_datagrams != 0 || diagnostics.stray_datagrams != 0) {
+    out << "; transport dropped " << diagnostics.dropped_datagrams
+        << " and discarded " << diagnostics.stray_datagrams
+        << " stray datagrams";
+  }
+  for (std::size_t p = 0; p < diagnostics.peers.size(); ++p) {
+    const PeerChannelStats& peer = diagnostics.peers[p];
+    out << "\n  peer " << p << ": "
+        << (p < frames_received_from.size() ? frames_received_from[p] : 0)
+        << " protocol frames received";
+    if (peer.frames_sent != 0 || peer.frames_received != 0 ||
+        peer.retransmits != 0 || peer.unacked_frames != 0) {
+      out << ", " << peer.unacked_frames << " unacked toward it ("
+          << peer.retransmits << " retransmits, " << peer.duplicates_suppressed
+          << " duplicates suppressed)";
+    }
+    if (peer.seconds_since_heard >= 0.0) {
+      out << ", last heard " << peer.seconds_since_heard << "s ago";
+    } else {
+      out << ", never heard from";
+    }
+  }
+  return out.str();
+}
+
 }  // namespace
+
+StallError::StallError(std::uint64_t window_id, std::string phase,
+                       std::vector<std::uint64_t> frames_received_from,
+                       ChannelDiagnostics diagnostics)
+    : std::runtime_error(
+          FormatStall(window_id, phase, frames_received_from, diagnostics)),
+      window_id_(window_id),
+      phase_(std::move(phase)),
+      frames_received_from_(std::move(frames_received_from)),
+      diagnostics_(std::move(diagnostics)) {}
 
 /// Gather state for one window: which peers proposed, and each peer's
 /// event-batch reassembly (duplicate-safe via ChunkAssembler — a duplicated
@@ -63,8 +106,18 @@ ShardRuntime::ShardRuntime(ShardedEventQueue& queue, InterShardChannel& channel,
       lookaheads_(std::move(lookaheads)),
       decoder_(std::move(decoder)),
       options_(options) {
-  options_.max_frame_bytes =
-      std::clamp<std::size_t>(options_.max_frame_bytes, 256, kMaxFrameBytes);
+  if (options_.receive_poll_ms <= 0) {
+    throw std::invalid_argument(
+        "ShardRuntime: receive_poll_ms must be positive");
+  }
+  if (!(options_.stall_timeout_s > 0.0)) {
+    throw std::invalid_argument(
+        "ShardRuntime: stall_timeout_s must be positive");
+  }
+  // Clamp against the *channel's* budget: a reliability decorator reserves
+  // header bytes out of every frame, so the constant overshoots there.
+  options_.max_frame_bytes = std::clamp<std::size_t>(
+      options_.max_frame_bytes, 256, channel.MaxFrameBytes());
   if (lookaheads_.ShardCount() != queue.ShardCount()) {
     throw std::invalid_argument(
         "ShardRuntime: lookahead matrix shard count mismatch");
@@ -88,6 +141,7 @@ ShardRuntime::ShardRuntime(ShardedEventQueue& queue, InterShardChannel& channel,
   const auto [begin, end] = BlockRange(queue.ShardCount(), channel.ProcessCount(),
                                        channel.ProcessIndex());
   queue.SetOwnedShardRange(begin, end);
+  frames_received_from_.resize(channel.ProcessCount(), 0);
 }
 
 std::uint64_t ShardRuntime::RunUntil(double until_s, common::ThreadPool& pool) {
@@ -129,6 +183,18 @@ std::uint64_t ShardRuntime::RunUntil(double until_s, common::ThreadPool& pool) {
     ++window_id_;
   }
   queue_->AdvanceNow(until_s);
+  if (processes > 1) {
+    // The terminal proposes can still be in flight: every process agreed to
+    // stop, but on a lossy link one process's final propose may have been
+    // dropped — and a reliability decorator only retransmits inside
+    // Send/Receive/Flush.  Returning without a flush would strand the peer
+    // in its final gather until its stall timeout with nobody left to
+    // retransmit.  Bounded by the stall timeout: against a live peer this
+    // settles in a few RTOs; against a dead one the caller was stalling
+    // anyway.
+    (void)channel_->Flush(
+        static_cast<int>(options_.stall_timeout_s * 1000.0));
+  }
   return executed;
 }
 
@@ -243,7 +309,7 @@ void ShardRuntime::SendEventBatches(
     std::uint64_t window_id, std::vector<ShardedEventQueue::RemoteEvent> events) {
   // One bucketing pass maps every event to its owner's process; each peer
   // then gets >= 1 chunk (an empty one doubles as the barrier), each chunk
-  // capped at kMaxFrameBytes.
+  // capped at the clamped max_frame_bytes budget.
   std::vector<std::vector<const ShardedEventQueue::RemoteEvent*>> buckets(
       channel_->ProcessCount());
   for (const auto& event : events) {
@@ -303,19 +369,32 @@ void ShardRuntime::SendEventBatches(
   }
 }
 
-InterShardFrame ShardRuntime::ReceiveOrThrow() {
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration<double>(options_.stall_timeout_s);
+InterShardFrame ShardRuntime::ReceiveOrThrow(std::uint64_t window_id,
+                                             const char* phase) {
+  const auto stall_timeout =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.stall_timeout_s));
+  auto deadline = std::chrono::steady_clock::now() + stall_timeout;
+  std::uint64_t liveness = channel_->LivenessEpoch();
   for (;;) {
     auto frame = channel_->Receive(options_.receive_poll_ms);
     if (frame.has_value()) {
+      ++frames_received_from_[frame->from_process];
       return std::move(*frame);
     }
+    // No frame surfaced, but the channel may still have seen progress (a
+    // reliability layer's acks advancing under retransmission): treat any
+    // liveness advance as "peers alive" and re-arm the deadline, so only a
+    // peer whose acks stop for the whole timeout trips the stall.
+    const std::uint64_t epoch = channel_->LivenessEpoch();
+    if (epoch != liveness) {
+      liveness = epoch;
+      deadline = std::chrono::steady_clock::now() + stall_timeout;
+      continue;
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
-      throw std::runtime_error(
-          "ShardRuntime: inter-shard channel stalled — a peer process died "
-          "or fell behind past the stall timeout");
+      throw StallError(window_id, phase, frames_received_from_,
+                       channel_->Diagnostics());
     }
   }
 }
@@ -382,14 +461,14 @@ void ShardRuntime::GatherProposals(std::uint64_t window_id,
     HandleFrame(window_id, frame, exchange);
   }
   while (!exchange.AllProposed(channel_->ProcessIndex())) {
-    HandleFrame(window_id, ReceiveOrThrow(), exchange);
+    HandleFrame(window_id, ReceiveOrThrow(window_id, "propose"), exchange);
   }
 }
 
 void ShardRuntime::GatherEventBatches(std::uint64_t window_id,
                                       WindowExchange& exchange) {
   while (!exchange.AllBatchesComplete(channel_->ProcessIndex())) {
-    HandleFrame(window_id, ReceiveOrThrow(), exchange);
+    HandleFrame(window_id, ReceiveOrThrow(window_id, "event-batch"), exchange);
   }
 }
 

@@ -30,6 +30,8 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "netsim/event_queue.hpp"
@@ -41,14 +43,59 @@ class ThreadPool;
 
 namespace dmfsgd::netsim {
 
+/// Validated at ShardRuntime construction: receive_poll_ms and
+/// stall_timeout_s must be positive (std::invalid_argument otherwise).
 struct ShardRuntimeOptions {
-  int receive_poll_ms = 50;       ///< per-Receive wait while gathering
-  double stall_timeout_s = 60.0;  ///< give up (throw) if a peer goes silent
+  int receive_poll_ms = 50;  ///< per-Receive wait while gathering
+  /// Give up (throw StallError) after this long with neither a frame nor
+  /// liveness progress from the channel.  When the channel is a
+  /// ReliableInterShardChannel, set this comfortably above its max_rto_ms:
+  /// retransmission keeps a live-but-lossy peer's acks advancing (which
+  /// re-arms this timeout via LivenessEpoch), so the stall timer fires only
+  /// for a peer that is genuinely gone — not one mid-backoff.
+  double stall_timeout_s = 60.0;
   /// Byte budget per event-batch frame.  The default fills whole datagrams;
   /// a multi-host deployment tunes this toward the path MTU (~1400) to
   /// avoid IP fragmentation, which is when envelope coalescing visibly
-  /// shrinks the frame count.  Clamped to [256, kMaxFrameBytes].
+  /// shrinks the frame count.  Clamped to [256, channel.MaxFrameBytes()] —
+  /// the channel's budget, not the constant, since a reliability decorator
+  /// reserves header room out of every frame.
   std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// A peer went silent past the stall timeout.  Unlike the bare
+/// runtime_error it replaces, the error carries enough to diagnose *which*
+/// peer died and *what* the transport saw: the window and gather phase the
+/// runtime was blocked in, per-peer protocol-frame counts, and the
+/// channel's transport-level diagnostics (retransmit backlogs, last-heard
+/// ages, dropped/stray datagram counts).  what() renders all of it.
+class StallError : public std::runtime_error {
+ public:
+  StallError(std::uint64_t window_id, std::string phase,
+             std::vector<std::uint64_t> frames_received_from,
+             ChannelDiagnostics diagnostics);
+
+  /// Window the runtime was gathering when the timeout fired.
+  [[nodiscard]] std::uint64_t WindowId() const noexcept { return window_id_; }
+  /// Which gather blocked: "propose", "event-batch", or a higher layer's
+  /// phase name (the coordinator's result fold reuses this error).
+  [[nodiscard]] const std::string& Phase() const noexcept { return phase_; }
+  /// Protocol frames the blocked receive loop accepted from each process
+  /// since construction; a dead peer's entry stops advancing.
+  [[nodiscard]] const std::vector<std::uint64_t>& FramesReceivedFrom()
+      const noexcept {
+    return frames_received_from_;
+  }
+  /// Transport snapshot taken when the stall fired.
+  [[nodiscard]] const ChannelDiagnostics& Diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  std::uint64_t window_id_;
+  std::string phase_;
+  std::vector<std::uint64_t> frames_received_from_;
+  ChannelDiagnostics diagnostics_;
 };
 
 class ShardRuntime {
@@ -83,10 +130,10 @@ class ShardRuntime {
 
   /// Runs the lock-step window loop until every shard's pending events lie
   /// beyond `until_s`, then advances queue time to until_s.  Returns the
-  /// events executed locally.  Throws std::runtime_error if a peer stalls
-  /// past Options::stall_timeout_s and std::logic_error on protocol
-  /// desynchronization (a peer at a different window) or lookahead
-  /// violations.
+  /// events executed locally.  Throws StallError if a peer stalls past
+  /// Options::stall_timeout_s with no liveness progress, and
+  /// std::logic_error on protocol desynchronization (a peer at a different
+  /// window) or lookahead violations.
   std::uint64_t RunUntil(double until_s, common::ThreadPool& pool);
 
   /// Windows executed by the last RunUntil calls (mirrors the queue's
@@ -138,8 +185,12 @@ class ShardRuntime {
   void GatherProposals(std::uint64_t window_id, WindowExchange& exchange);
   void GatherEventBatches(std::uint64_t window_id, WindowExchange& exchange);
 
-  /// Receives one frame, throwing after options_.stall_timeout_s of silence.
-  [[nodiscard]] InterShardFrame ReceiveOrThrow();
+  /// Receives one frame, throwing StallError after stall_timeout_s with no
+  /// frame and no channel liveness progress (LivenessEpoch re-arms the
+  /// deadline, so a peer that is slow but draining retransmissions is not
+  /// declared dead).
+  [[nodiscard]] InterShardFrame ReceiveOrThrow(std::uint64_t window_id,
+                                               const char* phase);
   void HandleFrame(std::uint64_t window_id, const InterShardFrame& frame,
                    WindowExchange& exchange);
 
@@ -154,6 +205,7 @@ class ShardRuntime {
   std::uint64_t window_id_ = 0;
   std::vector<InterShardFrame> pending_;   ///< buffered out-of-order frames
   std::vector<InterShardFrame> leftover_;  ///< frames for higher layers
+  std::vector<std::uint64_t> frames_received_from_;  ///< per-process count
 };
 
 }  // namespace dmfsgd::netsim

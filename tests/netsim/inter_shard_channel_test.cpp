@@ -113,6 +113,13 @@ TEST(UdpInterShardChannel, DropsStrayAndMalformedDatagrams) {
   // Too short to carry even the sender prefix.
   stray.SendTo(std::vector<std::byte>(2), port0);
   EXPECT_FALSE(a.Receive(200).has_value());
+  // Each discard shows up in the transport counters (and through the
+  // Diagnostics snapshot the stall report renders) so a misconfigured
+  // deployment is visible, not silent.
+  EXPECT_EQ(a.StrayDatagrams(), 1u);
+  EXPECT_EQ(a.DroppedDatagrams(), 1u);
+  EXPECT_EQ(a.Diagnostics().stray_datagrams, 1u);
+  EXPECT_EQ(a.Diagnostics().dropped_datagrams, 1u);
   // A legitimate frame after the garbage still gets through.
   UdpInterShardChannel b(std::move(socket1), 1, ports);
   b.Send(0, FrameOf("real"));

@@ -1,0 +1,106 @@
+// The rendezvous-file port exchange of DESIGN.md §15: processes with no
+// common ancestor (so no inherited sockets) publish their ephemeral UDP
+// ports through an append-only file and block until the whole fleet is
+// known.  Pinned with real concurrent writers and a real UDP ping across
+// channels built from the exchange.
+#include "netsim/port_registry.hpp"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netsim/inter_shard_channel.hpp"
+
+namespace dmfsgd::netsim {
+namespace {
+
+/// Fresh rendezvous path per test; the registry protocol requires one.
+std::string TempRegistryPath(const char* tag) {
+  return "/tmp/dmfsgd_port_registry_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(PortRegistry, ConcurrentWritersAllSeeTheFullFleet) {
+  const std::string path = TempRegistryPath("fleet");
+  std::remove(path.c_str());
+  constexpr std::size_t kProcesses = 4;
+  std::vector<std::vector<std::uint16_t>> views(kProcesses);
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    threads.emplace_back([&, p] {
+      views[p] = ExchangePorts(path, kProcesses, p,
+                               static_cast<std::uint16_t>(10000 + p));
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    ASSERT_EQ(views[p].size(), kProcesses);
+    EXPECT_EQ(views[p], views[0]) << "process " << p << " saw a different fleet";
+    EXPECT_EQ(views[p][p], 10000 + p);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PortRegistry, TimesOutWhenAPeerNeverPublishes) {
+  const std::string path = TempRegistryPath("timeout");
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ExchangePorts(path, 2, 0, 12345, /*timeout_s=*/0.2),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PortRegistry, RejectsBadArgumentsAndStaleFiles) {
+  const std::string path = TempRegistryPath("stale");
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ExchangePorts(path, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)ExchangePorts(path, 2, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)ExchangePorts(path, 2, 0, 0), std::invalid_argument);
+  // A leftover file from a previous run already claims our slot with a
+  // different port: the exchange must fail loudly, not hand out a fleet
+  // containing a dead port.
+  {
+    std::ofstream stale(path);
+    stale << "0 9999\n";
+  }
+  EXPECT_THROW((void)ExchangePorts(path, 2, 0, 12345, /*timeout_s=*/0.2),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PortRegistry, BuildsWorkingUdpChannelsFromTheExchange) {
+  const std::string path = TempRegistryPath("udp");
+  std::remove(path.c_str());
+  std::unique_ptr<UdpInterShardChannel> channel1;
+  std::thread peer([&] {
+    channel1 = MakeUdpChannelViaRegistry(path, 2, 1);
+  });
+  auto channel0 = MakeUdpChannelViaRegistry(path, 2, 0);
+  peer.join();
+  ASSERT_NE(channel0, nullptr);
+  ASSERT_NE(channel1, nullptr);
+  const std::string ping = "ping-via-registry";
+  std::vector<std::byte> bytes(ping.size());
+  std::memcpy(bytes.data(), ping.data(), ping.size());
+  channel0->Send(1, bytes);
+  const auto frame = channel1->Receive(2000);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->from_process, 0u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(frame->bytes.data()),
+                        frame->bytes.size()),
+            ping);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dmfsgd::netsim

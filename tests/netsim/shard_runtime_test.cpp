@@ -11,6 +11,7 @@
 #include <cstring>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -225,9 +226,29 @@ TEST(ShardRuntime, ValidatesConstruction) {
       std::invalid_argument);
 }
 
-TEST(ShardRuntime, ThrowsWhenAPeerStalls) {
+TEST(ShardRuntime, ValidatesOptions) {
+  LoopbackInterShardHub hub(2);
+  LoopbackInterShardChannel channel(hub, 0);
+  ShardedEventQueue queue(4, 2);
+  auto decoder = [](OwnerId, std::vector<std::byte>) {
+    return ShardedEventQueue::Callback([] {});
+  };
+  ShardRuntimeOptions bad;
+  bad.receive_poll_ms = 0;
+  EXPECT_THROW(
+      ShardRuntime(queue, channel, LookaheadMatrix(2, 1.0), decoder, bad),
+      std::invalid_argument);
+  bad = ShardRuntimeOptions();
+  bad.stall_timeout_s = 0.0;
+  EXPECT_THROW(
+      ShardRuntime(queue, channel, LookaheadMatrix(2, 1.0), decoder, bad),
+      std::invalid_argument);
+}
+
+TEST(ShardRuntime, ThrowsStallErrorWithDiagnosticsWhenAPeerStalls) {
   // Two registered processes, only one running: the propose gather must give
-  // up after the stall timeout instead of wedging the suite.
+  // up after the stall timeout instead of wedging the suite — and the error
+  // must carry enough context to debug the dead peer.
   LoopbackInterShardHub hub(2);
   TestNet net(4, 2);
   LoopbackInterShardChannel channel(hub, 0);
@@ -242,7 +263,17 @@ TEST(ShardRuntime, ThrowsWhenAPeerStalls) {
       options);
   net.SeedChains();
   common::ThreadPool pool(1);
-  EXPECT_THROW(runtime.RunUntil(5.0, pool), std::runtime_error);
+  try {
+    (void)runtime.RunUntil(5.0, pool);
+    FAIL() << "a silent peer must trip the stall timeout";
+  } catch (const StallError& stall) {
+    EXPECT_EQ(stall.Phase(), "propose") << "the very first gather stalls";
+    ASSERT_EQ(stall.FramesReceivedFrom().size(), 2u);
+    EXPECT_EQ(stall.FramesReceivedFrom()[1], 0u) << "peer 1 never spoke";
+    const std::string what = stall.what();
+    EXPECT_NE(what.find("stalled"), std::string::npos) << what;
+    EXPECT_NE(what.find("never heard"), std::string::npos) << what;
+  }
 }
 
 }  // namespace
