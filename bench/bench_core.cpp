@@ -22,6 +22,10 @@
 //                      (DESIGN.md §14) against the per-message drain at
 //                      n = 8192 (dense matrix) and n = 65536 (procedural
 //                      delay-space ground truth).
+//   ann_query/*        k-NN peer queries over live-drifting coordinates
+//                      (DESIGN.md §16): the drift-tolerant PeerIndex (fed by
+//                      the engine dirty set) vs the brute-force oracle, at
+//                      n = 8192 and n = 65536
 //   async_drain/*      end-to-end event throughput of AsyncDmfsgdSimulation —
 //                      the sequential cross-shard merge vs the parallel
 //                      conservative-window drain (DESIGN.md §9) vs the
@@ -40,6 +44,14 @@
 //   coo_round_speedup           compiled COO round sweep vs per-message
 //                               sequential rounds at n = 65536 (> 1; the
 //                               _n8192/_n65536 scalars record both tiers)
+//   ann_recall_at_10            mean recall@10 of the updated index against
+//                               the fresh-coordinate oracle at n = 65536
+//                               (CI pins >= 0.9; the _n8192 scalar records
+//                               the small tier)
+//   ann_qps_speedup             index vs brute-force query throughput at
+//                               n = 65536 (> 1; _n8192 records the small
+//                               tier, where the scan is cache-resident and
+//                               the gap is smaller)
 //   alg2_round_parallel_scaling same, Algorithm-2 phase schedule, largest n
 //   async_drain_parallel_scaling parallel vs sequential event drain, largest n
 //   async_distributed_scaling   2-process distributed vs sequential drain
@@ -76,6 +88,7 @@
 #include <thread>
 #include <vector>
 
+#include "ann/peer_index.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/async_simulation.hpp"
@@ -87,6 +100,7 @@
 #include "datasets/clusters.hpp"
 #include "datasets/dataset.hpp"
 #include "datasets/procedural.hpp"
+#include "eval/brute_force_knn.hpp"
 #include "eval/regression_metrics.hpp"
 #include "harness.hpp"
 #include "netsim/fault_channel.hpp"
@@ -572,6 +586,83 @@ double InterShardFrameGain(std::size_t n, double horizon_s) {
   return static_cast<double>(per_message) / static_cast<double>(coalesced);
 }
 
+// ------------------------------------------------------------------------
+// Scenario: ANN query plane (DESIGN.md §16).
+
+/// Recall and query throughput of the drift-tolerant PeerIndex against the
+/// brute-force oracle on *live-drifting* coordinates: train, index, keep
+/// training so the snapshots go stale, drain the engine dirty set into the
+/// index, then measure k-NN queries against the fresh store.  Recall is
+/// computed against the fresh-coordinate oracle (the staleness acceptance
+/// of the query plane), throughput with warmup + min-of-k over one shared
+/// deterministic query sample.
+struct AnnPlaneResult {
+  bench::BenchJsonEntry brute;
+  bench::BenchJsonEntry index;
+  double recall_at_10 = 0.0;
+};
+
+AnnPlaneResult AnnQueryPlane(const datasets::Dataset& dataset,
+                             std::size_t train_rounds,
+                             std::size_t drift_rounds, std::size_t repeats) {
+  core::DmfsgdSimulation simulation(dataset, RoundConfigFor(dataset));
+  simulation.RunRoundsCompiled(train_rounds);
+  simulation.EnableDriftTracking();
+  (void)simulation.TakeDirtyNodes();  // index from here; discard history
+  const core::CoordinateStore& store = simulation.engine().store();
+  ann::PeerIndexOptions options;
+  // The query beam scales with the tier: the canonical record pins
+  // recall@10 >= 0.9 at n = 65536, where the exact scan is slow enough
+  // that doubling the library's default beam still leaves a comfortable
+  // speedup; at n = 8192 the default already holds the floor and a wider
+  // beam would just erode the gap against the cache-resident scan.
+  options.ef_search = dataset.NodeCount() > 8192 ? 192 : 96;
+  ann::PeerIndex index(store, options);
+  simulation.RunRoundsCompiled(drift_rounds);
+  (void)index.ApplyUpdates(simulation.TakeDirtyNodes());
+
+  const std::size_t n = store.NodeCount();
+  const std::size_t query_count = std::min<std::size_t>(256, n);
+  std::vector<std::size_t> queries;
+  queries.reserve(query_count);
+  for (std::size_t q = 0; q < query_count; ++q) {
+    queries.push_back(q * (n / query_count));
+  }
+
+  AnnPlaneResult result;
+  constexpr std::size_t kK = 10;
+  double recall_sum = 0.0;
+  for (const std::size_t q : queries) {
+    const auto approx =
+        index.SearchFrom(q, kK, eval::KnnOrdering::kSmallestFirst);
+    const auto oracle =
+        eval::BruteForceKnnAll(store, q, kK, eval::KnnOrdering::kSmallestFirst);
+    recall_sum += eval::RecallAtK(approx, oracle);
+  }
+  result.recall_at_10 = recall_sum / static_cast<double>(queries.size());
+
+  volatile double sink = 0.0;
+  result.brute = bench::MeasureMinOfK(
+      "ann_query/brute-force/n" + std::to_string(n), queries.size(),
+      /*warmup=*/1, repeats, [&] {
+        for (const std::size_t q : queries) {
+          sink = sink + eval::BruteForceKnnAll(
+                            store, q, kK, eval::KnnOrdering::kSmallestFirst)
+                            .scores[0];
+        }
+      });
+  result.index = bench::MeasureMinOfK(
+      "ann_query/index/n" + std::to_string(n), queries.size(),
+      /*warmup=*/1, repeats, [&] {
+        for (const std::size_t q : queries) {
+          sink = sink +
+                 index.SearchFrom(q, kK, eval::KnnOrdering::kSmallestFirst)
+                     .scores[0];
+        }
+      });
+  return result;
+}
+
 /// Window-width gain of the per-shard-pair lookahead matrix on a
 /// heterogeneous delay space: identical seeds drained with the global-min
 /// lookahead and with the matrix; the gain is windows(global) /
@@ -692,6 +783,41 @@ int main(int argc, char** argv) {
   }
   const double coo_speedup = coo_speedup_65536;
 
+  // ANN query plane (DESIGN.md §16): recall@10 against the fresh-coordinate
+  // oracle and index-vs-scan query throughput on live-drifting coordinates,
+  // at the same two tiers as the round compiler.  The headline scalars (and
+  // the CI floor: recall >= 0.9, speedup > 1) come from n = 65536, where an
+  // exact scan per query is 65536 dot products.
+  double ann_recall_8192 = 0.0;
+  double ann_recall_65536 = 0.0;
+  double ann_speedup_8192 = 0.0;
+  double ann_speedup_65536 = 0.0;
+  for (const std::size_t n : {std::size_t{8192}, std::size_t{65536}}) {
+    datasets::Dataset dataset;
+    if (n > 8192) {
+      datasets::EuclideanRttConfig euclid;
+      euclid.node_count = n;
+      euclid.seed = 3;
+      dataset = datasets::MakeEuclideanRtt(euclid);
+    } else {
+      dataset = MakeSyntheticRtt(n, 3);
+    }
+    const auto ann_result =
+        AnnQueryPlane(dataset, /*train_rounds=*/quick ? 15 : 30,
+                      /*drift_rounds=*/5, repeats);
+    entries.push_back(ann_result.brute);
+    entries.push_back(ann_result.index);
+    const double speedup =
+        ann_result.index.ops_per_sec / ann_result.brute.ops_per_sec;
+    if (n > 8192) {
+      ann_recall_65536 = ann_result.recall_at_10;
+      ann_speedup_65536 = speedup;
+    } else {
+      ann_recall_8192 = ann_result.recall_at_10;
+      ann_speedup_8192 = speedup;
+    }
+  }
+
   // Algorithm-2 rounds (target-sharded phases) and the async event drain run
   // per tier; datasets are scoped so only one n² ground truth is live.
   double alg2_scaling = 0.0;
@@ -808,6 +934,10 @@ int main(int argc, char** argv) {
          {"coo_round_speedup", coo_speedup},
          {"coo_round_speedup_n8192", coo_speedup_8192},
          {"coo_round_speedup_n65536", coo_speedup_65536},
+         {"ann_recall_at_10", ann_recall_65536},
+         {"ann_recall_at_10_n8192", ann_recall_8192},
+         {"ann_qps_speedup", ann_speedup_65536},
+         {"ann_qps_speedup_n8192", ann_speedup_8192},
          {"alg2_round_parallel_scaling", alg2_scaling},
          {"async_drain_parallel_scaling", async_scaling},
          {"async_distributed_scaling", async_distributed_scaling},
@@ -831,6 +961,8 @@ int main(int argc, char** argv) {
       "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
       "round_parallel_scaling: %.3fx  "
       "coo_round_speedup: %.3fx (n8192 %.3fx, n65536 %.3fx)  "
+      "ann_recall_at_10: %.3f (n8192 %.3f)  "
+      "ann_qps_speedup: %.3fx (n8192 %.3fx)  "
       "alg2_round_parallel_scaling: %.3fx  "
       "async_drain_parallel_scaling: %.3fx  async_distributed_scaling: %.3fx  "
       "async_pair_lookahead_window_gain: %.3fx  "
@@ -839,7 +971,8 @@ int main(int argc, char** argv) {
       "intershard_lossy_window_throughput: %.3f  "
       "-> %s\n",
       sgd_speedup, matrix_scaling, hw, round_scaling, coo_speedup,
-      coo_speedup_8192, coo_speedup_65536, alg2_scaling,
+      coo_speedup_8192, coo_speedup_65536, ann_recall_65536, ann_recall_8192,
+      ann_speedup_65536, ann_speedup_8192, alg2_scaling,
       async_scaling, async_distributed_scaling, pair_window_gain,
       async_coalesced_event_gain, intershard_frame_gain,
       intershard_retransmit_overhead, intershard_lossy_window_throughput,

@@ -77,7 +77,9 @@ else
       '"async_drain/distributed-2proc-reliable' \
       '"async_drain/distributed-2proc-lossy5' \
       '"intershard_retransmit_overhead"' \
-      '"intershard_lossy_window_throughput"'; do
+      '"intershard_lossy_window_throughput"' \
+      '"ann_query/index' '"ann_query/brute-force' \
+      '"ann_recall_at_10"' '"ann_qps_speedup"'; do
     if ! grep -qF "$required" BENCH_core.json; then
       docs_failures+=("BENCH_core.json lacks $required — regenerate with bench_bench_core (or ci/promote_bench.sh)")
     fi
@@ -88,6 +90,12 @@ fi
 # on both drivers; the README must keep the flag discoverable.
 if [[ -f README.md ]] && ! grep -q -- '--compile-rounds' README.md; then
   docs_failures+=("README.md does not document the --compile-rounds flag")
+fi
+
+# The ANN query plane (DESIGN.md §16) is opt-in through --index on the peer
+# selection demo; the README must keep the flag discoverable.
+if [[ -f README.md ]] && ! grep -q -- '--index' README.md; then
+  docs_failures+=("README.md does not document the --index flag")
 fi
 
 # The fault/reliability demo flags (DESIGN.md §15) gate the multi-host story;

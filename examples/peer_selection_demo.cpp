@@ -6,7 +6,13 @@
 // on optimality (stretch) and satisfaction (how often a node ends up with a
 // "bad" peer although a good one was available).
 //
+// With --index the Classification/Regression selections are routed through
+// the ANN query plane (an ann::PeerIndex per candidate set, DESIGN.md §16)
+// instead of the exhaustive scan; --ef=N narrows the query beam (0 = exact
+// mode, which reproduces the scan bit for bit).
+//
 // Usage: peer_selection_demo [--nodes=N] [--peers=P] [--seed=S]
+//                            [--index] [--ef=N]
 #include <iostream>
 
 #include "common/flags.hpp"
@@ -18,10 +24,13 @@
 int main(int argc, char** argv) {
   using namespace dmfsgd;
 
-  const common::Flags flags(argc, argv, {"nodes", "peers", "seed"});
+  const common::Flags flags(argc, argv,
+                            {"nodes", "peers", "seed", "index", "ef"});
   const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 250));
   const auto peers = static_cast<std::size_t>(flags.GetInt("peers", 30));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const bool use_index = flags.GetBool("index", false);
+  const auto index_ef = static_cast<std::size_t>(flags.GetInt("ef", 0));
 
   datasets::MeridianConfig dataset_config;
   dataset_config.node_count = nodes;
@@ -47,12 +56,21 @@ int main(int argc, char** argv) {
   reg_sim.RunRounds(800);
 
   std::cout << "peer selection among " << peers << " candidates per node ("
-            << nodes << " nodes, tau = " << tau << " ms)\n\n";
+            << nodes << " nodes, tau = " << tau << " ms)";
+  if (use_index) {
+    std::cout << " via the ANN index ("
+              << (index_ef == 0 ? std::string("exact mode")
+                                : "ef = " + std::to_string(index_ef))
+              << ")";
+  }
+  std::cout << "\n\n";
 
   common::Table table({"method", "avg stretch", "unsatisfied %"});
   eval::PeerSelectionConfig peer_config;
   peer_config.peer_count = peers;
   peer_config.seed = seed + 100;
+  peer_config.use_index = use_index;
+  peer_config.index_ef = index_ef;
 
   const auto random = eval::EvaluatePeerSelection(
       class_sim, eval::SelectionMethod::kRandom, peer_config);

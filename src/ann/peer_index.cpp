@@ -1,0 +1,477 @@
+#include "ann/peer_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmfsgd::ann {
+
+namespace {
+
+const PeerIndexOptions& RequireOptions(const PeerIndexOptions& options) {
+  if (options.degree == 0) {
+    throw std::invalid_argument("PeerIndex: degree must be > 0");
+  }
+  if (options.ef_construction == 0 || options.ef_search == 0) {
+    throw std::invalid_argument("PeerIndex: beam widths must be > 0");
+  }
+  if (options.entry_points == 0) {
+    throw std::invalid_argument("PeerIndex: entry_points must be > 0");
+  }
+  if (options.drift_epsilon < 0.0) {
+    throw std::invalid_argument("PeerIndex: drift_epsilon must be >= 0");
+  }
+  if (options.rebuild_fraction < 0.0 || options.rebuild_fraction > 1.0) {
+    throw std::invalid_argument("PeerIndex: rebuild_fraction must be in [0, 1]");
+  }
+  return options;
+}
+
+}  // namespace
+
+PeerIndex::PeerIndex(const core::CoordinateStore& store,
+                     const PeerIndexOptions& options)
+    : store_(&store),
+      options_(RequireOptions(options)),
+      rank_(store.rank()),
+      rng_(options.seed) {
+  const std::size_t n = store.NodeCount();
+  slot_of_.assign(n, kNoSlot);
+  id_of_.reserve(n);
+  snap_v_.reserve(n * rank_);
+  adj_.reserve(n * options_.degree);
+  adj_len_.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    const Slot slot = AppendSlot(id);
+    LinkSlot(slot, slot);
+  }
+}
+
+PeerIndex::PeerIndex(const core::CoordinateStore& store,
+                     std::span<const std::size_t> members,
+                     const PeerIndexOptions& options)
+    : store_(&store),
+      options_(RequireOptions(options)),
+      rank_(store.rank()),
+      rng_(options.seed) {
+  slot_of_.assign(store.NodeCount(), kNoSlot);
+  id_of_.reserve(members.size());
+  snap_v_.reserve(members.size() * rank_);
+  adj_.reserve(members.size() * options_.degree);
+  adj_len_.reserve(members.size());
+  for (const std::size_t id : members) {
+    if (id >= store.NodeCount()) {
+      throw std::out_of_range("PeerIndex: member id out of range");
+    }
+    if (slot_of_[id] != kNoSlot) {
+      throw std::invalid_argument("PeerIndex: duplicate member id");
+    }
+    const Slot slot = AppendSlot(id);
+    LinkSlot(slot, slot);
+  }
+}
+
+double PeerIndex::SnapDistanceSquared(Slot a, Slot b) const noexcept {
+  const double* pa = Snapshot(a);
+  const double* pb = Snapshot(b);
+  double sum = 0.0;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    const double diff = pa[d] - pb[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double PeerIndex::DistanceSquaredToSnapshot(std::span<const double> row,
+                                            Slot slot) const noexcept {
+  const double* p = Snapshot(slot);
+  double sum = 0.0;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    const double diff = row[d] - p[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+PeerIndex::Slot PeerIndex::AppendSlot(std::size_t id) {
+  const Slot slot = static_cast<Slot>(id_of_.size());
+  id_of_.push_back(id);
+  slot_of_[id] = slot;
+  const auto v = store_->V(id);
+  snap_v_.insert(snap_v_.end(), v.begin(), v.end());
+  adj_.resize(adj_.size() + options_.degree, kNoSlot);
+  adj_len_.push_back(0);
+  return slot;
+}
+
+void PeerIndex::SelectNeighbors(const std::vector<RankedSlot>& candidates,
+                                std::vector<Slot>& chosen) const {
+  // Relative-neighborhood prune: a candidate already "covered" by a chosen
+  // neighbor (closer to it than to the subject) is skipped first and only
+  // backfilled if the list stays short — the DEG/HNSW diversity heuristic
+  // that keeps greedy routing from collapsing into one cluster.
+  chosen.clear();
+  std::vector<Slot> pruned;
+  for (const RankedSlot& candidate : candidates) {
+    if (chosen.size() >= options_.degree) {
+      break;
+    }
+    bool keep = true;
+    for (const Slot s : chosen) {
+      if (SnapDistanceSquared(candidate.slot, s) < candidate.key) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      chosen.push_back(candidate.slot);
+    } else {
+      pruned.push_back(candidate.slot);
+    }
+  }
+  for (const Slot s : pruned) {
+    if (chosen.size() >= options_.degree) {
+      break;
+    }
+    chosen.push_back(s);
+  }
+}
+
+void PeerIndex::LinkBack(Slot to, Slot from) {
+  Slot* edges = adj_.data() + static_cast<std::size_t>(to) * options_.degree;
+  for (std::uint32_t e = 0; e < adj_len_[to]; ++e) {
+    if (edges[e] == from) {
+      return;
+    }
+  }
+  if (adj_len_[to] < options_.degree) {
+    edges[adj_len_[to]++] = from;
+    return;
+  }
+  // Full list: re-prune the union of the existing edges and the newcomer
+  // relative to `to`'s snapshot; the newcomer survives only if it beats the
+  // diversity of what is already there.
+  std::vector<RankedSlot> candidates;
+  candidates.reserve(options_.degree + 1);
+  for (std::uint32_t e = 0; e < adj_len_[to]; ++e) {
+    candidates.push_back(RankedSlot{SnapDistanceSquared(to, edges[e]), edges[e]});
+  }
+  candidates.push_back(RankedSlot{SnapDistanceSquared(to, from), from});
+  std::sort(candidates.begin(), candidates.end(), Better);
+  std::vector<Slot> chosen;
+  SelectNeighbors(candidates, chosen);
+  adj_len_[to] = static_cast<std::uint32_t>(chosen.size());
+  std::copy(chosen.begin(), chosen.end(), edges);
+}
+
+template <typename KeyFn>
+void PeerIndex::BeamSearch(std::span<const Slot> entries, std::size_t ef,
+                           Slot exclude, const KeyFn& key_of,
+                           std::vector<RankedSlot>& out) const {
+  out.clear();
+  if (id_of_.empty() || ef == 0) {
+    return;
+  }
+  if (visited_.size() < id_of_.size()) {
+    visited_.resize(id_of_.size(), 0);
+  }
+  if (++epoch_ == 0) {
+    std::fill(visited_.begin(), visited_.end(), 0);
+    epoch_ = 1;
+  }
+
+  // `out` doubles as the worst-on-top result heap; `beam_candidates_` is
+  // the best-first frontier.  Both orders key on (key, slot), so the walk
+  // is a pure function of (graph, entries, key function).
+  const auto worst_on_top = [](const RankedSlot& a, const RankedSlot& b) {
+    return Better(a, b);
+  };
+  const auto best_on_top = [](const RankedSlot& a, const RankedSlot& b) {
+    return Better(b, a);
+  };
+  std::vector<RankedSlot>& frontier = beam_candidates_;
+  frontier.clear();
+
+  for (const Slot s : entries) {
+    if (visited_[s] == epoch_) {
+      continue;
+    }
+    visited_[s] = epoch_;
+    const RankedSlot entry{key_of(s), s};
+    frontier.push_back(entry);
+    std::push_heap(frontier.begin(), frontier.end(), best_on_top);
+    if (s != exclude) {
+      out.push_back(entry);
+      std::push_heap(out.begin(), out.end(), worst_on_top);
+    }
+  }
+
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), best_on_top);
+    const RankedSlot current = frontier.back();
+    frontier.pop_back();
+    if (out.size() >= ef && !Better(current, out.front())) {
+      break;
+    }
+    for (const Slot nb : Edges(current.slot)) {
+      if (visited_[nb] == epoch_) {
+        continue;
+      }
+      visited_[nb] = epoch_;
+      const RankedSlot next{key_of(nb), nb};
+      if (out.size() < ef || Better(next, out.front())) {
+        frontier.push_back(next);
+        std::push_heap(frontier.begin(), frontier.end(), best_on_top);
+        if (nb != exclude) {
+          out.push_back(next);
+          std::push_heap(out.begin(), out.end(), worst_on_top);
+          if (out.size() > ef) {
+            std::pop_heap(out.begin(), out.end(), worst_on_top);
+            out.pop_back();
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), Better);
+}
+
+void PeerIndex::LinkSlot(Slot slot, std::size_t linked) {
+  if (linked == 0) {
+    adj_len_[slot] = 0;
+    return;
+  }
+  // Entry points come from the index Rng: construction order + seed fully
+  // determine the adjacency (duplicates are fine, the visited set dedups).
+  std::vector<Slot> entries;
+  entries.reserve(options_.entry_points);
+  for (std::size_t t = 0; t < options_.entry_points; ++t) {
+    entries.push_back(
+        static_cast<Slot>(rng_.UniformInt(static_cast<std::uint64_t>(linked))));
+  }
+  const std::span<const double> row(Snapshot(slot), rank_);
+  std::vector<RankedSlot>& found = beam_out_;
+  BeamSearch(
+      entries, options_.ef_construction, slot,
+      [&](Slot s) { return DistanceSquaredToSnapshot(row, s); }, found);
+  std::vector<Slot> chosen;
+  SelectNeighbors(found, chosen);
+  adj_len_[slot] = static_cast<std::uint32_t>(chosen.size());
+  std::copy(chosen.begin(), chosen.end(),
+            adj_.data() + static_cast<std::size_t>(slot) * options_.degree);
+  for (const Slot s : chosen) {
+    LinkBack(s, slot);
+  }
+}
+
+std::vector<std::size_t> PeerIndex::NeighborsOf(std::size_t id) const {
+  if (!Contains(id)) {
+    throw std::out_of_range("PeerIndex::NeighborsOf: not a member");
+  }
+  const Slot slot = slot_of_[id];
+  std::vector<std::size_t> out;
+  out.reserve(adj_len_[slot]);
+  for (const Slot e : Edges(slot)) {
+    out.push_back(id_of_[e]);
+  }
+  return out;
+}
+
+eval::KnnResult PeerIndex::GraphSearch(std::span<const double> query_u,
+                                       std::size_t k, eval::KnnOrdering ordering,
+                                       std::size_t ef,
+                                       std::size_t exclude_id) const {
+  const bool smallest = ordering == eval::KnnOrdering::kSmallestFirst;
+  const auto key_of = [&](Slot s) {
+    ++score_evals_;
+    const double score =
+        linalg::DotRaw(query_u.data(), store_->V(id_of_[s]).data(), rank_);
+    return smallest ? score : -score;
+  };
+  // Fixed evenly-spaced entry slots keep const searches stateless and
+  // repeatable; beam width >= k so the result heap can fill.
+  const std::size_t size = id_of_.size();
+  const std::size_t entry_count = std::min(options_.entry_points, size);
+  std::vector<Slot> entries;
+  entries.reserve(entry_count);
+  for (std::size_t t = 0; t < entry_count; ++t) {
+    entries.push_back(static_cast<Slot>(t * size / entry_count));
+  }
+  const Slot exclude =
+      exclude_id < slot_of_.size() && slot_of_[exclude_id] != kNoSlot
+          ? slot_of_[exclude_id]
+          : kNoSlot;
+  std::vector<RankedSlot>& found = beam_out_;
+  BeamSearch(entries, ef, exclude, key_of, found);
+  const std::size_t count = std::min(k, found.size());
+  eval::KnnResult result;
+  result.ids.reserve(count);
+  result.scores.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    result.ids.push_back(id_of_[found[p].slot]);
+    result.scores.push_back(smallest ? found[p].key : -found[p].key);
+  }
+  return result;
+}
+
+eval::KnnResult PeerIndex::Search(std::span<const double> query_u, std::size_t k,
+                                  eval::KnnOrdering ordering,
+                                  std::size_t ef) const {
+  return SearchFrom(store_->NodeCount(), k, ordering, ef, query_u);
+}
+
+eval::KnnResult PeerIndex::SearchFrom(std::size_t query, std::size_t k,
+                                      eval::KnnOrdering ordering,
+                                      std::size_t ef) const {
+  if (query >= store_->NodeCount()) {
+    throw std::out_of_range("PeerIndex::SearchFrom: query id out of range");
+  }
+  return SearchFrom(query, k, ordering, ef, store_->U(query));
+}
+
+eval::KnnResult PeerIndex::SearchFrom(std::size_t exclude_id, std::size_t k,
+                                      eval::KnnOrdering ordering, std::size_t ef,
+                                      std::span<const double> query_u) const {
+  if (k == 0) {
+    throw std::invalid_argument("PeerIndex::Search: k must be > 0");
+  }
+  if (query_u.size() != rank_) {
+    throw std::invalid_argument("PeerIndex::Search: query row rank mismatch");
+  }
+  std::size_t beam = ef == 0 ? options_.ef_search : ef;
+  beam = std::max(beam, k);
+  if (beam >= id_of_.size()) {
+    // Exact mode: the oracle itself over the members in slot order — the
+    // bit-identity the parity tests rely on.
+    score_evals_ += id_of_.size();
+    return eval::BruteForceKnnRow(*store_, query_u, id_of_, k, ordering,
+                                  exclude_id);
+  }
+  return GraphSearch(query_u, k, ordering, beam, exclude_id);
+}
+
+void PeerIndex::Add(std::size_t id) {
+  if (id >= store_->NodeCount()) {
+    throw std::out_of_range("PeerIndex::Add: id out of range");
+  }
+  if (slot_of_[id] != kNoSlot) {
+    throw std::invalid_argument("PeerIndex::Add: already a member");
+  }
+  const Slot slot = AppendSlot(id);
+  LinkSlot(slot, slot);
+}
+
+void PeerIndex::Remove(std::size_t id) {
+  if (!Contains(id)) {
+    throw std::invalid_argument("PeerIndex::Remove: not a member");
+  }
+  const Slot slot = slot_of_[id];
+  const Slot last = static_cast<Slot>(id_of_.size() - 1);
+
+  // One pass over every edge list: drop references to the departing slot,
+  // then (second pass, after the swap) rename `last` to its new home.
+  for (Slot s = 0; s <= last; ++s) {
+    Slot* edges = adj_.data() + static_cast<std::size_t>(s) * options_.degree;
+    std::uint32_t kept = 0;
+    for (std::uint32_t e = 0; e < adj_len_[s]; ++e) {
+      if (edges[e] != slot) {
+        edges[kept++] = edges[e];
+      }
+    }
+    adj_len_[s] = kept;
+  }
+
+  if (slot != last) {
+    id_of_[slot] = id_of_[last];
+    slot_of_[id_of_[slot]] = slot;
+    std::copy(Snapshot(last), Snapshot(last) + rank_,
+              snap_v_.data() + static_cast<std::size_t>(slot) * rank_);
+    const Slot* from = adj_.data() + static_cast<std::size_t>(last) * options_.degree;
+    Slot* to = adj_.data() + static_cast<std::size_t>(slot) * options_.degree;
+    std::copy(from, from + adj_len_[last], to);
+    adj_len_[slot] = adj_len_[last];
+    for (Slot s = 0; s < last; ++s) {
+      Slot* edges = adj_.data() + static_cast<std::size_t>(s) * options_.degree;
+      for (std::uint32_t e = 0; e < adj_len_[s]; ++e) {
+        if (edges[e] == last) {
+          edges[e] = slot;
+        }
+      }
+    }
+  }
+
+  slot_of_[id] = kNoSlot;
+  id_of_.pop_back();
+  snap_v_.resize(snap_v_.size() - rank_);
+  adj_.resize(adj_.size() - options_.degree);
+  adj_len_.pop_back();
+}
+
+bool PeerIndex::Update(std::size_t id) {
+  if (!Contains(id)) {
+    throw std::invalid_argument("PeerIndex::Update: not a member");
+  }
+  const Slot slot = slot_of_[id];
+  const std::span<const double> snapshot(Snapshot(slot), rank_);
+  const double drift2 = store_->VRowDriftSquared(id, snapshot);
+  if (drift2 <= options_.drift_epsilon * options_.drift_epsilon) {
+    return false;
+  }
+  // Refresh the snapshot and replace the member's out-edges; stale
+  // in-edges stay (they are routing hints toward a nearby region) until a
+  // rebuild re-prunes them.
+  store_->CopyVRow(id, {snap_v_.data() + static_cast<std::size_t>(slot) * rank_,
+                        rank_});
+  LinkSlot(slot, id_of_.size());
+  return true;
+}
+
+PeerIndex::UpdateStats PeerIndex::ApplyUpdates(std::span<const core::NodeId> ids) {
+  UpdateStats stats;
+  if (id_of_.empty()) {
+    return stats;
+  }
+  const double eps2 = options_.drift_epsilon * options_.drift_epsilon;
+  std::size_t drifted = 0;
+  for (const core::NodeId id : ids) {
+    if (!Contains(id)) {
+      continue;
+    }
+    const Slot slot = slot_of_[id];
+    if (store_->VRowDriftSquared(id, {Snapshot(slot), rank_}) > eps2) {
+      ++drifted;
+    } else {
+      ++stats.epsilon_skips;
+    }
+  }
+  if (static_cast<double>(drifted) >
+      options_.rebuild_fraction * static_cast<double>(id_of_.size())) {
+    RebuildAll();
+    stats.rebuilt = true;
+    return stats;
+  }
+  for (const core::NodeId id : ids) {
+    if (Contains(id) && Update(id)) {
+      ++stats.relinked;
+    }
+  }
+  return stats;
+}
+
+void PeerIndex::RebuildAll() {
+  // Refresh every snapshot, drop every edge, re-seed the Rng, then replay
+  // the construction inserts in slot order — a pure function of (member
+  // order, live rows, options.seed), so a rebuild is idempotent and a
+  // rebuild of a fresh index reproduces the constructed adjacency.
+  rng_ = common::Rng(options_.seed);
+  for (Slot slot = 0; slot < id_of_.size(); ++slot) {
+    store_->CopyVRow(id_of_[slot],
+                     {snap_v_.data() + static_cast<std::size_t>(slot) * rank_,
+                      rank_});
+  }
+  std::fill(adj_len_.begin(), adj_len_.end(), 0);
+  for (Slot slot = 0; slot < id_of_.size(); ++slot) {
+    LinkSlot(slot, slot);
+  }
+}
+
+}  // namespace dmfsgd::ann

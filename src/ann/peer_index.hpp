@@ -1,0 +1,224 @@
+// The ANN peer-selection plane (DESIGN.md §16): a drift-tolerant proximity
+// index over live coordinates.
+//
+// The trained factors make "which peers should node i talk to" a k-NN
+// query under the predicted quantity x̂ = u_query · v_member.  PeerIndex
+// answers it with a graph-based dynamic index in the spirit of DEG/HNSW:
+//
+//  * structure: every member holds up to `degree` out-edges to members
+//    whose *snapshot* v rows are Euclidean-near its own, chosen by greedy
+//    beam search plus the relative-neighborhood prune (a candidate is
+//    skipped while some already-chosen neighbor is closer to it than the
+//    new member is).  Edges are directed; back-links are added while there
+//    is room and re-pruned when a list overflows.
+//  * search: greedy best-first beam over the adjacency, ranked by the
+//    *live* bilinear score u_query · v_member — the graph only navigates;
+//    every score reads the store at query time.  That split is the whole
+//    staleness story: SGD drift can only degrade *routing* (which the
+//    recall-under-drift tests bound), never the scores reported, and both
+//    RTT (smallest-first) and ABW (largest-first) orderings ride the same
+//    graph because edge selection is ordering-agnostic.
+//  * drift: Update(id) measures the member's v-row drift against its
+//    snapshot and epsilon-skips below `drift_epsilon` — the common case for
+//    one SGD step — otherwise refreshes the snapshot and re-links the
+//    member's out-edges (stale in-edges are tolerated; they are routing
+//    hints, not answers).  ApplyUpdates() drains an engine dirty set and
+//    escalates to RebuildAll() when the drifted fraction makes per-member
+//    re-linking more expensive than rebuilding.
+//
+// Exact mode: a search with ef >= Size() bypasses the graph and runs
+// eval::BruteForceKnnRow over the members in slot order, so an exact-mode
+// query is bit-identical to the oracle by construction — the property the
+// peer-selection parity test pins.
+//
+// Determinism: construction and maintenance draw entry points from one
+// internal Rng seeded by options.seed, all ranking uses the strict total
+// order (key, slot), and searches seed from fixed evenly-spaced slots —
+// the same (seed, member order, operation sequence) always yields the
+// same adjacency and the same query results.
+//
+// Concurrency: the index never mutates the store.  Queries are logically
+// const but share visited-epoch scratch, so concurrent Search calls on one
+// PeerIndex are not safe; clone the index or serialize queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/coordinate_store.hpp"
+#include "core/messages.hpp"
+#include "eval/brute_force_knn.hpp"
+
+namespace dmfsgd::ann {
+
+struct PeerIndexOptions {
+  std::size_t degree = 16;            ///< max out-edges per member
+  std::size_t ef_construction = 96;   ///< beam width for insert / re-link
+  std::size_t ef_search = 96;         ///< default query beam width
+  std::size_t entry_points = 4;       ///< beam seeds per search
+  /// L2 drift of the v row below which Update() skips re-linking — small
+  /// SGD steps move a row far less than the inter-member spacing.
+  double drift_epsilon = 1e-3;
+  /// ApplyUpdates() rebuilds instead of re-linking when more than this
+  /// fraction of the members drifted past epsilon.
+  double rebuild_fraction = 0.35;
+  std::uint64_t seed = 97;
+};
+
+class PeerIndex {
+ public:
+  /// Indexes every node of the store.  The store must outlive the index
+  /// and must not shrink below the indexed ids (it never reallocates rows,
+  /// so spans stay valid).  Throws std::invalid_argument on bad options.
+  PeerIndex(const core::CoordinateStore& store, const PeerIndexOptions& options);
+
+  /// Indexes an explicit member subset (e.g. one node's candidate peer
+  /// set); slot order == `members` order, which exact-mode queries scan.
+  /// Throws on duplicate or out-of-range members.
+  PeerIndex(const core::CoordinateStore& store,
+            std::span<const std::size_t> members,
+            const PeerIndexOptions& options);
+
+  [[nodiscard]] std::size_t Size() const noexcept { return id_of_.size(); }
+  [[nodiscard]] bool Contains(std::size_t id) const noexcept {
+    return id < slot_of_.size() && slot_of_[id] != kNoSlot;
+  }
+  /// Member ids in slot order (exact-mode scan order).
+  [[nodiscard]] std::span<const std::size_t> Members() const noexcept {
+    return id_of_;
+  }
+  /// A member's current out-edges as node ids (determinism tests pin this).
+  [[nodiscard]] std::vector<std::size_t> NeighborsOf(std::size_t id) const;
+
+  /// k best members by u_query · v_member under `ordering`, read from the
+  /// live store.  `ef` widens the beam (0 = options.ef_search; clamped to
+  /// >= k); ef >= Size() is the exact mode.  Throws on rank mismatch or
+  /// k == 0.
+  [[nodiscard]] eval::KnnResult Search(std::span<const double> query_u,
+                                       std::size_t k, eval::KnnOrdering ordering,
+                                       std::size_t ef = 0) const;
+
+  /// Search with node `query`'s live u row; `query` itself (member or not)
+  /// is excluded from the results.
+  [[nodiscard]] eval::KnnResult SearchFrom(std::size_t query, std::size_t k,
+                                           eval::KnnOrdering ordering,
+                                           std::size_t ef = 0) const;
+
+  /// Adds a member (a node joining the query plane).  Throws if already
+  /// present or out of range.
+  void Add(std::size_t id);
+
+  /// Removes a member and every edge referencing it.  O(Size · degree) —
+  /// bulk departures should RebuildAll() instead.  Throws if absent.
+  void Remove(std::size_t id);
+
+  /// Re-links `id` if its live v row drifted more than drift_epsilon from
+  /// the indexed snapshot; returns whether a re-link happened.  Throws if
+  /// absent.
+  bool Update(std::size_t id);
+
+  struct UpdateStats {
+    std::size_t relinked = 0;      ///< members re-linked
+    std::size_t epsilon_skips = 0; ///< members whose drift stayed under epsilon
+    bool rebuilt = false;          ///< escalated to RebuildAll
+  };
+
+  /// Drains an engine dirty set (DeploymentEngine::TakeDirtyNodes):
+  /// non-members are ignored, members are drift-checked, and the whole
+  /// batch escalates to RebuildAll() when more than rebuild_fraction of
+  /// the membership drifted past epsilon.
+  UpdateStats ApplyUpdates(std::span<const core::NodeId> ids);
+
+  /// Rebuilds every edge from the live store (bulk churn / drift).  Keeps
+  /// membership and slot order; a rebuild of an already-fresh index is a
+  /// no-op on the adjacency (idempotence — pinned by tests).
+  void RebuildAll();
+
+  /// Cumulative u·v evaluations performed by searches (the work an exact
+  /// scan would spend Size() of per query) — the bench's cost model.
+  [[nodiscard]] std::uint64_t ScoreEvaluations() const noexcept {
+    return score_evals_;
+  }
+
+ private:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+
+  /// A beam entry under the strict total order (key, slot); smaller key is
+  /// better (query keys negate largest-first scores).
+  struct RankedSlot {
+    double key = 0.0;
+    Slot slot = 0;
+  };
+  static bool Better(const RankedSlot& a, const RankedSlot& b) noexcept {
+    return a.key < b.key || (a.key == b.key && a.slot < b.slot);
+  }
+
+  [[nodiscard]] const double* Snapshot(Slot slot) const noexcept {
+    return snap_v_.data() + static_cast<std::size_t>(slot) * rank_;
+  }
+  [[nodiscard]] double SnapDistanceSquared(Slot a, Slot b) const noexcept;
+  [[nodiscard]] double DistanceSquaredToSnapshot(std::span<const double> row,
+                                                 Slot slot) const noexcept;
+  [[nodiscard]] std::span<const Slot> Edges(Slot slot) const noexcept {
+    return {adj_.data() + static_cast<std::size_t>(slot) * options_.degree,
+            adj_len_[slot]};
+  }
+
+  /// Appends a slot for `id` (snapshot copied from the live store) without
+  /// linking it.
+  Slot AppendSlot(std::size_t id);
+  /// Chooses and wires `slot`'s out-edges by beam search over the already
+  /// linked graph, seeding from `linked` random slots (rng_ draws).
+  void LinkSlot(Slot slot, std::size_t linked);
+  /// Relative-neighborhood prune over `candidates` (sorted best-first by
+  /// distance to the subject's snapshot); keeps up to degree, backfills
+  /// with pruned candidates to keep the graph dense.
+  void SelectNeighbors(const std::vector<RankedSlot>& candidates,
+                       std::vector<Slot>& chosen) const;
+  /// Adds the back-edge to -> from, re-pruning to's list when full.
+  void LinkBack(Slot to, Slot from);
+
+  /// Greedy best-first beam search; key_of(slot) returns the ranking key.
+  /// Fills `out` best-first with up to `ef` slots (minus `exclude`).
+  template <typename KeyFn>
+  void BeamSearch(std::span<const Slot> entries, std::size_t ef, Slot exclude,
+                  const KeyFn& key_of, std::vector<RankedSlot>& out) const;
+
+  [[nodiscard]] eval::KnnResult GraphSearch(std::span<const double> query_u,
+                                            std::size_t k,
+                                            eval::KnnOrdering ordering,
+                                            std::size_t ef,
+                                            std::size_t exclude_id) const;
+
+  /// The shared search body: explicit query row + id to exclude (pass
+  /// store.NodeCount() for "none").
+  [[nodiscard]] eval::KnnResult SearchFrom(std::size_t exclude_id, std::size_t k,
+                                           eval::KnnOrdering ordering,
+                                           std::size_t ef,
+                                           std::span<const double> query_u) const;
+
+  const core::CoordinateStore* store_;
+  PeerIndexOptions options_;
+  std::size_t rank_;
+  common::Rng rng_;
+
+  std::vector<Slot> slot_of_;        // dense over node ids; kNoSlot = absent
+  std::vector<std::size_t> id_of_;   // per slot
+  std::vector<double> snap_v_;       // per slot: the indexed v row
+  std::vector<Slot> adj_;            // per slot: `degree` edge slots
+  std::vector<std::uint32_t> adj_len_;
+
+  // Query scratch (epoch-marked visited set + beam heaps), shared across
+  // searches — the reason concurrent queries are not safe.
+  mutable std::vector<std::uint32_t> visited_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<RankedSlot> beam_candidates_;
+  mutable std::vector<RankedSlot> beam_out_;
+  mutable std::uint64_t score_evals_ = 0;
+};
+
+}  // namespace dmfsgd::ann

@@ -1,5 +1,6 @@
 #include "core/coordinate_store.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -30,6 +31,36 @@ void CoordinateStore::RandomizeRow(std::size_t i, common::Rng& rng) {
   for (double& value : V(i)) {
     value = rng.Uniform();
   }
+}
+
+void CoordinateStore::CopyVRow(std::size_t i, std::span<double> out) const {
+  if (i >= NodeCount()) {
+    throw std::out_of_range("CoordinateStore::CopyVRow: index out of range");
+  }
+  if (out.size() != rank_) {
+    throw std::invalid_argument("CoordinateStore::CopyVRow: rank mismatch");
+  }
+  const auto row = V(i);
+  std::copy(row.begin(), row.end(), out.begin());
+}
+
+double CoordinateStore::VRowDriftSquared(std::size_t i,
+                                         std::span<const double> snapshot) const {
+  if (i >= NodeCount()) {
+    throw std::out_of_range(
+        "CoordinateStore::VRowDriftSquared: index out of range");
+  }
+  if (snapshot.size() != rank_) {
+    throw std::invalid_argument(
+        "CoordinateStore::VRowDriftSquared: rank mismatch");
+  }
+  const auto row = V(i);
+  double sum = 0.0;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    const double diff = row[d] - snapshot[d];
+    sum += diff * diff;
+  }
+  return sum;
 }
 
 double CoordinateStore::Predict(std::size_t i, std::size_t j) const {

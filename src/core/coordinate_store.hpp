@@ -80,6 +80,20 @@ class CoordinateStore {
   /// initialization (§5.3), also used when a churned node rejoins fresh.
   void RandomizeRow(std::size_t i, common::Rng& rng);
 
+  // -- drift hooks (the ANN query plane's snapshot primitives, DESIGN.md
+  // §16): an index keeps per-member copies of v rows and decides whether a
+  // member's row moved far enough to re-link its edges.
+
+  /// Copies the live v_i into `out` (a drift snapshot).  Requires
+  /// out.size() == rank.
+  void CopyVRow(std::size_t i, std::span<double> out) const;
+
+  /// Squared L2 distance between the live v_i and a snapshot row — the
+  /// drift an index compares against its epsilon.  Requires
+  /// snapshot.size() == rank.
+  [[nodiscard]] double VRowDriftSquared(std::size_t i,
+                                        std::span<const double> snapshot) const;
+
   /// Discards all rows and reshapes the store.  Invalidates row spans.
   void Reset(std::size_t node_count, std::size_t rank);
 

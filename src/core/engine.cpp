@@ -190,6 +190,7 @@ void DeploymentEngine::ResetNode(NodeId i) {
 
 void DeploymentEngine::ResetNodeWith(NodeId i, common::Rng& rng) {
   store_.RandomizeRow(i, rng);
+  MarkDirty(i);
   RebuildNeighborSetWith(i, rng);
   if (sharded_drain_) {
     ++node_counters_[i].churns;
@@ -341,10 +342,15 @@ void DeploymentEngine::ParallelRoundSweep(common::ThreadPool& pool) {
   });
 
   // An exchange either dropped a leg or applied its measurement, so one
-  // per-node flag determines both counters.
+  // per-node flag determines both counters; a node that measured also
+  // updated its own rows (drift marks go here, after the join).
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    dropped += sweep_state_[i];
+    if (sweep_state_[i] != 0) {
+      ++dropped;
+    } else {
+      MarkDirty(i);
+    }
   }
   dropped_legs_ += dropped;
   measurement_count_ += n - dropped;
@@ -405,6 +411,7 @@ void DeploymentEngine::ExecuteCompiledRttRound() {
     CompiledRttStep(kernels, config_.params, x, store_.U(edge.target).data(),
                     store_.V(edge.target).data(), store_.U(edge.prober).data(),
                     store_.V(edge.prober).data(), r);
+    MarkDirty(edge.prober);
     ++measurement_count_;
   }
 }
@@ -432,11 +439,13 @@ void DeploymentEngine::ExecuteCompiledAbwRound() {
       }
       CompiledAbwTargetStep(kernels, config_.params, x,
                             store_.U(edge.prober).data(), v_row, r);  // eq. 13
+      MarkDirty(t);
       ++measurement_count_;
       if (edge.full != 0) {
         RecordNeighborLoss(edge.prober, t, x, v_pre);
         CompiledAbwProberStep(kernels, config_.params, x, v_pre.data(),
                               store_.U(edge.prober).data(), r);  // eq. 12
+        MarkDirty(edge.prober);
       }
     }
   }
@@ -490,7 +499,11 @@ void DeploymentEngine::CompiledParallelRttSweep(common::ThreadPool& pool) {
 
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    dropped += sweep_state_[i];
+    if (sweep_state_[i] != 0) {
+      ++dropped;
+    } else {
+      MarkDirty(i);
+    }
   }
   dropped_legs_ += dropped;
   measurement_count_ += n - dropped;
@@ -567,7 +580,13 @@ void DeploymentEngine::ParallelAbwRoundSweep(common::ThreadPool& pool) {
   std::size_t measured = 0;
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    measured += sweep_state_[i] != kAbwLeg1Lost ? 1 : 0;
+    if (sweep_state_[i] != kAbwLeg1Lost) {
+      ++measured;
+      MarkDirty(sweep_target_[i]);  // the target's v row took eq. 13
+      if (sweep_state_[i] == kAbwFull) {
+        MarkDirty(i);  // the prober's u row took eq. 12
+      }
+    }
     dropped += sweep_state_[i] != kAbwFull ? 1 : 0;
   }
   measurement_count_ += measured;
@@ -644,7 +663,13 @@ void DeploymentEngine::CompiledParallelAbwSweep(common::ThreadPool& pool) {
   std::size_t measured = 0;
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    measured += sweep_state_[i] != kAbwLeg1Lost ? 1 : 0;
+    if (sweep_state_[i] != kAbwLeg1Lost) {
+      ++measured;
+      MarkDirty(sweep_target_[i]);  // the target's v row took eq. 13
+      if (sweep_state_[i] == kAbwFull) {
+        MarkDirty(i);  // the prober's u row took eq. 12
+      }
+    }
     dropped += sweep_state_[i] != kAbwFull ? 1 : 0;
   }
   measurement_count_ += measured;
@@ -717,6 +742,28 @@ void DeploymentEngine::ResolveExchangeAt(NodeId who) {
   } else {
     ResolveExchange();
   }
+}
+
+void DeploymentEngine::EnableDriftTracking() {
+  // Starts clean: "dirty" means written after this point — callers build
+  // their index from the current store, then drain deltas.
+  dirty_rows_.assign(nodes_.size(), 0);
+  drift_tracking_ = true;
+}
+
+std::vector<NodeId> DeploymentEngine::TakeDirtyNodes() {
+  if (!drift_tracking_) {
+    throw std::logic_error(
+        "DeploymentEngine::TakeDirtyNodes: drift tracking is not enabled");
+  }
+  std::vector<NodeId> dirty;
+  for (std::size_t i = 0; i < dirty_rows_.size(); ++i) {
+    if (dirty_rows_[i] != 0) {
+      dirty.push_back(static_cast<NodeId>(i));
+      dirty_rows_[i] = 0;
+    }
+  }
+  return dirty;
 }
 
 void DeploymentEngine::BeginShardedDrain() {
@@ -932,6 +979,7 @@ std::size_t DeploymentEngine::FoldRttReplies(const MessageBatch& batch,
   }
   nodes_[prober].ApplyBatchU(du, config_.params);
   nodes_[prober].ApplyBatchV(dv, config_.params);
+  MarkDirty(prober);
   return end;
 }
 
@@ -953,6 +1001,7 @@ std::size_t DeploymentEngine::FoldAbwReplies(const MessageBatch& batch,
     ResolveExchangeAt(prober);
   }
   nodes_[prober].ApplyBatchU(du, config_.params);
+  MarkDirty(prober);
   return end;
 }
 
@@ -984,6 +1033,7 @@ std::size_t DeploymentEngine::FoldAbwRequests(const MessageBatch& batch,
     channel_->Send(target, request.prober, AbwProbeReply{target, x, v_pre});
   }
   nodes_[target].ApplyBatchV(dv, config_.params);
+  MarkDirty(target);
   return end;
 }
 
@@ -1014,6 +1064,7 @@ std::size_t DeploymentEngine::CompileRttReplies(const MessageBatch& batch,
     CountMeasurementAt(prober);
     ResolveExchangeAt(prober);
   }
+  MarkDirty(prober);
   return end;
 }
 
@@ -1038,6 +1089,7 @@ std::size_t DeploymentEngine::CompileAbwReplies(const MessageBatch& batch,
                           reply.v.data(), u_row, r);  // eq. 12
     ResolveExchangeAt(prober);
   }
+  MarkDirty(prober);
   return end;
 }
 
@@ -1090,6 +1142,7 @@ void DeploymentEngine::HandleRttReply(NodeId prober, const RttProbeReply& reply)
   }
   RecordNeighborLoss(prober, reply.target, x, reply.v);
   nodes_[prober].RttUpdate(x, reply.u, reply.v, config_.params);
+  MarkDirty(prober);
   CountMeasurementAt(prober);
   ResolveExchangeAt(prober);
 }
@@ -1102,6 +1155,7 @@ void DeploymentEngine::HandleAbwRequest(NodeId target,
   const double x = MeasurementFor(request.prober, target, std::nullopt);
   AbwProbeReply reply{target, x, nodes_[target].VCopy()};
   nodes_[target].AbwTargetUpdate(x, request.u, config_.params);
+  MarkDirty(target);
   CountMeasurementAt(target);
 
   // Leg 2: the reply back to the prober.
@@ -1115,6 +1169,7 @@ void DeploymentEngine::HandleAbwRequest(NodeId target,
 void DeploymentEngine::HandleAbwReply(NodeId prober, const AbwProbeReply& reply) {
   RecordNeighborLoss(prober, reply.target, reply.measurement, reply.v);
   nodes_[prober].AbwProberUpdate(reply.measurement, reply.v, config_.params);
+  MarkDirty(prober);
   ResolveExchangeAt(prober);
 }
 

@@ -278,6 +278,28 @@ class DeploymentEngine {
     return sharded_drain_;
   }
 
+  // -- coordinate drift tracking (the ANN query plane's feed, DESIGN.md §16)
+
+  /// Starts recording which nodes' coordinate rows training writes, so a
+  /// proximity index can absorb drift incrementally instead of rescanning
+  /// the store.  Marks live in a per-node byte array attributed to the node
+  /// whose rows changed — the same ownership discipline as the per-node
+  /// counter slots, so every parallel path stays race-free.  Marking never
+  /// touches an RNG stream or any coordinate arithmetic: a run with
+  /// tracking enabled is bit-identical to the same run without it.
+  void EnableDriftTracking();
+
+  [[nodiscard]] bool DriftTrackingEnabled() const noexcept {
+    return drift_tracking_;
+  }
+
+  /// Drains the dirty set: ids whose u or v row changed since the last
+  /// take (or since EnableDriftTracking), ascending — deterministic hand-
+  /// off order for index maintenance.  The parallel sweeps publish their
+  /// marks before returning, so after any driver call the set is complete.
+  /// Throws std::logic_error if tracking was never enabled.
+  [[nodiscard]] std::vector<NodeId> TakeDirtyNodes();
+
   // -- queries -------------------------------------------------------------
 
   /// x̂_ij = u_i · v_j.  Throws std::out_of_range on bad indices.
@@ -437,6 +459,18 @@ class DeploymentEngine {
   };
   bool sharded_drain_ = false;
   std::vector<NodeCounters> node_counters_;
+
+  /// Marks node i's rows as written (no-op unless tracking is enabled).
+  /// Callable from handler context: the byte belongs to the node whose
+  /// handler runs, so sharded drains never race on it, and the parallel
+  /// sweeps mark sequentially after their joins.
+  void MarkDirty(std::size_t i) noexcept {
+    if (drift_tracking_) {
+      dirty_rows_[i] = 1;
+    }
+  }
+  bool drift_tracking_ = false;
+  std::vector<unsigned char> dirty_rows_;
 };
 
 }  // namespace dmfsgd::core

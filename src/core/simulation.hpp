@@ -114,6 +114,14 @@ class DmfsgdSimulation {
     return engine_.ChurnCount();
   }
 
+  /// Coordinate drift tracking for the ANN query plane (DESIGN.md §16):
+  /// enable before building a PeerIndex over store(), then drain the dirty
+  /// set after each training slice and feed it to PeerIndex::ApplyUpdates.
+  void EnableDriftTracking() { engine_.EnableDriftTracking(); }
+  [[nodiscard]] std::vector<NodeId> TakeDirtyNodes() {
+    return engine_.TakeDirtyNodes();
+  }
+
   /// The shared deployment core (read access for snapshots and evaluation).
   [[nodiscard]] const DeploymentEngine& engine() const noexcept { return engine_; }
 

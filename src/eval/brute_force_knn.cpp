@@ -1,0 +1,142 @@
+#include "eval/brute_force_knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmfsgd::eval {
+
+namespace {
+
+/// One scored candidate under the strict total order (key, position):
+/// key = score for smallest-first, -score for largest-first (exact for
+/// finite doubles), position = index in the candidate list.  The worst of
+/// a set is the lexicographic maximum.
+struct Ranked {
+  double key = 0.0;
+  std::size_t position = 0;
+  std::size_t id = 0;
+  double score = 0.0;
+};
+
+constexpr auto kWorseFirst = [](const Ranked& a, const Ranked& b) noexcept {
+  return a.key < b.key || (a.key == b.key && a.position < b.position);
+};
+
+/// Streaming top-k: a worst-on-top heap of at most k entries.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  void Offer(const Ranked& entry) {
+    if (heap_.size() < k_) {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end(), kWorseFirst);
+      return;
+    }
+    if (kWorseFirst(entry, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), kWorseFirst);
+      heap_.back() = entry;
+      std::push_heap(heap_.begin(), heap_.end(), kWorseFirst);
+    }
+  }
+
+  /// Drains best-first into a KnnResult.
+  [[nodiscard]] KnnResult Take() {
+    std::sort(heap_.begin(), heap_.end(), kWorseFirst);
+    KnnResult result;
+    result.ids.reserve(heap_.size());
+    result.scores.reserve(heap_.size());
+    for (const Ranked& entry : heap_) {
+      result.ids.push_back(entry.id);
+      result.scores.push_back(entry.score);
+    }
+    return result;
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<Ranked> heap_;
+};
+
+[[nodiscard]] double KeyFor(double score, KnnOrdering ordering) noexcept {
+  return ordering == KnnOrdering::kSmallestFirst ? score : -score;
+}
+
+}  // namespace
+
+KnnOrdering RegressionOrderingFor(datasets::Metric metric) noexcept {
+  return datasets::LowerIsBetter(metric) ? KnnOrdering::kSmallestFirst
+                                         : KnnOrdering::kLargestFirst;
+}
+
+KnnResult BruteForceKnnRow(const core::CoordinateStore& store,
+                           std::span<const double> query_u,
+                           std::span<const std::size_t> candidates, std::size_t k,
+                           KnnOrdering ordering, std::size_t exclude) {
+  if (k == 0) {
+    throw std::invalid_argument("BruteForceKnn: k must be > 0");
+  }
+  if (query_u.size() != store.rank()) {
+    throw std::invalid_argument("BruteForceKnn: query row rank mismatch");
+  }
+  const std::size_t n = store.NodeCount();
+  TopK top(k);
+  for (std::size_t p = 0; p < candidates.size(); ++p) {
+    const std::size_t c = candidates[p];
+    if (c >= n) {
+      throw std::out_of_range("BruteForceKnn: candidate id out of range");
+    }
+    if (c == exclude) {
+      continue;
+    }
+    const double score =
+        linalg::DotRaw(query_u.data(), store.V(c).data(), store.rank());
+    top.Offer(Ranked{KeyFor(score, ordering), p, c, score});
+  }
+  return top.Take();
+}
+
+KnnResult BruteForceKnn(const core::CoordinateStore& store, std::size_t query,
+                        std::span<const std::size_t> candidates, std::size_t k,
+                        KnnOrdering ordering) {
+  if (query >= store.NodeCount()) {
+    throw std::out_of_range("BruteForceKnn: query id out of range");
+  }
+  return BruteForceKnnRow(store, store.U(query), candidates, k, ordering, query);
+}
+
+KnnResult BruteForceKnnAll(const core::CoordinateStore& store, std::size_t query,
+                           std::size_t k, KnnOrdering ordering) {
+  if (query >= store.NodeCount()) {
+    throw std::out_of_range("BruteForceKnnAll: query id out of range");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("BruteForceKnnAll: k must be > 0");
+  }
+  const std::size_t n = store.NodeCount();
+  const std::span<const double> u = store.U(query);
+  TopK top(k);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == query) {
+      continue;
+    }
+    const double score = linalg::DotRaw(u.data(), store.V(j).data(), store.rank());
+    top.Offer(Ranked{KeyFor(score, ordering), j, j, score});
+  }
+  return top.Take();
+}
+
+double RecallAtK(const KnnResult& approx, const KnnResult& oracle) {
+  if (oracle.ids.empty()) {
+    return 1.0;
+  }
+  std::size_t hits = 0;
+  for (const std::size_t id : oracle.ids) {
+    if (std::find(approx.ids.begin(), approx.ids.end(), id) != approx.ids.end()) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(oracle.ids.size());
+}
+
+}  // namespace dmfsgd::eval

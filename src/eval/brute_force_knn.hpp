@@ -1,0 +1,80 @@
+// The exhaustive k-NN oracle over live coordinates (DESIGN.md §16).
+//
+// The model's predicted quantity x̂_ij = u_i · v_j makes the coordinate
+// store an embedding: "the k best peers for node i" is a top-k scan under
+// the metric's ordering — smallest x̂ for RTT (lower is better), largest
+// for ABW.  This oracle is that scan, extracted from the peer-selection
+// eval so that
+//
+//  * the peer-selection methods (eval/peer_selection.cpp) and any index
+//    share one definition of "best",
+//  * the ANN plane (ann/peer_index.hpp) has a ground truth to measure
+//    recall against — always evaluated on the *live* store, never on a
+//    snapshot, which is exactly the staleness property the index tests pin.
+//
+// Determinism: candidates are ranked under the strict total order
+// (score, candidate position) — ties keep candidate order — so the result
+// is a pure function of (store contents, candidate order, k, ordering).
+// The top-1 of BruteForceKnn over a peer set is bit-identical to the
+// first-strict-improvement scan the peer-selection eval historically ran.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/coordinate_store.hpp"
+#include "datasets/dataset.hpp"
+
+namespace dmfsgd::eval {
+
+/// Which end of the predicted-quantity axis is "best".
+enum class KnnOrdering {
+  kSmallestFirst,  ///< RTT-style: lower predicted quantity is better
+  kLargestFirst,   ///< ABW-style (and raw-score classification): higher is better
+};
+
+/// The regression ordering for a metric: smallest-first for RTT, largest
+/// for ABW (quantity-based prediction, paper §6.4).
+[[nodiscard]] KnnOrdering RegressionOrderingFor(datasets::Metric metric) noexcept;
+
+/// A ranked k-NN answer: ids[0] is the best candidate, scores[p] is the
+/// predicted quantity x̂ = u_query · v_ids[p].
+struct KnnResult {
+  std::vector<std::size_t> ids;
+  std::vector<double> scores;
+
+  [[nodiscard]] std::size_t Size() const noexcept { return ids.size(); }
+};
+
+/// Exact top-k over an explicit candidate list: scores every candidate
+/// against the live store (x̂ = u_query · v_c) and keeps the k best under
+/// `ordering`.  Any candidate equal to `query` is skipped (a node is never
+/// its own peer).  Returns min(k, eligible candidates) entries; ties keep
+/// candidate order.  Throws std::out_of_range on out-of-range ids and
+/// std::invalid_argument on k == 0.
+[[nodiscard]] KnnResult BruteForceKnn(const core::CoordinateStore& store,
+                                      std::size_t query,
+                                      std::span<const std::size_t> candidates,
+                                      std::size_t k, KnnOrdering ordering);
+
+/// Exact top-k with an explicit query row (length rank) instead of a node
+/// id — the form the ANN search plane uses.  `exclude` (pass
+/// CoordinateStore::NodeCount() or larger for "none") is skipped.
+[[nodiscard]] KnnResult BruteForceKnnRow(const core::CoordinateStore& store,
+                                         std::span<const double> query_u,
+                                         std::span<const std::size_t> candidates,
+                                         std::size_t k, KnnOrdering ordering,
+                                         std::size_t exclude);
+
+/// Exact top-k over the whole store (candidates = every node except the
+/// query) — the recall ground truth and the brute-force QPS baseline.
+[[nodiscard]] KnnResult BruteForceKnnAll(const core::CoordinateStore& store,
+                                         std::size_t query, std::size_t k,
+                                         KnnOrdering ordering);
+
+/// |approx ∩ oracle| / |oracle| over the id sets (recall@k with the oracle
+/// as ground truth).  An empty oracle yields 1.0.
+[[nodiscard]] double RecallAtK(const KnnResult& approx, const KnnResult& oracle);
+
+}  // namespace dmfsgd::eval

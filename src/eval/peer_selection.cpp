@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ann/peer_index.hpp"
 #include "common/rng.hpp"
+#include "eval/brute_force_knn.hpp"
 
 namespace dmfsgd::eval {
 
@@ -11,6 +13,24 @@ namespace {
 
 using datasets::ClassOf;
 using datasets::LowerIsBetter;
+
+/// The best peer by predicted score: the brute-force oracle's top-1, or —
+/// with config.use_index — an ann::PeerIndex over the peer set queried with
+/// node i's live u row.  Exact-mode queries (ef >= set size) are
+/// bit-identical to the oracle, which is itself bit-identical to the
+/// historical first-strict-improvement scan (ties keep peer order).
+[[nodiscard]] std::size_t SelectByScore(const core::CoordinateStore& store,
+                                        std::size_t i,
+                                        std::span<const std::size_t> peers,
+                                        KnnOrdering ordering,
+                                        const PeerSelectionConfig& config) {
+  if (config.use_index) {
+    ann::PeerIndex index(store, peers, ann::PeerIndexOptions{});
+    const std::size_t ef = config.index_ef == 0 ? index.Size() : config.index_ef;
+    return index.SearchFrom(i, 1, ordering, ef).ids.at(0);
+  }
+  return BruteForceKnn(store, i, peers, 1, ordering).ids.at(0);
+}
 
 }  // namespace
 
@@ -66,32 +86,17 @@ PeerSelectionOutcome EvaluatePeerSelection(const core::DmfsgdSimulation& simulat
       case SelectionMethod::kRandom:
         selected = peers[rng.UniformInt(static_cast<std::uint64_t>(peer_count))];
         break;
-      case SelectionMethod::kClassification: {
+      case SelectionMethod::kClassification:
         // "the peer which is the most likely to be good": the largest raw
         // x̂_ij, no sign-taking or thresholding (paper §6.4).
-        double best_score = simulation.Predict(i, peers[0]);
-        for (const std::size_t j : peers) {
-          const double score = simulation.Predict(i, j);
-          if (score > best_score) {
-            best_score = score;
-            selected = j;
-          }
-        }
+        selected = SelectByScore(simulation.engine().store(), i, peers,
+                                 KnnOrdering::kLargestFirst, config);
         break;
-      }
-      case SelectionMethod::kRegression: {
+      case SelectionMethod::kRegression:
         // Predicted best-performing peer: smallest x̂ for RTT, largest for ABW.
-        double best_score = simulation.Predict(i, peers[0]);
-        for (const std::size_t j : peers) {
-          const double score = simulation.Predict(i, j);
-          const bool better = lower_better ? score < best_score : score > best_score;
-          if (better) {
-            best_score = score;
-            selected = j;
-          }
-        }
+        selected = SelectByScore(simulation.engine().store(), i, peers,
+                                 RegressionOrderingFor(dataset.metric), config);
         break;
-      }
     }
 
     // True best peer in the set.

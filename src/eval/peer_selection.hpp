@@ -36,6 +36,17 @@ enum class SelectionMethod {
 struct PeerSelectionConfig {
   std::size_t peer_count = 10;
   std::uint64_t seed = 17;
+
+  // -- query-plane routing (DESIGN.md §16) ----------------------------------
+
+  /// Route Classification/Regression selection through an ann::PeerIndex
+  /// built per node over its peer set instead of the exhaustive scan.  With
+  /// index_ef == 0 the index queries in exact mode (ef = peer-set size),
+  /// which reproduces the scan bit-identically — the parity the index tests
+  /// pin; a smaller index_ef trades optimality for fewer score evaluations.
+  /// kRandom ignores the flag (it never scans).
+  bool use_index = false;
+  std::size_t index_ef = 0;
 };
 
 struct PeerSelectionOutcome {

@@ -1,0 +1,176 @@
+#include "eval/brute_force_knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+using core::CoordinateStore;
+using datasets::Metric;
+
+/// A store where x̂_0j = j for j in 1..n-1: u_0 = (1, 0), v_j = (j, 0).
+CoordinateStore ScoreLadder(std::size_t n) {
+  CoordinateStore store(n, 2);
+  store.U(0)[0] = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    store.V(j)[0] = static_cast<double>(j);
+  }
+  return store;
+}
+
+std::vector<std::size_t> AllExcept(std::size_t n, std::size_t skip) {
+  std::vector<std::size_t> ids;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != skip) {
+      ids.push_back(j);
+    }
+  }
+  return ids;
+}
+
+TEST(BruteForceKnn, RegressionOrderingFollowsTheMetric) {
+  EXPECT_EQ(RegressionOrderingFor(Metric::kRtt), KnnOrdering::kSmallestFirst);
+  EXPECT_EQ(RegressionOrderingFor(Metric::kAbw), KnnOrdering::kLargestFirst);
+}
+
+TEST(BruteForceKnn, SmallestFirstReturnsTheLowestScores) {
+  const CoordinateStore store = ScoreLadder(8);
+  const auto candidates = AllExcept(8, 0);
+  const KnnResult result =
+      BruteForceKnn(store, 0, candidates, 3, KnnOrdering::kSmallestFirst);
+  ASSERT_EQ(result.ids, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(result.scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.scores[2], 3.0);
+}
+
+TEST(BruteForceKnn, LargestFirstReturnsTheHighestScores) {
+  const CoordinateStore store = ScoreLadder(8);
+  const auto candidates = AllExcept(8, 0);
+  const KnnResult result =
+      BruteForceKnn(store, 0, candidates, 3, KnnOrdering::kLargestFirst);
+  EXPECT_EQ(result.ids, (std::vector<std::size_t>{7, 6, 5}));
+}
+
+TEST(BruteForceKnn, TiesKeepCandidateOrder) {
+  // All candidates score identically; the stable tie-break must surface
+  // them exactly in candidate order — the same answer the historical
+  // first-strict-improvement scan gave for top-1.
+  CoordinateStore store(6, 2);
+  store.U(0)[0] = 1.0;
+  for (std::size_t j = 1; j < 6; ++j) {
+    store.V(j)[0] = 42.0;
+  }
+  const std::vector<std::size_t> candidates{4, 2, 5, 1, 3};
+  for (const KnnOrdering ordering :
+       {KnnOrdering::kSmallestFirst, KnnOrdering::kLargestFirst}) {
+    const KnnResult result = BruteForceKnn(store, 0, candidates, 3, ordering);
+    EXPECT_EQ(result.ids, (std::vector<std::size_t>{4, 2, 5})) << "ordering";
+  }
+}
+
+TEST(BruteForceKnn, MixedTiesRankStrictlyBetterScoresFirst) {
+  CoordinateStore store(6, 2);
+  store.U(0)[0] = 1.0;
+  store.V(1)[0] = 2.0;
+  store.V(2)[0] = 1.0;
+  store.V(3)[0] = 2.0;
+  store.V(4)[0] = 1.0;
+  const std::vector<std::size_t> candidates{1, 2, 3, 4};
+  const KnnResult result =
+      BruteForceKnn(store, 0, candidates, 4, KnnOrdering::kSmallestFirst);
+  EXPECT_EQ(result.ids, (std::vector<std::size_t>{2, 4, 1, 3}));
+}
+
+TEST(BruteForceKnn, ExcludesTheQueryFromCandidates) {
+  const CoordinateStore store = ScoreLadder(5);
+  // Candidate list deliberately contains the query itself.
+  const std::vector<std::size_t> candidates{0, 1, 2, 3, 4};
+  const KnnResult result =
+      BruteForceKnn(store, 0, candidates, 10, KnnOrdering::kSmallestFirst);
+  EXPECT_EQ(result.ids, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(BruteForceKnn, EmptyCandidateSetYieldsEmptyResult) {
+  const CoordinateStore store = ScoreLadder(4);
+  const KnnResult result =
+      BruteForceKnn(store, 0, {}, 5, KnnOrdering::kSmallestFirst);
+  EXPECT_TRUE(result.ids.empty());
+  EXPECT_TRUE(result.scores.empty());
+}
+
+TEST(BruteForceKnn, SelfOnlyCandidateSetYieldsEmptyResult) {
+  const CoordinateStore store = ScoreLadder(4);
+  const std::vector<std::size_t> candidates{0};
+  const KnnResult result =
+      BruteForceKnn(store, 0, candidates, 2, KnnOrdering::kLargestFirst);
+  EXPECT_TRUE(result.ids.empty());
+}
+
+TEST(BruteForceKnn, KLargerThanCandidatesReturnsAllRanked) {
+  const CoordinateStore store = ScoreLadder(6);
+  const std::vector<std::size_t> candidates{3, 1, 5};
+  const KnnResult result =
+      BruteForceKnn(store, 0, candidates, 100, KnnOrdering::kSmallestFirst);
+  EXPECT_EQ(result.ids, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(BruteForceKnn, AllVariantMatchesExplicitFullCandidateList) {
+  common::Rng rng(2024);
+  CoordinateStore store(40, 6);
+  for (std::size_t i = 0; i < 40; ++i) {
+    store.RandomizeRow(i, rng);
+  }
+  const auto candidates = AllExcept(40, 7);
+  for (const KnnOrdering ordering :
+       {KnnOrdering::kSmallestFirst, KnnOrdering::kLargestFirst}) {
+    const KnnResult all = BruteForceKnnAll(store, 7, 10, ordering);
+    const KnnResult listed = BruteForceKnn(store, 7, candidates, 10, ordering);
+    EXPECT_EQ(all.ids, listed.ids);
+    EXPECT_EQ(all.scores, listed.scores);
+  }
+}
+
+TEST(BruteForceKnn, RowVariantMatchesTheQueryNodesRow) {
+  common::Rng rng(9);
+  CoordinateStore store(30, 4);
+  for (std::size_t i = 0; i < 30; ++i) {
+    store.RandomizeRow(i, rng);
+  }
+  const auto candidates = AllExcept(30, 3);
+  const KnnResult by_id =
+      BruteForceKnn(store, 3, candidates, 5, KnnOrdering::kSmallestFirst);
+  const KnnResult by_row = BruteForceKnnRow(
+      store, store.U(3), candidates, 5, KnnOrdering::kSmallestFirst, 3);
+  EXPECT_EQ(by_id.ids, by_row.ids);
+  EXPECT_EQ(by_id.scores, by_row.scores);
+}
+
+TEST(BruteForceKnn, RecallAtKCountsOracleHits) {
+  KnnResult oracle;
+  oracle.ids = {1, 2, 3, 4};
+  KnnResult approx;
+  approx.ids = {2, 9, 4, 7};
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, oracle), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(oracle, oracle), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(approx, KnnResult{}), 1.0);
+}
+
+TEST(BruteForceKnn, RejectsBadArguments) {
+  const CoordinateStore store = ScoreLadder(4);
+  const std::vector<std::size_t> candidates{1, 2};
+  EXPECT_THROW(
+      (void)BruteForceKnn(store, 0, candidates, 0, KnnOrdering::kSmallestFirst),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)BruteForceKnn(store, 9, candidates, 1, KnnOrdering::kSmallestFirst),
+      std::out_of_range);
+  const std::vector<std::size_t> bad{99};
+  EXPECT_THROW(
+      (void)BruteForceKnn(store, 0, bad, 1, KnnOrdering::kSmallestFirst),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval

@@ -1,0 +1,131 @@
+// Parity of the index-routed query plane (DESIGN.md §16): routing
+// EvaluatePeerSelection through ann::PeerIndex in exact mode must be
+// bit-identical to the historical exhaustive scan — same selections, same
+// stretch, same satisfaction — for both prediction modes and both metric
+// orderings.  Approximate mode is allowed to differ but must stay sane.
+#include "eval/peer_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datasets/hps3.hpp"
+#include "datasets/meridian.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+using core::DmfsgdSimulation;
+using core::LossKind;
+using core::PredictionMode;
+using core::SimulationConfig;
+using datasets::Dataset;
+
+Dataset SmallRtt() {
+  datasets::MeridianConfig config;
+  config.node_count = 70;
+  config.seed = 71;
+  return datasets::MakeMeridian(config);
+}
+
+Dataset SmallAbw() {
+  datasets::HpS3Config config;
+  config.host_count = 70;
+  config.seed = 73;
+  return datasets::MakeHpS3(config);
+}
+
+SimulationConfig ClassConfig(const Dataset& dataset) {
+  SimulationConfig config;
+  config.neighbor_count = 10;
+  config.tau = dataset.MedianValue();
+  config.seed = 5;
+  return config;
+}
+
+SimulationConfig RegressionConfig(const Dataset& dataset) {
+  SimulationConfig config = ClassConfig(dataset);
+  config.mode = PredictionMode::kRegression;
+  config.params.loss = LossKind::kL2;
+  config.params.lambda = 0.01;
+  return config;
+}
+
+void ExpectIdenticalOutcomes(const PeerSelectionOutcome& a,
+                             const PeerSelectionOutcome& b) {
+  EXPECT_EQ(a.average_stretch, b.average_stretch);  // bit-identical, not near
+  EXPECT_EQ(a.unsatisfied_fraction, b.unsatisfied_fraction);
+  EXPECT_EQ(a.stretch_nodes, b.stretch_nodes);
+  EXPECT_EQ(a.satisfaction_nodes, b.satisfaction_nodes);
+}
+
+TEST(PeerSelectionIndex, ExactModeMatchesTheScanBitForBit) {
+  for (const bool abw : {false, true}) {
+    const Dataset dataset = abw ? SmallAbw() : SmallRtt();
+    for (const SelectionMethod method :
+         {SelectionMethod::kClassification, SelectionMethod::kRegression}) {
+      const SimulationConfig sim_config = method == SelectionMethod::kRegression
+                                              ? RegressionConfig(dataset)
+                                              : ClassConfig(dataset);
+      DmfsgdSimulation simulation(dataset, sim_config);
+      simulation.RunRounds(150);
+
+      PeerSelectionConfig scan_config;
+      scan_config.peer_count = 20;
+      PeerSelectionConfig index_config = scan_config;
+      index_config.use_index = true;  // index_ef = 0 -> exact mode
+
+      const auto scanned = EvaluatePeerSelection(simulation, method, scan_config);
+      const auto indexed = EvaluatePeerSelection(simulation, method, index_config);
+      ExpectIdenticalOutcomes(scanned, indexed);
+    }
+  }
+}
+
+TEST(PeerSelectionIndex, RandomSelectionIgnoresTheIndexFlag) {
+  const Dataset dataset = SmallRtt();
+  const DmfsgdSimulation simulation(dataset, ClassConfig(dataset));
+  PeerSelectionConfig scan_config;
+  PeerSelectionConfig index_config;
+  index_config.use_index = true;
+  const auto a =
+      EvaluatePeerSelection(simulation, SelectionMethod::kRandom, scan_config);
+  const auto b =
+      EvaluatePeerSelection(simulation, SelectionMethod::kRandom, index_config);
+  ExpectIdenticalOutcomes(a, b);
+}
+
+TEST(PeerSelectionIndex, ApproximateModeStaysCloseToTheScan) {
+  // A narrow beam may pick a different peer occasionally, but on a trained
+  // deployment the quality metrics must stay in the same regime.
+  const Dataset dataset = SmallRtt();
+  DmfsgdSimulation simulation(dataset, ClassConfig(dataset));
+  simulation.RunRounds(300);
+  PeerSelectionConfig scan_config;
+  scan_config.peer_count = 30;
+  PeerSelectionConfig approx_config = scan_config;
+  approx_config.use_index = true;
+  approx_config.index_ef = 8;
+  const auto scanned = EvaluatePeerSelection(
+      simulation, SelectionMethod::kClassification, scan_config);
+  const auto approx = EvaluatePeerSelection(
+      simulation, SelectionMethod::kClassification, approx_config);
+  EXPECT_GE(approx.average_stretch, 1.0);
+  EXPECT_LE(approx.average_stretch, scanned.average_stretch * 1.5);
+  EXPECT_EQ(approx.stretch_nodes, scanned.stretch_nodes);
+}
+
+TEST(PeerSelectionIndex, ApproximateModeIsDeterministic) {
+  const Dataset dataset = SmallRtt();
+  DmfsgdSimulation simulation(dataset, ClassConfig(dataset));
+  simulation.RunRounds(100);
+  PeerSelectionConfig config;
+  config.use_index = true;
+  config.index_ef = 6;
+  const auto a = EvaluatePeerSelection(simulation,
+                                       SelectionMethod::kClassification, config);
+  const auto b = EvaluatePeerSelection(simulation,
+                                       SelectionMethod::kClassification, config);
+  ExpectIdenticalOutcomes(a, b);
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval
