@@ -26,6 +26,13 @@
 //                      (DESIGN.md §16): the drift-tolerant PeerIndex (fed by
 //                      the engine dirty set) vs the brute-force oracle, at
 //                      n = 8192 and n = 65536
+//   svc_mixed/*        mixed read/update traffic against the resident
+//   svc_ingest/*       svc::CoordinateService (DESIGN.md §17) at the same
+//                      two tiers: per-query timings give the p50/p99 SLO
+//                      scalars, a pure push loop the sustained ingest
+//                      throughput, and the end-of-run index staleness is
+//                      recorded against its budget (--svc-ratio sets the
+//                      query:update mix, default 4:1)
 //   async_drain/*      end-to-end event throughput of AsyncDmfsgdSimulation —
 //                      the sequential cross-shard merge vs the parallel
 //                      conservative-window drain (DESIGN.md §9) vs the
@@ -78,6 +85,7 @@
 //
 // Usage: bench_core [output.json] [--quick]
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
@@ -90,6 +98,7 @@
 
 #include "ann/peer_index.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/async_simulation.hpp"
 #include "core/coordinate_store.hpp"
@@ -107,6 +116,7 @@
 #include "netsim/inter_shard_channel.hpp"
 #include "netsim/reliable_channel.hpp"
 #include "netsim/shard_runtime.hpp"
+#include "svc/coordinate_service.hpp"
 
 namespace {
 
@@ -663,6 +673,78 @@ AnnPlaneResult AnnQueryPlane(const datasets::Dataset& dataset,
   return result;
 }
 
+// ------------------------------------------------------------------------
+// Scenario: the resident coordinate service under mixed traffic
+// (DESIGN.md §17).
+
+struct SvcPlaneResult {
+  bench::BenchJsonEntry mixed;
+  bench::BenchJsonEntry ingest;
+  double query_p50_ms = 0.0;
+  double query_p99_ms = 0.0;
+  double staleness = 0.0;
+};
+
+/// Mixed read/update traffic against a resident CoordinateService:
+/// `query_ratio` k-NN queries ride along with every measurement ingest, and
+/// every query is individually timed for the p50/p99 SLO scalars (sampled
+/// from the final timed pass, the service's steady state).  The staleness
+/// budget is one probing round (n ingests), so the warm-up rounds exercise
+/// the index-absorb path and svc_coord_staleness stays bounded by it.
+SvcPlaneResult SvcMixedTraffic(const datasets::Dataset& dataset,
+                               std::size_t warm_rounds, std::size_t ops,
+                               std::size_t query_ratio, std::size_t repeats) {
+  const core::SimulationConfig round_config = RoundConfigFor(dataset);
+  svc::ServiceConfig config;
+  static_cast<core::ProtocolConfig&>(config) = round_config;
+  config.mode = round_config.mode;
+  config.neighbor_count = round_config.neighbor_count;
+  const std::size_t n = dataset.NodeCount();
+  config.staleness_budget = n;
+  // Same tier-scaled beam as the ann_query scenario.
+  config.index.ef_search = n > 8192 ? 192 : 96;
+  svc::CoordinateService service(dataset, config);
+  service.IngestRounds(warm_rounds);
+
+  SvcPlaneResult result;
+  constexpr std::size_t kK = 10;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(ops);
+  volatile double sink = 0.0;
+  std::size_t cursor = 0;
+  result.mixed = bench::MeasureMinOfK(
+      "svc_mixed/n" + std::to_string(n), ops, /*warmup=*/1, repeats, [&] {
+        latencies_ms.clear();  // keep only the final (steady-state) pass
+        for (std::size_t op = 0; op < ops; ++op) {
+          const auto node = static_cast<core::NodeId>(++cursor * 7919 % n);
+          if (op % (query_ratio + 1) == 0) {
+            (void)service.IngestProbe(node);
+          } else {
+            const auto start = std::chrono::steady_clock::now();
+            sink = sink + service.QueryNearestPeers(node, kK).scores[0];
+            const auto stop = std::chrono::steady_clock::now();
+            latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(stop - start)
+                    .count());
+          }
+        }
+      });
+  result.query_p50_ms = common::Percentile(latencies_ms, 50.0);
+  result.query_p99_ms = common::Percentile(latencies_ms, 99.0);
+
+  const std::size_t ingest_ops = std::min<std::size_t>(5000, 10 * n);
+  result.ingest = bench::MeasureMinOfK(
+      "svc_ingest/n" + std::to_string(n), ingest_ops, /*warmup=*/1, repeats,
+      [&] {
+        for (std::size_t op = 0; op < ingest_ops; ++op) {
+          (void)service.IngestProbe(
+              static_cast<core::NodeId>(++cursor * 7919 % n));
+        }
+      });
+  result.staleness = static_cast<double>(service.CurrentStaleness());
+  return result;
+}
+
 /// Window-width gain of the per-shard-pair lookahead matrix on a
 /// heterogeneous delay space: identical seeds drained with the global-min
 /// lookahead and with the matrix; the gain is windows(global) /
@@ -690,10 +772,13 @@ double PairLookaheadWindowGain(std::size_t n, std::size_t shards,
 int main(int argc, char** argv) {
   std::string output = "BENCH_core.json";
   bool quick = false;
+  std::size_t svc_ratio = 4;  // k-NN queries per measurement ingest
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg.rfind("--svc-ratio=", 0) == 0) {
+      svc_ratio = static_cast<std::size_t>(std::stoul(arg.substr(12)));
     } else {
       output = arg;
     }
@@ -818,6 +903,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Resident-service SLO (DESIGN.md §17): mixed read/update traffic against
+  // svc::CoordinateService at the same two tiers as the query plane.  The
+  // p50/p99 query latencies, sustained ingest throughput and the end-of-run
+  // index staleness become the svc_* scalars the service-slo CI leg pins
+  // (p99 recorded and positive, staleness finite and within budget).
+  double svc_p50_8192 = 0.0, svc_p50_65536 = 0.0;
+  double svc_p99_8192 = 0.0, svc_p99_65536 = 0.0;
+  double svc_ingest_8192 = 0.0, svc_ingest_65536 = 0.0;
+  double svc_stale_8192 = 0.0, svc_stale_65536 = 0.0;
+  for (const std::size_t n : {std::size_t{8192}, std::size_t{65536}}) {
+    datasets::Dataset dataset;
+    if (n > 8192) {
+      datasets::EuclideanRttConfig euclid;
+      euclid.node_count = n;
+      euclid.seed = 3;
+      dataset = datasets::MakeEuclideanRtt(euclid);
+    } else {
+      dataset = MakeSyntheticRtt(n, 3);
+    }
+    // Warm-up rounds are index rebuilds (the whole membership drifts), so
+    // the big tier keeps them short; --quick shortens both.
+    const std::size_t warm_rounds = quick ? 2 : (n > 8192 ? 2 : 10);
+    const std::size_t ops = quick ? 500 : (n > 8192 ? 1000 : 2000);
+    const auto svc_result =
+        SvcMixedTraffic(dataset, warm_rounds, ops, svc_ratio,
+                        std::min<std::size_t>(repeats, 3));
+    entries.push_back(svc_result.mixed);
+    entries.push_back(svc_result.ingest);
+    if (n > 8192) {
+      svc_p50_65536 = svc_result.query_p50_ms;
+      svc_p99_65536 = svc_result.query_p99_ms;
+      svc_ingest_65536 = svc_result.ingest.ops_per_sec;
+      svc_stale_65536 = svc_result.staleness;
+    } else {
+      svc_p50_8192 = svc_result.query_p50_ms;
+      svc_p99_8192 = svc_result.query_p99_ms;
+      svc_ingest_8192 = svc_result.ingest.ops_per_sec;
+      svc_stale_8192 = svc_result.staleness;
+    }
+  }
+
   // Algorithm-2 rounds (target-sharded phases) and the async event drain run
   // per tier; datasets are scoped so only one n² ground truth is live.
   double alg2_scaling = 0.0;
@@ -938,6 +1064,17 @@ int main(int argc, char** argv) {
          {"ann_recall_at_10_n8192", ann_recall_8192},
          {"ann_qps_speedup", ann_speedup_65536},
          {"ann_qps_speedup_n8192", ann_speedup_8192},
+         {"svc_query_p50_ms", svc_p50_65536},
+         {"svc_query_p50_ms_n8192", svc_p50_8192},
+         {"svc_query_p99_ms", svc_p99_65536},
+         {"svc_query_p99_ms_n8192", svc_p99_8192},
+         {"svc_ingest_throughput", svc_ingest_65536},
+         {"svc_ingest_throughput_n8192", svc_ingest_8192},
+         {"svc_coord_staleness", svc_stale_65536},
+         {"svc_coord_staleness_n8192", svc_stale_8192},
+         {"svc_staleness_budget", 65536.0},
+         {"svc_staleness_budget_n8192", 8192.0},
+         {"svc_query_ratio", static_cast<double>(svc_ratio)},
          {"alg2_round_parallel_scaling", alg2_scaling},
          {"async_drain_parallel_scaling", async_scaling},
          {"async_distributed_scaling", async_distributed_scaling},
@@ -963,6 +1100,8 @@ int main(int argc, char** argv) {
       "coo_round_speedup: %.3fx (n8192 %.3fx, n65536 %.3fx)  "
       "ann_recall_at_10: %.3f (n8192 %.3f)  "
       "ann_qps_speedup: %.3fx (n8192 %.3fx)  "
+      "svc_query_p50_ms: %.4f  svc_query_p99_ms: %.4f  "
+      "svc_ingest_throughput: %.0f/s  svc_coord_staleness: %.0f  "
       "alg2_round_parallel_scaling: %.3fx  "
       "async_drain_parallel_scaling: %.3fx  async_distributed_scaling: %.3fx  "
       "async_pair_lookahead_window_gain: %.3fx  "
@@ -972,7 +1111,8 @@ int main(int argc, char** argv) {
       "-> %s\n",
       sgd_speedup, matrix_scaling, hw, round_scaling, coo_speedup,
       coo_speedup_8192, coo_speedup_65536, ann_recall_65536, ann_recall_8192,
-      ann_speedup_65536, ann_speedup_8192, alg2_scaling,
+      ann_speedup_65536, ann_speedup_8192, svc_p50_65536, svc_p99_65536,
+      svc_ingest_65536, svc_stale_65536, alg2_scaling,
       async_scaling, async_distributed_scaling, pair_window_gain,
       async_coalesced_event_gain, intershard_frame_gain,
       intershard_retransmit_overhead, intershard_lossy_window_throughput,

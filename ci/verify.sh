@@ -79,7 +79,11 @@ else
       '"intershard_retransmit_overhead"' \
       '"intershard_lossy_window_throughput"' \
       '"ann_query/index' '"ann_query/brute-force' \
-      '"ann_recall_at_10"' '"ann_qps_speedup"'; do
+      '"ann_recall_at_10"' '"ann_qps_speedup"' \
+      '"svc_mixed/' '"svc_ingest/' \
+      '"svc_query_p50_ms"' '"svc_query_p99_ms"' \
+      '"svc_ingest_throughput"' '"svc_coord_staleness"' \
+      '"svc_staleness_budget"'; do
     if ! grep -qF "$required" BENCH_core.json; then
       docs_failures+=("BENCH_core.json lacks $required — regenerate with bench_bench_core (or ci/promote_bench.sh)")
     fi

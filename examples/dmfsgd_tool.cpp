@@ -98,24 +98,15 @@ int Generate(const common::Flags& flags) {
 core::SimulationConfig ConfigFromFlags(const common::Flags& flags,
                                        const datasets::Dataset& dataset) {
   core::SimulationConfig config;
-  config.rank = static_cast<std::size_t>(flags.GetInt("rank", 10));
+  // The shared protocol knobs parse through the one helper (DESIGN.md §17);
+  // only the simulator-specific knobs are read here.
+  common::ApplyProtocolFlags(flags, config, dataset.MedianValue());
   config.neighbor_count = static_cast<std::size_t>(flags.GetInt("k", 16));
-  config.params.eta = flags.GetDouble("eta", 0.1);
-  config.params.lambda = flags.GetDouble("lambda", 0.1);
-  config.params.loss = core::ParseLossName(flags.GetString("loss", "logistic"));
-  config.tau = flags.GetDouble("tau", dataset.MedianValue());
-  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
-  // Batched message plane (DESIGN.md §13): probe bursts + coalesced batch
-  // envelopes; in mini-batch mode each coalesced reply envelope applies one
-  // accumulated gradient step.
-  const auto batch = static_cast<std::size_t>(flags.GetInt("batch-size", 1));
-  config.probe_burst = batch;
-  config.coalesce_delivery = flags.GetBool("coalesce", false);
   if (config.coalesce_delivery) {
-    config.gradient_batch_size = batch;
+    // Mini-batch receive mode (DESIGN.md §13): each coalesced reply envelope
+    // applies one accumulated gradient step, chunked at the burst size.
+    config.gradient_batch_size = config.probe_burst;
   }
-  // Sparse round compiler (DESIGN.md §14): COO-gathered fused sweeps.
-  config.compile_rounds = flags.GetBool("compile-rounds", false);
   return config;
 }
 
@@ -247,11 +238,10 @@ int Predict(const common::Flags& flags) {
 
 int main(int argc, char** argv) {
   try {
-    const common::Flags flags(argc, argv,
-                              {"dataset", "nodes", "seed", "out", "in", "model",
-                               "rounds", "k", "rank", "eta", "lambda", "loss",
-                               "tau", "src", "dst", "coalesce", "batch-size",
-                               "compile-rounds"});
+    const common::Flags flags(
+        argc, argv,
+        common::WithProtocolFlagNames({"dataset", "nodes", "out", "in",
+                                       "model", "rounds", "k", "src", "dst"}));
     if (flags.Positional().empty()) {
       std::cerr << "usage: dmfsgd_tool <generate|train|evaluate|predict> ...\n"
                    "see the header comment of examples/dmfsgd_tool.cpp\n";

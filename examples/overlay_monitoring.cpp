@@ -1,22 +1,18 @@
 // Overlay monitoring on a live measurement stream (the Harvard regime).
 //
 // An Azureus/Vuze-style overlay passively observes application-level RTTs
-// with very uneven pair coverage.  This demo replays the 4-hour dynamic
-// trace through the deployment in timestamp order and reports, for each
+// with very uneven pair coverage.  This demo is a thin client of the
+// resident coordinate service: it pushes the 4-hour dynamic trace through
+// the service's ingest plane in timestamp order and reports, for each
 // 30-minute window, how the class prediction on *unmeasured* pairs improves
-// as measurements accumulate — the decentralized system warms up from
-// nothing while the overlay runs.
+// as measurements accumulate — the service warms up from nothing while the
+// overlay runs.
 //
 // Usage: overlay_monitoring [--nodes=N] [--records=R] [--seed=S]
 #include <iostream>
 
-#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/simulation.hpp"
-#include "datasets/harvard.hpp"
-#include "eval/confusion.hpp"
-#include "eval/roc.hpp"
-#include "eval/scored_pairs.hpp"
+#include "dmfsgd.hpp"
 
 int main(int argc, char** argv) {
   using namespace dmfsgd;
@@ -32,11 +28,10 @@ int main(int argc, char** argv) {
   dataset_config.seed = seed;
   const datasets::Dataset dataset = datasets::MakeHarvard(dataset_config);
 
-  core::SimulationConfig config;
-  config.neighbor_count = 10;
+  svc::ServiceConfig config;
   config.tau = dataset.MedianValue();
   config.seed = seed;
-  core::DmfsgdSimulation simulation(dataset, config);
+  svc::CoordinateService service(dataset, config);
 
   std::cout << "overlay with " << nodes << " clients; replaying "
             << dataset.trace.size() << " passive RTT measurements over "
@@ -50,30 +45,29 @@ int main(int argc, char** argv) {
   std::size_t cursor = 0;
   std::size_t window_index = 1;
   while (cursor < dataset.trace.size()) {
-    // Find the end of this half-hour window.
+    // Find the end of this half-hour window and push it into the service.
     std::size_t end = cursor;
     const double window_end = static_cast<double>(window_index) * window_s;
     while (end < dataset.trace.size() &&
            dataset.trace[end].timestamp_s <= window_end) {
       ++end;
     }
-    const std::size_t applied = simulation.ReplayTrace(cursor, end);
+    const std::size_t applied = service.IngestTrace(cursor, end);
 
     // Evaluate on unmeasured pairs after this window.
     eval::CollectOptions options;
     options.max_pairs = 30000;
-    const auto pairs = eval::CollectScoredPairs(simulation, options);
+    const auto pairs = eval::CollectScoredPairs(service.engine(), options);
     const auto scores = eval::Scores(pairs);
     const auto labels = eval::Labels(pairs);
-    const double auc = eval::Auc(scores, labels);
-    const auto confusion = eval::ConfusionFromScores(scores, labels);
 
-    table.AddRow({"t<" + std::to_string(static_cast<int>(window_end / 60.0)) +
-                      "min",
-                  std::to_string(end - cursor), std::to_string(applied),
-                  common::FormatFixed(simulation.AverageMeasurementsPerNode(), 1),
-                  common::FormatFixed(auc, 3),
-                  common::FormatFixed(confusion.Accuracy() * 100.0, 1)});
+    table.AddRow(
+        {"t<" + std::to_string(static_cast<int>(window_end / 60.0)) + "min",
+         std::to_string(end - cursor), std::to_string(applied),
+         common::FormatFixed(service.engine().AverageMeasurementsPerNode(), 1),
+         common::FormatFixed(eval::Auc(scores, labels), 3),
+         common::FormatFixed(
+             eval::ConfusionFromScores(scores, labels).Accuracy() * 100.0, 1)});
     cursor = end;
     ++window_index;
   }

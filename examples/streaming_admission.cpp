@@ -3,25 +3,21 @@
 // A video service needs to know whether a client<->server path sustains the
 // stream bitrate — the Google-TV example from §3.2: 2.5 Mbps for SD, 10 Mbps
 // for HD.  Instead of measuring every pair with expensive bandwidth probes,
-// nodes run ABW-mode DMFSGD (Algorithm 2) with the paper's cheap
-// pathload-style class probes at rate τ, and the service admits streams
-// based on *predicted* classes.
+// the admission controller is a thin client of a resident coordinate
+// service per tier: nodes run ABW-mode DMFSGD (Algorithm 2) with the
+// paper's cheap pathload-style class probes at rate τ, and streams are
+// admitted based on the service's *predicted* classes (QueryLevel > 0).
 //
 // Usage: streaming_admission [--hosts=N] [--sd=MBPS] [--hd=MBPS] [--seed=S]
 #include <iostream>
 
-#include "common/flags.hpp"
 #include "common/table.hpp"
-#include "core/simulation.hpp"
-#include "datasets/hps3.hpp"
-#include "eval/confusion.hpp"
-#include "eval/roc.hpp"
-#include "eval/scored_pairs.hpp"
+#include "dmfsgd.hpp"
 
 namespace {
 
-/// Trains an ABW deployment at probing rate tau and reports admission
-/// quality on unmeasured pairs.
+/// Runs a tier's coordinate service at probing rate tau and reports
+/// admission quality on unmeasured pairs.
 void RunTier(const dmfsgd::datasets::Dataset& dataset, const char* tier,
              double tau_mbps, std::uint64_t seed, dmfsgd::common::Table& table) {
   using namespace dmfsgd;
@@ -34,24 +30,22 @@ void RunTier(const dmfsgd::datasets::Dataset& dataset, const char* tier,
                   "n/a", "n/a"});
     return;
   }
-  core::SimulationConfig config;
-  config.neighbor_count = 10;
+  svc::ServiceConfig config;
   config.tau = tau_mbps;  // the pathload probing rate IS the threshold
   config.seed = seed;
-  core::DmfsgdSimulation simulation(dataset, config);
-  simulation.RunRounds(300);
+  svc::CoordinateService service(dataset, config);
+  service.IngestRounds(300);
 
-  const auto pairs = eval::CollectScoredPairs(simulation);
+  const auto pairs = eval::CollectScoredPairs(service.engine());
   const auto scores = eval::Scores(pairs);
   const auto labels = eval::Labels(pairs);
   const auto confusion = eval::ConfusionFromScores(scores, labels);
-  const double auc = eval::Auc(scores, labels);
 
   // Admission semantics: false positives = streams admitted onto paths that
   // cannot carry them (visible stalls); false negatives = capacity wasted.
   table.AddRow({tier, common::FormatFixed(tau_mbps, 1),
-                common::FormatFixed(dataset.GoodFraction(tau_mbps) * 100.0, 1),
-                common::FormatFixed(auc, 3),
+                common::FormatFixed(good_fraction * 100.0, 1),
+                common::FormatFixed(eval::Auc(scores, labels), 3),
                 common::FormatFixed(confusion.Accuracy() * 100.0, 1),
                 common::FormatFixed(confusion.Fpr() * 100.0, 1),
                 common::FormatFixed((1.0 - confusion.GoodRecall()) * 100.0, 1)});

@@ -20,8 +20,9 @@
 // per envelope, one gradient step per item — per-message arithmetic, so
 // the learned state matches the per-message fold of the same envelopes.
 //
-// Usage: udp_swarm [--nodes=N] [--neighbors=K] [--rounds=R] [--seed=S]
-//                  [--batch-size=B] [--coalesce] [--compile-rounds]
+// Usage: udp_swarm [--nodes=N] [--neighbors=K] [--rounds=R] plus the shared
+// protocol flags (common::ProtocolFlagNames): --rank --eta --lambda --loss
+// --tau --seed --batch-size --coalesce --compile-rounds
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -35,28 +36,31 @@
 int main(int argc, char** argv) {
   using namespace dmfsgd;
 
-  const common::Flags flags(argc, argv, {"nodes", "neighbors", "rounds", "seed",
-                                         "batch-size", "coalesce",
-                                         "compile-rounds"});
+  const common::Flags flags(
+      argc, argv,
+      common::WithProtocolFlagNames({"nodes", "neighbors", "rounds"}));
   const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 60));
   const auto k = static_cast<std::size_t>(flags.GetInt("neighbors", 10));
   const auto rounds = static_cast<std::size_t>(flags.GetInt("rounds", 300));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
-  const auto batch = static_cast<std::size_t>(flags.GetInt("batch-size", 1));
-  const bool coalesce = flags.GetBool("coalesce", false);
-  const bool compile_rounds = flags.GetBool("compile-rounds", false);
-  if (compile_rounds && !coalesce) {
-    std::cerr << "udp_swarm: --compile-rounds needs --coalesce (without "
-                 "packed envelopes every datagram is a singleton and there "
-                 "is nothing to compile)\n";
-    return 1;
-  }
 
   datasets::MeridianConfig dataset_config;
   dataset_config.node_count = nodes;
   dataset_config.seed = seed;
   const datasets::Dataset dataset = datasets::MakeMeridian(dataset_config);
-  const double tau = dataset.MedianValue();
+
+  // One parse of the shared protocol knobs; each peer then specializes only
+  // its identity (id, decorrelated seed).
+  transport::UdpPeerConfig base;
+  common::ApplyProtocolFlags(flags, base, dataset.MedianValue());
+  const double tau = base.tau;
+  const std::size_t batch = base.probe_burst;
+  if (base.compile_rounds && !base.coalesce_delivery) {
+    std::cerr << "udp_swarm: --compile-rounds needs --coalesce (without "
+                 "packed envelopes every datagram is a singleton and there "
+                 "is nothing to compile)\n";
+    return 1;
+  }
 
   // The "measurement tool": in deployment this is the ping timing; here the
   // delay-space ground truth thresholded at tau.
@@ -70,13 +74,9 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<transport::UdpDmfsgdPeer>> peers;
   peers.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
-    transport::UdpPeerConfig config;
+    transport::UdpPeerConfig config = base;
     config.id = static_cast<core::NodeId>(i);
-    config.tau = tau;
-    config.seed = seed + i;
-    config.probe_burst = batch;
-    config.coalesce = coalesce;
-    config.compile_rounds = compile_rounds;
+    config.seed = base.seed + i;
     peers.push_back(std::make_unique<transport::UdpDmfsgdPeer>(config, measure));
   }
   common::Rng rng(seed + 999);
@@ -90,8 +90,8 @@ int main(int argc, char** argv) {
   std::cout << "swarm of " << nodes << " UDP peers on 127.0.0.1 (ports "
             << peers.front()->Port() << ".." << peers.back()->Port()
             << "), k = " << k << ", tau = " << tau << " ms, batch = " << batch
-            << (coalesce ? ", coalesced" : ", per-message")
-            << (compile_rounds ? ", compiled envelopes" : "") << "\n";
+            << (base.coalesce_delivery ? ", coalesced" : ", per-message")
+            << (base.compile_rounds ? ", compiled envelopes" : "") << "\n";
 
   // Train: everyone probes once per round, then the swarm drains its mail.
   for (std::size_t round = 0; round < rounds; ++round) {

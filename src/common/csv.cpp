@@ -96,7 +96,7 @@ std::vector<std::string> SplitCsvLine(const std::string& line, char separator) {
 
 std::string FormatDouble(double value) {
   char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
 }
 

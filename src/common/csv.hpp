@@ -35,9 +35,10 @@ void WriteCsv(const std::filesystem::path& path,
 [[nodiscard]] std::vector<std::string> SplitCsvLine(const std::string& line,
                                                     char separator = ',');
 
-/// Formats a double with enough digits to round-trip (shortest of %.17g that
-/// still parses back equal would be overkill; %.12g keeps files readable and
-/// is ample for measurement data).
+/// Formats a double with enough digits (%.17g) that parsing the field back
+/// recovers the exact bits.  The snapshot log (svc/snapshot_log.hpp) pins
+/// restart-from-snapshot bit-identical to the live store, so lossy
+/// formatting here would silently break recovery.
 [[nodiscard]] std::string FormatDouble(double value);
 
 /// Parses a double; throws std::invalid_argument on garbage or trailing junk.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/csv.hpp"  // ParseDouble
+#include "core/protocol_config.hpp"
 
 namespace dmfsgd::common {
 
@@ -70,6 +71,39 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
     return false;
   }
   throw std::invalid_argument("Flags: --" + name + " expects a boolean");
+}
+
+std::vector<std::string> ProtocolFlagNames() {
+  return {"rank",      "eta",  "lambda",     "loss",    "tau",
+          "seed",      "batch-size", "coalesce", "compile-rounds"};
+}
+
+std::vector<std::string> WithProtocolFlagNames(std::vector<std::string> base) {
+  for (std::string& name : ProtocolFlagNames()) {
+    base.push_back(std::move(name));
+  }
+  return base;
+}
+
+void ApplyProtocolFlags(const Flags& flags, core::ProtocolConfig& config,
+                        double tau_fallback) {
+  config.rank = static_cast<std::size_t>(
+      flags.GetInt("rank", static_cast<std::int64_t>(config.rank)));
+  config.params.eta = flags.GetDouble("eta", config.params.eta);
+  config.params.lambda = flags.GetDouble("lambda", config.params.lambda);
+  if (flags.Has("loss")) {
+    config.params.loss = core::ParseLossName(flags.GetString("loss", ""));
+  }
+  config.tau = flags.GetDouble("tau",
+                               tau_fallback > 0.0 ? tau_fallback : config.tau);
+  config.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", static_cast<std::int64_t>(config.seed)));
+  config.probe_burst = static_cast<std::size_t>(flags.GetInt(
+      "batch-size", static_cast<std::int64_t>(config.probe_burst)));
+  config.coalesce_delivery =
+      flags.GetBool("coalesce", config.coalesce_delivery);
+  config.compile_rounds =
+      flags.GetBool("compile-rounds", config.compile_rounds);
 }
 
 }  // namespace dmfsgd::common

@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+namespace dmfsgd::core {
+struct ProtocolConfig;
+}
+
 namespace dmfsgd::common {
 
 class Flags {
@@ -45,5 +49,26 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The flag names of the shared protocol knobs (core/protocol_config.hpp):
+/// --rank, --eta, --lambda, --loss, --tau, --seed, --batch-size, --coalesce,
+/// --compile-rounds.  Binaries append these to their allow-list so every
+/// front end spells the knobs the same way.
+[[nodiscard]] std::vector<std::string> ProtocolFlagNames();
+
+/// `base` plus ProtocolFlagNames() — the usual way a binary builds its
+/// allow-list.
+[[nodiscard]] std::vector<std::string> WithProtocolFlagNames(
+    std::vector<std::string> base);
+
+/// Applies the shared protocol flags onto `config`.  Absent flags keep the
+/// config's current values, so the defaults live in ProtocolConfig alone;
+/// --tau absent falls back to `tau_fallback` when it is > 0 (callers pass
+/// the dataset's median value, the paper's threshold choice).  --batch-size
+/// sets probe_burst; front-end couplings (e.g. the simulator's mini-batch
+/// fold size under --coalesce) stay at the caller.  Throws
+/// std::invalid_argument on malformed values.
+void ApplyProtocolFlags(const Flags& flags, core::ProtocolConfig& config,
+                        double tau_fallback = 0.0);
 
 }  // namespace dmfsgd::common

@@ -15,12 +15,12 @@ using datasets::Dataset;
 using datasets::Metric;
 
 /// Throwing pass-through so the config is validated before any member that
-/// depends on it (the store sizes itself off config.rank) is built.
+/// depends on it (the store sizes itself off config.rank) is built.  The
+/// shared protocol knobs go through the one ValidateProtocolConfig; only the
+/// driver-specific knobs are checked here.
 const SimulationConfig& RequireConfig(const Dataset& dataset,
                                       const SimulationConfig& config) {
-  if (config.rank == 0) {
-    throw std::invalid_argument("DeploymentEngine: rank must be > 0");
-  }
+  ValidateProtocolConfig(config, "DeploymentEngine");
   if (config.neighbor_count == 0) {
     throw std::invalid_argument("DeploymentEngine: neighbor_count must be > 0");
   }
@@ -28,26 +28,14 @@ const SimulationConfig& RequireConfig(const Dataset& dataset,
     throw std::invalid_argument(
         "DeploymentEngine: neighbor_count must be < node count");
   }
-  if (config.tau <= 0.0) {
-    throw std::invalid_argument("DeploymentEngine: tau must be set (> 0)");
-  }
   if (config.message_loss < 0.0 || config.message_loss >= 1.0) {
     throw std::invalid_argument("DeploymentEngine: message_loss must be in [0, 1)");
-  }
-  if (config.params.eta <= 0.0) {
-    throw std::invalid_argument("DeploymentEngine: eta must be > 0");
-  }
-  if (config.params.lambda < 0.0) {
-    throw std::invalid_argument("DeploymentEngine: lambda must be >= 0");
   }
   if (config.churn_rate < 0.0 || config.churn_rate >= 1.0) {
     throw std::invalid_argument("DeploymentEngine: churn_rate must be in [0, 1)");
   }
   if (config.exploration < 0.0 || config.exploration > 1.0) {
     throw std::invalid_argument("DeploymentEngine: exploration must be in [0, 1]");
-  }
-  if (config.probe_burst == 0) {
-    throw std::invalid_argument("DeploymentEngine: probe_burst must be >= 1");
   }
   if (config.gradient_batch_size == 0) {
     throw std::invalid_argument(
@@ -764,6 +752,22 @@ std::vector<NodeId> DeploymentEngine::TakeDirtyNodes() {
     }
   }
   return dirty;
+}
+
+void DeploymentEngine::RestoreCoordinates(const CoordinateStore& snapshot) {
+  if (snapshot.NodeCount() != store_.NodeCount() ||
+      snapshot.rank() != store_.rank()) {
+    throw std::invalid_argument(
+        "DeploymentEngine::RestoreCoordinates: snapshot shape mismatch");
+  }
+  std::copy(snapshot.UData().begin(), snapshot.UData().end(),
+            store_.UData().begin());
+  std::copy(snapshot.VData().begin(), snapshot.VData().end(),
+            store_.VData().begin());
+  if (drift_tracking_) {
+    // Every row moved: an index built before the restore must re-snapshot.
+    std::fill(dirty_rows_.begin(), dirty_rows_.end(), 1);
+  }
 }
 
 void DeploymentEngine::BeginShardedDrain() {

@@ -57,6 +57,7 @@
 #include "core/delivery.hpp"
 #include "core/error_injection.hpp"
 #include "core/node.hpp"
+#include "core/protocol_config.hpp"
 #include "core/round_compiler.hpp"
 #include "datasets/dataset.hpp"
 
@@ -102,13 +103,30 @@ enum class ProbeStrategy {
 [[nodiscard]] std::vector<std::vector<std::uint32_t>> GreedyTargetPhases(
     std::span<const NodeId> targets, std::span<const unsigned char> active);
 
-struct SimulationConfig {
-  std::size_t rank = 10;           ///< r
-  UpdateParams params;             ///< η, λ, loss
+/// The simulation drivers' deployment config: the shared protocol knobs
+/// (rank, η/λ/loss, τ, seed, probe_burst, coalesce_delivery, compile_rounds
+/// — see core/protocol_config.hpp; validated by the one shared
+/// ValidateProtocolConfig) plus the driver-specific knobs below.
+///
+/// Driver semantics of the inherited knobs:
+///  * probe_burst — exchanges per probe slot (per round here, per timer
+///    firing in the async driver).  The parallel round sweep supports
+///    bursts only through the sequential driver (ParallelRoundSweep
+///    rejects probe_burst > 1).
+///  * coalesce_delivery — the round driver flushes each node's burst
+///    through a CoalescingDeliveryChannel; the async driver merges
+///    same-destination same-arrival-time messages into one event.  With
+///    gradient_batch_size == 1 the drains are bit-identical to
+///    per-message delivery (DESIGN.md §13).
+///  * compile_rounds — the parallel round sweep gathers rounds into
+///    row-major COO fused sweeps and the engine folds multi-message reply
+///    envelopes through the same fused executor; bit-identical to the
+///    per-message twin under the scalar kernel table (DESIGN.md §14).
+///    Mini-batch folding (gradient_batch_size > 1) takes precedence on
+///    the receive path.
+struct SimulationConfig : ProtocolConfig {
   PredictionMode mode = PredictionMode::kClassification;
   std::size_t neighbor_count = 10; ///< k
-  double tau = 0.0;                ///< classification threshold (quantity units)
-  std::uint64_t seed = 1;
   double message_loss = 0.0;       ///< per-leg drop probability in [0, 1)
   bool use_wire_format = false;    ///< serialize every exchange through wire.hpp
   ProbeStrategy strategy = ProbeStrategy::kUniformRandom;
@@ -120,17 +138,6 @@ struct SimulationConfig {
   /// Exploration probability of the loss-driven strategy.
   double exploration = 0.3;
 
-  // -- batched message plane (DESIGN.md §13) --------------------------------
-
-  /// Exchanges a node launches per probe slot (per round in the round-based
-  /// driver, per timer firing in the async driver).  Neighbors are picked
-  /// independently per exchange (with replacement), so a burst is exactly
-  /// `probe_burst` sequential per-message exchanges unless coalescing or
-  /// mini-batch mode changes how the traffic is enveloped or folded.
-  /// Must be >= 1.  The parallel round sweep supports bursts only through
-  /// the sequential driver (ParallelRoundSweep rejects probe_burst > 1).
-  std::size_t probe_burst = 1;
-
   /// Opt-in mini-batch receive mode (> 1): the engine folds runs of
   /// consecutive same-kind replies inside one delivered envelope into a
   /// single accumulated gradient step (GradientStepBatch), chunked at this
@@ -138,25 +145,6 @@ struct SimulationConfig {
   /// per-measurement update — and results are bit-identical to the
   /// pre-batch engine.  Must be >= 1.
   std::size_t gradient_batch_size = 1;
-
-  /// Coalesce delivery into batch envelopes: the round driver flushes each
-  /// node's burst through a CoalescingDeliveryChannel; the async driver
-  /// merges same-destination same-arrival-time messages into one event.
-  /// Order-preserving — with gradient_batch_size == 1 the drains are
-  /// bit-identical to per-message delivery (DESIGN.md §13).
-  bool coalesce_delivery = false;
-
-  /// Opt-in sparse round compiler (DESIGN.md §14): the parallel round sweep
-  /// gathers the round into row-major COO and executes it as fused sweeps
-  /// over contiguous row ranges (Algorithm 2 loses its phase barriers), and
-  /// the engine folds multi-message reply envelopes — the async drain's
-  /// conservative windows — through the same fused executor.  Per-message
-  /// update semantics are preserved exactly: with the scalar kernel table
-  /// (linalg::KernelsFor(KernelIsa::kScalar)) every compiled path is
-  /// bit-identical to its per-message twin; vector tables change only the
-  /// dots' accumulation order.  Mini-batch folding (gradient_batch_size > 1)
-  /// takes precedence on the receive path.
-  bool compile_rounds = false;
 };
 
 class DeploymentEngine {
@@ -299,6 +287,18 @@ class DeploymentEngine {
   /// marks before returning, so after any driver call the set is complete.
   /// Throws std::logic_error if tracking was never enabled.
   [[nodiscard]] std::vector<NodeId> TakeDirtyNodes();
+
+  // -- warm restart (the snapshot plane's hook, DESIGN.md §17) --------------
+
+  /// Overwrites every coordinate row with `snapshot`'s — the service's
+  /// restart path: a freshly built engine adopts the learned factors a
+  /// recovered snapshot carries.  Only coordinates are restored; membership,
+  /// probing state and counters keep their freshly-seeded values (both are
+  /// pure functions of the config seed, so a restarted deployment is still
+  /// deterministic).  Marks every row dirty when drift tracking is enabled,
+  /// so a proximity index built before the restore absorbs it.  Throws
+  /// std::invalid_argument on a shape mismatch.
+  void RestoreCoordinates(const CoordinateStore& snapshot);
 
   // -- queries -------------------------------------------------------------
 

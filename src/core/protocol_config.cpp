@@ -1,0 +1,34 @@
+#include "core/protocol_config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dmfsgd::core {
+
+namespace {
+
+[[noreturn]] void Fail(const char* who, const char* what) {
+  throw std::invalid_argument(std::string(who) + ": " + what);
+}
+
+}  // namespace
+
+void ValidateProtocolConfig(const ProtocolConfig& config, const char* who) {
+  if (config.rank == 0) {
+    Fail(who, "rank must be > 0");
+  }
+  if (config.tau <= 0.0) {
+    Fail(who, "tau must be set (> 0)");
+  }
+  if (config.params.eta <= 0.0) {
+    Fail(who, "eta must be > 0");
+  }
+  if (config.params.lambda < 0.0) {
+    Fail(who, "lambda must be >= 0");
+  }
+  if (config.probe_burst == 0) {
+    Fail(who, "probe_burst must be >= 1");
+  }
+}
+
+}  // namespace dmfsgd::core

@@ -99,4 +99,27 @@ std::size_t DmfsgdSimulation::ReplayTrace() {
   return ReplayTrace(0, engine_.dataset().trace.size());
 }
 
+bool DmfsgdSimulation::Ingest(NodeId i, NodeId j,
+                              std::optional<double> observed_quantity) {
+  if (observed_quantity.has_value() && coalescing_.has_value()) {
+    // Same constraint as trace replay: an override must be consumed by the
+    // reply handler inside StartExchange, which deferred delivery breaks.
+    throw std::logic_error(
+        "DmfsgdSimulation::Ingest: observed overrides require per-message "
+        "delivery (coalesce_delivery must be off)");
+  }
+  const std::size_t before = engine_.MeasurementCount();
+  engine_.StartExchange(i, j, observed_quantity);
+  if (coalescing_.has_value()) {
+    coalescing_->Flush();
+  }
+  return engine_.MeasurementCount() > before;
+}
+
+NodeId DmfsgdSimulation::IngestProbe(NodeId i) {
+  const NodeId j = engine_.PickNeighbor(i);
+  (void)Ingest(i, j, std::nullopt);
+  return j;
+}
+
 }  // namespace dmfsgd::core

@@ -62,6 +62,27 @@ class DmfsgdSimulation {
   /// Replays the whole trace.
   std::size_t ReplayTrace();
 
+  // -- push ingest (the resident service's front door, DESIGN.md §17) ------
+
+  /// Launches one exchange i -> j through the channel stack — a single
+  /// pushed measurement instead of a whole round.  `observed_quantity`
+  /// overrides the dataset matrix (a caller-supplied live measurement); it
+  /// requires per-message delivery, exactly like trace replay.  Returns
+  /// whether a measurement was applied (a lost leg loses it, as always).
+  bool Ingest(NodeId i, NodeId j, std::optional<double> observed_quantity);
+
+  /// Push-ingest with the engine picking i's next target per the configured
+  /// probe strategy (the active-probing unit of a resident node).  Returns
+  /// the chosen target.
+  NodeId IngestProbe(NodeId i);
+
+  /// Overwrites every coordinate row from `snapshot` — the service's warm
+  /// restart (see DeploymentEngine::RestoreCoordinates for the exact
+  /// semantics).  Throws std::invalid_argument on a shape mismatch.
+  void RestoreCoordinates(const CoordinateStore& snapshot) {
+    engine_.RestoreCoordinates(snapshot);
+  }
+
   /// x̂_ij = u_i · v_j.
   [[nodiscard]] double Predict(std::size_t i, std::size_t j) const {
     return engine_.Predict(i, j);

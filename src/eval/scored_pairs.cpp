@@ -4,11 +4,11 @@
 
 namespace dmfsgd::eval {
 
-std::vector<ScoredPair> CollectScoredPairs(const core::DmfsgdSimulation& simulation,
+std::vector<ScoredPair> CollectScoredPairs(const core::DeploymentEngine& engine,
                                            const CollectOptions& options) {
-  const auto& dataset = simulation.dataset();
+  const auto& dataset = engine.dataset();
   const std::size_t n = dataset.NodeCount();
-  const double tau = simulation.config().tau;
+  const double tau = engine.config().tau;
 
   common::Rng rng(options.seed);
   std::vector<ScoredPair> reservoir;
@@ -23,11 +23,11 @@ std::vector<ScoredPair> CollectScoredPairs(const core::DmfsgdSimulation& simulat
       if (i == j || !dataset.IsKnown(i, j)) {
         continue;
       }
-      if (options.exclude_neighbor_pairs && simulation.IsNeighborPair(i, j)) {
+      if (options.exclude_neighbor_pairs && engine.IsNeighborPair(i, j)) {
         continue;
       }
       const double quantity = dataset.Quantity(i, j);
-      ScoredPair pair{i, j, simulation.Predict(i, j),
+      ScoredPair pair{i, j, engine.Predict(i, j),
                       datasets::ClassOf(dataset.metric, quantity, tau), quantity};
       ++seen;
       if (capacity == 0 || reservoir.size() < capacity) {
@@ -43,6 +43,11 @@ std::vector<ScoredPair> CollectScoredPairs(const core::DmfsgdSimulation& simulat
     }
   }
   return reservoir;
+}
+
+std::vector<ScoredPair> CollectScoredPairs(const core::DmfsgdSimulation& simulation,
+                                           const CollectOptions& options) {
+  return CollectScoredPairs(simulation.engine(), options);
 }
 
 std::vector<double> Scores(const std::vector<ScoredPair>& pairs) {

@@ -30,8 +30,13 @@ struct CollectOptions {
   std::uint64_t seed = 9;
 };
 
-/// Collects scored test pairs from a trained simulation.  Unknown
-/// ground-truth pairs and the diagonal are always skipped.
+/// Collects scored test pairs from any trained deployment core (the round
+/// driver, the async driver, or the resident service all expose their
+/// engine).  Unknown ground-truth pairs and the diagonal are always skipped.
+[[nodiscard]] std::vector<ScoredPair> CollectScoredPairs(
+    const core::DeploymentEngine& engine, const CollectOptions& options = {});
+
+/// Convenience overload for the round-based driver.
 [[nodiscard]] std::vector<ScoredPair> CollectScoredPairs(
     const core::DmfsgdSimulation& simulation, const CollectOptions& options = {});
 

@@ -7,16 +7,25 @@
 
 namespace dmfsgd::transport {
 
+namespace {
+
+/// Throwing pass-through so the shared protocol knobs are validated (by the
+/// one ValidateProtocolConfig) before any member that depends on them is
+/// built.
+const UdpPeerConfig& RequirePeerConfig(const UdpPeerConfig& config) {
+  core::ValidateProtocolConfig(config, "UdpDmfsgdPeer");
+  return config;
+}
+
+}  // namespace
+
 UdpDmfsgdPeer::UdpDmfsgdPeer(const UdpPeerConfig& config, MeasurementFn measure)
-    : config_(config),
+    : config_(RequirePeerConfig(config)),
       measure_(std::move(measure)),
       rng_(config.seed),
       node_(config.id, config.rank, rng_) {
   if (!measure_) {
     throw std::invalid_argument("UdpDmfsgdPeer: measurement callback required");
-  }
-  if (config_.probe_burst == 0) {
-    throw std::invalid_argument("UdpDmfsgdPeer: probe_burst must be >= 1");
   }
   (void)channel_.Register(config_.id);
   channel_.BindSink(
@@ -45,7 +54,7 @@ void UdpDmfsgdPeer::Probe() {
     }
     return core::AbwProbeRequest{config_.id, node_.UCopy(), config_.tau};
   };
-  if (!config_.coalesce) {
+  if (!config_.coalesce_delivery) {
     for (std::size_t b = 0; b < config_.probe_burst; ++b) {
       channel_.Send(config_.id, pick(), request());
     }
@@ -84,7 +93,7 @@ std::size_t UdpDmfsgdPeer::Pump(std::size_t max_datagrams) {
 }
 
 void UdpDmfsgdPeer::HandleBatch(const core::MessageBatch& batch) {
-  if (!config_.coalesce || batch.items.size() <= 1) {
+  if (!config_.coalesce_delivery || batch.items.size() <= 1) {
     for (const core::BatchItem& item : batch.items) {
       Handle(item.from, item.message);
     }

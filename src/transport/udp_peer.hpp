@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "core/node.hpp"
+#include "core/protocol_config.hpp"
 #include "transport/udp_channel.hpp"
 
 namespace dmfsgd::transport {
@@ -32,31 +33,32 @@ namespace dmfsgd::transport {
 using MeasurementFn =
     std::function<double(core::NodeId prober, core::NodeId target)>;
 
-struct UdpPeerConfig {
+/// The UDP peer's config: the shared protocol knobs (rank, η/λ/loss, τ,
+/// seed, probe_burst, coalesce_delivery, compile_rounds — see
+/// core/protocol_config.hpp; validated by the one shared
+/// ValidateProtocolConfig) plus the node-local knobs below.
+///
+/// Peer semantics of the inherited knobs: τ is carried in ABW probe
+/// requests (the probing rate); probe_burst is the probes launched per
+/// Probe() call (targets picked independently with replacement — a burst
+/// measures some neighbors repeatedly, legitimate repeated samples of the
+/// same path); coalesce_delivery packs a burst's same-target probes into
+/// one datagram, answers a request batch with one packed reply batch, and
+/// folds a received reply batch into a single mini-batch gradient step
+/// (DESIGN.md §13); compile_rounds runs a packed envelope (which needs
+/// coalesce framing to exist on the wire at all) through one hoisted
+/// kernel table with per-message update semantics — the UDP twin of the
+/// engine's window compile, selected *instead of* the mini-batch fold
+/// (DESIGN.md §14).
+struct UdpPeerConfig : core::ProtocolConfig {
+  /// A standalone peer defaults τ to 1 (a deployment overrides it); the
+  /// simulators inherit ProtocolConfig's unset 0 and force callers to pick.
+  UdpPeerConfig() { tau = 1.0; }
+
   core::NodeId id = 0;
-  std::size_t rank = 10;
-  core::UpdateParams params;
   /// True for symmetric sender-measured metrics (Algorithm 1 / RTT);
   /// false for target-measured metrics (Algorithm 2 / ABW).
   bool symmetric_metric = true;
-  double tau = 1.0;  ///< carried in ABW probe requests (the probing rate)
-  std::uint64_t seed = 1;
-  /// Probes launched per Probe() call; targets are picked independently
-  /// (with replacement), so a burst measures some neighbors repeatedly —
-  /// legitimate repeated samples of the same path.
-  std::size_t probe_burst = 1;
-  /// Batched message plane (DESIGN.md §13): a burst's same-target probes
-  /// pack into one datagram, a request batch is answered with one packed
-  /// reply batch, and a received reply batch folds into a single mini-batch
-  /// gradient step instead of one step per reply.
-  bool coalesce = false;
-  /// Sparse round compiler on the receive path (DESIGN.md §14): a packed
-  /// envelope (requires `coalesce` framing to exist on the wire at all)
-  /// keeps per-message update semantics but runs every item through one
-  /// kernel table hoisted out of the loop — the UDP twin of the engine's
-  /// window compile.  Selects per-message fused handling *instead of* the
-  /// mini-batch fold.
-  bool compile_rounds = false;
 };
 
 class UdpDmfsgdPeer {

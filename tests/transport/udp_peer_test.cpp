@@ -164,7 +164,7 @@ std::vector<std::unique_ptr<UdpDmfsgdPeer>> MakeBatchedSwarm(
     config.tau = tau;
     config.seed = 100 + i;
     config.probe_burst = burst;
-    config.coalesce = coalesce;
+    config.coalesce_delivery = coalesce;
     config.compile_rounds = compile_rounds;
     peers.push_back(std::make_unique<UdpDmfsgdPeer>(config, measure));
   }
