@@ -23,16 +23,23 @@
 //                      n = 8192 (dense matrix) and n = 65536 (procedural
 //                      delay-space ground truth).
 //   ann_query/*        k-NN peer queries over live-drifting coordinates
-//                      (DESIGN.md §16): the drift-tolerant PeerIndex (fed by
-//                      the engine dirty set) vs the brute-force oracle, at
-//                      n = 8192 and n = 65536
+//                      (DESIGN.md §16, §18): the drift-tolerant PeerIndex
+//                      (fed by the engine dirty set) vs the brute-force
+//                      oracle, at n = 8192 and n = 65536, plus — in full
+//                      runs — the IVF-routed n = 10⁶ tier, where the coarse
+//                      quantizer replaces the evenly-spaced entry points and
+//                      the exact scan is a million dot products per query
 //   svc_mixed/*        mixed read/update traffic against the resident
 //   svc_ingest/*       svc::CoordinateService (DESIGN.md §17) at the same
-//                      two tiers: per-query timings give the p50/p99 SLO
+//   svc_query/*        tiers: per-query timings give the p50/p99 SLO
 //                      scalars, a pure push loop the sustained ingest
 //                      throughput, and the end-of-run index staleness is
 //                      recorded against its budget (--svc-ratio sets the
-//                      query:update mix, default 4:1)
+//                      query:update mix, default 4:1).  The svc_query
+//                      scenario (DESIGN.md §18) runs a quiescent query-only
+//                      pass through the shared read lock at 1 thread and at
+//                      hw threads; their ratio is the parallel-scaling
+//                      scalar the multicore CI leg pins.
 //   async_drain/*      end-to-end event throughput of AsyncDmfsgdSimulation —
 //                      the sequential cross-shard merge vs the parallel
 //                      conservative-window drain (DESIGN.md §9) vs the
@@ -54,11 +61,19 @@
 //   ann_recall_at_10            mean recall@10 of the updated index against
 //                               the fresh-coordinate oracle at n = 65536
 //                               (CI pins >= 0.9; the _n8192 scalar records
-//                               the small tier)
+//                               the small tier, _n1m the IVF-routed
+//                               million-node tier — 0 under --quick)
 //   ann_qps_speedup             index vs brute-force query throughput at
 //                               n = 65536 (> 1; _n8192 records the small
 //                               tier, where the scan is cache-resident and
-//                               the gap is smaller)
+//                               the gap is smaller; _n1m the million-node
+//                               tier, where it is widest)
+//   ann_index_build_seconds_n1m wall-clock build of the n = 10⁶ graph +
+//                               coarse layer (capacity planning scalar)
+//   svc_query_parallel_scaling  hw-thread vs 1-thread quiescent query
+//                               throughput through the service's shared
+//                               read lock, n = 65536 tier (1.0 on
+//                               single-core hosts)
 //   alg2_round_parallel_scaling same, Algorithm-2 phase schedule, largest n
 //   async_drain_parallel_scaling parallel vs sequential event drain, largest n
 //   async_distributed_scaling   2-process distributed vs sequential drain
@@ -90,6 +105,7 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -610,29 +626,49 @@ struct AnnPlaneResult {
   bench::BenchJsonEntry brute;
   bench::BenchJsonEntry index;
   double recall_at_10 = 0.0;
+  double build_seconds = 0.0;  ///< wall-clock of the index construction
 };
+
+/// Tier-scaled index options (DESIGN.md §18): the query beam widens with
+/// n, and past 65536 the IVF coarse quantizer takes over entry-point
+/// routing — at n = 10⁶ a flat evenly-spaced walk has to cross the whole
+/// delay space, while 16 probes of 1024 k-means cells land the beam in the
+/// right region for ~1k centroid dots.
+ann::PeerIndexOptions AnnOptionsForTier(std::size_t n) {
+  ann::PeerIndexOptions options;
+  // The canonical record pins recall@10 >= 0.9 at n = 65536 and n = 10⁶;
+  // at n = 8192 the library default already holds the floor and a wider
+  // beam would just erode the gap against the cache-resident scan.
+  options.ef_search = n > 8192 ? 192 : 96;
+  if (n > 65536) {
+    options.ef_search = 512;
+    options.ivf_cells = 1024;
+    options.ivf_nprobe = 16;
+  }
+  return options;
+}
 
 AnnPlaneResult AnnQueryPlane(const datasets::Dataset& dataset,
                              std::size_t train_rounds,
-                             std::size_t drift_rounds, std::size_t repeats) {
+                             std::size_t drift_rounds, std::size_t repeats,
+                             common::ThreadPool* oracle_pool) {
   core::DmfsgdSimulation simulation(dataset, RoundConfigFor(dataset));
   simulation.RunRoundsCompiled(train_rounds);
   simulation.EnableDriftTracking();
   (void)simulation.TakeDirtyNodes();  // index from here; discard history
   const core::CoordinateStore& store = simulation.engine().store();
-  ann::PeerIndexOptions options;
-  // The query beam scales with the tier: the canonical record pins
-  // recall@10 >= 0.9 at n = 65536, where the exact scan is slow enough
-  // that doubling the library's default beam still leaves a comfortable
-  // speedup; at n = 8192 the default already holds the floor and a wider
-  // beam would just erode the gap against the cache-resident scan.
-  options.ef_search = dataset.NodeCount() > 8192 ? 192 : 96;
+  const ann::PeerIndexOptions options = AnnOptionsForTier(dataset.NodeCount());
+  const auto build_start = std::chrono::steady_clock::now();
   ann::PeerIndex index(store, options);
+  const auto build_stop = std::chrono::steady_clock::now();
   simulation.RunRoundsCompiled(drift_rounds);
   (void)index.ApplyUpdates(simulation.TakeDirtyNodes());
 
   const std::size_t n = store.NodeCount();
-  const std::size_t query_count = std::min<std::size_t>(256, n);
+  // The million-node tier keeps the query sample small: every recall query
+  // also runs the exact oracle (n dot products even when pooled).
+  const std::size_t query_count =
+      std::min<std::size_t>(n > 65536 ? 128 : 256, n);
   std::vector<std::size_t> queries;
   queries.reserve(query_count);
   for (std::size_t q = 0; q < query_count; ++q) {
@@ -640,13 +676,15 @@ AnnPlaneResult AnnQueryPlane(const datasets::Dataset& dataset,
   }
 
   AnnPlaneResult result;
+  result.build_seconds =
+      std::chrono::duration<double>(build_stop - build_start).count();
   constexpr std::size_t kK = 10;
   double recall_sum = 0.0;
   for (const std::size_t q : queries) {
     const auto approx =
         index.SearchFrom(q, kK, eval::KnnOrdering::kSmallestFirst);
-    const auto oracle =
-        eval::BruteForceKnnAll(store, q, kK, eval::KnnOrdering::kSmallestFirst);
+    const auto oracle = eval::BruteForceKnnAll(
+        store, q, kK, eval::KnnOrdering::kSmallestFirst, oracle_pool);
     recall_sum += eval::RecallAtK(approx, oracle);
   }
   result.recall_at_10 = recall_sum / static_cast<double>(queries.size());
@@ -680,9 +718,12 @@ AnnPlaneResult AnnQueryPlane(const datasets::Dataset& dataset,
 struct SvcPlaneResult {
   bench::BenchJsonEntry mixed;
   bench::BenchJsonEntry ingest;
+  bench::BenchJsonEntry query_single;
+  std::optional<bench::BenchJsonEntry> query_parallel;  // hw > 1 only
   double query_p50_ms = 0.0;
   double query_p99_ms = 0.0;
   double staleness = 0.0;
+  double parallel_scaling = 1.0;  ///< hw-thread qps / 1-thread qps
 };
 
 /// Mixed read/update traffic against a resident CoordinateService:
@@ -691,9 +732,13 @@ struct SvcPlaneResult {
 /// from the final timed pass, the service's steady state).  The staleness
 /// budget is one probing round (n ingests), so the warm-up rounds exercise
 /// the index-absorb path and svc_coord_staleness stays bounded by it.
+/// A quiescent query-only pass then runs at 1 thread and at `hw` threads
+/// (each worker owns a contiguous node slice through the shared-lock query
+/// plane, DESIGN.md §18) — their ratio is svc_query_parallel_scaling.
 SvcPlaneResult SvcMixedTraffic(const datasets::Dataset& dataset,
                                std::size_t warm_rounds, std::size_t ops,
-                               std::size_t query_ratio, std::size_t repeats) {
+                               std::size_t query_ratio, std::size_t repeats,
+                               std::size_t hw) {
   const core::SimulationConfig round_config = RoundConfigFor(dataset);
   svc::ServiceConfig config;
   static_cast<core::ProtocolConfig&>(config) = round_config;
@@ -701,8 +746,9 @@ SvcPlaneResult SvcMixedTraffic(const datasets::Dataset& dataset,
   config.neighbor_count = round_config.neighbor_count;
   const std::size_t n = dataset.NodeCount();
   config.staleness_budget = n;
-  // Same tier-scaled beam as the ann_query scenario.
-  config.index.ef_search = n > 8192 ? 192 : 96;
+  // Same tier-scaled beam (and, at n = 10⁶, coarse quantizer) as the
+  // ann_query scenario.
+  config.index = AnnOptionsForTier(n);
   svc::CoordinateService service(dataset, config);
   service.IngestRounds(warm_rounds);
 
@@ -742,6 +788,52 @@ SvcPlaneResult SvcMixedTraffic(const datasets::Dataset& dataset,
         }
       });
   result.staleness = static_cast<double>(service.CurrentStaleness());
+
+  // Parallel query scaling on the now-quiescent service: the same k-NN
+  // query list through 1 thread and through hw threads sharing the read
+  // lock.  Answers are bit-identical either way (the concurrent-query
+  // tests pin that); only the throughput differs.
+  const std::size_t query_ops = std::min<std::size_t>(n > 65536 ? 256 : 512, n);
+  std::vector<core::NodeId> query_nodes;
+  query_nodes.reserve(query_ops);
+  for (std::size_t q = 0; q < query_ops; ++q) {
+    query_nodes.push_back(static_cast<core::NodeId>(q * (n / query_ops)));
+  }
+  result.query_single = bench::MeasureMinOfK(
+      "svc_query/n" + std::to_string(n) + "/threads-1", query_ops,
+      /*warmup=*/1, repeats, [&] {
+        for (const core::NodeId node : query_nodes) {
+          sink = sink + service.QueryNearestPeers(node, kK).scores[0];
+        }
+      });
+  if (hw > 1) {
+    result.query_parallel = bench::MeasureMinOfK(
+        "svc_query/n" + std::to_string(n) + "/threads-" + std::to_string(hw),
+        query_ops, /*warmup=*/1, repeats, [&] {
+          std::vector<double> partial(hw, 0.0);
+          std::vector<std::thread> workers;
+          workers.reserve(hw);
+          for (std::size_t t = 0; t < hw; ++t) {
+            workers.emplace_back([&, t] {
+              const auto [begin, end] =
+                  common::BlockRange(query_nodes.size(), hw, t);
+              double local = 0.0;
+              for (std::size_t q = begin; q < end; ++q) {
+                local += service.QueryNearestPeers(query_nodes[q], kK).scores[0];
+              }
+              partial[t] = local;
+            });
+          }
+          for (std::thread& worker : workers) {
+            worker.join();
+          }
+          for (const double p : partial) {
+            sink = sink + p;
+          }
+        });
+    result.parallel_scaling =
+        result.query_parallel->ops_per_sec / result.query_single.ops_per_sec;
+  }
   return result;
 }
 
@@ -868,16 +960,27 @@ int main(int argc, char** argv) {
   }
   const double coo_speedup = coo_speedup_65536;
 
-  // ANN query plane (DESIGN.md §16): recall@10 against the fresh-coordinate
-  // oracle and index-vs-scan query throughput on live-drifting coordinates,
-  // at the same two tiers as the round compiler.  The headline scalars (and
-  // the CI floor: recall >= 0.9, speedup > 1) come from n = 65536, where an
-  // exact scan per query is 65536 dot products.
+  // ANN query plane (DESIGN.md §16, §18): recall@10 against the fresh-
+  // coordinate oracle and index-vs-scan query throughput on live-drifting
+  // coordinates.  Two headline tiers follow the round compiler (the CI
+  // floors — recall >= 0.9, speedup > 1 — come from n = 65536), and the
+  // full run adds the n = 10⁶ tier: IVF-routed queries where an exact scan
+  // is a million dot products, plus the index build-time scalar.  --quick
+  // skips the million-node tier (it is minutes of index builds; the
+  // multicore CI leg and the tracked record run it).
   double ann_recall_8192 = 0.0;
   double ann_recall_65536 = 0.0;
   double ann_speedup_8192 = 0.0;
   double ann_speedup_65536 = 0.0;
-  for (const std::size_t n : {std::size_t{8192}, std::size_t{65536}}) {
+  double ann_recall_1m = 0.0;
+  double ann_speedup_1m = 0.0;
+  double ann_build_seconds_1m = 0.0;
+  common::ThreadPool oracle_pool(hw);
+  std::vector<std::size_t> ann_tiers{8192, 65536};
+  if (!quick) {
+    ann_tiers.push_back(1000000);
+  }
+  for (const std::size_t n : ann_tiers) {
     datasets::Dataset dataset;
     if (n > 8192) {
       datasets::EuclideanRttConfig euclid;
@@ -887,14 +990,24 @@ int main(int argc, char** argv) {
     } else {
       dataset = MakeSyntheticRtt(n, 3);
     }
-    const auto ann_result =
-        AnnQueryPlane(dataset, /*train_rounds=*/quick ? 15 : 30,
-                      /*drift_rounds=*/5, repeats);
+    // The million-node tier trims training and drift (each round is 10⁶
+    // SGD probes, each rebuild a full graph construction) and keeps
+    // min-of-k short; the recall sample is already reduced in-scenario.
+    const std::size_t train_rounds = quick ? 15 : (n > 65536 ? 10 : 30);
+    const std::size_t drift_rounds = n > 65536 ? 2 : 5;
+    const std::size_t ann_repeats =
+        n > 65536 ? std::min<std::size_t>(repeats, 2) : repeats;
+    const auto ann_result = AnnQueryPlane(dataset, train_rounds, drift_rounds,
+                                          ann_repeats, &oracle_pool);
     entries.push_back(ann_result.brute);
     entries.push_back(ann_result.index);
     const double speedup =
         ann_result.index.ops_per_sec / ann_result.brute.ops_per_sec;
-    if (n > 8192) {
+    if (n > 65536) {
+      ann_recall_1m = ann_result.recall_at_10;
+      ann_speedup_1m = speedup;
+      ann_build_seconds_1m = ann_result.build_seconds;
+    } else if (n > 8192) {
       ann_recall_65536 = ann_result.recall_at_10;
       ann_speedup_65536 = speedup;
     } else {
@@ -912,7 +1025,8 @@ int main(int argc, char** argv) {
   double svc_p99_8192 = 0.0, svc_p99_65536 = 0.0;
   double svc_ingest_8192 = 0.0, svc_ingest_65536 = 0.0;
   double svc_stale_8192 = 0.0, svc_stale_65536 = 0.0;
-  for (const std::size_t n : {std::size_t{8192}, std::size_t{65536}}) {
+  double svc_query_parallel_scaling = 1.0;
+  for (const std::size_t n : ann_tiers) {
     datasets::Dataset dataset;
     if (n > 8192) {
       datasets::EuclideanRttConfig euclid;
@@ -923,15 +1037,30 @@ int main(int argc, char** argv) {
       dataset = MakeSyntheticRtt(n, 3);
     }
     // Warm-up rounds are index rebuilds (the whole membership drifts), so
-    // the big tier keeps them short; --quick shortens both.
-    const std::size_t warm_rounds = quick ? 2 : (n > 8192 ? 2 : 10);
-    const std::size_t ops = quick ? 500 : (n > 8192 ? 1000 : 2000);
+    // the bigger tiers keep them short; --quick shortens both.
+    const std::size_t warm_rounds =
+        quick ? 2 : (n > 65536 ? 1 : (n > 8192 ? 2 : 10));
+    const std::size_t ops =
+        quick ? 500 : (n > 65536 ? 400 : (n > 8192 ? 1000 : 2000));
+    const std::size_t svc_repeats =
+        n > 65536 ? 2 : std::min<std::size_t>(repeats, 3);
     const auto svc_result =
-        SvcMixedTraffic(dataset, warm_rounds, ops, svc_ratio,
-                        std::min<std::size_t>(repeats, 3));
+        SvcMixedTraffic(dataset, warm_rounds, ops, svc_ratio, svc_repeats, hw);
     entries.push_back(svc_result.mixed);
     entries.push_back(svc_result.ingest);
-    if (n > 8192) {
+    entries.push_back(svc_result.query_single);
+    if (svc_result.query_parallel) {
+      entries.push_back(*svc_result.query_parallel);
+    }
+    // The headline parallel-scaling scalar comes from the n = 65536 tier
+    // (present in both quick and full runs); single-core hosts record 1.0.
+    if (n == 65536) {
+      svc_query_parallel_scaling = svc_result.parallel_scaling;
+    }
+    if (n > 65536) {
+      // The million-node tier contributes the shared-lock query entries;
+      // the svc_* latency scalars stay pinned to the two headline tiers.
+    } else if (n > 8192) {
       svc_p50_65536 = svc_result.query_p50_ms;
       svc_p99_65536 = svc_result.query_p99_ms;
       svc_ingest_65536 = svc_result.ingest.ops_per_sec;
@@ -1064,6 +1193,10 @@ int main(int argc, char** argv) {
          {"ann_recall_at_10_n8192", ann_recall_8192},
          {"ann_qps_speedup", ann_speedup_65536},
          {"ann_qps_speedup_n8192", ann_speedup_8192},
+         {"ann_recall_at_10_n1m", ann_recall_1m},
+         {"ann_qps_speedup_n1m", ann_speedup_1m},
+         {"ann_index_build_seconds_n1m", ann_build_seconds_1m},
+         {"svc_query_parallel_scaling", svc_query_parallel_scaling},
          {"svc_query_p50_ms", svc_p50_65536},
          {"svc_query_p50_ms_n8192", svc_p50_8192},
          {"svc_query_p99_ms", svc_p99_65536},
@@ -1098,8 +1231,10 @@ int main(int argc, char** argv) {
       "sgd_update_speedup: %.3fx  matrix_parallel_scaling: %.3fx (hw=%zu)  "
       "round_parallel_scaling: %.3fx  "
       "coo_round_speedup: %.3fx (n8192 %.3fx, n65536 %.3fx)  "
-      "ann_recall_at_10: %.3f (n8192 %.3f)  "
-      "ann_qps_speedup: %.3fx (n8192 %.3fx)  "
+      "ann_recall_at_10: %.3f (n8192 %.3f, n1m %.3f)  "
+      "ann_qps_speedup: %.3fx (n8192 %.3fx, n1m %.3fx)  "
+      "ann_index_build_seconds_n1m: %.1f  "
+      "svc_query_parallel_scaling: %.3fx  "
       "svc_query_p50_ms: %.4f  svc_query_p99_ms: %.4f  "
       "svc_ingest_throughput: %.0f/s  svc_coord_staleness: %.0f  "
       "alg2_round_parallel_scaling: %.3fx  "
@@ -1111,8 +1246,9 @@ int main(int argc, char** argv) {
       "-> %s\n",
       sgd_speedup, matrix_scaling, hw, round_scaling, coo_speedup,
       coo_speedup_8192, coo_speedup_65536, ann_recall_65536, ann_recall_8192,
-      ann_speedup_65536, ann_speedup_8192, svc_p50_65536, svc_p99_65536,
-      svc_ingest_65536, svc_stale_65536, alg2_scaling,
+      ann_recall_1m, ann_speedup_65536, ann_speedup_8192, ann_speedup_1m,
+      ann_build_seconds_1m, svc_query_parallel_scaling, svc_p50_65536,
+      svc_p99_65536, svc_ingest_65536, svc_stale_65536, alg2_scaling,
       async_scaling, async_distributed_scaling, pair_window_gain,
       async_coalesced_event_gain, intershard_frame_gain,
       intershard_retransmit_overhead, intershard_lossy_window_throughput,

@@ -80,7 +80,10 @@ else
       '"intershard_lossy_window_throughput"' \
       '"ann_query/index' '"ann_query/brute-force' \
       '"ann_recall_at_10"' '"ann_qps_speedup"' \
-      '"svc_mixed/' '"svc_ingest/' \
+      '"ann_query/index/n1000000' '"ann_recall_at_10_n1m"' \
+      '"ann_qps_speedup_n1m"' '"ann_index_build_seconds_n1m"' \
+      '"svc_mixed/' '"svc_ingest/' '"svc_query/' \
+      '"svc_mixed/n1000000' '"svc_query_parallel_scaling"' \
       '"svc_query_p50_ms"' '"svc_query_p99_ms"' \
       '"svc_ingest_throughput"' '"svc_coord_staleness"' \
       '"svc_staleness_budget"'; do

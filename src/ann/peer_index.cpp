@@ -23,10 +23,46 @@ const PeerIndexOptions& RequireOptions(const PeerIndexOptions& options) {
   if (options.rebuild_fraction < 0.0 || options.rebuild_fraction > 1.0) {
     throw std::invalid_argument("PeerIndex: rebuild_fraction must be in [0, 1]");
   }
+  if (options.ivf_cells > 0) {
+    if (options.ivf_nprobe == 0) {
+      throw std::invalid_argument("PeerIndex: ivf_nprobe must be > 0");
+    }
+    if (options.ivf_sample == 0) {
+      throw std::invalid_argument("PeerIndex: ivf_sample must be > 0");
+    }
+  }
   return options;
 }
 
 }  // namespace
+
+PeerIndex::ScratchLease::ScratchLease(const PeerIndex& index)
+    : index_(&index), scratch_(index.AcquireScratch()) {}
+
+PeerIndex::ScratchLease::~ScratchLease() {
+  index_->ReleaseScratch(std::move(scratch_));
+}
+
+std::unique_ptr<PeerIndex::SearchScratch> PeerIndex::AcquireScratch() const {
+  {
+    const std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<SearchScratch> scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<SearchScratch>();
+}
+
+void PeerIndex::ReleaseScratch(std::unique_ptr<SearchScratch> scratch) const {
+  if (scratch->score_evals != 0) {
+    score_evals_.fetch_add(scratch->score_evals, std::memory_order_relaxed);
+    scratch->score_evals = 0;
+  }
+  const std::lock_guard<std::mutex> lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
+}
 
 PeerIndex::PeerIndex(const core::CoordinateStore& store,
                      const PeerIndexOptions& options)
@@ -40,10 +76,12 @@ PeerIndex::PeerIndex(const core::CoordinateStore& store,
   snap_v_.reserve(n * rank_);
   adj_.reserve(n * options_.degree);
   adj_len_.reserve(n);
+  SearchScratch scratch;
   for (std::size_t id = 0; id < n; ++id) {
     const Slot slot = AppendSlot(id);
-    LinkSlot(slot, slot);
+    LinkSlot(slot, slot, scratch);
   }
+  BuildCoarse();
 }
 
 PeerIndex::PeerIndex(const core::CoordinateStore& store,
@@ -58,6 +96,7 @@ PeerIndex::PeerIndex(const core::CoordinateStore& store,
   snap_v_.reserve(members.size() * rank_);
   adj_.reserve(members.size() * options_.degree);
   adj_len_.reserve(members.size());
+  SearchScratch scratch;
   for (const std::size_t id : members) {
     if (id >= store.NodeCount()) {
       throw std::out_of_range("PeerIndex: member id out of range");
@@ -66,8 +105,9 @@ PeerIndex::PeerIndex(const core::CoordinateStore& store,
       throw std::invalid_argument("PeerIndex: duplicate member id");
     }
     const Slot slot = AppendSlot(id);
-    LinkSlot(slot, slot);
+    LinkSlot(slot, slot, scratch);
   }
+  BuildCoarse();
 }
 
 double PeerIndex::SnapDistanceSquared(Slot a, Slot b) const noexcept {
@@ -166,36 +206,40 @@ void PeerIndex::LinkBack(Slot to, Slot from) {
 template <typename KeyFn>
 void PeerIndex::BeamSearch(std::span<const Slot> entries, std::size_t ef,
                            Slot exclude, const KeyFn& key_of,
-                           std::vector<RankedSlot>& out) const {
+                           SearchScratch& scratch) const {
+  std::vector<RankedSlot>& out = scratch.out;
   out.clear();
   if (id_of_.empty() || ef == 0) {
     return;
   }
-  if (visited_.size() < id_of_.size()) {
-    visited_.resize(id_of_.size(), 0);
+  if (scratch.visited.size() < id_of_.size()) {
+    scratch.visited.resize(id_of_.size(), 0);
   }
-  if (++epoch_ == 0) {
-    std::fill(visited_.begin(), visited_.end(), 0);
-    epoch_ = 1;
+  if (++scratch.epoch == 0) {
+    std::fill(scratch.visited.begin(), scratch.visited.end(), 0);
+    scratch.epoch = 1;
   }
+  std::vector<std::uint32_t>& visited = scratch.visited;
+  const std::uint32_t epoch = scratch.epoch;
 
-  // `out` doubles as the worst-on-top result heap; `beam_candidates_` is
+  // `out` doubles as the worst-on-top result heap; `scratch.frontier` is
   // the best-first frontier.  Both orders key on (key, slot), so the walk
-  // is a pure function of (graph, entries, key function).
+  // is a pure function of (graph, entries, key function) — which is why
+  // query results are bit-identical at any number of query threads.
   const auto worst_on_top = [](const RankedSlot& a, const RankedSlot& b) {
     return Better(a, b);
   };
   const auto best_on_top = [](const RankedSlot& a, const RankedSlot& b) {
     return Better(b, a);
   };
-  std::vector<RankedSlot>& frontier = beam_candidates_;
+  std::vector<RankedSlot>& frontier = scratch.frontier;
   frontier.clear();
 
   for (const Slot s : entries) {
-    if (visited_[s] == epoch_) {
+    if (visited[s] == epoch) {
       continue;
     }
-    visited_[s] = epoch_;
+    visited[s] = epoch;
     const RankedSlot entry{key_of(s), s};
     frontier.push_back(entry);
     std::push_heap(frontier.begin(), frontier.end(), best_on_top);
@@ -213,10 +257,10 @@ void PeerIndex::BeamSearch(std::span<const Slot> entries, std::size_t ef,
       break;
     }
     for (const Slot nb : Edges(current.slot)) {
-      if (visited_[nb] == epoch_) {
+      if (visited[nb] == epoch) {
         continue;
       }
-      visited_[nb] = epoch_;
+      visited[nb] = epoch;
       const RankedSlot next{key_of(nb), nb};
       if (out.size() < ef || Better(next, out.front())) {
         frontier.push_back(next);
@@ -235,7 +279,7 @@ void PeerIndex::BeamSearch(std::span<const Slot> entries, std::size_t ef,
   std::sort(out.begin(), out.end(), Better);
 }
 
-void PeerIndex::LinkSlot(Slot slot, std::size_t linked) {
+void PeerIndex::LinkSlot(Slot slot, std::size_t linked, SearchScratch& scratch) {
   if (linked == 0) {
     adj_len_[slot] = 0;
     return;
@@ -249,17 +293,117 @@ void PeerIndex::LinkSlot(Slot slot, std::size_t linked) {
         static_cast<Slot>(rng_.UniformInt(static_cast<std::uint64_t>(linked))));
   }
   const std::span<const double> row(Snapshot(slot), rank_);
-  std::vector<RankedSlot>& found = beam_out_;
   BeamSearch(
       entries, options_.ef_construction, slot,
-      [&](Slot s) { return DistanceSquaredToSnapshot(row, s); }, found);
+      [&](Slot s) { return DistanceSquaredToSnapshot(row, s); }, scratch);
   std::vector<Slot> chosen;
-  SelectNeighbors(found, chosen);
+  SelectNeighbors(scratch.out, chosen);
   adj_len_[slot] = static_cast<std::uint32_t>(chosen.size());
   std::copy(chosen.begin(), chosen.end(),
             adj_.data() + static_cast<std::size_t>(slot) * options_.degree);
   for (const Slot s : chosen) {
     LinkBack(s, slot);
+  }
+}
+
+void PeerIndex::BuildCoarse() {
+  centroids_.clear();
+  cell_entry_.clear();
+  const std::size_t size = id_of_.size();
+  if (options_.ivf_cells == 0 || size == 0) {
+    return;
+  }
+  // Deterministic by construction: the training sample is evenly spaced
+  // over the slots, centroids are seeded from evenly spaced sample rows,
+  // and every tie breaks toward the lower cell / smaller slot.  No rng_
+  // draws, so enabling the coarse layer never shifts the adjacency stream.
+  const std::size_t sample_count = std::min(options_.ivf_sample, size);
+  const std::size_t cells = std::min(options_.ivf_cells, sample_count);
+  std::vector<Slot> sample(sample_count);
+  for (std::size_t t = 0; t < sample_count; ++t) {
+    sample[t] = static_cast<Slot>(t * size / sample_count);
+  }
+  centroids_.resize(cells * rank_);
+  for (std::size_t c = 0; c < cells; ++c) {
+    const Slot seed_slot = sample[c * sample_count / cells];
+    std::copy(Snapshot(seed_slot), Snapshot(seed_slot) + rank_,
+              centroids_.data() + c * rank_);
+  }
+
+  std::vector<std::size_t> assignment(sample_count, 0);
+  const auto assign_all = [&] {
+    for (std::size_t t = 0; t < sample_count; ++t) {
+      const double* row = Snapshot(sample[t]);
+      std::size_t best_cell = 0;
+      double best = 0.0;
+      for (std::size_t c = 0; c < cells; ++c) {
+        const double* center = centroids_.data() + c * rank_;
+        double dist = 0.0;
+        for (std::size_t d = 0; d < rank_; ++d) {
+          const double diff = row[d] - center[d];
+          dist += diff * diff;
+        }
+        if (c == 0 || dist < best) {
+          best = dist;
+          best_cell = c;
+        }
+      }
+      assignment[t] = best_cell;
+    }
+  };
+
+  std::vector<double> sums(cells * rank_);
+  std::vector<std::size_t> counts(cells);
+  for (std::size_t it = 0; it < options_.ivf_iterations; ++it) {
+    assign_all();
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t t = 0; t < sample_count; ++t) {
+      const double* row = Snapshot(sample[t]);
+      double* sum = sums.data() + assignment[t] * rank_;
+      for (std::size_t d = 0; d < rank_; ++d) {
+        sum[d] += row[d];
+      }
+      ++counts[assignment[t]];
+    }
+    for (std::size_t c = 0; c < cells; ++c) {
+      if (counts[c] == 0) {
+        continue;  // empty cell keeps its previous centroid
+      }
+      double* center = centroids_.data() + c * rank_;
+      const double* sum = sums.data() + c * rank_;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t d = 0; d < rank_; ++d) {
+        center[d] = sum[d] * inv;
+      }
+    }
+  }
+  assign_all();
+
+  // Entry medoid per cell: the sampled slot nearest the final centroid
+  // (tie → smaller slot); an empty cell falls back to its evenly-spaced
+  // seed so every cell always routes somewhere valid.
+  cell_entry_.assign(cells, kNoSlot);
+  std::vector<double> best_dist(cells, 0.0);
+  for (std::size_t t = 0; t < sample_count; ++t) {
+    const std::size_t c = assignment[t];
+    const double* row = Snapshot(sample[t]);
+    const double* center = centroids_.data() + c * rank_;
+    double dist = 0.0;
+    for (std::size_t d = 0; d < rank_; ++d) {
+      const double diff = row[d] - center[d];
+      dist += diff * diff;
+    }
+    if (cell_entry_[c] == kNoSlot || dist < best_dist[c] ||
+        (dist == best_dist[c] && sample[t] < cell_entry_[c])) {
+      cell_entry_[c] = sample[t];
+      best_dist[c] = dist;
+    }
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (cell_entry_[c] == kNoSlot) {
+      cell_entry_[c] = sample[c * sample_count / cells];
+    }
   }
 }
 
@@ -276,32 +420,68 @@ std::vector<std::size_t> PeerIndex::NeighborsOf(std::size_t id) const {
   return out;
 }
 
+std::vector<std::size_t> PeerIndex::CellEntries() const {
+  std::vector<std::size_t> out;
+  out.reserve(cell_entry_.size());
+  for (const Slot s : cell_entry_) {
+    out.push_back(id_of_[s]);
+  }
+  return out;
+}
+
 eval::KnnResult PeerIndex::GraphSearch(std::span<const double> query_u,
                                        std::size_t k, eval::KnnOrdering ordering,
-                                       std::size_t ef,
-                                       std::size_t exclude_id) const {
+                                       std::size_t ef, std::size_t exclude_id,
+                                       SearchScratch& scratch) const {
   const bool smallest = ordering == eval::KnnOrdering::kSmallestFirst;
   const auto key_of = [&](Slot s) {
-    ++score_evals_;
+    ++scratch.score_evals;
     const double score =
         linalg::DotRaw(query_u.data(), store_->V(id_of_[s]).data(), rank_);
     return smallest ? score : -score;
   };
-  // Fixed evenly-spaced entry slots keep const searches stateless and
-  // repeatable; beam width >= k so the result heap can fill.
   const std::size_t size = id_of_.size();
-  const std::size_t entry_count = std::min(options_.entry_points, size);
-  std::vector<Slot> entries;
-  entries.reserve(entry_count);
-  for (std::size_t t = 0; t < entry_count; ++t) {
-    entries.push_back(static_cast<Slot>(t * size / entry_count));
+  std::vector<Slot>& entries = scratch.entries;
+  entries.clear();
+  if (!cell_entry_.empty()) {
+    // Coarse routing: rank every cell by the query's score against its
+    // centroid (u · centroid — the cell's mean member score) and seed the
+    // beam from the best `nprobe` cell medoids.  Ties break toward the
+    // lower cell, so routing is deterministic.
+    const std::size_t cells = cell_entry_.size();
+    std::vector<RankedSlot>& ranked = scratch.cells;
+    ranked.clear();
+    ranked.reserve(cells);
+    scratch.score_evals += cells;
+    for (std::size_t c = 0; c < cells; ++c) {
+      const double score =
+          linalg::DotRaw(query_u.data(), centroids_.data() + c * rank_, rank_);
+      ranked.push_back(
+          RankedSlot{smallest ? score : -score, static_cast<Slot>(c)});
+    }
+    const std::size_t probe = std::min(options_.ivf_nprobe, cells);
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(probe),
+                      ranked.end(), Better);
+    entries.reserve(probe);
+    for (std::size_t p = 0; p < probe; ++p) {
+      entries.push_back(cell_entry_[ranked[p].slot]);
+    }
+  } else {
+    // Flat mode: fixed evenly-spaced entry slots keep const searches
+    // stateless and repeatable.
+    const std::size_t entry_count = std::min(options_.entry_points, size);
+    entries.reserve(entry_count);
+    for (std::size_t t = 0; t < entry_count; ++t) {
+      entries.push_back(static_cast<Slot>(t * size / entry_count));
+    }
   }
   const Slot exclude =
       exclude_id < slot_of_.size() && slot_of_[exclude_id] != kNoSlot
           ? slot_of_[exclude_id]
           : kNoSlot;
-  std::vector<RankedSlot>& found = beam_out_;
-  BeamSearch(entries, ef, exclude, key_of, found);
+  BeamSearch(entries, ef, exclude, key_of, scratch);
+  const std::vector<RankedSlot>& found = scratch.out;
   const std::size_t count = std::min(k, found.size());
   eval::KnnResult result;
   result.ids.reserve(count);
@@ -339,14 +519,18 @@ eval::KnnResult PeerIndex::SearchFrom(std::size_t exclude_id, std::size_t k,
   }
   std::size_t beam = ef == 0 ? options_.ef_search : ef;
   beam = std::max(beam, k);
-  if (beam >= id_of_.size()) {
-    // Exact mode: the oracle itself over the members in slot order — the
-    // bit-identity the parity tests rely on.
-    score_evals_ += id_of_.size();
+  const bool probe_everything =
+      !cell_entry_.empty() && options_.ivf_nprobe >= cell_entry_.size();
+  if (beam >= id_of_.size() || probe_everything) {
+    // Exact mode (the beam covers the membership, or the coarse layer
+    // would probe every cell): the oracle itself over the members in slot
+    // order — the bit-identity the parity tests rely on.
+    score_evals_.fetch_add(id_of_.size(), std::memory_order_relaxed);
     return eval::BruteForceKnnRow(*store_, query_u, id_of_, k, ordering,
                                   exclude_id);
   }
-  return GraphSearch(query_u, k, ordering, beam, exclude_id);
+  const ScratchLease lease(*this);
+  return GraphSearch(query_u, k, ordering, beam, exclude_id, *lease);
 }
 
 void PeerIndex::Add(std::size_t id) {
@@ -357,7 +541,11 @@ void PeerIndex::Add(std::size_t id) {
     throw std::invalid_argument("PeerIndex::Add: already a member");
   }
   const Slot slot = AppendSlot(id);
-  LinkSlot(slot, slot);
+  const ScratchLease lease(*this);
+  LinkSlot(slot, slot, *lease);
+  // The coarse layer is left alone: the new member is reachable through
+  // back-links from its neighbors, and the next rebuild refreshes the
+  // cells.
 }
 
 void PeerIndex::Remove(std::size_t id) {
@@ -399,11 +587,33 @@ void PeerIndex::Remove(std::size_t id) {
     }
   }
 
+  // Patch the coarse entries through the swap: the departed member's cells
+  // fall back to an evenly-spaced slot; `last` follows its rename.
+  for (Slot& entry : cell_entry_) {
+    if (entry == slot) {
+      entry = kNoSlot;
+    } else if (entry == last) {
+      entry = slot;
+    }
+  }
+
   slot_of_[id] = kNoSlot;
   id_of_.pop_back();
   snap_v_.resize(snap_v_.size() - rank_);
   adj_.resize(adj_.size() - options_.degree);
   adj_len_.pop_back();
+
+  if (id_of_.empty()) {
+    centroids_.clear();
+    cell_entry_.clear();
+  } else {
+    const std::size_t cells = cell_entry_.size();
+    for (std::size_t c = 0; c < cells; ++c) {
+      if (cell_entry_[c] == kNoSlot) {
+        cell_entry_[c] = static_cast<Slot>(c * id_of_.size() / cells);
+      }
+    }
+  }
 }
 
 bool PeerIndex::Update(std::size_t id) {
@@ -418,10 +628,12 @@ bool PeerIndex::Update(std::size_t id) {
   }
   // Refresh the snapshot and replace the member's out-edges; stale
   // in-edges stay (they are routing hints toward a nearby region) until a
-  // rebuild re-prunes them.
+  // rebuild re-prunes them.  The coarse centroids drift with the rows and
+  // are refreshed wholesale on the rebuild path.
   store_->CopyVRow(id, {snap_v_.data() + static_cast<std::size_t>(slot) * rank_,
                         rank_});
-  LinkSlot(slot, id_of_.size());
+  const ScratchLease lease(*this);
+  LinkSlot(slot, id_of_.size(), *lease);
   return true;
 }
 
@@ -461,7 +673,8 @@ void PeerIndex::RebuildAll() {
   // Refresh every snapshot, drop every edge, re-seed the Rng, then replay
   // the construction inserts in slot order — a pure function of (member
   // order, live rows, options.seed), so a rebuild is idempotent and a
-  // rebuild of a fresh index reproduces the constructed adjacency.
+  // rebuild of a fresh index reproduces the constructed adjacency.  The
+  // coarse layer rebuilds from the same refreshed snapshots.
   rng_ = common::Rng(options_.seed);
   for (Slot slot = 0; slot < id_of_.size(); ++slot) {
     store_->CopyVRow(id_of_[slot],
@@ -469,9 +682,11 @@ void PeerIndex::RebuildAll() {
                       rank_});
   }
   std::fill(adj_len_.begin(), adj_len_.end(), 0);
+  SearchScratch scratch;
   for (Slot slot = 0; slot < id_of_.size(); ++slot) {
-    LinkSlot(slot, slot);
+    LinkSlot(slot, slot, scratch);
   }
+  BuildCoarse();
 }
 
 }  // namespace dmfsgd::ann

@@ -1,5 +1,5 @@
-// The ANN peer-selection plane (DESIGN.md §16): a drift-tolerant proximity
-// index over live coordinates.
+// The ANN peer-selection plane (DESIGN.md §16, §18): a drift-tolerant
+// proximity index over live coordinates.
 //
 // The trained factors make "which peers should node i talk to" a k-NN
 // query under the predicted quantity x̂ = u_query · v_member.  PeerIndex
@@ -18,6 +18,17 @@
 //    recall-under-drift tests bound), never the scores reported, and both
 //    RTT (smallest-first) and ABW (largest-first) orderings ride the same
 //    graph because edge selection is ordering-agnostic.
+//  * coarse routing (DESIGN.md §18): with `ivf_cells > 0` an IVF-style
+//    coarse quantizer sits above the graph — seeded k-means centroids over
+//    a deterministic subsample of the snapshot v rows, one medoid entry
+//    slot per cell.  A query scores every centroid (u · centroid — the
+//    cell's mean member score), picks the best `ivf_nprobe` cells, and
+//    seeds the beam from their medoids instead of from fixed evenly-spaced
+//    slots; past n ≈ 10⁵ that lands the beam inside the right region in
+//    O(cells) instead of walking there, which is what holds recall at the
+//    million-node tier.  The coarse layer is routing only — like the graph
+//    it is rebuilt from live rows on the RebuildAll escalation path and
+//    drifts harmlessly in between.
 //  * drift: Update(id) measures the member's v-row drift against its
 //    snapshot and epsilon-skips below `drift_epsilon` — the common case for
 //    one SGD step — otherwise refreshes the snapshot and re-links the
@@ -26,24 +37,38 @@
 //    escalates to RebuildAll() when the drifted fraction makes per-member
 //    re-linking more expensive than rebuilding.
 //
-// Exact mode: a search with ef >= Size() bypasses the graph and runs
+// Exact mode: a search with ef >= Size() — or, with the coarse layer on,
+// ivf_nprobe >= the cell count — bypasses the graph and runs
 // eval::BruteForceKnnRow over the members in slot order, so an exact-mode
 // query is bit-identical to the oracle by construction — the property the
-// peer-selection parity test pins.
+// peer-selection parity and IVF exact-mode tests pin.
 //
 // Determinism: construction and maintenance draw entry points from one
-// internal Rng seeded by options.seed, all ranking uses the strict total
-// order (key, slot), and searches seed from fixed evenly-spaced slots —
-// the same (seed, member order, operation sequence) always yields the
-// same adjacency and the same query results.
+// internal Rng seeded by options.seed; the coarse layer is built from a
+// deterministic evenly-spaced subsample (no Rng draws, so enabling it
+// never shifts the adjacency stream); all ranking uses the strict total
+// order (key, slot); searches seed from the coarse medoids (or fixed
+// evenly-spaced slots) — the same (seed, member order, operation sequence)
+// always yields the same adjacency and the same query results, at any
+// number of query threads.
 //
-// Concurrency: the index never mutates the store.  Queries are logically
-// const but share visited-epoch scratch, so concurrent Search calls on one
-// PeerIndex are not safe; clone the index or serialize queries.
+// Concurrency (DESIGN.md §18): queries never mutate the store or the
+// graph.  Each Search/SearchFrom leases a SearchScratch (visited epochs,
+// beam heaps) from an internal free-list pool and folds its evaluation
+// count into one atomic on release, so any number of threads may run
+// const searches concurrently — results are bit-identical to a serial run
+// because the walk is a pure function of (graph, entries, key function).
+// Mutators (Add/Remove/Update/ApplyUpdates/RebuildAll) are NOT safe
+// against concurrent searches; callers serialize them behind a writer
+// lock (svc::CoordinateService holds its reader–writer lock exclusively
+// around every mutation).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -58,7 +83,7 @@ struct PeerIndexOptions {
   std::size_t degree = 16;            ///< max out-edges per member
   std::size_t ef_construction = 96;   ///< beam width for insert / re-link
   std::size_t ef_search = 96;         ///< default query beam width
-  std::size_t entry_points = 4;       ///< beam seeds per search
+  std::size_t entry_points = 4;       ///< beam seeds per search (coarse layer off)
   /// L2 drift of the v row below which Update() skips re-linking — small
   /// SGD steps move a row far less than the inter-member spacing.
   double drift_epsilon = 1e-3;
@@ -66,6 +91,22 @@ struct PeerIndexOptions {
   /// fraction of the members drifted past epsilon.
   double rebuild_fraction = 0.35;
   std::uint64_t seed = 97;
+
+  // -- IVF coarse quantizer (DESIGN.md §18); 0 cells = off -------------------
+
+  /// Coarse k-means cells over the snapshot v rows (clamped to Size()).
+  /// Routing only: a query seeds its beam from the best `ivf_nprobe` cell
+  /// medoids instead of fixed evenly-spaced slots.
+  std::size_t ivf_cells = 0;
+  /// Cells probed per query; >= the cell count is the exact mode (the
+  /// whole search delegates to the brute-force oracle, bit-identical).
+  std::size_t ivf_nprobe = 8;
+  /// K-means training subsample cap (evenly spaced over the slots, so the
+  /// coarse build is deterministic and O(sample · cells · rank), not
+  /// O(Size · cells · rank) at the million-node tier).
+  std::size_t ivf_sample = 32768;
+  /// Lloyd refinement rounds; 0 keeps the evenly-spaced seeds as pivots.
+  std::size_t ivf_iterations = 3;
 };
 
 class PeerIndex {
@@ -93,10 +134,19 @@ class PeerIndex {
   /// A member's current out-edges as node ids (determinism tests pin this).
   [[nodiscard]] std::vector<std::size_t> NeighborsOf(std::size_t id) const;
 
+  /// Coarse cells currently built (0 when the IVF layer is off or empty).
+  [[nodiscard]] std::size_t CellCount() const noexcept {
+    return cell_entry_.size();
+  }
+  /// Member ids serving as cell entry medoids, in cell order (the IVF
+  /// determinism tests pin this).
+  [[nodiscard]] std::vector<std::size_t> CellEntries() const;
+
   /// k best members by u_query · v_member under `ordering`, read from the
   /// live store.  `ef` widens the beam (0 = options.ef_search; clamped to
-  /// >= k); ef >= Size() is the exact mode.  Throws on rank mismatch or
-  /// k == 0.
+  /// >= k); ef >= Size() is the exact mode.  Safe to call from any number
+  /// of threads concurrently (not concurrently with mutators).  Throws on
+  /// rank mismatch or k == 0.
   [[nodiscard]] eval::KnnResult Search(std::span<const double> query_u,
                                        std::size_t k, eval::KnnOrdering ordering,
                                        std::size_t ef = 0) const;
@@ -132,15 +182,17 @@ class PeerIndex {
   /// the membership drifted past epsilon.
   UpdateStats ApplyUpdates(std::span<const core::NodeId> ids);
 
-  /// Rebuilds every edge from the live store (bulk churn / drift).  Keeps
-  /// membership and slot order; a rebuild of an already-fresh index is a
-  /// no-op on the adjacency (idempotence — pinned by tests).
+  /// Rebuilds every edge — and the coarse layer — from the live store
+  /// (bulk churn / drift).  Keeps membership and slot order; a rebuild of
+  /// an already-fresh index is a no-op on the adjacency (idempotence —
+  /// pinned by tests).
   void RebuildAll();
 
-  /// Cumulative u·v evaluations performed by searches (the work an exact
-  /// scan would spend Size() of per query) — the bench's cost model.
+  /// Cumulative u·v-shaped evaluations performed by searches — member
+  /// scores plus coarse centroid scores (the work an exact scan would
+  /// spend Size() of per query) — the bench's cost model.
   [[nodiscard]] std::uint64_t ScoreEvaluations() const noexcept {
-    return score_evals_;
+    return score_evals_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -156,6 +208,36 @@ class PeerIndex {
   static bool Better(const RankedSlot& a, const RankedSlot& b) noexcept {
     return a.key < b.key || (a.key == b.key && a.slot < b.slot);
   }
+
+  /// Per-search mutable state, leased from an internal pool so const
+  /// searches from many threads never share a buffer (DESIGN.md §18).
+  struct SearchScratch {
+    std::vector<std::uint32_t> visited;  ///< epoch-marked visited set
+    std::uint32_t epoch = 0;
+    std::vector<RankedSlot> frontier;    ///< best-first beam frontier
+    std::vector<RankedSlot> out;         ///< worst-on-top result heap
+    std::vector<RankedSlot> cells;       ///< coarse-cell ranking buffer
+    std::vector<Slot> entries;           ///< beam seed slots
+    std::uint64_t score_evals = 0;       ///< folded into the index atomic
+  };
+
+  /// RAII lease: pops a scratch from the free list (or makes one), folds
+  /// its evaluation count into score_evals_ and returns it on destruction.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(const PeerIndex& index);
+    ~ScratchLease();
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    [[nodiscard]] SearchScratch& operator*() const noexcept { return *scratch_; }
+    [[nodiscard]] SearchScratch* operator->() const noexcept {
+      return scratch_.get();
+    }
+
+   private:
+    const PeerIndex* index_;
+    std::unique_ptr<SearchScratch> scratch_;
+  };
 
   [[nodiscard]] const double* Snapshot(Slot slot) const noexcept {
     return snap_v_.data() + static_cast<std::size_t>(slot) * rank_;
@@ -173,7 +255,7 @@ class PeerIndex {
   Slot AppendSlot(std::size_t id);
   /// Chooses and wires `slot`'s out-edges by beam search over the already
   /// linked graph, seeding from `linked` random slots (rng_ draws).
-  void LinkSlot(Slot slot, std::size_t linked);
+  void LinkSlot(Slot slot, std::size_t linked, SearchScratch& scratch);
   /// Relative-neighborhood prune over `candidates` (sorted best-first by
   /// distance to the subject's snapshot); keeps up to degree, backfills
   /// with pruned candidates to keep the graph dense.
@@ -182,17 +264,23 @@ class PeerIndex {
   /// Adds the back-edge to -> from, re-pruning to's list when full.
   void LinkBack(Slot to, Slot from);
 
+  /// (Re)builds the IVF coarse layer from the current snapshots: seeded
+  /// k-means over an evenly-spaced subsample, one medoid entry per cell.
+  /// Deterministic; draws nothing from rng_.
+  void BuildCoarse();
+
   /// Greedy best-first beam search; key_of(slot) returns the ranking key.
-  /// Fills `out` best-first with up to `ef` slots (minus `exclude`).
+  /// Fills scratch.out best-first with up to `ef` slots (minus `exclude`).
   template <typename KeyFn>
   void BeamSearch(std::span<const Slot> entries, std::size_t ef, Slot exclude,
-                  const KeyFn& key_of, std::vector<RankedSlot>& out) const;
+                  const KeyFn& key_of, SearchScratch& scratch) const;
 
   [[nodiscard]] eval::KnnResult GraphSearch(std::span<const double> query_u,
                                             std::size_t k,
                                             eval::KnnOrdering ordering,
                                             std::size_t ef,
-                                            std::size_t exclude_id) const;
+                                            std::size_t exclude_id,
+                                            SearchScratch& scratch) const;
 
   /// The shared search body: explicit query row + id to exclude (pass
   /// store.NodeCount() for "none").
@@ -200,6 +288,9 @@ class PeerIndex {
                                            eval::KnnOrdering ordering,
                                            std::size_t ef,
                                            std::span<const double> query_u) const;
+
+  [[nodiscard]] std::unique_ptr<SearchScratch> AcquireScratch() const;
+  void ReleaseScratch(std::unique_ptr<SearchScratch> scratch) const;
 
   const core::CoordinateStore* store_;
   PeerIndexOptions options_;
@@ -212,13 +303,17 @@ class PeerIndex {
   std::vector<Slot> adj_;            // per slot: `degree` edge slots
   std::vector<std::uint32_t> adj_len_;
 
-  // Query scratch (epoch-marked visited set + beam heaps), shared across
-  // searches — the reason concurrent queries are not safe.
-  mutable std::vector<std::uint32_t> visited_;
-  mutable std::uint32_t epoch_ = 0;
-  mutable std::vector<RankedSlot> beam_candidates_;
-  mutable std::vector<RankedSlot> beam_out_;
-  mutable std::uint64_t score_evals_ = 0;
+  // IVF coarse layer (empty = off): k-means centers over snapshot v rows
+  // and one medoid entry slot per cell.
+  std::vector<double> centroids_;    // cell-major, rank_ doubles per cell
+  std::vector<Slot> cell_entry_;
+
+  // Search-scratch free list + the folded evaluation counter; the only
+  // mutable state a const search touches, which is what makes concurrent
+  // queries safe.
+  mutable std::mutex scratch_mutex_;
+  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_;
+  mutable std::atomic<std::uint64_t> score_evals_{0};
 };
 
 }  // namespace dmfsgd::ann

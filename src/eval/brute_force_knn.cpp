@@ -53,6 +53,12 @@ class TopK {
     return result;
   }
 
+  /// The current survivors in heap order (for merging block-local top-ks;
+  /// the set — not its order — is what the merge consumes).
+  [[nodiscard]] const std::vector<Ranked>& Entries() const noexcept {
+    return heap_;
+  }
+
  private:
   std::size_t k_;
   std::vector<Ranked> heap_;
@@ -106,7 +112,8 @@ KnnResult BruteForceKnn(const core::CoordinateStore& store, std::size_t query,
 }
 
 KnnResult BruteForceKnnAll(const core::CoordinateStore& store, std::size_t query,
-                           std::size_t k, KnnOrdering ordering) {
+                           std::size_t k, KnnOrdering ordering,
+                           common::ThreadPool* pool) {
   if (query >= store.NodeCount()) {
     throw std::out_of_range("BruteForceKnnAll: query id out of range");
   }
@@ -115,6 +122,44 @@ KnnResult BruteForceKnnAll(const core::CoordinateStore& store, std::size_t query
   }
   const std::size_t n = store.NodeCount();
   const std::span<const double> u = store.U(query);
+
+  if (pool != nullptr && pool->thread_count() > 1) {
+    // Deterministic fan-out: the candidate axis splits into the pool's
+    // fixed contiguous blocks, each block keeps its own top-k over frozen
+    // store rows, and the block winners merge after the join.  Ranked keys
+    // carry the absolute candidate position, so the merged top-k set is
+    // the serial scan's — unique under the strict total order — at any
+    // pool size.
+    const std::size_t parts = pool->thread_count();
+    std::vector<std::pair<std::size_t, std::size_t>> blocks(parts);
+    std::vector<TopK> block_top(parts, TopK(k));
+    for (std::size_t b = 0; b < parts; ++b) {
+      blocks[b] = common::BlockRange(n, parts, b);
+    }
+    pool->ParallelFor(0, n, [&](std::size_t begin, std::size_t end) {
+      std::size_t block = 0;
+      while (blocks[block].first != begin || blocks[block].second != end) {
+        ++block;
+      }
+      TopK& top = block_top[block];
+      for (std::size_t j = begin; j < end; ++j) {
+        if (j == query) {
+          continue;
+        }
+        const double score =
+            linalg::DotRaw(u.data(), store.V(j).data(), store.rank());
+        top.Offer(Ranked{KeyFor(score, ordering), j, j, score});
+      }
+    });
+    TopK merged(k);
+    for (TopK& top : block_top) {
+      for (const Ranked& entry : top.Entries()) {
+        merged.Offer(entry);
+      }
+    }
+    return merged.Take();
+  }
+
   TopK top(k);
   for (std::size_t j = 0; j < n; ++j) {
     if (j == query) {

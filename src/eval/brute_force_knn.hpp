@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/coordinate_store.hpp"
 #include "datasets/dataset.hpp"
 
@@ -69,9 +70,17 @@ struct KnnResult {
 
 /// Exact top-k over the whole store (candidates = every node except the
 /// query) — the recall ground truth and the brute-force QPS baseline.
+/// With a `pool`, the candidate axis is partitioned into the pool's fixed
+/// contiguous blocks (common::BlockRange), each block keeps its own top-k,
+/// and the per-block winners merge in block order — the strict total order
+/// (key, position) makes the merged answer bit-identical to the serial
+/// scan at any pool size, so the oracle stays an oracle when it goes wide
+/// (the n = 10⁶ tier would otherwise spend minutes per ground-truth
+/// sweep).
 [[nodiscard]] KnnResult BruteForceKnnAll(const core::CoordinateStore& store,
                                          std::size_t query, std::size_t k,
-                                         KnnOrdering ordering);
+                                         KnnOrdering ordering,
+                                         common::ThreadPool* pool = nullptr);
 
 /// |approx ∩ oracle| / |oracle| over the id sets (recall@k with the oracle
 /// as ground truth).  An empty oracle yields 1.0.

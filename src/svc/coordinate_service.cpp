@@ -1,5 +1,7 @@
 #include "svc/coordinate_service.hpp"
 
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -62,6 +64,7 @@ CoordinateService::CoordinateService(const datasets::Dataset& dataset,
 
 bool CoordinateService::Ingest(core::NodeId prober, core::NodeId target,
                                std::optional<double> observed_quantity) {
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   if (prober >= NodeCount() || target >= NodeCount()) {
     throw std::out_of_range("svc::CoordinateService::Ingest: node id out of range");
   }
@@ -76,6 +79,7 @@ bool CoordinateService::Ingest(core::NodeId prober, core::NodeId target,
 }
 
 core::NodeId CoordinateService::IngestProbe(core::NodeId prober) {
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   if (prober >= NodeCount()) {
     throw std::out_of_range(
         "svc::CoordinateService::IngestProbe: node id out of range");
@@ -88,6 +92,10 @@ core::NodeId CoordinateService::IngestProbe(core::NodeId prober) {
 
 void CoordinateService::IngestRounds(std::size_t rounds) {
   for (std::size_t round = 0; round < rounds; ++round) {
+    // One round per exclusive hold — a round is the service's largest
+    // indivisible ingest, and re-taking the lock between rounds lets
+    // waiting queries interleave with long warm-ups.
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
     const std::size_t before = simulation_.MeasurementCount();
     if (config_.compile_rounds) {
       simulation_.RunRoundsCompiled(1);
@@ -95,12 +103,13 @@ void CoordinateService::IngestRounds(std::size_t rounds) {
       simulation_.RunRounds(1);
     }
     // Per-round accounting keeps the staleness bound honest at round
-    // granularity — a round is the service's largest indivisible ingest.
+    // granularity.
     AccountIngest(simulation_.MeasurementCount() - before);
   }
 }
 
 std::size_t CoordinateService::IngestTrace(std::size_t begin, std::size_t end) {
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   const std::size_t applied = simulation_.ReplayTrace(begin, end);
   AccountIngest(applied);
   return applied;
@@ -108,17 +117,24 @@ std::size_t CoordinateService::IngestTrace(std::size_t begin, std::size_t end) {
 
 // -- query plane ------------------------------------------------------------
 
-double CoordinateService::QueryScore(std::size_t i, std::size_t j) {
-  ++stats_.queries;
+double CoordinateService::ScoreLocked(std::size_t i, std::size_t j) const {
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   return simulation_.engine().Predict(i, j);
 }
 
-double CoordinateService::QueryQuantity(std::size_t i, std::size_t j) {
-  return QueryScore(i, j) * config_.tau;
+double CoordinateService::QueryScore(std::size_t i, std::size_t j) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return ScoreLocked(i, j);
 }
 
-std::size_t CoordinateService::QueryLevel(std::size_t i, std::size_t j) {
-  const double score = QueryScore(i, j);
+double CoordinateService::QueryQuantity(std::size_t i, std::size_t j) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return ScoreLocked(i, j) * config_.tau;
+}
+
+std::size_t CoordinateService::QueryLevel(std::size_t i, std::size_t j) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const double score = ScoreLocked(i, j);
   const bool higher_better =
       DefaultOrdering() == eval::KnnOrdering::kLargestFirst;
   std::size_t level = 0;
@@ -132,8 +148,9 @@ std::size_t CoordinateService::QueryLevel(std::size_t i, std::size_t j) {
 
 eval::KnnResult CoordinateService::QueryNearestPeers(std::size_t i,
                                                      std::size_t k,
-                                                     std::size_t ef) {
-  ++stats_.queries;
+                                                     std::size_t ef) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   return index_->SearchFrom(i, k, DefaultOrdering(), ef);
 }
 
@@ -149,9 +166,24 @@ eval::KnnOrdering CoordinateService::DefaultOrdering() const noexcept {
 // -- snapshot plane ---------------------------------------------------------
 
 void CoordinateService::Checkpoint() {
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   if (log_) {
     AppendEpoch();
   }
+}
+
+// -- introspection ----------------------------------------------------------
+
+CoordinateService::Stats CoordinateService::stats() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  Stats out = stats_;
+  out.queries = query_count_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t CoordinateService::CurrentStaleness() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return staleness_;
 }
 
 // -- cadence ----------------------------------------------------------------

@@ -34,13 +34,25 @@
 // config, ingest sequence).  Index maintenance reads coordinates but never
 // writes them, so query answers are also independent of *when* the index
 // absorbs drift: any staleness budget yields the same scores, and exact-
-// mode k-NN (ef >= n) the same peers.  The service is single-threaded by
-// contract, like the index's query scratch underneath it.
+// mode k-NN (ef >= n) the same peers.
+//
+// Concurrency (DESIGN.md §18): the service is a reader–writer split over
+// one shared_mutex.  The const query plane (QueryScore / QueryQuantity /
+// QueryLevel / QueryNearestPeers, plus stats() and CurrentStaleness())
+// takes the lock shared — any number of query threads run concurrently,
+// each leasing its own search scratch from the index underneath — while
+// the ingest and snapshot planes (Ingest* / Checkpoint) take it exclusive,
+// so index refreshes and coordinate writes never race a query.  Queries
+// are pure reads: on a quiescent service, N-thread query results are
+// bit-identical to single-thread (the walk is a pure function of the
+// index and the store — pinned by the concurrent-query tests).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "ann/peer_index.hpp"
@@ -119,26 +131,31 @@ class CoordinateService {
   /// returns the number applied.  Throws if the dataset has no trace.
   std::size_t IngestTrace(std::size_t begin, std::size_t end);
 
-  // -- query plane (live bilinear scores, DESIGN.md §16) --------------------
+  // -- query plane (live bilinear scores, DESIGN.md §16, §18) ---------------
+  //
+  // All Query* methods are const shared-lock readers: safe from any number
+  // of threads concurrently, and concurrently with the exclusive ingest
+  // plane (a query observes the state before or after an ingest, never a
+  // torn one).
 
   /// x̂_ij = u_i · v_j, live.  Throws std::out_of_range on bad indices.
-  [[nodiscard]] double QueryScore(std::size_t i, std::size_t j);
+  [[nodiscard]] double QueryScore(std::size_t i, std::size_t j) const;
 
   /// The metric-unit readout x̂ · τ — in regression mode the predicted
   /// quantity (the §3 τ-normalization inverted); in classification mode a
   /// score scaled into quantity range (the sign rule is QueryLevel's job).
-  [[nodiscard]] double QueryQuantity(std::size_t i, std::size_t j);
+  [[nodiscard]] double QueryQuantity(std::size_t i, std::size_t j) const;
 
   /// Multiclass readout: thresholds from config.class_thresholds beaten by
   /// the live score, in the mode's "better" direction (0 = worst class).
-  [[nodiscard]] std::size_t QueryLevel(std::size_t i, std::size_t j);
+  [[nodiscard]] std::size_t QueryLevel(std::size_t i, std::size_t j) const;
 
   /// k best peers for node i by live score through the warm index.
   /// `ef` widens the beam (0 = the configured default; ef >= n is exact
   /// mode, bit-identical to the brute-force oracle).  Node i itself is
   /// excluded.  Throws std::out_of_range on a bad id.
   [[nodiscard]] eval::KnnResult QueryNearestPeers(std::size_t i, std::size_t k,
-                                                  std::size_t ef = 0);
+                                                  std::size_t ef = 0) const;
 
   /// The "better" direction queries rank under: largest-first score in
   /// classification mode, the metric's quantity ordering in regression.
@@ -162,13 +179,13 @@ class CoordinateService {
     bool resumed = false;               ///< warm-restarted from a recovered log
     bool recovered_torn_tail = false;   ///< that recovery discarded a torn epoch
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// A consistent snapshot of the counters (shared-lock reader; the query
+  /// counter is an atomic fed by the lock-sharing query plane).
+  [[nodiscard]] Stats stats() const;
 
   /// Ingests since the index last absorbed drift; <= config.staleness_budget
-  /// at all times (the CI-pinned bound).
-  [[nodiscard]] std::size_t CurrentStaleness() const noexcept {
-    return staleness_;
-  }
+  /// at all times (the CI-pinned bound).  Shared-lock reader.
+  [[nodiscard]] std::size_t CurrentStaleness() const;
 
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
   [[nodiscard]] const core::DeploymentEngine& engine() const noexcept {
@@ -195,11 +212,20 @@ class CoordinateService {
   void AppendEpoch();
   [[nodiscard]] std::vector<core::NodeId> TakeMask(
       std::vector<unsigned char>& mask);
+  /// The raw live score; callers hold the lock (shared suffices — a score
+  /// is a pure read of two store rows).
+  [[nodiscard]] double ScoreLocked(std::size_t i, std::size_t j) const;
 
   ServiceConfig config_;
   core::DmfsgdSimulation simulation_;
   std::optional<ann::PeerIndex> index_;    // engaged for the service's life
   std::optional<SnapshotLogWriter> log_;   // engaged iff persistence is on
+
+  // The reader–writer split (DESIGN.md §18): Query*/stats/CurrentStaleness
+  // share, Ingest*/Checkpoint are exclusive.  The query counter is atomic
+  // because lock-sharing queries may bump it concurrently.
+  mutable std::shared_mutex state_mutex_;
+  mutable std::atomic<std::uint64_t> query_count_{0};
 
   // Dirty ids awaiting each consumer (the engine drain feeds both): byte
   // masks so merging a drain is O(drained), materialized ascending on use.

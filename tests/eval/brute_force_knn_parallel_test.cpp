@@ -1,0 +1,86 @@
+// Pool-size parity for the parallelized oracle (DESIGN.md §18): the
+// candidate axis splits into the pool's fixed contiguous blocks and the
+// block winners merge under the strict total order (key, position), so
+// BruteForceKnnAll is bit-identical at any pool size — the property that
+// lets the n = 10⁶ bench tier generate ground truth in parallel without
+// the oracle ceasing to be an oracle.
+#include "eval/brute_force_knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace dmfsgd::eval {
+namespace {
+
+core::CoordinateStore RandomStore(std::size_t n, std::size_t rank,
+                                  std::uint64_t seed) {
+  core::CoordinateStore store(n, rank);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    store.RandomizeRow(i, rng);
+  }
+  return store;
+}
+
+TEST(BruteForceKnnParallel, AnyPoolSizeMatchesTheSerialScanBitwise) {
+  const core::CoordinateStore store = RandomStore(3000, 8, 171);
+  for (const KnnOrdering ordering :
+       {KnnOrdering::kSmallestFirst, KnnOrdering::kLargestFirst}) {
+    for (const std::size_t query : {0u, 999u, 2999u}) {
+      const KnnResult serial = BruteForceKnnAll(store, query, 10, ordering);
+      for (const std::size_t pool_size : {1u, 2u, 3u, 7u, 16u}) {
+        common::ThreadPool pool(pool_size);
+        const KnnResult parallel =
+            BruteForceKnnAll(store, query, 10, ordering, &pool);
+        ASSERT_EQ(parallel.ids, serial.ids)
+            << "query " << query << ", pool " << pool_size;
+        ASSERT_EQ(parallel.scores, serial.scores)
+            << "query " << query << ", pool " << pool_size;
+      }
+    }
+  }
+}
+
+TEST(BruteForceKnnParallel, TiedScoresKeepCandidateOrderAcrossPoolSizes) {
+  // Every v row identical → every candidate ties; the strict total order
+  // must resolve to the lowest candidate positions regardless of which
+  // block scored them.
+  core::CoordinateStore store(64, 4);
+  common::Rng rng(19);
+  store.RandomizeRow(0, rng);
+  for (std::size_t i = 1; i < 64; ++i) {
+    const auto v0 = store.V(0);
+    const auto u0 = store.U(0);
+    std::copy(v0.begin(), v0.end(), store.V(i).begin());
+    std::copy(u0.begin(), u0.end(), store.U(i).begin());
+  }
+  const KnnResult serial =
+      BruteForceKnnAll(store, 10, 5, KnnOrdering::kSmallestFirst);
+  std::vector<std::size_t> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(serial.ids, expected);
+  for (const std::size_t pool_size : {2u, 5u, 9u}) {
+    common::ThreadPool pool(pool_size);
+    const KnnResult parallel =
+        BruteForceKnnAll(store, 10, 5, KnnOrdering::kSmallestFirst, &pool);
+    ASSERT_EQ(parallel.ids, serial.ids) << "pool " << pool_size;
+    ASSERT_EQ(parallel.scores, serial.scores) << "pool " << pool_size;
+  }
+}
+
+TEST(BruteForceKnnParallel, KLargerThanBlockSizeStillMerges) {
+  // k = 40 over 100 candidates with a 16-way pool: blocks hold ~6 items
+  // each, so the merge must assemble the answer from every block.
+  const core::CoordinateStore store = RandomStore(100, 6, 281);
+  const KnnResult serial =
+      BruteForceKnnAll(store, 50, 40, KnnOrdering::kLargestFirst);
+  common::ThreadPool pool(16);
+  const KnnResult parallel =
+      BruteForceKnnAll(store, 50, 40, KnnOrdering::kLargestFirst, &pool);
+  EXPECT_EQ(parallel.ids, serial.ids);
+  EXPECT_EQ(parallel.scores, serial.scores);
+}
+
+}  // namespace
+}  // namespace dmfsgd::eval
